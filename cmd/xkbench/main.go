@@ -1,0 +1,13 @@
+// Command xkbench regenerates the paper's experiment series (Fig 7).
+// Run with -h for usage; see internal/cli for the implementation.
+package main
+
+import (
+	"os"
+
+	"xkprop/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunXkbench(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,13 @@
+// Command xkcheck validates an XML document against a set of XML keys.
+// Run with -h for usage; see internal/cli for the implementation.
+package main
+
+import (
+	"os"
+
+	"xkprop/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunXkcheck(os.Args[1:], os.Stdout, os.Stderr))
+}

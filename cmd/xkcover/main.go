@@ -1,0 +1,13 @@
+// Command xkcover computes a minimum cover of propagated FDs and optional BCNF/3NF refinements.
+// Run with -h for usage; see internal/cli for the implementation.
+package main
+
+import (
+	"os"
+
+	"xkprop/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunXkcover(os.Args[1:], os.Stdout, os.Stderr))
+}

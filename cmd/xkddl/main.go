@@ -1,0 +1,15 @@
+// Command xkddl runs the consumer-side pipeline end to end: XML keys (or
+// an XML Schema's identity constraints) plus a universal table rule become
+// a minimum cover, a BCNF/3NF decomposition and SQL DDL.
+// Run with -h for usage; see internal/cli for the implementation.
+package main
+
+import (
+	"os"
+
+	"xkprop/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunXkddl(os.Args[1:], os.Stdout, os.Stderr))
+}

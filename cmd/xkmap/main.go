@@ -1,0 +1,13 @@
+// Command xkmap evaluates a transformation over an XML document and emits relation instances.
+// Run with -h for usage; see internal/cli for the implementation.
+package main
+
+import (
+	"os"
+
+	"xkprop/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunXkmap(os.Args[1:], os.Stdout, os.Stderr))
+}

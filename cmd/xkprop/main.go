@@ -1,0 +1,13 @@
+// Command xkprop checks XML key propagation for a relational FD.
+// Run with -h for usage; see internal/cli for the implementation.
+package main
+
+import (
+	"os"
+
+	"xkprop/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunXkprop(os.Args[1:], os.Stdout, os.Stderr))
+}

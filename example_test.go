@@ -1,0 +1,163 @@
+package xkprop_test
+
+import (
+	"fmt"
+	"strings"
+
+	"xkprop"
+)
+
+// The provider's documentation for its book feed: isbn identifies books
+// globally; chapter numbers identify chapters within a book; chapters have
+// at most one name.
+const exampleKeys = `
+(ε, (//book, {@isbn}))
+(//book, (chapter, {@number}))
+(//book/chapter, (name, {}))
+(//book, (title, {}))
+`
+
+const exampleRules = `
+rule chapter(inBook: y1, number: y2, name: y3) {
+  ya := root / //book
+  y1 := ya / @isbn
+  yc := ya / chapter
+  y2 := yc / @number
+  y3 := yc / name
+}
+`
+
+func ExamplePropagates() {
+	sigma, _ := xkprop.ParseKeys(strings.NewReader(exampleKeys))
+	tr, _ := xkprop.ParseTransformationString(exampleRules)
+	rule := tr.Rule("chapter")
+
+	safe, _ := xkprop.ParseFD(rule.Schema, "inBook, number -> name")
+	risky, _ := xkprop.ParseFD(rule.Schema, "number -> name")
+	fmt.Println(xkprop.Propagates(sigma, rule, safe))
+	fmt.Println(xkprop.Propagates(sigma, rule, risky))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleMinimumCover() {
+	sigma, _ := xkprop.ParseKeys(strings.NewReader(exampleKeys))
+	tr, _ := xkprop.ParseTransformationString(`
+rule U(isbn: i, title: t, chapNum: n, chapName: m) {
+  b := root / //book
+  i := b / @isbn
+  t := b / title
+  c := b / chapter
+  n := c / @number
+  m := c / name
+}`)
+	cover := xkprop.MinimumCover(sigma, tr.Rules[0])
+	fmt.Print(xkprop.FormatFDs(tr.Rules[0].Schema, cover))
+	// Output:
+	// isbn → title
+	// chapNum, isbn → chapName
+}
+
+func ExampleBCNF() {
+	sigma, _ := xkprop.ParseKeys(strings.NewReader(exampleKeys))
+	tr, _ := xkprop.ParseTransformationString(`
+rule U(isbn: i, title: t, chapNum: n, chapName: m) {
+  b := root / //book
+  i := b / @isbn
+  t := b / title
+  c := b / chapter
+  n := c / @number
+  m := c / name
+}`)
+	s := tr.Rules[0].Schema
+	cover := xkprop.MinimumCover(sigma, tr.Rules[0])
+	frags := xkprop.BCNF(cover, s.All())
+	fmt.Print(xkprop.FormatFragments(s, frags))
+	fmt.Println("lossless:", xkprop.LosslessJoin(cover, s.All(), frags))
+	// Output:
+	// R1(isbn, title) key {isbn}
+	// R2(chapName, chapNum, isbn) key {chapNum, isbn}
+	// lossless: true
+}
+
+func ExampleValidateKeys() {
+	sigma, _ := xkprop.ParseKeys(strings.NewReader("(ε, (//book, {@isbn}))"))
+	doc, _ := xkprop.ParseDocumentString(`<r><book isbn="1"/><book isbn="1"/></r>`)
+	for _, v := range xkprop.ValidateKeys(doc, sigma) {
+		fmt.Println(v)
+	}
+	// Output:
+	// (ε, (//book, {@isbn})): target nodes #1 and #3 under context node #0 agree on all key values
+}
+
+func ExampleImpliesKey() {
+	sigma, _ := xkprop.ParseKeys(strings.NewReader(exampleKeys))
+	// Context containment: a key for //book is a key for book.
+	phi := xkprop.MustParseKey("(ε, (book, {@isbn}))")
+	fmt.Println(xkprop.ImpliesKey(sigma, phi))
+	// But chapter numbers are not global keys.
+	fmt.Println(xkprop.ImpliesKey(sigma, xkprop.MustParseKey("(ε, (//chapter, {@number}))")))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleStreamValidate() {
+	sigma, _ := xkprop.ParseKeys(strings.NewReader("(//order, (item, {@sku}))"))
+	feed := `<orders>
+	  <order id="1"><item sku="a"/><item sku="a"/></order>
+	</orders>`
+	vs, _ := xkprop.StreamValidate(strings.NewReader(feed), sigma)
+	fmt.Println(len(vs), "violation(s)")
+	// Output:
+	// 1 violation(s)
+}
+
+func ExampleSQLDDL() {
+	s, _ := xkprop.NewSchema("Chapter", "isbn", "chapterNum", "chapterName")
+	table := xkprop.SQLFromSchema(s, s.MustSet("isbn", "chapterNum"), xkprop.SQLOptions{})
+	fmt.Print(xkprop.SQLDDL([]xkprop.SQLTable{table}, xkprop.SQLOptions{}))
+	// Output:
+	// CREATE TABLE "Chapter" (
+	//   "isbn" VARCHAR(1024) NOT NULL,
+	//   "chapterNum" VARCHAR(1024) NOT NULL,
+	//   "chapterName" VARCHAR(1024),
+	//   PRIMARY KEY ("chapterNum", "isbn")
+	// );
+}
+
+func ExampleXSDImportString() {
+	keys, _, _ := xkprop.XSDImportString(`
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="catalog">
+    <xs:key name="bookKey">
+      <xs:selector xpath=".//book"/>
+      <xs:field xpath="@isbn"/>
+    </xs:key>
+  </xs:element>
+</xs:schema>`)
+	for _, k := range keys {
+		fmt.Println(k)
+	}
+	// Output:
+	// bookKey = (ε, (//book, {@isbn}))
+}
+
+func ExampleFindFDCounterexample() {
+	sigma, _ := xkprop.ParseKeys(strings.NewReader(exampleKeys))
+	tr, _ := xkprop.ParseTransformationString(`
+rule Chapter(bookTitle: t, chapterNum: n, chapterName: m) {
+  b := root / //book
+  t := b / title
+  c := b / chapter
+  n := c / @number
+  m := c / name
+}`)
+	rule := tr.Rules[0]
+	fd, _ := xkprop.ParseFD(rule.Schema, "bookTitle, chapterNum -> chapterName")
+	_, _, found := xkprop.FindFDCounterexample(sigma, rule, fd, xkprop.WitnessOptions{MaxTries: 20000})
+	fmt.Println("counterexample found:", found)
+	// Output:
+	// counterexample found: true
+}

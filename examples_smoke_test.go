@@ -1,0 +1,64 @@
+package xkprop_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun compiles and runs every example program, asserting on
+// load-bearing output markers so the examples cannot rot silently.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test compiles binaries; skipped in -short")
+	}
+	cases := []struct {
+		dir     string
+		args    []string
+		markers []string
+	}{
+		{"./examples/quickstart", nil, []string{
+			"document satisfies all 7 XML keys",
+			"inBook, number → name propagated: true",
+			"bookIsbn, chapNum, secNum → secName",
+			"lossless join: true",
+		}},
+		{"./examples/consumercheck", nil, []string{
+			"VIOLATED on import",
+			"culprits: book nodes",
+			"refined key propagated: true",
+		}},
+		{"./examples/schemarefine", nil, []string{
+			"orderId → custName",
+			"itemSku, orderId → itemPrice propagated: true",
+			"dependency preserving: true",
+		}},
+		{"./examples/bibliography", []string{"-journals", "5", "-fanout", "2"}, []string{
+			"corpus satisfies all provider keys",
+			"journal, pii, volume → title             propagated: true",
+			"violation(s) detected at import time",
+		}},
+		{"./examples/schemaimport", []string{"-orders", "50"}, []string{
+			"imported 3 keys",
+			"streamed 50 orders: 0 violation(s)",
+			"CREATE TABLE",
+			"PROPAGATED",
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			args := append([]string{"run", c.dir}, c.args...)
+			out, err := exec.Command("go", args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			for _, m := range c.markers {
+				if !strings.Contains(string(out), m) {
+					t.Errorf("output missing %q:\n%s", m, out)
+				}
+			}
+		})
+	}
+}

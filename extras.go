@@ -1,0 +1,114 @@
+package xkprop
+
+// This file exposes the supporting subsystems that grew around the core
+// algorithms: XML Schema identity-constraint import, streaming key
+// validation, SQL DDL generation from refinements, and counterexample
+// search for negative verdicts.
+
+import (
+	"io"
+
+	"xkprop/internal/core"
+	"xkprop/internal/rel"
+	"xkprop/internal/sqlgen"
+	"xkprop/internal/stream"
+	"xkprop/internal/transform"
+	"xkprop/internal/witness"
+	"xkprop/internal/xsd"
+)
+
+// XSDImport reads XML Schema identity constraints (xs:key, xs:unique) and
+// converts the ones expressible in the paper's class K̄ into keys. The
+// returned warnings note semantic strengthenings (xs:unique becomes
+// existence-requiring under Definition 2.1's strict semantics).
+func XSDImport(r io.Reader) (keys []Key, warnings []string, err error) {
+	res, err := xsd.Import(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Keys, res.Warnings, nil
+}
+
+// XSDImportString is XSDImport over a string.
+func XSDImportString(s string) ([]Key, []string, error) {
+	res, err := xsd.ImportString(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Keys, res.Warnings, nil
+}
+
+// StreamViolation is a key violation found by the streaming validator.
+type StreamViolation = stream.Violation
+
+// StreamValidator validates keys over an XML token stream without
+// materializing the tree; see NewStreamValidator.
+type StreamValidator = stream.Validator
+
+// NewStreamValidator compiles a key set for one-pass streaming validation
+// of large documents (memory proportional to open contexts, not document
+// size).
+func NewStreamValidator(sigma []Key) *StreamValidator { return stream.NewValidator(sigma) }
+
+// StreamValidate validates the document streamed from r against sigma in
+// one pass. Key violations are returned; only XML syntax errors are errors.
+func StreamValidate(r io.Reader, sigma []Key) ([]StreamViolation, error) {
+	return stream.Validate(r, sigma)
+}
+
+// SQLOptions controls DDL generation.
+type SQLOptions = sqlgen.Options
+
+// SQLTable is one generated table.
+type SQLTable = sqlgen.Table
+
+// SQLFromFragments renders a decomposition of the universal schema as SQL
+// tables: fragment keys become primary keys, key columns NOT NULL, and
+// shared-key references become foreign keys.
+func SQLFromFragments(s *Schema, frags []Fragment, opts SQLOptions) []SQLTable {
+	return sqlgen.FromFragments(s, frags, opts)
+}
+
+// SQLFromSchema renders one relation schema with an explicit key.
+func SQLFromSchema(s *Schema, key AttrSet, opts SQLOptions) SQLTable {
+	return sqlgen.FromSchema(s, key, opts)
+}
+
+// SQLDDL renders tables as CREATE TABLE statements.
+func SQLDDL(tables []SQLTable, opts SQLOptions) string { return sqlgen.DDL(tables, opts) }
+
+// WitnessOptions tunes the counterexample search.
+type WitnessOptions = witness.Options
+
+// FindFDCounterexample searches for a document satisfying sigma whose
+// instance under the rule violates fd — concrete evidence for a
+// "not propagated" verdict. The search is sound but incomplete.
+func FindFDCounterexample(sigma []Key, rule *Rule, fd FD, opts WitnessOptions) (*Tree, []rel.FDViolation, bool) {
+	return witness.FDCounterexample(sigma, rule, fd, opts)
+}
+
+// FindKeyCounterexample searches for a document satisfying sigma but
+// violating phi — a model refuting Σ ⊨ φ.
+func FindKeyCounterexample(sigma []Key, phi Key, opts WitnessOptions) (*Tree, bool) {
+	return witness.KeyCounterexample(sigma, phi, opts)
+}
+
+// Explanation records one run of Algorithm propagation step by step, the
+// way the paper narrates Example 4.2. Negative verdicts become actionable:
+// the failing keyed-ancestor check or undischargeable LHS field is named.
+type Explanation = core.Explanation
+
+// ExplanationStep is one recorded step of an explanation.
+type ExplanationStep = core.Step
+
+// Lineage maps each table-rule variable to the XML node it was bound to
+// for one generated tuple (nil for null bindings); see
+// Rule.EvalWithLineage for tracing relational findings back to XML nodes.
+type Lineage = transform.Lineage
+
+// AnnotatedFD pairs a cover FD with its provenance: the table-tree node
+// its left-hand side identifies, the chain of Σ keys building that
+// transitive key, and the uniqueness fact pinning the right-hand side
+// (the paper's Example 5.1 made explicit). Produced by
+// Engine.AnnotatedCover.
+type AnnotatedFD = core.AnnotatedFD

@@ -1,0 +1,3 @@
+module xkprop
+
+go 1.22

@@ -1,0 +1,128 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xkprop"
+	"xkprop/internal/paperdata"
+)
+
+// RunXkddl runs the whole consumer-side pipeline to SQL: keys (from a key
+// file or an XML Schema) + universal table rule → minimum cover →
+// BCNF/3NF decomposition → CREATE TABLE statements.
+func RunXkddl(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xkddl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	keysPath := fs.String("keys", "", "path to the key file")
+	xsdPath := fs.String("xsd", "", "import keys from an XML Schema's identity constraints instead")
+	trPath := fs.String("transform", "", "path to the transformation DSL file (the universal relation)")
+	ruleName := fs.String("rule", "", "name of the universal relation's rule (default: the only rule)")
+	normalize := fs.String("normalize", "bcnf", "decomposition: bcnf or 3nf")
+	dialect := fs.String("dialect", "standard", "SQL dialect: standard or sqlite")
+	prefix := fs.String("prefix", "", "table name prefix")
+	noFKs := fs.Bool("no-foreign-keys", false, "suppress foreign-key inference")
+	demo := fs.Bool("demo", false, "use the paper's Example 3.1 universal relation and keys")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *normalize != "bcnf" && *normalize != "3nf" {
+		return usage(stderr, "xkddl: -normalize must be bcnf or 3nf")
+	}
+	if *dialect != "standard" && *dialect != "sqlite" {
+		return usage(stderr, "xkddl: -dialect must be standard or sqlite")
+	}
+
+	var sigma []xkprop.Key
+	var rule *xkprop.Rule
+	var err error
+	switch {
+	case *demo:
+		sigma = paperdata.Keys()
+		rule = paperdata.UniversalRule()
+	default:
+		switch {
+		case *keysPath != "" && *xsdPath != "":
+			return usage(stderr, "xkddl: -keys and -xsd are mutually exclusive")
+		case *keysPath != "":
+			if sigma, err = loadKeys(*keysPath); err != nil {
+				return fail(stderr, "xkddl", err)
+			}
+		case *xsdPath != "":
+			f, err := os.Open(*xsdPath)
+			if err != nil {
+				return fail(stderr, "xkddl", err)
+			}
+			keys, warnings, err := xkprop.XSDImport(f)
+			f.Close()
+			if err != nil {
+				return fail(stderr, "xkddl", err)
+			}
+			for _, w := range warnings {
+				fmt.Fprintln(stderr, "xkddl: warning:", w)
+			}
+			sigma = keys
+		default:
+			return usage(stderr, "xkddl {-keys keys.txt | -xsd schema.xsd} -transform universal.dsl [-normalize bcnf|3nf] [-dialect standard|sqlite]")
+		}
+		if *trPath == "" {
+			return usage(stderr, "xkddl: -transform is required")
+		}
+		var tr *xkprop.Transformation
+		if tr, err = loadTransformation(*trPath); err != nil {
+			return fail(stderr, "xkddl", err)
+		}
+		switch {
+		case *ruleName != "":
+			rule = tr.Rule(*ruleName)
+			if rule == nil {
+				fmt.Fprintf(stderr, "xkddl: no rule %q\n", *ruleName)
+				return 2
+			}
+		case len(tr.Rules) == 1:
+			rule = tr.Rules[0]
+		default:
+			fmt.Fprintln(stderr, "xkddl: multiple rules; pick one with -rule")
+			return 2
+		}
+	}
+
+	cover := xkprop.MinimumCover(sigma, rule)
+	fmt.Fprintf(stdout, "-- %d XML keys -> %d propagated FDs -> %s decomposition\n",
+		len(sigma), len(cover), *normalize)
+	for _, line := range splitNonEmpty(xkprop.FormatFDs(rule.Schema, cover)) {
+		fmt.Fprintln(stdout, "--   "+line)
+	}
+
+	var frags []xkprop.Fragment
+	if *normalize == "3nf" {
+		frags = xkprop.ThreeNF(cover, rule.Schema.All())
+	} else {
+		frags = xkprop.BCNF(cover, rule.Schema.All())
+	}
+	opts := xkprop.SQLOptions{Dialect: *dialect, TablePrefix: *prefix, NoForeignKeys: *noFKs}
+	tables := xkprop.SQLFromFragments(rule.Schema, frags, opts)
+	io.WriteString(stdout, xkprop.SQLDDL(tables, opts))
+	return 0
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"xkprop"
+	"xkprop/internal/paperdata"
+)
+
+// RunXkmap evaluates a transformation over a document and emits instances.
+func RunXkmap(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xkmap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	trPath := fs.String("transform", "", "path to the transformation DSL file")
+	format := fs.String("format", "table", "output format: table or csv")
+	relName := fs.String("relation", "", "only emit this relation")
+	lineage := fs.Bool("lineage", false, "annotate each tuple with the source XML node IDs (table format only)")
+	demo := fs.Bool("demo", false, "use the paper's Fig 1 document and Example 2.4 transformation")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var doc *xkprop.Tree
+	var tr *xkprop.Transformation
+	var err error
+	switch {
+	case *demo:
+		doc = paperdata.Doc()
+		tr = paperdata.Transform()
+	default:
+		if *trPath == "" || fs.NArg() != 1 {
+			return usage(stderr, "xkmap -transform rules.dsl document.xml   (or: xkmap -demo)")
+		}
+		if tr, err = loadTransformation(*trPath); err != nil {
+			return fail(stderr, "xkmap", err)
+		}
+		if doc, err = loadDocument(fs.Arg(0)); err != nil {
+			return fail(stderr, "xkmap", err)
+		}
+	}
+	if *format != "table" && *format != "csv" {
+		return usage(stderr, "xkmap: -format must be table or csv")
+	}
+
+	insts := tr.Eval(doc)
+	names := make([]string, 0, len(insts))
+	for name := range insts {
+		if *relName != "" && name != *relName {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		fmt.Fprintf(stderr, "xkmap: no relation %q in transformation\n", *relName)
+		return 2
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if *lineage && *format == "table" {
+			rule := tr.Rule(name)
+			inst, lins := rule.EvalWithLineage(doc)
+			fmt.Fprintln(stdout, inst.String())
+			for i, lin := range lins {
+				var parts []string
+				for _, v := range rule.Vars() {
+					if n := lin[v]; n != nil && v != "root" {
+						parts = append(parts, fmt.Sprintf("%s=#%d", v, n.ID))
+					}
+				}
+				sort.Strings(parts)
+				fmt.Fprintf(stdout, "  row %d ⇐ %s\n", i, strings.Join(parts, " "))
+			}
+			fmt.Fprintln(stdout)
+			continue
+		}
+		inst := insts[name]
+		switch *format {
+		case "csv":
+			io.WriteString(stdout, inst.CSV())
+		default:
+			fmt.Fprintln(stdout, inst.String())
+		}
+	}
+	return 0
+}

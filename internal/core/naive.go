@@ -1,0 +1,43 @@
+package core
+
+import (
+	"xkprop/internal/rel"
+)
+
+// NaiveCover implements Algorithm naive (§5): enumerate every candidate FD
+// X → A on the universal relation (X over all subsets of the remaining
+// fields — exponential by construction), keep those Algorithm propagation
+// accepts, and minimize the result. The paper uses it as the baseline that
+// motivates minimumCover: its running time grows ~two-hundred-fold for
+// every five extra fields (Fig 7a).
+func (e *Engine) NaiveCover() []rel.FD {
+	schema := e.rule.Schema
+	n := schema.Len()
+	if n > 24 {
+		panic("core: NaiveCover is exponential; refusing schemas over 24 fields")
+	}
+	var found []rel.FD
+	for a := 0; a < n; a++ {
+		rhs := rel.AttrSet{}.With(a)
+		// All subsets of the other fields.
+		others := make([]int, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i != a {
+				others = append(others, i)
+			}
+		}
+		for mask := 0; mask < 1<<uint(len(others)); mask++ {
+			var lhs rel.AttrSet
+			for b, pos := range others {
+				if mask&(1<<uint(b)) != 0 {
+					lhs = lhs.With(pos)
+				}
+			}
+			fd := rel.NewFD(lhs, rhs)
+			if e.Propagates(fd) {
+				found = append(found, fd)
+			}
+		}
+	}
+	return rel.Minimize(found)
+}

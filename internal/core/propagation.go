@@ -1,0 +1,131 @@
+// Package core implements the paper's algorithms (Davidson, Fan, Hara,
+// Qin — "Propagating XML Constraints to Relations", ICDE 2003):
+//
+//   - Algorithm propagation (§4, Fig 5): decide whether a relational FD on
+//     a table rule's relation is propagated from a set Σ of XML keys;
+//   - Algorithm naive (§5): the exponential baseline for minimum covers —
+//     enumerate all candidate FDs, filter with propagation, minimize;
+//   - Algorithm minimumCover (§5): compute a minimum cover of all FDs on a
+//     universal relation propagated from Σ, in polynomial time for the key
+//     sets that arise in practice;
+//   - GminimumCover (§6): the alternative propagation check that first
+//     computes a minimum cover and then uses relational implication.
+package core
+
+import (
+	"xkprop/internal/rel"
+	"xkprop/internal/transform"
+	"xkprop/internal/xmlkey"
+	"xkprop/internal/xpath"
+)
+
+// Engine bundles a key set Σ and a table rule, reusing the implication
+// decider's memo table across the many related queries the algorithms
+// issue. Engines are not safe for concurrent use.
+type Engine struct {
+	dec  *xmlkey.Decider
+	rule *transform.Rule
+
+	// rootPath caches P(v_r, x) per variable.
+	rootPath map[string]xpath.Path
+
+	// cover caches MinimumCover for GPropagates.
+	cover []rel.FD
+}
+
+// NewEngine builds an engine for Σ and the rule.
+func NewEngine(sigma []xmlkey.Key, rule *transform.Rule) *Engine {
+	return &Engine{
+		dec:      xmlkey.NewDecider(sigma),
+		rule:     rule,
+		rootPath: make(map[string]xpath.Path),
+	}
+}
+
+// Rule returns the engine's table rule.
+func (e *Engine) Rule() *transform.Rule { return e.rule }
+
+// Sigma returns the engine's key set.
+func (e *Engine) Sigma() []xmlkey.Key { return e.dec.Sigma() }
+
+func (e *Engine) pathFromRoot(x string) xpath.Path {
+	if p, ok := e.rootPath[x]; ok {
+		return p
+	}
+	p := e.rule.PathFromRoot(x)
+	e.rootPath[x] = p
+	return p
+}
+
+// Propagates implements Algorithm propagation (Fig 5): it reports whether
+// Σ ⊨_σ (X → Y) — the FD holds on the rule's relation for every XML tree
+// satisfying Σ, under the null-aware FD semantics of §3. A compound
+// right-hand side is checked attribute by attribute.
+func (e *Engine) Propagates(fd rel.FD) bool {
+	ok := true
+	fd.Rhs.ForEach(func(i int) {
+		if ok && !e.propagatesOne(fd.Lhs, i) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// propagatesOne checks X → A for a single attribute position.
+func (e *Engine) propagatesOne(lhs rel.AttrSet, rhsAttr int) bool {
+	rule := e.rule
+	schema := rule.Schema
+	field := schema.Attrs[rhsAttr]
+	x, ok := rule.VarOf(field)
+	if !ok {
+		return false
+	}
+
+	// Fields of X, by name, plus the bookkeeping set Ycheck of fields whose
+	// non-nullness is not yet guaranteed whenever A is non-null.
+	lhsFields := make(map[string]bool, lhs.Card())
+	ycheck := make(map[string]bool, lhs.Card())
+	lhs.ForEach(func(i int) {
+		lhsFields[schema.Attrs[i]] = true
+		ycheck[schema.Attrs[i]] = true
+	})
+
+	// A trivial FD (A ∈ X) needs no keyed ancestor: condition 2 is
+	// immediate; only the existence bookkeeping below remains.
+	keyFound := lhsFields[field]
+
+	context := transform.RootVar
+	for _, target := range rule.Ancestors(x) {
+		// ß (Fig 5 line 13): attributes of target that populate X fields.
+		attrs, covered := rule.AttrsOfVarForFields(target, lhsFields)
+		if !keyFound {
+			ctxPath := e.pathFromRoot(context)
+			relPath, _ := rule.PathBetween(context, target)
+			if e.dec.Implies(xmlkey.New("", ctxPath, relPath, attrs...)) {
+				// target is keyed relative to context by attributes that
+				// populate X fields; advance the context (sound by the
+				// target-to-context rule).
+				context = target
+				// Is x unique under the new context?
+				uniq, _ := rule.PathBetween(context, x)
+				if e.dec.Implies(xmlkey.New("", e.pathFromRoot(context), uniq)) {
+					keyFound = true
+				}
+			}
+		}
+		// exist() (Fig 5 lines 19–21): discharge X fields whose attributes
+		// are guaranteed to exist on every target node.
+		if len(attrs) > 0 && e.dec.ExistsAll(e.pathFromRoot(target), attrs) {
+			for _, f := range covered {
+				delete(ycheck, f)
+			}
+		}
+	}
+	return keyFound && len(ycheck) == 0
+}
+
+// Propagates is the convenience entry point: Algorithm propagation with a
+// fresh engine.
+func Propagates(sigma []xmlkey.Key, rule *transform.Rule, fd rel.FD) bool {
+	return NewEngine(sigma, rule).Propagates(fd)
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xkprop/internal/rel"
+	"xkprop/internal/transform"
+	"xkprop/internal/xmlkey"
+	"xkprop/internal/xmltree"
+)
+
+func parseForTest(src string) (*transform.Rule, error) {
+	tr, err := transform.ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Rules[0], nil
+}
+
+// randomWorkload builds a small random universal-relation rule and key set
+// over the vocabulary {a,b,c} × attributes {x,y}. The rule is a random
+// table tree of element variables with attribute leaves as fields; keys
+// are random members of K̄ over the same vocabulary.
+type randomWorkload struct {
+	rule  *transform.Rule
+	sigma []xmlkey.Key
+}
+
+func genWorkload(r *rand.Rand) randomWorkload {
+	labels := []string{"a", "b", "c"}
+	attrs := []string{"x", "y"}
+
+	type node struct {
+		name   string
+		label  string
+		parent string
+	}
+	// Random element tree: 1-4 element variables under the root.
+	n := 1 + r.Intn(4)
+	nodes := []node{}
+	names := []string{transform.RootVar}
+	for i := 0; i < n; i++ {
+		parent := names[r.Intn(len(names))]
+		name := fmt.Sprintf("v%d", i)
+		nodes = append(nodes, node{name: name, label: labels[r.Intn(len(labels))], parent: parent})
+		names = append(names, name)
+	}
+	var src strings.Builder
+	var fields []string
+	var body strings.Builder
+	fieldNo := 0
+	for _, nd := range nodes {
+		path := nd.label
+		if nd.parent == transform.RootVar && r.Intn(2) == 0 {
+			path = "//" + nd.label
+		}
+		fmt.Fprintf(&body, "  %s := %s / %s\n", nd.name, nd.parent, path)
+		// Attribute fields on this node.
+		for _, a := range attrs {
+			if r.Intn(2) == 0 {
+				f := fmt.Sprintf("f%d", fieldNo)
+				fieldNo++
+				fmt.Fprintf(&body, "  %s_%s := %s / @%s\n", nd.name, a, nd.name, a)
+				fields = append(fields, fmt.Sprintf("%s: %s_%s", f, nd.name, a))
+			}
+		}
+	}
+	if len(fields) == 0 {
+		// Guarantee at least one field.
+		nd := nodes[0]
+		fmt.Fprintf(&body, "  %s_x := %s / @x\n", nd.name, nd.name)
+		fields = append(fields, fmt.Sprintf("f0: %s_x", nd.name))
+	}
+	fmt.Fprintf(&src, "rule U(%s) {\n%s}\n", strings.Join(fields, ", "), body.String())
+	rule, err := parseForTest(src.String())
+	if err != nil {
+		panic(err)
+	}
+
+	// Random keys.
+	nk := 1 + r.Intn(4)
+	var sigma []xmlkey.Key
+	randPath := func(maxLen int) string {
+		var parts []string
+		ln := 1 + r.Intn(maxLen)
+		for i := 0; i < ln; i++ {
+			if r.Intn(4) == 0 {
+				parts = append(parts, "/")
+			}
+			parts = append(parts, labels[r.Intn(len(labels))])
+		}
+		p := strings.Join(parts, "/")
+		p = strings.ReplaceAll(p, "///", "//")
+		return p
+	}
+	for i := 0; i < nk; i++ {
+		ctx := "ε"
+		switch r.Intn(3) {
+		case 0:
+			// absolute
+		case 1:
+			ctx = "//" + labels[r.Intn(len(labels))]
+		case 2:
+			ctx = randPath(2)
+		}
+		tgt := randPath(2)
+		var ks []string
+		for _, a := range attrs {
+			if r.Intn(2) == 0 {
+				ks = append(ks, "@"+a)
+			}
+		}
+		k, err := xmlkey.Parse(fmt.Sprintf("(%s, (%s, {%s}))", ctx, tgt, strings.Join(ks, ", ")))
+		if err != nil {
+			continue
+		}
+		sigma = append(sigma, k)
+	}
+	if len(sigma) == 0 {
+		sigma = append(sigma, xmlkey.MustParse("(ε, (//a, {@x}))"))
+	}
+	return randomWorkload{rule: rule, sigma: sigma}
+}
+
+// genModelDoc builds a random tree over the same vocabulary.
+func genModelDoc(r *rand.Rand) *xmltree.Tree {
+	labels := []string{"a", "b", "c"}
+	root := xmltree.NewElement("r")
+	var build func(n *xmltree.Node, depth int)
+	build = func(n *xmltree.Node, depth int) {
+		if depth >= 4 {
+			return
+		}
+		for i := 0; i < r.Intn(3); i++ {
+			c := n.Elem(labels[r.Intn(len(labels))])
+			for _, a := range []string{"x", "y"} {
+				if r.Intn(3) != 0 {
+					c.SetAttr(a, fmt.Sprintf("%d", r.Intn(3)))
+				}
+			}
+			build(c, depth+1)
+		}
+	}
+	build(root, 0)
+	return xmltree.NewTree(root)
+}
+
+// TestMinimumCoverEquivalentToNaive is the load-bearing validation of the
+// reconstructed Algorithm minimumCover: on randomized workloads its output
+// must have the same Armstrong closure as Algorithm naive's, which is
+// defined directly by exhaustive propagation checks.
+func TestMinimumCoverEquivalentToNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 250; trial++ {
+		w := genWorkload(r)
+		if w.rule.Schema.Len() > 8 {
+			continue
+		}
+		e := NewEngine(w.sigma, w.rule)
+		min := e.MinimumCover()
+		naive := e.NaiveCover()
+		if !rel.EquivalentCovers(min, naive) {
+			t.Fatalf("trial %d: covers differ\nrule:\n%s\nkeys: %v\nminimumCover:\n%v\nnaive:\n%v",
+				trial, w.rule, w.sigma, e.CoverAsStrings(min), e.CoverAsStrings(naive))
+		}
+		if !rel.IsNonRedundant(min) {
+			t.Fatalf("trial %d: minimumCover output redundant: %v", trial, e.CoverAsStrings(min))
+		}
+	}
+}
+
+// TestGPropagatesEquivalentToPropagation: the two propagation checkers of
+// §6 must agree on random FDs.
+func TestGPropagatesEquivalentToPropagation(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		w := genWorkload(r)
+		if w.rule.Schema.Len() > 8 {
+			continue
+		}
+		e := NewEngine(w.sigma, w.rule)
+		n := w.rule.Schema.Len()
+		for q := 0; q < 20; q++ {
+			var lhs rel.AttrSet
+			for i := 0; i < n; i++ {
+				if r.Intn(3) == 0 {
+					lhs = lhs.With(i)
+				}
+			}
+			fd := rel.NewFD(lhs, rel.AttrSet{}.With(r.Intn(n)))
+			p := e.Propagates(fd)
+			g := e.GPropagates(fd)
+			if p != g {
+				t.Fatalf("trial %d: disagreement on %s: propagation=%v gmin=%v\nrule:\n%s\nkeys: %v\ncover: %v",
+					trial, fd.Format(w.rule.Schema), p, g, w.rule, w.sigma,
+					e.CoverAsStrings(e.MinimumCover()))
+			}
+		}
+	}
+}
+
+// TestPropagationSoundOnInstances: every FD that Propagates accepts must
+// hold — under the null semantics — on the instance generated from any
+// document satisfying Σ. This is the paper's central correctness claim
+// (Σ ⊨_σ ψ), checked model-theoretically on random documents.
+func TestPropagationSoundOnInstances(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	docs := make([]*xmltree.Tree, 250)
+	for i := range docs {
+		docs[i] = genModelDoc(r)
+	}
+	for trial := 0; trial < 120; trial++ {
+		w := genWorkload(r)
+		if w.rule.Schema.Len() > 6 {
+			continue
+		}
+		e := NewEngine(w.sigma, w.rule)
+		cover := e.MinimumCover()
+		if len(cover) == 0 {
+			continue
+		}
+		for _, doc := range docs {
+			if !xmlkey.SatisfiesAll(doc, w.sigma) {
+				continue
+			}
+			inst := w.rule.Eval(doc)
+			for _, fd := range cover {
+				if vs := inst.CheckFD(fd); len(vs) != 0 {
+					t.Fatalf("soundness violation: FD %s fails on instance\nrule:\n%s\nkeys: %v\ndoc:\n%s\ninstance:\n%s\nviolations: %v",
+						fd.Format(w.rule.Schema), w.rule, w.sigma, doc.XMLString(), inst, vs)
+				}
+			}
+		}
+	}
+}
+
+// TestPropagationSoundDirectFDs repeats the soundness check on directly
+// queried FDs (not just cover members), exercising trivial FDs and
+// redundant LHS attributes.
+func TestPropagationSoundDirectFDs(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	docs := make([]*xmltree.Tree, 200)
+	for i := range docs {
+		docs[i] = genModelDoc(r)
+	}
+	for trial := 0; trial < 120; trial++ {
+		w := genWorkload(r)
+		n := w.rule.Schema.Len()
+		if n > 6 {
+			continue
+		}
+		e := NewEngine(w.sigma, w.rule)
+		var accepted []rel.FD
+		for q := 0; q < 15; q++ {
+			var lhs rel.AttrSet
+			for i := 0; i < n; i++ {
+				if r.Intn(3) == 0 {
+					lhs = lhs.With(i)
+				}
+			}
+			fd := rel.NewFD(lhs, rel.AttrSet{}.With(r.Intn(n)))
+			if e.Propagates(fd) {
+				accepted = append(accepted, fd)
+			}
+		}
+		if len(accepted) == 0 {
+			continue
+		}
+		for _, doc := range docs {
+			if !xmlkey.SatisfiesAll(doc, w.sigma) {
+				continue
+			}
+			inst := w.rule.Eval(doc)
+			for _, fd := range accepted {
+				if vs := inst.CheckFD(fd); len(vs) != 0 {
+					t.Fatalf("soundness violation: accepted FD %s fails\nrule:\n%s\nkeys: %v\ndoc:\n%s\ninstance:\n%s\nviolations: %v",
+						fd.Format(w.rule.Schema), w.rule, w.sigma, doc.XMLString(), inst, vs)
+				}
+			}
+		}
+	}
+}

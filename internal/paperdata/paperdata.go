@@ -1,0 +1,163 @@
+// Package paperdata holds the running example of Davidson et al. (ICDE
+// 2003) as shared fixtures: the Fig 1 document, the seven XML keys of
+// Example 2.1, the transformation of Example 2.4, the universal relation of
+// Example 3.1, and the two consumer designs of Fig 2. Tests, examples and
+// the command-line tools all draw on this package so that every worked
+// example in the paper is reproduced from a single source of truth.
+package paperdata
+
+import (
+	"xkprop/internal/rel"
+	"xkprop/internal/transform"
+	"xkprop/internal/xmlkey"
+	"xkprop/internal/xmltree"
+)
+
+// Fig1XML is the paper's Fig 1 document (two books, one titled "XML" with
+// two chapters and sectioned content, the other also titled "XML").
+const Fig1XML = `<r>
+  <book isbn="123">
+    <author>
+      <name>Tim Bray</name>
+      <contact>tim@textuality.com</contact>
+    </author>
+    <title>XML</title>
+    <chapter number="1">
+      <name>Introduction</name>
+      <section number="1"><name>Fundamentals</name></section>
+      <section number="2"><name>Attributes</name></section>
+    </chapter>
+    <chapter number="10">
+      <name>Conclusion</name>
+    </chapter>
+  </book>
+  <book isbn="234">
+    <title>XML</title>
+    <chapter number="1">
+      <name>Getting Acquainted</name>
+    </chapter>
+  </book>
+</r>`
+
+// Doc parses Fig1XML into a tree.
+func Doc() *xmltree.Tree { return xmltree.MustParseString(Fig1XML) }
+
+// KeysText is Example 2.1's seven sample constraints in the key syntax.
+const KeysText = `
+φ1 = (ε, (//book, {@isbn}))
+φ2 = (//book, (chapter, {@number}))
+φ3 = (//book, (title, {}))
+φ4 = (//book/chapter, (name, {}))
+φ5 = (//book/chapter/section, (name, {}))
+φ6 = (//book/chapter, (section, {@number}))
+φ7 = (//book, (author/contact, {}))
+`
+
+// Keys returns Example 2.1's key set Σ.
+func Keys() []xmlkey.Key { return xmlkey.MustParseSet(KeysText) }
+
+// TransformText is the transformation σ of Example 2.4 in the DSL: table
+// rules for book, chapter and section.
+const TransformText = `
+rule book(isbn: x1, title: x2, author: x4, contact: x5) {
+  xa := root / //book
+  x1 := xa / @isbn
+  x2 := xa / title
+  x3 := xa / author
+  x4 := x3 / name
+  x5 := x3 / contact
+}
+
+rule chapter(inBook: y1, number: y2, name: y3) {
+  ya := root / //book
+  y1 := ya / @isbn
+  yc := ya / chapter
+  y2 := yc / @number
+  y3 := yc / name
+}
+
+rule section(inChapt: z1, number: z2, name: z3) {
+  zc := root / //book/chapter
+  z1 := zc / @number
+  zs := zc / section
+  z2 := zs / @number
+  z3 := zs / name
+}
+`
+
+// Transform returns σ of Example 2.4.
+func Transform() *transform.Transformation { return transform.MustParseString(TransformText) }
+
+// UniversalText is Rule(U) of Example 3.1, defining the universal relation
+// U(bookIsbn, bookTitle, bookAuthor, authContact, chapNum, chapName,
+// secNum, secName) — its table tree is Fig 4.
+const UniversalText = `
+rule U(bookIsbn: x1, bookTitle: x2, bookAuthor: x4, authContact: x5, chapNum: y1, chapName: y2, secNum: z1, secName: z2) {
+  xb := root / //book
+  x1 := xb / @isbn
+  x2 := xb / title
+  x3 := xb / author
+  x4 := x3 / name
+  x5 := x3 / contact
+  yc := xb / chapter
+  y1 := yc / @number
+  y2 := yc / name
+  zs := yc / section
+  z1 := zs / @number
+  z2 := zs / name
+}
+`
+
+// UniversalRule returns Rule(U) of Example 3.1.
+func UniversalRule() *transform.Rule {
+	return transform.MustParseString(UniversalText).Rules[0]
+}
+
+// Fig2aText is the initial consumer design of Example 1.1 as a table rule:
+// Chapter(bookTitle, chapterNum, chapterName) populated from title values.
+const Fig2aText = `
+rule Chapter(bookTitle: t, chapterNum: n, chapterName: m) {
+  b := root / //book
+  t := b / title
+  c := b / chapter
+  n := c / @number
+  m := c / name
+}
+`
+
+// Fig2aRule returns the initial Chapter design (whose key is violated).
+func Fig2aRule() *transform.Rule { return transform.MustParseString(Fig2aText).Rules[0] }
+
+// Fig2bText is the refined consumer design: Chapter(isbn, chapterNum,
+// chapterName).
+const Fig2bText = `
+rule Chapter(isbn: i, chapterNum: n, chapterName: m) {
+  b := root / //book
+  i := b / @isbn
+  c := b / chapter
+  n := c / @number
+  m := c / name
+}
+`
+
+// Fig2bRule returns the refined Chapter design (whose key is propagated).
+func Fig2bRule() *transform.Rule { return transform.MustParseString(Fig2bText).Rules[0] }
+
+// PaperCoverText lists the minimum cover Example 3.1 reports for U.
+var PaperCoverFDs = []string{
+	"bookIsbn -> bookTitle",
+	"bookIsbn -> authContact",
+	"bookIsbn, chapNum -> chapName",
+	"bookIsbn, chapNum, secNum -> secName",
+}
+
+// PaperCover returns Example 3.1's minimum cover as FDs over Rule(U)'s
+// schema.
+func PaperCover() (*rel.Schema, []rel.FD) {
+	s := UniversalRule().Schema
+	fds := make([]rel.FD, len(PaperCoverFDs))
+	for i, t := range PaperCoverFDs {
+		fds[i] = rel.MustParseFD(s, t)
+	}
+	return s, fds
+}

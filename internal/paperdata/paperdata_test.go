@@ -1,0 +1,125 @@
+package paperdata
+
+import (
+	"testing"
+
+	"xkprop/internal/xmlkey"
+	"xkprop/internal/xpath"
+)
+
+// The fixtures are the single source of truth for the paper's running
+// example; these tests pin their mutual consistency.
+
+func TestDocParsesAndMatchesFig1(t *testing.T) {
+	doc := Doc()
+	if doc.Root.Label != "r" {
+		t.Errorf("root = %s", doc.Root.Label)
+	}
+	books := doc.EvalTree(xpath.MustParse("book"))
+	if len(books) != 2 {
+		t.Fatalf("books = %d", len(books))
+	}
+	if v, _ := books[0].AttrValue("isbn"); v != "123" {
+		t.Errorf("book1 isbn = %s", v)
+	}
+	if v, _ := books[1].AttrValue("isbn"); v != "234" {
+		t.Errorf("book2 isbn = %s", v)
+	}
+	if got := len(doc.EvalTree(xpath.MustParse("//chapter"))); got != 3 {
+		t.Errorf("chapters = %d", got)
+	}
+	if got := len(doc.EvalTree(xpath.MustParse("//section"))); got != 2 {
+		t.Errorf("sections = %d", got)
+	}
+}
+
+func TestKeysAreExample21(t *testing.T) {
+	ks := Keys()
+	if len(ks) != 7 {
+		t.Fatalf("keys = %d, want 7", len(ks))
+	}
+	want := []string{
+		"φ1 = (ε, (//book, {@isbn}))",
+		"φ2 = (//book, (chapter, {@number}))",
+		"φ3 = (//book, (title, {}))",
+		"φ4 = (//book/chapter, (name, {}))",
+		"φ5 = (//book/chapter/section, (name, {}))",
+		"φ6 = (//book/chapter, (section, {@number}))",
+		"φ7 = (//book, (author/contact, {}))",
+	}
+	for i, w := range want {
+		if got := ks[i].String(); got != w {
+			t.Errorf("key %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestDocSatisfiesKeys(t *testing.T) {
+	if !xmlkey.SatisfiesAll(Doc(), Keys()) {
+		t.Fatalf("Fig 1 must satisfy Example 2.1 (Example 2.3): %v",
+			xmlkey.ValidateAll(Doc(), Keys()))
+	}
+}
+
+func TestTransformMatchesExample24(t *testing.T) {
+	tr := Transform()
+	if len(tr.Rules) != 3 {
+		t.Fatalf("rules = %d", len(tr.Rules))
+	}
+	for _, name := range []string{"book", "chapter", "section"} {
+		if tr.Rule(name) == nil {
+			t.Errorf("missing rule %s", name)
+		}
+	}
+	book := tr.Rule("book")
+	if got := book.PathFromRoot("x5").String(); got != "//book/author/contact" {
+		t.Errorf("P(root, x5) = %s", got)
+	}
+}
+
+func TestUniversalRuleMatchesExample31(t *testing.T) {
+	u := UniversalRule()
+	wantAttrs := []string{
+		"bookIsbn", "bookTitle", "bookAuthor", "authContact",
+		"chapNum", "chapName", "secNum", "secName",
+	}
+	if len(u.Schema.Attrs) != len(wantAttrs) {
+		t.Fatalf("U arity = %d", len(u.Schema.Attrs))
+	}
+	for i, a := range wantAttrs {
+		if u.Schema.Attrs[i] != a {
+			t.Errorf("attr %d = %s, want %s", i, u.Schema.Attrs[i], a)
+		}
+	}
+	// Fig 4's table tree: zs hangs off yc which hangs off xb.
+	if p, _ := u.Parent("zs"); p != "yc" {
+		t.Errorf("parent(zs) = %s", p)
+	}
+	if p, _ := u.Parent("yc"); p != "xb" {
+		t.Errorf("parent(yc) = %s", p)
+	}
+}
+
+func TestFigure2Rules(t *testing.T) {
+	a, b := Fig2aRule(), Fig2bRule()
+	if a.Schema.Attrs[0] != "bookTitle" || b.Schema.Attrs[0] != "isbn" {
+		t.Error("Fig 2 designs mislabeled")
+	}
+	// Both rules evaluate over Fig 1 to three chapter rows.
+	if got := len(a.Eval(Doc()).Tuples); got != 3 {
+		t.Errorf("Fig2a rows = %d", got)
+	}
+	if got := len(b.Eval(Doc()).Tuples); got != 3 {
+		t.Errorf("Fig2b rows = %d", got)
+	}
+}
+
+func TestPaperCoverConsistent(t *testing.T) {
+	s, fds := PaperCover()
+	if len(fds) != 4 {
+		t.Fatalf("cover FDs = %d", len(fds))
+	}
+	if s.Len() != 8 {
+		t.Errorf("schema arity = %d", s.Len())
+	}
+}

@@ -1,0 +1,140 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaBasics(t *testing.T) {
+	s := MustSchema("chapter", "isbn", "chapterNum", "chapterName")
+	if s.Len() != 3 || s.Name != "chapter" {
+		t.Fatalf("schema basics wrong: %+v", s)
+	}
+	if s.Index("isbn") != 0 || s.Index("chapterName") != 2 || s.Index("nope") != -1 {
+		t.Error("Index wrong")
+	}
+	if !s.Has("chapterNum") || s.Has("x") {
+		t.Error("Has wrong")
+	}
+	as := s.MustSet("isbn", "chapterNum")
+	if got := s.FormatSet(as); got != "{chapterNum, isbn}" {
+		t.Errorf("FormatSet = %q", got)
+	}
+	if !s.All().Has(2) || s.All().Card() != 3 {
+		t.Error("All wrong")
+	}
+	if _, err := s.Set("missing"); err == nil {
+		t.Error("Set should error on unknown attribute")
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	if _, err := NewSchema("r", "a", "a"); err == nil {
+		t.Error("duplicate attribute should error")
+	}
+	if _, err := NewSchema("r", ""); err == nil {
+		t.Error("empty attribute should error")
+	}
+}
+
+func TestAttrSetOps(t *testing.T) {
+	var a AttrSet
+	if !a.IsEmpty() || a.Card() != 0 {
+		t.Error("zero value should be empty")
+	}
+	a = a.With(3).With(70).With(3)
+	if a.Card() != 2 || !a.Has(3) || !a.Has(70) || a.Has(4) {
+		t.Errorf("With/Has wrong: %v", a.Positions())
+	}
+	b := a.Without(3)
+	if b.Card() != 1 || b.Has(3) || !b.Has(70) {
+		t.Error("Without wrong")
+	}
+	if a.Without(999).Card() != 2 {
+		t.Error("Without out-of-range should be a no-op")
+	}
+	c := AttrSet{}.With(1).With(70)
+	if got := a.Union(c); got.Card() != 3 {
+		t.Errorf("Union card = %d", got.Card())
+	}
+	if got := a.Intersect(c); got.Card() != 1 || !got.Has(70) {
+		t.Errorf("Intersect wrong: %v", got.Positions())
+	}
+	if got := a.Minus(c); got.Card() != 1 || !got.Has(3) {
+		t.Errorf("Minus wrong: %v", got.Positions())
+	}
+	if !b.SubsetOf(a) || a.SubsetOf(b) {
+		t.Error("SubsetOf wrong")
+	}
+	if !a.Equal(AttrSet{}.With(70).With(3)) {
+		t.Error("Equal wrong")
+	}
+	got := a.Positions()
+	if len(got) != 2 || got[0] != 3 || got[1] != 70 {
+		t.Errorf("Positions = %v", got)
+	}
+}
+
+func TestAttrSetKeyNormalizesTrailingZeros(t *testing.T) {
+	a := AttrSet{}.With(70).Without(70) // leaves a zero high word internally
+	var b AttrSet
+	if a.key() != b.key() {
+		t.Errorf("trimmed keys differ: %q vs %q", a.key(), b.key())
+	}
+	if !a.Equal(b) {
+		t.Error("empty sets must be Equal regardless of representation")
+	}
+}
+
+func randSet(r *rand.Rand, n int) AttrSet {
+	var a AttrSet
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			a = a.With(r.Intn(100))
+		}
+	}
+	return a
+}
+
+func TestAttrSetAlgebraQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randSet(r, 8), randSet(r, 8), randSet(r, 8)
+		// De Morgan-ish identities expressible without complement:
+		if !a.Minus(b).Equal(a.Minus(a.Intersect(b))) {
+			return false
+		}
+		if !a.Union(b).Intersect(c).Equal(a.Intersect(c).Union(b.Intersect(c))) {
+			return false
+		}
+		if !a.Intersect(b).SubsetOf(a) || !a.SubsetOf(a.Union(b)) {
+			return false
+		}
+		if a.Union(b).Card() != a.Card()+b.Card()-a.Intersect(b).Card() {
+			return false
+		}
+		return a.Minus(b).Union(a.Intersect(b)).Equal(a)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttrSetImmutability(t *testing.T) {
+	a := AttrSet{}.With(1)
+	b := a.With(2)
+	if a.Has(2) {
+		t.Error("With must not mutate the receiver")
+	}
+	c := b.Without(1)
+	if !b.Has(1) || c.Has(1) {
+		t.Error("Without must not mutate the receiver")
+	}
+	d := a.Union(b)
+	_ = d.With(50)
+	if a.Has(50) || b.Has(50) {
+		t.Error("Union result must not share with inputs")
+	}
+}

@@ -1,0 +1,89 @@
+package rel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomCover builds n random single-RHS FDs over m attributes.
+func randomCover(r *rand.Rand, m, n int) []FD {
+	var fds []FD
+	for i := 0; i < n; i++ {
+		var lhs AttrSet
+		for k := 0; k < 2; k++ {
+			lhs = lhs.With(r.Intn(m))
+		}
+		fds = append(fds, FD{Lhs: lhs, Rhs: AttrSet{}.With(r.Intn(m))})
+	}
+	return fds
+}
+
+// BenchmarkClosure measures the attribute-closure fixpoint, the inner loop
+// of every implication test (and hence of minimize and the propagated-FD
+// machinery).
+func BenchmarkClosure(b *testing.B) {
+	for _, size := range []struct{ m, n int }{{20, 30}, {100, 150}, {500, 600}} {
+		r := rand.New(rand.NewSource(1))
+		fds := randomCover(r, size.m, size.n)
+		x := AttrSet{}.With(0).With(1)
+		b.Run(fmt.Sprintf("attrs=%d/fds=%d", size.m, size.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = Closure(fds, x)
+			}
+		})
+	}
+}
+
+// BenchmarkMinimize measures the cover-minimization pass, the dominant
+// cost of minimumCover at large field counts (see EXPERIMENTS.md on the
+// Fig 7a growth beyond 200 fields).
+func BenchmarkMinimize(b *testing.B) {
+	for _, size := range []struct{ m, n int }{{20, 30}, {100, 150}, {300, 400}} {
+		r := rand.New(rand.NewSource(2))
+		fds := randomCover(r, size.m, size.n)
+		b.Run(fmt.Sprintf("attrs=%d/fds=%d", size.m, size.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if out := Minimize(fds); out == nil {
+					_ = out
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBCNF(b *testing.B) {
+	for _, m := range []int{8, 16} {
+		s := make([]string, m)
+		for i := range s {
+			s[i] = fmt.Sprintf("a%d", i)
+		}
+		schema := MustSchema("r", s...)
+		r := rand.New(rand.NewSource(3))
+		fds := Minimize(randomCover(r, m, m))
+		b.Run(fmt.Sprintf("attrs=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				frags := BCNF(fds, schema.All())
+				if len(frags) == 0 {
+					b.Fatal("no fragments")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCheckFD(b *testing.B) {
+	s := MustSchema("r", "a", "b", "c")
+	inst := NewRelation(s)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		inst.MustInsert(Tuple{V(fmt.Sprint(i)), V(fmt.Sprint(r.Intn(50))), V(fmt.Sprint(r.Intn(50)))})
+	}
+	fd := MustParseFD(s, "a -> b, c")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !inst.SatisfiesFD(fd) {
+			b.Fatal("unique a must satisfy")
+		}
+	}
+}

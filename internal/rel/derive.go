@@ -1,0 +1,74 @@
+package rel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DerivationStep records one firing of an FD during an attribute-closure
+// computation: starting from the LHS, Used fired because its left-hand
+// side was already in the closure, contributing Gained.
+type DerivationStep struct {
+	Used   FD
+	Gained AttrSet
+}
+
+// Derivation explains why fds ⊨ f by exhibiting a closure trace: a
+// sequence of FD firings growing X⁺ from f.Lhs until it covers f.Rhs.
+// ok is false when the implication does not hold. The trace is minimal in
+// the sense that steps contributing nothing toward the goal are pruned.
+func Derivation(fds []FD, f FD) (steps []DerivationStep, ok bool) {
+	closure := f.Lhs
+	var all []DerivationStep
+	changed := true
+	for changed && !f.Rhs.SubsetOf(closure) {
+		changed = false
+		for _, g := range fds {
+			if g.Lhs.SubsetOf(closure) && !g.Rhs.SubsetOf(closure) {
+				gained := g.Rhs.Minus(closure)
+				closure = closure.Union(g.Rhs)
+				all = append(all, DerivationStep{Used: g, Gained: gained})
+				changed = true
+			}
+		}
+	}
+	if !f.Rhs.SubsetOf(closure) {
+		return nil, false
+	}
+	// Prune steps not needed for the goal: walk backwards keeping only
+	// steps whose gains feed the goal or a kept step's LHS.
+	needed := f.Rhs.Minus(f.Lhs)
+	keep := make([]bool, len(all))
+	for i := len(all) - 1; i >= 0; i-- {
+		if !all[i].Gained.Intersect(needed).IsEmpty() {
+			keep[i] = true
+			needed = needed.Union(all[i].Used.Lhs.Minus(f.Lhs))
+		}
+	}
+	for i, s := range all {
+		if keep[i] {
+			steps = append(steps, s)
+		}
+	}
+	return steps, true
+}
+
+// FormatDerivation renders a derivation as a numbered proof, e.g.
+//
+//	goal: bookIsbn, chapNum, secNum → bookTitle
+//	1. bookIsbn → bookTitle   (gives bookTitle)
+//	∎ goal follows by reflexivity and transitivity
+func FormatDerivation(s *Schema, f FD, steps []DerivationStep) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "goal: %s\n", f.Format(s))
+	if len(steps) == 0 {
+		b.WriteString("∎ trivial: the goal follows by reflexivity\n")
+		return b.String()
+	}
+	for i, st := range steps {
+		fmt.Fprintf(&b, "%d. %s   (gives %s)\n", i+1, st.Used.Format(s),
+			strings.Join(s.Names(st.Gained), ", "))
+	}
+	b.WriteString("∎ goal follows by reflexivity, augmentation and transitivity\n")
+	return b.String()
+}

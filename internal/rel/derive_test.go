@@ -1,0 +1,104 @@
+package rel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDerivationSimpleChain(t *testing.T) {
+	s := MustSchema("r", "a", "b", "c")
+	fds := []FD{MustParseFD(s, "a -> b"), MustParseFD(s, "b -> c")}
+	goal := MustParseFD(s, "a -> c")
+	steps, ok := Derivation(fds, goal)
+	if !ok {
+		t.Fatal("derivation must exist")
+	}
+	if len(steps) != 2 {
+		t.Fatalf("steps = %d, want 2: %v", len(steps), steps)
+	}
+	out := FormatDerivation(s, goal, steps)
+	for _, want := range []string{"goal: a → c", "a → b", "b → c", "transitivity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("derivation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDerivationTrivial(t *testing.T) {
+	s := MustSchema("r", "a", "b")
+	goal := MustParseFD(s, "a, b -> a")
+	steps, ok := Derivation(nil, goal)
+	if !ok || len(steps) != 0 {
+		t.Fatalf("trivial goal: steps=%v ok=%v", steps, ok)
+	}
+	if !strings.Contains(FormatDerivation(s, goal, steps), "reflexivity") {
+		t.Error("trivial narration missing")
+	}
+}
+
+func TestDerivationFails(t *testing.T) {
+	s := MustSchema("r", "a", "b")
+	if _, ok := Derivation([]FD{MustParseFD(s, "b -> a")}, MustParseFD(s, "a -> b")); ok {
+		t.Fatal("non-implied FD must have no derivation")
+	}
+}
+
+func TestDerivationPrunesIrrelevantSteps(t *testing.T) {
+	s := MustSchema("r", "a", "b", "c", "d", "e")
+	fds := []FD{
+		MustParseFD(s, "a -> b"),
+		MustParseFD(s, "a -> d"), // irrelevant to the goal
+		MustParseFD(s, "b -> c"),
+		MustParseFD(s, "d -> e"), // irrelevant
+	}
+	goal := MustParseFD(s, "a -> c")
+	steps, ok := Derivation(fds, goal)
+	if !ok {
+		t.Fatal("derivation must exist")
+	}
+	for _, st := range steps {
+		f := st.Used.Format(s)
+		if f == "a → d" || f == "d → e" {
+			t.Errorf("irrelevant step kept: %s", f)
+		}
+	}
+	if len(steps) != 2 {
+		t.Errorf("steps = %d, want 2", len(steps))
+	}
+}
+
+// TestDerivationAgreesWithImplies: Derivation succeeds exactly when
+// Implies does, on random inputs, and every kept step is an input FD.
+func TestDerivationAgreesWithImplies(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	s := MustSchema("r", "a", "b", "c", "d", "e")
+	for trial := 0; trial < 400; trial++ {
+		var fds []FD
+		for i := 0; i < 1+r.Intn(5); i++ {
+			lhs := randSet(r, 2).Intersect(s.All())
+			fds = append(fds, FD{Lhs: lhs, Rhs: AttrSet{}.With(r.Intn(5))})
+		}
+		goal := FD{Lhs: randSet(r, 2).Intersect(s.All()), Rhs: AttrSet{}.With(r.Intn(5))}
+		steps, ok := Derivation(fds, goal)
+		if ok != Implies(fds, goal) {
+			t.Fatalf("Derivation ok=%v but Implies=%v for %s under %s",
+				ok, Implies(fds, goal), goal.Format(s), FormatFDs(s, fds))
+		}
+		if !ok {
+			continue
+		}
+		// Replaying the steps from the goal LHS must reach the goal RHS.
+		closure := goal.Lhs
+		for _, st := range steps {
+			if !st.Used.Lhs.SubsetOf(closure) {
+				t.Fatalf("step fires before its LHS is available: %s (closure %v)",
+					st.Used.Format(s), s.Names(closure))
+			}
+			closure = closure.Union(st.Used.Rhs)
+		}
+		if !goal.Rhs.SubsetOf(closure) {
+			t.Fatalf("replayed steps do not reach the goal")
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FD is a functional dependency X → Y over a schema's attribute positions.
+type FD struct {
+	Lhs AttrSet
+	Rhs AttrSet
+}
+
+// NewFD builds an FD.
+func NewFD(lhs, rhs AttrSet) FD { return FD{Lhs: lhs, Rhs: rhs} }
+
+// IsTrivial reports whether Y ⊆ X (implied by reflexivity alone).
+func (f FD) IsTrivial() bool { return f.Rhs.SubsetOf(f.Lhs) }
+
+// Format renders the FD with attribute names from the schema, e.g.
+// "isbn, chapterNum → chapName".
+func (f FD) Format(s *Schema) string {
+	return strings.Join(s.Names(f.Lhs), ", ") + " → " + strings.Join(s.Names(f.Rhs), ", ")
+}
+
+// ParseFD parses "a, b -> c" (also accepting "→") against a schema.
+func ParseFD(s *Schema, text string) (FD, error) {
+	t := strings.ReplaceAll(text, "→", "->")
+	parts := strings.SplitN(t, "->", 2)
+	if len(parts) != 2 {
+		return FD{}, fmt.Errorf("rel: parse FD %q: missing ->", text)
+	}
+	split := func(side string) ([]string, error) {
+		var out []string
+		for _, a := range strings.Split(side, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			out = append(out, a)
+		}
+		return out, nil
+	}
+	ls, _ := split(parts[0])
+	rs, _ := split(parts[1])
+	if len(rs) == 0 {
+		return FD{}, fmt.Errorf("rel: parse FD %q: empty right-hand side", text)
+	}
+	lhs, err := s.Set(ls...)
+	if err != nil {
+		return FD{}, fmt.Errorf("rel: parse FD %q: %w", text, err)
+	}
+	rhs, err := s.Set(rs...)
+	if err != nil {
+		return FD{}, fmt.Errorf("rel: parse FD %q: %w", text, err)
+	}
+	return FD{Lhs: lhs, Rhs: rhs}, nil
+}
+
+// MustParseFD is ParseFD but panics on error.
+func MustParseFD(s *Schema, text string) FD {
+	f, err := ParseFD(s, text)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Closure computes the attribute closure X⁺ of x under the FDs, using the
+// classic fixpoint (linear passes over the FD list; the input sizes in this
+// system make the textbook algorithm the right trade-off).
+func Closure(fds []FD, x AttrSet) AttrSet {
+	closure := x
+	changed := true
+	for changed {
+		changed = false
+		for _, f := range fds {
+			if f.Lhs.SubsetOf(closure) && !f.Rhs.SubsetOf(closure) {
+				closure = closure.Union(f.Rhs)
+				changed = true
+			}
+		}
+	}
+	return closure
+}
+
+// Implies reports whether the FDs imply f under Armstrong's axioms:
+// X → Y iff Y ⊆ X⁺.
+func Implies(fds []FD, f FD) bool {
+	return f.Rhs.SubsetOf(Closure(fds, f.Lhs))
+}
+
+// ImpliesAll reports whether fds imply every FD in gs.
+func ImpliesAll(fds, gs []FD) bool {
+	for _, g := range gs {
+		if !Implies(fds, g) {
+			return false
+		}
+	}
+	return true
+}
+
+// EquivalentCovers reports whether F and G have the same closure: each
+// implies all FDs of the other.
+func EquivalentCovers(f, g []FD) bool {
+	return ImpliesAll(f, g) && ImpliesAll(g, f)
+}
+
+// SplitRhs rewrites the FDs into an equivalent list with singleton
+// right-hand sides (the canonical form used by minimize).
+func SplitRhs(fds []FD) []FD {
+	var out []FD
+	for _, f := range fds {
+		f.Rhs.ForEach(func(i int) {
+			out = append(out, FD{Lhs: f.Lhs, Rhs: AttrSet{}.With(i)})
+		})
+	}
+	return out
+}
+
+// Dedup removes syntactic duplicates (same LHS and RHS).
+func Dedup(fds []FD) []FD {
+	seen := make(map[string]bool, len(fds))
+	var out []FD
+	for _, f := range fds {
+		k := f.Lhs.key() + "|" + f.Rhs.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// Minimize computes a minimum cover of the input FDs: singleton right-hand
+// sides, no extraneous left-hand-side attributes, no redundant FDs. This is
+// the paper's function minimize (Fig 5 inset; Beeri & Bernstein 1979): it
+// runs in quadratic time in the size of the input FD list.
+func Minimize(fds []FD) []FD {
+	work := Dedup(SplitRhs(fds))
+	// Drop trivial FDs up front; they are always redundant.
+	kept := work[:0]
+	for _, f := range work {
+		if !f.IsTrivial() {
+			kept = append(kept, f)
+		}
+	}
+	work = kept
+
+	// Eliminate extraneous LHS attributes: B ∈ X is extraneous in X → A if
+	// (X ∖ B) → A already follows from the full set.
+	for i := range work {
+		lhs := work[i].Lhs
+		for _, b := range lhs.Positions() {
+			reduced := lhs.Without(b)
+			if work[i].Rhs.SubsetOf(Closure(work, reduced)) {
+				lhs = reduced
+				work[i].Lhs = lhs
+			}
+		}
+	}
+	work = Dedup(work)
+
+	// Eliminate redundant FDs: f is redundant if the rest implies it.
+	out := make([]FD, 0, len(work))
+	remaining := append([]FD(nil), work...)
+	for i := 0; i < len(remaining); i++ {
+		f := remaining[i]
+		rest := make([]FD, 0, len(remaining)-1+len(out))
+		rest = append(rest, out...)
+		rest = append(rest, remaining[i+1:]...)
+		if !Implies(rest, f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// IsNonRedundant reports whether no FD in the list is implied by the others.
+func IsNonRedundant(fds []FD) bool {
+	for i := range fds {
+		rest := make([]FD, 0, len(fds)-1)
+		rest = append(rest, fds[:i]...)
+		rest = append(rest, fds[i+1:]...)
+		if Implies(rest, fds[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SortFDs orders FDs deterministically (by LHS key, then RHS key), for
+// stable output.
+func SortFDs(fds []FD) {
+	sort.Slice(fds, func(i, j int) bool {
+		a, b := fds[i], fds[j]
+		if ak, bk := a.Lhs.Card(), b.Lhs.Card(); ak != bk {
+			return ak < bk
+		}
+		if ak, bk := a.Lhs.key(), b.Lhs.key(); ak != bk {
+			return ak < bk
+		}
+		return a.Rhs.key() < b.Rhs.key()
+	})
+}
+
+// FormatFDs renders a list of FDs, one per line, in deterministic order.
+func FormatFDs(s *Schema, fds []FD) string {
+	cp := append([]FD(nil), fds...)
+	SortFDs(cp)
+	var b strings.Builder
+	for _, f := range cp {
+		b.WriteString(f.Format(s))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

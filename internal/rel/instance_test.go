@@ -1,0 +1,189 @@
+package rel
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperFig2a reproduces Fig 2(a): the initial Chapter design violates
+// its key (bookTitle, chapterNum) on the sample data.
+func TestPaperFig2a(t *testing.T) {
+	s := MustSchema("Chapter", "bookTitle", "chapterNum", "chapterName")
+	r := NewRelation(s)
+	r.MustInsert(Tuple{V("XML"), V("1"), V("Introduction")})
+	r.MustInsert(Tuple{V("XML"), V("10"), V("Conclusion")})
+	r.MustInsert(Tuple{V("XML"), V("1"), V("Getting Acquainted")})
+	key := MustParseFD(s, "bookTitle, chapterNum -> chapterName")
+	vs := r.CheckFD(key)
+	if len(vs) != 1 || vs[0].Condition != 2 {
+		t.Fatalf("want one condition-2 violation, got %v", vs)
+	}
+	if vs[0].Rows[0] != 0 || vs[0].Rows[1] != 2 {
+		t.Errorf("violating rows = %v, want [0 2]", vs[0].Rows)
+	}
+	if !strings.Contains(vs[0].String(), "condition 2") {
+		t.Errorf("violation string: %s", vs[0])
+	}
+}
+
+// TestPaperFig2b reproduces Fig 2(b): the refined design satisfies its key.
+func TestPaperFig2b(t *testing.T) {
+	s := MustSchema("Chapter", "isbn", "chapterNum", "chapterName")
+	r := NewRelation(s)
+	r.MustInsert(Tuple{V("123"), V("1"), V("Introduction")})
+	r.MustInsert(Tuple{V("123"), V("10"), V("Conclusion")})
+	r.MustInsert(Tuple{V("234"), V("1"), V("Getting Acquainted")})
+	key := MustParseFD(s, "isbn, chapterNum -> chapterName")
+	if !r.SatisfiesFD(key) {
+		t.Fatalf("refined design should satisfy its key:\n%s", r)
+	}
+}
+
+func TestCheckFDNullCondition1(t *testing.T) {
+	s := MustSchema("r", "x", "y")
+	r := NewRelation(s)
+	// Null LHS with non-null RHS violates condition 1.
+	r.MustInsert(Tuple{NullValue, V("v")})
+	f := MustParseFD(s, "x -> y")
+	vs := r.CheckFD(f)
+	if len(vs) != 1 || vs[0].Condition != 1 {
+		t.Fatalf("want condition-1 violation, got %v", vs)
+	}
+	if !strings.Contains(vs[0].String(), "condition 1") {
+		t.Errorf("violation string: %s", vs[0])
+	}
+	// Null LHS with null RHS is fine.
+	r2 := NewRelation(s)
+	r2.MustInsert(Tuple{NullValue, NullValue})
+	if !r2.SatisfiesFD(f) {
+		t.Error("null → null should satisfy condition 1")
+	}
+}
+
+func TestCheckFDNullTuplesSkippedInCondition2(t *testing.T) {
+	s := MustSchema("r", "x", "y", "z")
+	r := NewRelation(s)
+	// Two tuples agree on x but one carries a null elsewhere: condition 2
+	// only applies to null-free tuples (§3).
+	r.MustInsert(Tuple{V("1"), V("a"), V("ok")})
+	r.MustInsert(Tuple{V("1"), V("b"), NullValue})
+	f := MustParseFD(s, "x -> y")
+	if !r.SatisfiesFD(f) {
+		t.Error("tuples containing null are exempt from condition 2")
+	}
+	// But two null-free tuples that disagree do violate.
+	r.MustInsert(Tuple{V("1"), V("c"), V("ok")})
+	if r.SatisfiesFD(f) {
+		t.Error("null-free disagreement must violate")
+	}
+}
+
+func TestValueSemantics(t *testing.T) {
+	if NullValue.Equal(NullValue) {
+		t.Error("NULL = NULL must not hold")
+	}
+	if !V("a").Equal(V("a")) || V("a").Equal(V("b")) || V("a").Equal(NullValue) {
+		t.Error("value equality wrong")
+	}
+	if NullValue.String() != "NULL" || V("x").String() != "x" {
+		t.Error("value rendering wrong")
+	}
+}
+
+func TestTupleNullHelpers(t *testing.T) {
+	s := MustSchema("r", "a", "b", "c")
+	tp := Tuple{V("1"), NullValue, V("3")}
+	if !tp.HasNullAt(s.MustSet("a", "b")) || tp.HasNullAt(s.MustSet("a", "c")) {
+		t.Error("HasNullAt wrong")
+	}
+	if tp.AllNullAt(s.MustSet("b", "c")) || !tp.AllNullAt(s.MustSet("b")) {
+		t.Error("AllNullAt wrong")
+	}
+	if !tp.HasNull() || (Tuple{V("1")}).HasNull() {
+		t.Error("HasNull wrong")
+	}
+	// Vacuous truth on the empty set.
+	if tp.HasNullAt(AttrSet{}) || !tp.AllNullAt(AttrSet{}) {
+		t.Error("empty-set null predicates wrong")
+	}
+}
+
+func TestInsertArity(t *testing.T) {
+	s := MustSchema("r", "a", "b")
+	r := NewRelation(s)
+	if err := r.Insert(Tuple{V("1")}); err == nil {
+		t.Error("arity mismatch should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustInsert should panic on arity mismatch")
+		}
+	}()
+	r.MustInsert(Tuple{V("1"), V("2"), V("3")})
+}
+
+func TestDedupAndSort(t *testing.T) {
+	s := MustSchema("r", "a", "b")
+	r := NewRelation(s)
+	r.MustInsert(Tuple{V("2"), V("x")})
+	r.MustInsert(Tuple{V("1"), V("x")})
+	r.MustInsert(Tuple{V("2"), V("x")})
+	r.MustInsert(Tuple{V("1"), NullValue})
+	r.MustInsert(Tuple{V("1"), NullValue})
+	// A null and an empty string must not collide in dedup.
+	r.MustInsert(Tuple{V("1"), V("")})
+	r.Dedup()
+	if len(r.Tuples) != 4 {
+		t.Fatalf("Dedup left %d tuples, want 4:\n%s", len(r.Tuples), r)
+	}
+	r.Sort()
+	if !r.Tuples[0][0].Equal(V("1")) {
+		t.Errorf("Sort order wrong:\n%s", r)
+	}
+	// Nulls sort after values within a column.
+	last := r.Tuples[len(r.Tuples)-1]
+	if !last[0].Equal(V("2")) {
+		t.Errorf("sort order wrong:\n%s", r)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := MustSchema("Chapter", "isbn", "chapterNum", "chapterName")
+	r := NewRelation(s)
+	r.MustInsert(Tuple{V("123"), V("1"), V("Introduction")})
+	r.MustInsert(Tuple{V("234"), NullValue, V("x")})
+	out := r.String()
+	for _, want := range []string{"Chapter:", "isbn", "chapterNum", "Introduction", "NULL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	s := MustSchema("r", "a", "b")
+	r := NewRelation(s)
+	r.MustInsert(Tuple{V(`say "hi", ok`), NullValue})
+	out := r.CSV()
+	if !strings.Contains(out, `"say ""hi"", ok",`) {
+		t.Errorf("CSV escaping wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 || lines[0] != "a,b" {
+		t.Errorf("CSV header wrong:\n%s", out)
+	}
+}
+
+func TestSatisfiesAllInstance(t *testing.T) {
+	s := MustSchema("r", "a", "b")
+	r := NewRelation(s)
+	r.MustInsert(Tuple{V("1"), V("x")})
+	r.MustInsert(Tuple{V("1"), V("y")})
+	fds := []FD{MustParseFD(s, "a -> b"), MustParseFD(s, "b -> a")}
+	if r.SatisfiesAll(fds) {
+		t.Error("a → b is violated")
+	}
+	if !r.SatisfiesAll(fds[1:]) {
+		t.Error("b → a holds")
+	}
+}

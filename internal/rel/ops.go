@@ -1,0 +1,162 @@
+package rel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file provides the instance-level operators used to check
+// decompositions on data (as opposed to the chase-based symbolic test):
+// projection and natural join. With them, the lossless-join property can
+// be verified empirically: joining the projections of a decomposition
+// reconstructs exactly the original (null-free) instance.
+
+// Project returns π_attrs(r) as a new relation with set semantics. The
+// projected schema keeps the original attribute order.
+func (r *Relation) Project(name string, attrs AttrSet) (*Relation, error) {
+	var names []string
+	var idx []int
+	for i, a := range r.Schema.Attrs {
+		if attrs.Has(i) {
+			names = append(names, a)
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) != attrs.Card() {
+		return nil, fmt.Errorf("rel: project: attribute set exceeds schema %s", r.Schema.Name)
+	}
+	schema, err := NewSchema(name, names...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(schema)
+	for _, t := range r.Tuples {
+		row := make(Tuple, len(idx))
+		for c, i := range idx {
+			row[c] = t[i]
+		}
+		out.MustInsert(row)
+	}
+	out.Dedup()
+	out.Sort()
+	return out, nil
+}
+
+// NaturalJoin returns r ⋈ s: tuples combined on equal values of the shared
+// attributes. Following SQL (and the paper's null stance), tuples with a
+// null shared attribute never join. The result schema lists r's attributes
+// followed by s's non-shared attributes.
+func (r *Relation) NaturalJoin(name string, s *Relation) (*Relation, error) {
+	type pair struct{ ri, si int } // column indices of a shared attribute
+	var shared []pair
+	var extraS []int
+	for i, a := range s.Schema.Attrs {
+		if j := r.Schema.Index(a); j >= 0 {
+			shared = append(shared, pair{ri: j, si: i})
+		} else {
+			extraS = append(extraS, i)
+		}
+	}
+	names := append([]string(nil), r.Schema.Attrs...)
+	for _, i := range extraS {
+		names = append(names, s.Schema.Attrs[i])
+	}
+	schema, err := NewSchema(name, names...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(schema)
+
+	// Hash join on the shared-attribute projection (null keys excluded).
+	joinKey := func(t Tuple, cols []int) (string, bool) {
+		var b strings.Builder
+		for _, c := range cols {
+			if t[c].Null {
+				return "", false
+			}
+			fmt.Fprintf(&b, "%d:%s\x00", len(t[c].S), t[c].S)
+		}
+		return b.String(), true
+	}
+	rCols := make([]int, len(shared))
+	sCols := make([]int, len(shared))
+	for i, p := range shared {
+		rCols[i] = p.ri
+		sCols[i] = p.si
+	}
+	index := make(map[string][]int)
+	for i, t := range s.Tuples {
+		if k, ok := joinKey(t, sCols); ok {
+			index[k] = append(index[k], i)
+		}
+	}
+	for _, rt := range r.Tuples {
+		k, ok := joinKey(rt, rCols)
+		if !ok {
+			continue
+		}
+		for _, si := range index[k] {
+			st := s.Tuples[si]
+			row := make(Tuple, 0, len(names))
+			row = append(row, rt...)
+			for _, c := range extraS {
+				row = append(row, st[c])
+			}
+			out.MustInsert(row)
+		}
+	}
+	out.Dedup()
+	out.Sort()
+	return out, nil
+}
+
+// EqualInstances reports whether two relations hold the same tuple set
+// over the same attribute names (column order may differ).
+func EqualInstances(a, b *Relation) bool {
+	if a.Schema.Len() != b.Schema.Len() {
+		return false
+	}
+	perm := make([]int, a.Schema.Len())
+	for i, name := range a.Schema.Attrs {
+		j := b.Schema.Index(name)
+		if j < 0 {
+			return false
+		}
+		perm[i] = j
+	}
+	if len(a.Tuples) == 0 && len(b.Tuples) == 0 {
+		return true
+	}
+	encode := func(t Tuple, order []int) string {
+		var sb strings.Builder
+		for _, c := range order {
+			if t[c].Null {
+				sb.WriteString("N\x00")
+			} else {
+				fmt.Fprintf(&sb, "%d:%s\x00", len(t[c].S), t[c].S)
+			}
+		}
+		return sb.String()
+	}
+	idOrder := make([]int, a.Schema.Len())
+	for i := range idOrder {
+		idOrder[i] = i
+	}
+	setA := make(map[string]int)
+	for _, t := range a.Tuples {
+		setA[encode(t, idOrder)]++
+	}
+	setB := make(map[string]int)
+	for _, t := range b.Tuples {
+		setB[encode(t, perm)]++
+	}
+	if len(setA) != len(setB) {
+		return false
+	}
+	for k := range setA {
+		if _, ok := setB[k]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,223 @@
+package rel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestProject(t *testing.T) {
+	s := MustSchema("r", "a", "b", "c")
+	r := NewRelation(s)
+	r.MustInsert(Tuple{V("1"), V("x"), V("p")})
+	r.MustInsert(Tuple{V("1"), V("x"), V("q")})
+	r.MustInsert(Tuple{V("2"), V("y"), V("p")})
+	p, err := r.Project("p", s.MustSet("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tuples) != 2 {
+		t.Fatalf("projection should deduplicate: %d tuples\n%s", len(p.Tuples), p)
+	}
+	if p.Schema.Len() != 2 || p.Schema.Attrs[0] != "a" {
+		t.Errorf("projected schema wrong: %v", p.Schema.Attrs)
+	}
+	if _, err := r.Project("bad", AttrSet{}.With(99)); err == nil {
+		t.Error("out-of-range projection should error")
+	}
+}
+
+func TestNaturalJoinBasic(t *testing.T) {
+	book := NewRelation(MustSchema("book", "isbn", "title"))
+	book.MustInsert(Tuple{V("1"), V("XML")})
+	book.MustInsert(Tuple{V("2"), V("Go")})
+	chap := NewRelation(MustSchema("chapter", "isbn", "num", "name"))
+	chap.MustInsert(Tuple{V("1"), V("1"), V("Intro")})
+	chap.MustInsert(Tuple{V("1"), V("2"), V("Body")})
+	chap.MustInsert(Tuple{V("3"), V("1"), V("Orphan")})
+	j, err := book.NaturalJoin("j", chap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Tuples) != 2 {
+		t.Fatalf("join size = %d, want 2:\n%s", len(j.Tuples), j)
+	}
+	if j.Schema.Len() != 4 {
+		t.Errorf("join schema = %v", j.Schema.Attrs)
+	}
+}
+
+func TestNaturalJoinNullsDoNotJoin(t *testing.T) {
+	a := NewRelation(MustSchema("a", "k", "x"))
+	a.MustInsert(Tuple{NullValue, V("1")})
+	b := NewRelation(MustSchema("b", "k", "y"))
+	b.MustInsert(Tuple{NullValue, V("2")})
+	j, err := a.NaturalJoin("j", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Tuples) != 0 {
+		t.Fatalf("null keys must not join:\n%s", j)
+	}
+}
+
+func TestNaturalJoinNoSharedAttrsIsProduct(t *testing.T) {
+	a := NewRelation(MustSchema("a", "x"))
+	a.MustInsert(Tuple{V("1")})
+	a.MustInsert(Tuple{V("2")})
+	b := NewRelation(MustSchema("b", "y"))
+	b.MustInsert(Tuple{V("p")})
+	b.MustInsert(Tuple{V("q")})
+	j, err := a.NaturalJoin("j", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Tuples) != 4 {
+		t.Fatalf("empty shared set should give the Cartesian product: %d", len(j.Tuples))
+	}
+}
+
+func TestEqualInstances(t *testing.T) {
+	a := NewRelation(MustSchema("a", "x", "y"))
+	a.MustInsert(Tuple{V("1"), V("2")})
+	// Same tuples, permuted columns.
+	b := NewRelation(MustSchema("b", "y", "x"))
+	b.MustInsert(Tuple{V("2"), V("1")})
+	if !EqualInstances(a, b) {
+		t.Error("column order must not matter")
+	}
+	c := NewRelation(MustSchema("c", "x", "y"))
+	c.MustInsert(Tuple{V("1"), V("3")})
+	if EqualInstances(a, c) {
+		t.Error("different tuples must differ")
+	}
+	d := NewRelation(MustSchema("d", "x", "z"))
+	d.MustInsert(Tuple{V("1"), V("2")})
+	if EqualInstances(a, d) {
+		t.Error("different attribute names must differ")
+	}
+	if !EqualInstances(NewRelation(MustSchema("e", "x")), NewRelation(MustSchema("f", "x"))) {
+		t.Error("two empty instances over the same attrs are equal")
+	}
+}
+
+// randomFDInstance builds a random null-free instance satisfying the FDs:
+// random rows are repaired a bounded number of times (copying RHS values
+// from earlier rows with equal LHS projections); rows that still violate
+// an FD afterwards are discarded.
+func randomFDInstance(r *rand.Rand, s *Schema, fds []FD, rows int) *Relation {
+	inst := NewRelation(s)
+	for attempts := 0; len(inst.Tuples) < rows && attempts < rows*20; attempts++ {
+		t := make(Tuple, s.Len())
+		for i := range t {
+			t[i] = V(fmt.Sprintf("%d", r.Intn(3)))
+		}
+		consistent := func() bool {
+			for _, f := range fds {
+				for _, prev := range inst.Tuples {
+					if prev.projectKey(f.Lhs) == t.projectKey(f.Lhs) &&
+						prev.projectKey(f.Rhs) != t.projectKey(f.Rhs) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for pass := 0; pass < 5 && !consistent(); pass++ {
+			for _, f := range fds {
+				for _, prev := range inst.Tuples {
+					if prev.projectKey(f.Lhs) == t.projectKey(f.Lhs) {
+						f.Rhs.ForEach(func(i int) { t[i] = prev[i] })
+					}
+				}
+			}
+		}
+		if consistent() {
+			inst.Tuples = append(inst.Tuples, t)
+		}
+	}
+	inst.Dedup()
+	return inst
+}
+
+// TestBCNFLosslessOnData verifies the lossless-join property empirically:
+// for random FD sets and random conforming instances, joining the BCNF
+// projections reconstructs the original instance exactly.
+func TestBCNFLosslessOnData(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	s := MustSchema("U", "a", "b", "c", "d", "e")
+	for trial := 0; trial < 150; trial++ {
+		var fds []FD
+		n := 1 + r.Intn(4)
+		for i := 0; i < n; i++ {
+			lhs := randSet(r, 2).Intersect(s.All())
+			if lhs.IsEmpty() {
+				lhs = AttrSet{}.With(r.Intn(5))
+			}
+			fds = append(fds, FD{Lhs: lhs, Rhs: AttrSet{}.With(r.Intn(5))})
+		}
+		fds = Minimize(fds)
+		inst := randomFDInstance(r, s, fds, 6)
+		if !inst.SatisfiesAll(fds) {
+			t.Fatal("generator bug: instance violates its FDs")
+		}
+		frags := BCNF(fds, s.All())
+		// Join all projections.
+		joined, err := inst.Project("p0", frags[0].Attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(frags); i++ {
+			p, err := inst.Project(fmt.Sprintf("p%d", i), frags[i].Attrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			joined, err = joined.NaturalJoin("j", p)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !EqualInstances(joined, inst) {
+			t.Fatalf("trial %d: BCNF join does not reconstruct the instance\nFDs: %s\noriginal:\n%s\njoined:\n%s",
+				trial, FormatFDs(s, fds), inst, joined)
+		}
+	}
+}
+
+// TestThreeNFLosslessOnData is the same check for 3NF synthesis.
+func TestThreeNFLosslessOnData(t *testing.T) {
+	r := rand.New(rand.NewSource(78))
+	s := MustSchema("U", "a", "b", "c", "d")
+	for trial := 0; trial < 150; trial++ {
+		var fds []FD
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			lhs := randSet(r, 2).Intersect(s.All())
+			if lhs.IsEmpty() {
+				lhs = AttrSet{}.With(r.Intn(4))
+			}
+			fds = append(fds, FD{Lhs: lhs, Rhs: AttrSet{}.With(r.Intn(4))})
+		}
+		fds = Minimize(fds)
+		if len(fds) == 0 {
+			continue
+		}
+		inst := randomFDInstance(r, s, fds, 5)
+		frags := ThreeNF(fds, s.All())
+		joined, err := inst.Project("p0", frags[0].Attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(frags); i++ {
+			p, _ := inst.Project(fmt.Sprintf("p%d", i), frags[i].Attrs)
+			joined, err = joined.NaturalJoin("j", p)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !EqualInstances(joined, inst) {
+			t.Fatalf("trial %d: 3NF join does not reconstruct\nFDs: %s\noriginal:\n%s\njoined:\n%s",
+				trial, FormatFDs(s, fds), inst, joined)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package sqlgen renders the outputs of the design-refinement pipeline as
+// SQL DDL: a universal relation or a BCNF/3NF decomposition becomes
+// CREATE TABLE statements with primary keys (the propagated keys), NOT
+// NULL constraints derived from the key attributes' existence guarantees,
+// and inferred foreign keys between fragments. This closes the loop of the
+// paper's consumer-side story: from XML keys to a runnable relational
+// schema.
+package sqlgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xkprop/internal/rel"
+)
+
+// Options controls DDL generation.
+type Options struct {
+	// Dialect selects quoting and type spelling; "standard" (default) or
+	// "sqlite".
+	Dialect string
+	// TablePrefix prefixes every generated table name.
+	TablePrefix string
+	// NoForeignKeys suppresses foreign-key inference.
+	NoForeignKeys bool
+}
+
+// Table is one generated table.
+type Table struct {
+	Name    string
+	Columns []Column
+	// PrimaryKey lists column names.
+	PrimaryKey []string
+	// ForeignKeys lists inferred references.
+	ForeignKeys []ForeignKey
+}
+
+// Column is one generated column.
+type Column struct {
+	Name    string
+	Type    string
+	NotNull bool
+}
+
+// ForeignKey is an inferred reference from this table to another
+// fragment's primary key.
+type ForeignKey struct {
+	Columns  []string
+	RefTable string
+	RefCols  []string
+}
+
+// FromFragments builds tables from a decomposition of the universal schema
+// s. Table names are derived from each fragment's non-key attributes when
+// that is unambiguous, else R1, R2, ... Primary keys are the fragment
+// keys; key columns are NOT NULL (condition 1 of the FD semantics makes a
+// propagated key useless on null fields, and the cover construction
+// guarantees existence of key attributes).
+func FromFragments(s *rel.Schema, frags []rel.Fragment, opts Options) []Table {
+	tables := make([]Table, 0, len(frags))
+	for i, f := range frags {
+		name := fmt.Sprintf("%sR%d", opts.TablePrefix, i+1)
+		keyCols := map[string]bool{}
+		for _, a := range s.Names(f.Key) {
+			keyCols[a] = true
+		}
+		t := Table{Name: name, PrimaryKey: s.Names(f.Key)}
+		for _, a := range s.Names(f.Attrs) {
+			t.Columns = append(t.Columns, Column{
+				Name:    a,
+				Type:    textType(opts.Dialect),
+				NotNull: keyCols[a],
+			})
+		}
+		tables = append(tables, t)
+	}
+	if !opts.NoForeignKeys {
+		inferForeignKeys(s, frags, tables)
+	}
+	return tables
+}
+
+// FromSchema builds a single table from a relation schema with an explicit
+// primary key.
+func FromSchema(s *rel.Schema, key rel.AttrSet, opts Options) Table {
+	keyCols := map[string]bool{}
+	for _, a := range s.Names(key) {
+		keyCols[a] = true
+	}
+	t := Table{Name: opts.TablePrefix + s.Name, PrimaryKey: s.Names(key)}
+	for _, a := range s.Attrs {
+		t.Columns = append(t.Columns, Column{Name: a, Type: textType(opts.Dialect), NotNull: keyCols[a]})
+	}
+	return t
+}
+
+// inferForeignKeys adds, for each pair of distinct fragments (A, B), a
+// reference A(key(B)) → B(key(B)) when B's key is a proper subset of A's
+// attributes and B is the unique fragment with that key (the classic
+// shared-key-prefix pattern of hierarchical decompositions).
+func inferForeignKeys(s *rel.Schema, frags []rel.Fragment, tables []Table) {
+	for i := range frags {
+		for j := range frags {
+			if i == j {
+				continue
+			}
+			bKey := frags[j].Key
+			if bKey.IsEmpty() || bKey.Equal(frags[i].Key) {
+				continue
+			}
+			if !bKey.SubsetOf(frags[i].Attrs) {
+				continue
+			}
+			// B's key must identify B: it does, it is the fragment key.
+			// Avoid duplicate references to fragments with identical keys.
+			unique := true
+			for k := range frags {
+				if k != j && frags[k].Key.Equal(bKey) {
+					unique = false
+					break
+				}
+			}
+			if !unique {
+				continue
+			}
+			cols := s.Names(bKey)
+			tables[i].ForeignKeys = append(tables[i].ForeignKeys, ForeignKey{
+				Columns:  cols,
+				RefTable: tables[j].Name,
+				RefCols:  cols,
+			})
+		}
+	}
+	// Prune references implied transitively: if a table references two
+	// fragments and one reference's columns are a proper subset of the
+	// other's, the narrower reference follows through the wider fragment's
+	// own foreign keys (the classic hierarchical-key chain).
+	for i := range tables {
+		fks := tables[i].ForeignKeys
+		var kept []ForeignKey
+		for a, fa := range fks {
+			implied := false
+			for b, fb := range fks {
+				if a == b {
+					continue
+				}
+				if properSubset(fa.Columns, fb.Columns) {
+					implied = true
+					break
+				}
+			}
+			if !implied {
+				kept = append(kept, fa)
+			}
+		}
+		tables[i].ForeignKeys = kept
+		sort.Slice(tables[i].ForeignKeys, func(a, b int) bool {
+			return tables[i].ForeignKeys[a].RefTable < tables[i].ForeignKeys[b].RefTable
+		})
+	}
+}
+
+// properSubset reports whether a ⊊ b as string sets.
+func properSubset(a, b []string) bool {
+	if len(a) >= len(b) {
+		return false
+	}
+	set := make(map[string]bool, len(b))
+	for _, x := range b {
+		set[x] = true
+	}
+	for _, x := range a {
+		if !set[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// DDL renders the tables as SQL.
+func DDL(tables []Table, opts Options) string {
+	var b strings.Builder
+	for i, t := range tables {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString("CREATE TABLE " + quote(t.Name, opts.Dialect) + " (\n")
+		var lines []string
+		for _, c := range t.Columns {
+			line := "  " + quote(c.Name, opts.Dialect) + " " + c.Type
+			if c.NotNull {
+				line += " NOT NULL"
+			}
+			lines = append(lines, line)
+		}
+		if len(t.PrimaryKey) > 0 {
+			lines = append(lines, "  PRIMARY KEY ("+quoteList(t.PrimaryKey, opts.Dialect)+")")
+		}
+		for _, fk := range t.ForeignKeys {
+			lines = append(lines, "  FOREIGN KEY ("+quoteList(fk.Columns, opts.Dialect)+
+				") REFERENCES "+quote(fk.RefTable, opts.Dialect)+
+				" ("+quoteList(fk.RefCols, opts.Dialect)+")")
+		}
+		b.WriteString(strings.Join(lines, ",\n"))
+		b.WriteString("\n);\n")
+	}
+	return b.String()
+}
+
+func textType(dialect string) string {
+	switch dialect {
+	case "sqlite":
+		return "TEXT"
+	default:
+		return "VARCHAR(1024)"
+	}
+}
+
+func quote(name, dialect string) string {
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}
+
+func quoteList(names []string, dialect string) string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = quote(n, dialect)
+	}
+	return strings.Join(out, ", ")
+}

@@ -1,0 +1,143 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"xkprop/internal/core"
+	"xkprop/internal/paperdata"
+	"xkprop/internal/rel"
+)
+
+func paperFragments(t *testing.T) (*rel.Schema, []rel.Fragment) {
+	t.Helper()
+	e := core.NewEngine(paperdata.Keys(), paperdata.UniversalRule())
+	cover := e.MinimumCover()
+	s := e.Rule().Schema
+	return s, rel.BCNF(cover, s.All())
+}
+
+func TestFromFragmentsPaperExample(t *testing.T) {
+	s, frags := paperFragments(t)
+	tables := FromFragments(s, frags, Options{})
+	if len(tables) != 4 {
+		t.Fatalf("tables = %d, want 4", len(tables))
+	}
+	ddl := DDL(tables, Options{})
+	for _, want := range []string{
+		`CREATE TABLE "R1"`,
+		`"bookIsbn" VARCHAR(1024) NOT NULL`,
+		"PRIMARY KEY",
+		"FOREIGN KEY",
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q:\n%s", want, ddl)
+		}
+	}
+	// The chapter fragment must reference the book fragment on bookIsbn.
+	var chapterT *Table
+	for i := range tables {
+		cols := strings.Join(tables[i].PrimaryKey, ",")
+		if cols == "bookIsbn,chapNum" && len(tables[i].Columns) == 3 {
+			chapterT = &tables[i]
+		}
+	}
+	if chapterT == nil {
+		t.Fatalf("chapter-like table not found in %v", tables)
+	}
+	found := false
+	for _, fk := range chapterT.ForeignKeys {
+		if len(fk.Columns) == 1 && fk.Columns[0] == "bookIsbn" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("chapter table should reference the book table: %+v", chapterT.ForeignKeys)
+	}
+}
+
+func TestFromFragmentsNonKeyColumnsNullable(t *testing.T) {
+	s, frags := paperFragments(t)
+	tables := FromFragments(s, frags, Options{})
+	for _, tb := range tables {
+		keyCols := map[string]bool{}
+		for _, k := range tb.PrimaryKey {
+			keyCols[k] = true
+		}
+		for _, c := range tb.Columns {
+			if keyCols[c.Name] && !c.NotNull {
+				t.Errorf("%s.%s: key column must be NOT NULL", tb.Name, c.Name)
+			}
+			if !keyCols[c.Name] && c.NotNull {
+				t.Errorf("%s.%s: non-key column must stay nullable (XML is semistructured)", tb.Name, c.Name)
+			}
+		}
+	}
+}
+
+func TestNoForeignKeysOption(t *testing.T) {
+	s, frags := paperFragments(t)
+	tables := FromFragments(s, frags, Options{NoForeignKeys: true})
+	for _, tb := range tables {
+		if len(tb.ForeignKeys) != 0 {
+			t.Errorf("%s: foreign keys should be suppressed", tb.Name)
+		}
+	}
+}
+
+func TestDialectAndPrefix(t *testing.T) {
+	s, frags := paperFragments(t)
+	tables := FromFragments(s, frags, Options{Dialect: "sqlite", TablePrefix: "xk_"})
+	ddl := DDL(tables, Options{Dialect: "sqlite"})
+	if !strings.Contains(ddl, " TEXT") || strings.Contains(ddl, "VARCHAR") {
+		t.Errorf("sqlite dialect should use TEXT:\n%s", ddl)
+	}
+	if !strings.Contains(ddl, `"xk_R1"`) {
+		t.Errorf("table prefix missing:\n%s", ddl)
+	}
+}
+
+func TestFromSchema(t *testing.T) {
+	s := rel.MustSchema("Chapter", "isbn", "chapterNum", "chapterName")
+	tb := FromSchema(s, s.MustSet("isbn", "chapterNum"), Options{})
+	ddl := DDL([]Table{tb}, Options{})
+	for _, want := range []string{
+		`CREATE TABLE "Chapter"`,
+		`"isbn" VARCHAR(1024) NOT NULL`,
+		`"chapterName" VARCHAR(1024)`,
+		`PRIMARY KEY ("chapterNum", "isbn")`,
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q:\n%s", want, ddl)
+		}
+	}
+	if strings.Contains(ddl, `"chapterName" VARCHAR(1024) NOT NULL`) {
+		t.Error("non-key column must be nullable")
+	}
+}
+
+func TestQuoting(t *testing.T) {
+	s := rel.MustSchema(`odd"name`, "a")
+	tb := FromSchema(s, s.MustSet("a"), Options{})
+	ddl := DDL([]Table{tb}, Options{})
+	if !strings.Contains(ddl, `"odd""name"`) {
+		t.Errorf("quote escaping wrong:\n%s", ddl)
+	}
+}
+
+func TestSharedKeyFragmentsNoAmbiguousFKs(t *testing.T) {
+	// Two fragments with the same key: references to them are ambiguous
+	// and must be suppressed.
+	s := rel.MustSchema("U", "a", "b", "c", "d")
+	frags := []rel.Fragment{
+		{Attrs: s.MustSet("a", "b"), Key: s.MustSet("a")},
+		{Attrs: s.MustSet("a", "c"), Key: s.MustSet("a")},
+		{Attrs: s.MustSet("a", "d"), Key: s.MustSet("a", "d")},
+	}
+	tables := FromFragments(s, frags, Options{})
+	for _, fk := range tables[2].ForeignKeys {
+		if len(fk.Columns) == 1 && fk.Columns[0] == "a" {
+			t.Errorf("ambiguous reference emitted: %+v", fk)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package stream validates XML keys against a document in streaming
+// fashion (one SAX-style pass over encoding/xml tokens) without
+// materializing the tree. The paper's motivating scenario is large,
+// fairly regular XML being transmitted for relational import; a consumer
+// can reject a non-conforming feed the moment a key breaks, holding in
+// memory only the open-element stack and, per active context, the
+// key-value tuples seen so far (the minimum any sound checker must
+// retain).
+//
+// Matching of the path language P ::= ε | l | P/P | // is performed
+// incrementally: every path expression compiles to a position-set NFA
+// ("//" = a position that may absorb any label) pushed along the element
+// stack, so each start-element costs O(|Σ| · depth · |paths|) in the
+// worst case and far less in practice.
+package stream
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"encoding/xml"
+
+	"xkprop/internal/xmlkey"
+	"xkprop/internal/xpath"
+)
+
+// Violation is a key violation detected mid-stream.
+type Violation struct {
+	Key xmlkey.Key
+	// Kind mirrors xmlkey's classification.
+	Kind xmlkey.ViolationKind
+	// Attr is the missing attribute for MissingAttribute violations.
+	Attr string
+	// Line is the decoder's input offset (byte position) where the
+	// offending target element started.
+	Offset int64
+	// ContextPath and TargetPath are the concrete label paths from the
+	// document root, for diagnostics.
+	ContextPath string
+	TargetPath  string
+}
+
+func (v Violation) String() string {
+	name := v.Key.Name
+	if name == "" {
+		name = v.Key.String()
+	}
+	switch v.Kind {
+	case xmlkey.MissingAttribute:
+		return fmt.Sprintf("%s: target /%s (context /%s) at offset %d lacks @%s",
+			name, v.TargetPath, v.ContextPath, v.Offset, v.Attr)
+	default:
+		return fmt.Sprintf("%s: duplicate key values for target /%s under context /%s at offset %d",
+			name, v.TargetPath, v.ContextPath, v.Offset)
+	}
+}
+
+// Validator validates a fixed key set over one streamed document.
+type Validator struct {
+	keys []compiledKey
+	// stack of open elements.
+	stack []*frame
+	// violations collected so far.
+	violations []Violation
+	// limit stops collecting after this many violations (0 = no limit).
+	limit int
+}
+
+// compiledKey precompiles a key's paths.
+type compiledKey struct {
+	key     xmlkey.Key
+	context nfa
+	target  nfa
+}
+
+// nfa is a compiled path expression: matching tracks a set of positions
+// into steps; position i with a "//" step can absorb any label and stay.
+type nfa struct {
+	steps []xpath.Step
+}
+
+// start returns the initial position set (ε-closure of position 0).
+func (n nfa) start() []int { return n.closure([]int{0}) }
+
+// closure expands positions across "//" steps, which match the empty
+// label sequence.
+func (n nfa) closure(pos []int) []int {
+	seen := make(map[int]bool, len(pos))
+	var out []int
+	var add func(p int)
+	add = func(p int) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		out = append(out, p)
+		if p < len(n.steps) && n.steps[p].Kind == xpath.DescendantOrSelf {
+			add(p + 1)
+		}
+	}
+	for _, p := range pos {
+		add(p)
+	}
+	return out
+}
+
+// step advances the position set over one element label.
+func (n nfa) step(pos []int, label string) []int {
+	var next []int
+	for _, p := range pos {
+		if p >= len(n.steps) {
+			continue
+		}
+		s := n.steps[p]
+		switch {
+		case s.Kind == xpath.DescendantOrSelf:
+			next = append(next, p) // absorb the label, stay
+		case s.Name == label:
+			next = append(next, p+1)
+		}
+	}
+	return n.closure(next)
+}
+
+// accepted reports whether the position set contains the final position.
+func (n nfa) accepted(pos []int) bool {
+	for _, p := range pos {
+		if p == len(n.steps) {
+			return true
+		}
+	}
+	return false
+}
+
+// frame is one open element on the stack.
+type frame struct {
+	label string
+	// ctxPos[i] is key i's context-NFA position set at this element.
+	ctxPos [][]int
+	// contexts opened at this element (one per key for which this element
+	// is a context node).
+	contexts []*contextInstance
+	// tgtPos[i] holds, for each active context of key i, that context's
+	// target-NFA position set at this element.
+	tgtPos []map[*contextInstance][]int
+}
+
+// contextInstance tracks one context node's key state.
+type contextInstance struct {
+	keyIdx int
+	// seen maps the encoded key-value tuple to true.
+	seen map[string]bool
+	// path is the concrete label path of the context node (diagnostics).
+	path string
+}
+
+// NewValidator compiles the key set. Keys must be of class K̄ (attribute
+// key paths), which the xmlkey type guarantees.
+func NewValidator(sigma []xmlkey.Key) *Validator {
+	v := &Validator{}
+	for _, k := range sigma {
+		v.keys = append(v.keys, compiledKey{
+			key:     k,
+			context: nfa{steps: k.Context.Normalize().Steps()},
+			target:  nfa{steps: k.Target.Normalize().Steps()},
+		})
+	}
+	return v
+}
+
+// SetLimit stops collecting after n violations (the stream is still fully
+// consumed by Run unless the caller aborts).
+func (v *Validator) SetLimit(n int) { v.limit = n }
+
+// Violations returns the violations collected so far.
+func (v *Validator) Violations() []Violation { return v.violations }
+
+// OK reports whether no violations have been found.
+func (v *Validator) OK() bool { return len(v.violations) == 0 }
+
+// Run consumes the whole document from r. It returns the first XML
+// syntax error; key violations are collected, not returned as errors.
+func (v *Validator) Run(r io.Reader) error {
+	dec := xml.NewDecoder(r)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("stream: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			v.startElement(t, dec.InputOffset())
+		case xml.EndElement:
+			v.endElement()
+		}
+	}
+}
+
+// path renders the current stack as a label path (below the root).
+func (v *Validator) path() string {
+	if len(v.stack) <= 1 {
+		return ""
+	}
+	labels := make([]string, 0, len(v.stack)-1)
+	for _, f := range v.stack[1:] {
+		labels = append(labels, f.label)
+	}
+	return strings.Join(labels, "/")
+}
+
+func (v *Validator) startElement(t xml.StartElement, offset int64) {
+	label := t.Name.Local
+	isRoot := len(v.stack) == 0
+
+	f := &frame{
+		label:  label,
+		ctxPos: make([][]int, len(v.keys)),
+		tgtPos: make([]map[*contextInstance][]int, len(v.keys)),
+	}
+
+	for i, ck := range v.keys {
+		// Advance the context NFA: the root starts it; children advance
+		// their parent's set by this label.
+		if isRoot {
+			f.ctxPos[i] = ck.context.start()
+		} else {
+			parent := v.stack[len(v.stack)-1]
+			f.ctxPos[i] = ck.context.step(parent.ctxPos[i], label)
+		}
+
+		// Advance target NFAs of every active context of key i, and seed
+		// this element's own context instance if the context NFA accepts.
+		f.tgtPos[i] = make(map[*contextInstance][]int)
+		if !isRoot {
+			parent := v.stack[len(v.stack)-1]
+			for ci, pos := range parent.tgtPos[i] {
+				f.tgtPos[i][ci] = ck.target.step(pos, label)
+			}
+		}
+		if ck.context.accepted(f.ctxPos[i]) {
+			ci := &contextInstance{keyIdx: i, seen: make(map[string]bool)}
+			f.contexts = append(f.contexts, ci)
+			f.tgtPos[i][ci] = ck.target.start()
+		}
+	}
+
+	v.stack = append(v.stack, f)
+	ciPath := v.path()
+
+	// Check targets: for each key and active context whose target NFA
+	// accepts here, this element is a target node.
+	for i, ck := range v.keys {
+		for ci, pos := range f.tgtPos[i] {
+			if !ck.target.accepted(pos) {
+				continue
+			}
+			v.checkTarget(ck, ci, t, ciPath, offset)
+		}
+	}
+	// Record context paths for diagnostics.
+	for _, ci := range f.contexts {
+		ci.path = ciPath
+	}
+}
+
+func (v *Validator) checkTarget(ck compiledKey, ci *contextInstance, t xml.StartElement, path string, offset int64) {
+	if v.limit > 0 && len(v.violations) >= v.limit {
+		return
+	}
+	var tuple strings.Builder
+	complete := true
+	for _, a := range ck.key.Attrs {
+		val, ok := attrValue(t, a)
+		if !ok {
+			v.violations = append(v.violations, Violation{
+				Key: ck.key, Kind: xmlkey.MissingAttribute, Attr: a,
+				Offset: offset, ContextPath: ci.path, TargetPath: path,
+			})
+			complete = false
+			continue
+		}
+		fmt.Fprintf(&tuple, "%d:%s\x00", len(val), val)
+	}
+	if !complete {
+		return
+	}
+	key := tuple.String()
+	if ci.seen[key] {
+		v.violations = append(v.violations, Violation{
+			Key: ck.key, Kind: xmlkey.DuplicateKey,
+			Offset: offset, ContextPath: ci.path, TargetPath: path,
+		})
+		return
+	}
+	ci.seen[key] = true
+}
+
+func (v *Validator) endElement() {
+	if len(v.stack) == 0 {
+		return
+	}
+	// Closing an element retires the contexts it opened; their memory is
+	// released here, which is what keeps the validator streaming.
+	v.stack = v.stack[:len(v.stack)-1]
+}
+
+func attrValue(t xml.StartElement, name string) (string, bool) {
+	for _, a := range t.Attr {
+		if a.Name.Local == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Validate is a convenience one-shot: stream the document from r against
+// sigma and return the violations (and any XML syntax error).
+func Validate(r io.Reader, sigma []xmlkey.Key) ([]Violation, error) {
+	v := NewValidator(sigma)
+	if err := v.Run(r); err != nil {
+		return v.Violations(), err
+	}
+	return v.Violations(), nil
+}
+
+// ValidateString is Validate over a string.
+func ValidateString(s string, sigma []xmlkey.Key) ([]Violation, error) {
+	return Validate(strings.NewReader(s), sigma)
+}

@@ -1,0 +1,260 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xkprop/internal/paperdata"
+	"xkprop/internal/xmlkey"
+	"xkprop/internal/xmltree"
+)
+
+func TestStreamPaperDocumentOK(t *testing.T) {
+	vs, err := ValidateString(paperdata.Fig1XML, paperdata.Keys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("Fig 1 must satisfy Σ: %v", vs)
+	}
+}
+
+func TestStreamDetectsDuplicate(t *testing.T) {
+	sigma := xmlkey.MustParseSet("(ε, (//book, {@isbn}))")
+	vs, err := ValidateString(`<r><book isbn="1"/><book isbn="1"/></r>`, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Kind != xmlkey.DuplicateKey {
+		t.Fatalf("want one DuplicateKey, got %v", vs)
+	}
+	if !strings.Contains(vs[0].String(), "duplicate key values") {
+		t.Errorf("violation string: %s", vs[0])
+	}
+}
+
+func TestStreamDetectsMissingAttribute(t *testing.T) {
+	sigma := xmlkey.MustParseSet("(ε, (//book, {@isbn}))")
+	vs, err := ValidateString(`<r><book/></r>`, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Kind != xmlkey.MissingAttribute || vs[0].Attr != "isbn" {
+		t.Fatalf("want one MissingAttribute, got %v", vs)
+	}
+	if !strings.Contains(vs[0].String(), "@isbn") {
+		t.Errorf("violation string: %s", vs[0])
+	}
+}
+
+func TestStreamRelativeScoping(t *testing.T) {
+	sigma := xmlkey.MustParseSet("(//book, (chapter, {@number}))")
+	ok := `<r><book><chapter number="1"/></book><book><chapter number="1"/></book></r>`
+	if vs, _ := ValidateString(ok, sigma); len(vs) != 0 {
+		t.Fatalf("cross-book duplicates are fine: %v", vs)
+	}
+	bad := `<r><book><chapter number="1"/><chapter number="1"/></book></r>`
+	if vs, _ := ValidateString(bad, sigma); len(vs) != 1 {
+		t.Fatalf("within-book duplicate must be caught: %v", vs)
+	}
+}
+
+func TestStreamEmptyKeyPathSet(t *testing.T) {
+	sigma := xmlkey.MustParseSet("(//book, (title, {}))")
+	if vs, _ := ValidateString(`<r><book><title/><title/></book></r>`, sigma); len(vs) != 1 {
+		t.Fatalf("two titles must violate the uniqueness key: %v", vs)
+	}
+	if vs, _ := ValidateString(`<r><book><title/></book></r>`, sigma); len(vs) != 0 {
+		t.Fatalf("one title is fine: %v", vs)
+	}
+}
+
+func TestStreamDescendantContexts(t *testing.T) {
+	// Nested books: each opens its own context.
+	sigma := xmlkey.MustParseSet("(//book, (chapter, {@n}))")
+	src := `<r><book><chapter n="1"/><book><chapter n="1"/></book></book></r>`
+	if vs, _ := ValidateString(src, sigma); len(vs) != 0 {
+		t.Fatalf("nested book contexts must be independent: %v", vs)
+	}
+	// But the OUTER book sees the inner chapter too? No: (//book, (chapter,
+	// ...)) targets are direct children only; the inner chapter is not a
+	// child of the outer book.
+	sigmaDeep := xmlkey.MustParseSet("(//book, (//chapter, {@n}))")
+	if vs, _ := ValidateString(src, sigmaDeep); len(vs) != 1 {
+		t.Fatalf("descendant target must see both chapters from the outer book: %v", vs)
+	}
+}
+
+func TestStreamSelfTarget(t *testing.T) {
+	// Target "//" includes the context node itself plus all descendants.
+	sigma := xmlkey.MustParseSet("(//a, (//, {@id}))")
+	if vs, _ := ValidateString(`<r><a id="1"><b id="1"/></a></r>`, sigma); len(vs) != 1 {
+		t.Fatalf("a and its descendant b collide on @id: %v", vs)
+	}
+	if vs, _ := ValidateString(`<r><a id="1"><b id="2"/></a></r>`, sigma); len(vs) != 0 {
+		t.Fatalf("distinct ids are fine: %v", vs)
+	}
+}
+
+func TestStreamSyntaxError(t *testing.T) {
+	if _, err := ValidateString(`<r><unclosed>`, nil); err == nil {
+		t.Error("syntax error must be reported")
+	}
+}
+
+func TestStreamLimit(t *testing.T) {
+	sigma := xmlkey.MustParseSet("(ε, (//b, {@x}))")
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 100; i++ {
+		sb.WriteString(`<b/>`)
+	}
+	sb.WriteString("</r>")
+	v := NewValidator(sigma)
+	v.SetLimit(5)
+	if err := v.Run(strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Violations()) != 5 {
+		t.Fatalf("limit ignored: %d violations", len(v.Violations()))
+	}
+	if v.OK() {
+		t.Error("OK must be false")
+	}
+}
+
+func TestStreamLargeFlatDocument(t *testing.T) {
+	// 20k elements with unique keys stream cleanly.
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 20000; i++ {
+		fmt.Fprintf(&sb, `<item id="%d"/>`, i)
+	}
+	sb.WriteString("</r>")
+	sigma := xmlkey.MustParseSet("(ε, (//item, {@id}))")
+	vs, err := ValidateString(sb.String(), sigma)
+	if err != nil || len(vs) != 0 {
+		t.Fatalf("err=%v violations=%d", err, len(vs))
+	}
+}
+
+// TestStreamAgreesWithTreeValidator is the load-bearing equivalence test:
+// on randomized documents and keys, the streaming validator's verdict
+// (and per-kind violation counts) must match the tree-based validator's.
+func TestStreamAgreesWithTreeValidator(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	labels := []string{"a", "b", "c"}
+	attrs := []string{"x", "y"}
+	randDoc := func() string {
+		var sb strings.Builder
+		var build func(depth int)
+		build = func(depth int) {
+			if depth >= 4 {
+				return
+			}
+			for i := 0; i < r.Intn(3); i++ {
+				l := labels[r.Intn(len(labels))]
+				sb.WriteString("<" + l)
+				for _, a := range attrs {
+					if r.Intn(3) != 0 {
+						fmt.Fprintf(&sb, ` %s="%d"`, a, r.Intn(3))
+					}
+				}
+				sb.WriteString(">")
+				build(depth + 1)
+				sb.WriteString("</" + l + ">")
+			}
+		}
+		sb.WriteString("<r>")
+		build(0)
+		sb.WriteString("</r>")
+		return sb.String()
+	}
+	randKey := func() xmlkey.Key {
+		randPath := func(maxLen int) string {
+			var parts []string
+			n := 1 + r.Intn(maxLen)
+			for i := 0; i < n; i++ {
+				if r.Intn(4) == 0 {
+					parts = append(parts, "/")
+				}
+				parts = append(parts, labels[r.Intn(len(labels))])
+			}
+			return strings.ReplaceAll(strings.Join(parts, "/"), "///", "//")
+		}
+		ctx := "ε"
+		if r.Intn(2) == 0 {
+			ctx = randPath(2)
+		}
+		var ks []string
+		for _, a := range attrs {
+			if r.Intn(2) == 0 {
+				ks = append(ks, "@"+a)
+			}
+		}
+		k, err := xmlkey.Parse(fmt.Sprintf("(%s, (%s, {%s}))", ctx, randPath(2), strings.Join(ks, ", ")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+
+	for trial := 0; trial < 500; trial++ {
+		src := randDoc()
+		nk := 1 + r.Intn(3)
+		sigma := make([]xmlkey.Key, nk)
+		for i := range sigma {
+			sigma[i] = randKey()
+		}
+		streamVs, err := ValidateString(src, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree := xmltree.MustParseString(src)
+		treeVs := xmlkey.ValidateAll(tree, sigma)
+
+		count := func(vsKinds []xmlkey.ViolationKind) (miss, dup int) {
+			for _, k := range vsKinds {
+				if k == xmlkey.MissingAttribute {
+					miss++
+				} else {
+					dup++
+				}
+			}
+			return
+		}
+		var sKinds, tKinds []xmlkey.ViolationKind
+		for _, v := range streamVs {
+			sKinds = append(sKinds, v.Kind)
+		}
+		for _, v := range treeVs {
+			tKinds = append(tKinds, v.Kind)
+		}
+		sm, sd := count(sKinds)
+		tm, td := count(tKinds)
+		if sm != tm || sd != td {
+			t.Fatalf("trial %d: stream (miss=%d dup=%d) vs tree (miss=%d dup=%d)\nkeys: %v\ndoc: %s\nstream: %v\ntree: %v",
+				trial, sm, sd, tm, td, sigma, src, streamVs, treeVs)
+		}
+	}
+}
+
+func BenchmarkStreamValidate(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&sb, `<book isbn="%d"><chapter number="1"><name>x</name></chapter></book>`, i)
+	}
+	sb.WriteString("</r>")
+	src := sb.String()
+	sigma := paperdata.Keys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vs, err := ValidateString(src, sigma)
+		if err != nil || len(vs) != 0 {
+			b.Fatalf("err=%v violations=%d", err, len(vs))
+		}
+	}
+}

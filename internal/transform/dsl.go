@@ -1,0 +1,37 @@
+package transform
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DSL renders the rule in the textual DSL accepted by Parse, so rules can
+// be echoed, stored and round-tripped by tooling:
+//
+//	rule book(isbn: x1, title: x2) {
+//	  xa := root / //book
+//	  x1 := xa / @isbn
+//	  x2 := xa / title
+//	}
+func (r *Rule) DSL() string {
+	var fields []string
+	for _, f := range r.Fields {
+		fields = append(fields, f.Field+": "+f.Var)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "rule %s(%s) {\n", r.Schema.Name, strings.Join(fields, ", "))
+	for _, m := range r.Mappings {
+		fmt.Fprintf(&b, "  %s := %s / %s\n", m.Var, m.Src, m.Path)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DSL renders the whole transformation in the textual DSL.
+func (t *Transformation) DSL() string {
+	var parts []string
+	for _, r := range t.Rules {
+		parts = append(parts, r.DSL())
+	}
+	return strings.Join(parts, "\n")
+}

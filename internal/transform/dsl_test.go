@@ -1,0 +1,73 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"xkprop/internal/xmltree"
+)
+
+func TestDSLRoundTrip(t *testing.T) {
+	for _, src := range []string{bookRuleText, sectionRuleText} {
+		orig := MustParseString(src)
+		emitted := orig.DSL()
+		back, err := ParseString(emitted)
+		if err != nil {
+			t.Fatalf("emitted DSL does not parse: %v\n%s", err, emitted)
+		}
+		if back.String() != orig.String() {
+			t.Fatalf("round trip changed the transformation:\n%s\nvs\n%s", orig, back)
+		}
+	}
+}
+
+func TestDSLMultiRule(t *testing.T) {
+	tr := MustParseString(bookRuleText + sectionRuleText)
+	emitted := tr.DSL()
+	back, err := ParseString(emitted)
+	if err != nil {
+		t.Fatalf("multi-rule DSL does not parse: %v\n%s", err, emitted)
+	}
+	if len(back.Rules) != 2 {
+		t.Fatalf("rules = %d", len(back.Rules))
+	}
+	if !strings.Contains(emitted, "rule book(") || !strings.Contains(emitted, "rule section(") {
+		t.Errorf("DSL output incomplete:\n%s", emitted)
+	}
+}
+
+// TestDSLSemanticEquivalence: the re-parsed rule evaluates identically.
+func TestDSLSemanticEquivalence(t *testing.T) {
+	doc := xmltree.MustParseString(fig1XML)
+	orig := MustParseString(bookRuleText).Rules[0]
+	back, err := ParseString(orig.DSL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := orig.Eval(doc)
+	b := back.Rules[0].Eval(doc)
+	if a.String() != b.String() {
+		t.Fatalf("instances differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// FuzzDSLRoundTrip: any transformation the parser accepts must be
+// re-emittable and re-parseable to the same transformation.
+func FuzzDSLRoundTrip(f *testing.F) {
+	f.Add(bookRuleText)
+	f.Add(sectionRuleText)
+	f.Add("rule r(a: x) {\n x := root / //e/@a\n}")
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		back, err := ParseString(tr.DSL())
+		if err != nil {
+			t.Fatalf("emitted DSL does not parse: %v\nfrom input %q\nemitted:\n%s", err, src, tr.DSL())
+		}
+		if back.String() != tr.String() {
+			t.Fatalf("round trip changed transformation for input %q", src)
+		}
+	})
+}

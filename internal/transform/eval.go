@@ -1,0 +1,83 @@
+package transform
+
+import (
+	"xkprop/internal/rel"
+	"xkprop/internal/xmltree"
+)
+
+// This file implements the semantics of table rules (§2, "Semantics"):
+// given an XML tree T, Rule(R_i) maps T to an instance I_i of R_i. A
+// variable x ⇐ y/P ranges over n⟦P⟧ for each binding n of y; the root
+// variable is always bound to the document root. When n⟦P⟧ is empty the
+// variable (and every variable below it) is null; when it has several
+// elements an implicit Cartesian product is taken so that all nodes are
+// covered (Example 2.5).
+
+// binding maps each variable to a node, or to nil for null.
+type binding map[string]*xmltree.Node
+
+// Eval evaluates the rule over the tree, producing a deduplicated,
+// deterministically ordered relation instance.
+func (r *Rule) Eval(t *xmltree.Tree) *rel.Relation {
+	out := rel.NewRelation(r.Schema)
+	bindings := []binding{{RootVar: t.Root}}
+	for _, v := range r.varOrder {
+		if v == RootVar {
+			continue
+		}
+		m := r.parent[v]
+		var next []binding
+		for _, b := range bindings {
+			src := b[m.Src]
+			if src == nil {
+				nb := extend(b, v, nil)
+				next = append(next, nb)
+				continue
+			}
+			nodes := xmltree.Eval(src, m.Path)
+			if len(nodes) == 0 {
+				next = append(next, extend(b, v, nil))
+				continue
+			}
+			for _, n := range nodes {
+				next = append(next, extend(b, v, n))
+			}
+		}
+		bindings = next
+	}
+	for _, b := range bindings {
+		tuple := make(rel.Tuple, r.Schema.Len())
+		for _, f := range r.Fields {
+			i := r.Schema.Index(f.Field)
+			n := b[f.Var]
+			if n == nil {
+				tuple[i] = rel.NullValue
+			} else {
+				tuple[i] = rel.V(xmltree.TextContent(n))
+			}
+		}
+		out.MustInsert(tuple)
+	}
+	out.Dedup()
+	out.Sort()
+	return out
+}
+
+func extend(b binding, v string, n *xmltree.Node) binding {
+	nb := make(binding, len(b)+1)
+	for k, val := range b {
+		nb[k] = val
+	}
+	nb[v] = n
+	return nb
+}
+
+// Eval evaluates every rule of the transformation, returning σ(T): one
+// instance per relation, keyed by relation name.
+func (t *Transformation) Eval(tree *xmltree.Tree) map[string]*rel.Relation {
+	out := make(map[string]*rel.Relation, len(t.Rules))
+	for _, r := range t.Rules {
+		out[r.Schema.Name] = r.Eval(tree)
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package transform
+
+import (
+	"testing"
+
+	"xkprop/internal/rel"
+	"xkprop/internal/xmltree"
+)
+
+const fig1XML = `<r>
+  <book isbn="123">
+    <author><name>Tim Bray</name><contact>tim@textuality.com</contact></author>
+    <title>XML</title>
+    <chapter number="1">
+      <name>Introduction</name>
+      <section number="1"><name>Fundamentals</name></section>
+      <section number="2"><name>Attributes</name></section>
+    </chapter>
+    <chapter number="10"><name>Conclusion</name></chapter>
+  </book>
+  <book isbn="234">
+    <title>XML</title>
+    <chapter number="1"><name>Getting Acquainted</name></chapter>
+  </book>
+</r>`
+
+func tuplesAsStrings(r *rel.Relation) [][]string {
+	var out [][]string
+	for _, t := range r.Tuples {
+		row := make([]string, len(t))
+		for i, v := range t {
+			row[i] = v.String()
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func expectTuples(t *testing.T, r *rel.Relation, want [][]string) {
+	t.Helper()
+	got := tuplesAsStrings(r)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d tuples, want %d:\n%s", r.Schema.Name, len(got), len(want), r)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s: row %d = %v, want %v\n%s", r.Schema.Name, i, got[i], want[i], r)
+			}
+		}
+	}
+}
+
+// TestEvalPaperExample25 reproduces the section instance of Example 2.5.
+// The paper prints only the two complete rows; §2's stated semantics ("if
+// y⟦P⟧ is empty, the value is null" — and §3 explicitly rejects dropping
+// incomplete tuples) additionally yields one null row per section-less
+// chapter (chapter 10 of book 123 and chapter 1 of book 234).
+func TestEvalPaperExample25(t *testing.T) {
+	tree := xmltree.MustParseString(fig1XML)
+	r := sectionRule(t).Eval(tree)
+	expectTuples(t, r, [][]string{
+		{"1", "1", "Fundamentals"},
+		{"1", "2", "Attributes"},
+		{"1", "NULL", "NULL"},
+		{"10", "NULL", "NULL"},
+	})
+}
+
+// TestEvalChapterRefinedDesign reproduces Fig 2(b).
+func TestEvalChapterRefinedDesign(t *testing.T) {
+	tree := xmltree.MustParseString(fig1XML)
+	tr := MustParseString(`
+rule Chapter(isbn: i, chapterNum: n, chapterName: m) {
+  b := root / //book
+  i := b / @isbn
+  c := b / chapter
+  n := c / @number
+  m := c / name
+}`)
+	r := tr.Rules[0].Eval(tree)
+	expectTuples(t, r, [][]string{
+		{"123", "1", "Introduction"},
+		{"123", "10", "Conclusion"},
+		{"234", "1", "Getting Acquainted"},
+	})
+}
+
+// TestEvalChapterInitialDesign reproduces Fig 2(a), where the key
+// (bookTitle, chapterNum) is violated on import.
+func TestEvalChapterInitialDesign(t *testing.T) {
+	tree := xmltree.MustParseString(fig1XML)
+	tr := MustParseString(`
+rule Chapter(bookTitle: tt, chapterNum: n, chapterName: m) {
+  b := root / //book
+  tt := b / title
+  c := b / chapter
+  n := c / @number
+  m := c / name
+}`)
+	r := tr.Rules[0].Eval(tree)
+	expectTuples(t, r, [][]string{
+		{"XML", "1", "Getting Acquainted"},
+		{"XML", "1", "Introduction"},
+		{"XML", "10", "Conclusion"},
+	})
+	key := rel.MustParseFD(r.Schema, "bookTitle, chapterNum -> chapterName")
+	if r.SatisfiesFD(key) {
+		t.Error("the initial design's key must be violated on the Fig 1 data")
+	}
+}
+
+// TestEvalNullsForMissingSubelements: book 234 has no author, so its
+// author/contact fields are null (§2, "Several subtleties").
+func TestEvalNullsForMissingSubelements(t *testing.T) {
+	tree := xmltree.MustParseString(fig1XML)
+	r := bookRule(t).Eval(tree)
+	expectTuples(t, r, [][]string{
+		{"123", "XML", "Tim Bray", "tim@textuality.com"},
+		{"234", "XML", "NULL", "NULL"},
+	})
+}
+
+// TestEvalCartesianProduct: multiple bindings multiply (implicit Cartesian
+// product over sibling variables).
+func TestEvalCartesianProduct(t *testing.T) {
+	tree := xmltree.MustParseString(`
+		<r><m a="1"><p>x</p><p>y</p><q>u</q><q>v</q></m></r>`)
+	tr := MustParseString(`
+rule pq(pa: va, p: vp, q: vq) {
+  vm := root / m
+  va := vm / @a
+  vp := vm / p
+  vq := vm / q
+}`)
+	r := tr.Rules[0].Eval(tree)
+	expectTuples(t, r, [][]string{
+		{"1", "x", "u"},
+		{"1", "x", "v"},
+		{"1", "y", "u"},
+		{"1", "y", "v"},
+	})
+}
+
+// TestEvalNullPropagatesToDescendants: if a variable binds to nothing, all
+// its descendant fields are null.
+func TestEvalNullPropagatesToDescendants(t *testing.T) {
+	tree := xmltree.MustParseString(`<r><a/></r>`)
+	tr := MustParseString(`
+rule t(f1: x, f2: z) {
+  va := root / a
+  x := va / @id
+  y := va / b
+  z := y / c
+}`)
+	r := tr.Rules[0].Eval(tree)
+	expectTuples(t, r, [][]string{{"NULL", "NULL"}})
+}
+
+// TestEvalDeduplicates: set semantics after projection.
+func TestEvalDeduplicates(t *testing.T) {
+	tree := xmltree.MustParseString(`
+		<r><a k="1"><b>x</b></a><a k="1"><b>x</b></a></r>`)
+	tr := MustParseString(`
+rule t(k: vk, b: vb) {
+  va := root / a
+  vk := va / @k
+  vb := va / b
+}`)
+	r := tr.Rules[0].Eval(tree)
+	expectTuples(t, r, [][]string{{"1", "x"}})
+}
+
+// TestEvalEmptyDocumentGivesAllNullRow: with no //book at all, the single
+// assignment binds every variable to null.
+func TestEvalEmptyDocumentGivesAllNullRow(t *testing.T) {
+	tree := xmltree.MustParseString(`<r><unrelated/></r>`)
+	r := bookRule(t).Eval(tree)
+	expectTuples(t, r, [][]string{{"NULL", "NULL", "NULL", "NULL"}})
+}
+
+// TestEvalWholeTransformation evaluates all three rules of Example 2.4.
+func TestEvalWholeTransformation(t *testing.T) {
+	tree := xmltree.MustParseString(fig1XML)
+	tr := MustParseString(bookRuleText + `
+rule chapter(inBook: y1, number: y2, name: y3) {
+  ya := root / //book
+  y1 := ya / @isbn
+  yc := ya / chapter
+  y2 := yc / @number
+  y3 := yc / name
+}
+` + sectionRuleText)
+	insts := tr.Eval(tree)
+	if len(insts) != 3 {
+		t.Fatalf("got %d instances", len(insts))
+	}
+	expectTuples(t, insts["chapter"], [][]string{
+		{"123", "1", "Introduction"},
+		{"123", "10", "Conclusion"},
+		{"234", "1", "Getting Acquainted"},
+	})
+	if len(insts["section"].Tuples) != 4 || len(insts["book"].Tuples) != 2 {
+		t.Error("instance sizes wrong")
+	}
+}
+
+// TestEvalTextContentFromNestedElements: element field values are the
+// concatenated text content (Fig 2 shows "Introduction", not the pre-order
+// term (S: Introduction)). The parser is data-centric and trims character
+// data, so mixed-content fragments concatenate without the markup spacing.
+func TestEvalTextContentFromNestedElements(t *testing.T) {
+	tree := xmltree.MustParseString(`<r><a><t><em>Big</em>deal</t></a></r>`)
+	tr := MustParseString(`
+rule t(v: x) {
+  va := root / a
+  x := va / t
+}`)
+	r := tr.Rules[0].Eval(tree)
+	expectTuples(t, r, [][]string{{"Bigdeal"}})
+}

@@ -1,0 +1,127 @@
+package transform
+
+import (
+	"xkprop/internal/rel"
+	"xkprop/internal/xmltree"
+)
+
+// Lineage records, for one generated tuple, the XML node each variable was
+// bound to (nil when the variable was null for that tuple). It connects
+// relational-level findings — say, a violated FD — back to the offending
+// XML nodes, which is how a consumer debugs a rejected feed.
+type Lineage map[string]*xmltree.Node
+
+// EvalWithLineage is Eval, additionally returning one Lineage per returned
+// tuple (parallel slices). Deduplication keeps the lineage of the first
+// occurrence of each tuple; the relation is sorted like Eval's result.
+func (r *Rule) EvalWithLineage(t *xmltree.Tree) (*rel.Relation, []Lineage) {
+	out := rel.NewRelation(r.Schema)
+	bindings := []binding{{RootVar: t.Root}}
+	for _, v := range r.varOrder {
+		if v == RootVar {
+			continue
+		}
+		m := r.parent[v]
+		var next []binding
+		for _, b := range bindings {
+			src := b[m.Src]
+			if src == nil {
+				next = append(next, extend(b, v, nil))
+				continue
+			}
+			nodes := xmltree.Eval(src, m.Path)
+			if len(nodes) == 0 {
+				next = append(next, extend(b, v, nil))
+				continue
+			}
+			for _, n := range nodes {
+				next = append(next, extend(b, v, n))
+			}
+		}
+		bindings = next
+	}
+
+	rows := make([]lineageRow, 0, len(bindings))
+	for _, b := range bindings {
+		tuple := make(rel.Tuple, r.Schema.Len())
+		for _, f := range r.Fields {
+			i := r.Schema.Index(f.Field)
+			n := b[f.Var]
+			if n == nil {
+				tuple[i] = rel.NullValue
+			} else {
+				tuple[i] = rel.V(xmltree.TextContent(n))
+			}
+		}
+		lin := make(Lineage, len(b))
+		for k, n := range b {
+			lin[k] = n
+		}
+		rows = append(rows, lineageRow{tuple: tuple, lin: lin})
+	}
+
+	// Dedup keeping first lineage, then sort rows exactly like Eval does.
+	seen := map[string]bool{}
+	kept := rows[:0]
+	for _, rw := range rows {
+		k := tupleKey(rw.tuple)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		kept = append(kept, rw)
+	}
+	rows = kept
+	sortRows(rows)
+	lins := make([]Lineage, len(rows))
+	for i, rw := range rows {
+		out.MustInsert(rw.tuple)
+		lins[i] = rw.lin
+	}
+	return out, lins
+}
+
+func tupleKey(t rel.Tuple) string {
+	b := make([]byte, 0, 16*len(t))
+	for _, v := range t {
+		if v.Null {
+			b = append(b, 'N', 0)
+		} else {
+			b = append(b, 'V')
+			b = append(b, v.S...)
+			b = append(b, 0)
+		}
+	}
+	return string(b)
+}
+
+type lineageRow struct {
+	tuple rel.Tuple
+	lin   Lineage
+}
+
+// sortRows mirrors rel.Relation.Sort (lexicographic, nulls last).
+func sortRows(rows []lineageRow) {
+	less := func(a, b rel.Tuple) bool {
+		for c := range a {
+			switch {
+			case a[c].Null && b[c].Null:
+				continue
+			case a[c].Null:
+				return false
+			case b[c].Null:
+				return true
+			case a[c].S != b[c].S:
+				return a[c].S < b[c].S
+			}
+		}
+		return false
+	}
+	// Insertion sort keeps this dependency-free and stable; instances in
+	// the design workflow are small.
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && less(rows[j].tuple, rows[j-1].tuple); j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package transform
+
+import (
+	"testing"
+
+	"xkprop/internal/rel"
+	"xkprop/internal/xmltree"
+)
+
+func TestEvalWithLineageMatchesEval(t *testing.T) {
+	tree := xmltree.MustParseString(fig1XML)
+	for _, src := range []string{bookRuleText, sectionRuleText} {
+		rule := MustParseString(src).Rules[0]
+		plain := rule.Eval(tree)
+		withLin, lins := rule.EvalWithLineage(tree)
+		if plain.String() != withLin.String() {
+			t.Fatalf("instances differ:\n%s\nvs\n%s", plain, withLin)
+		}
+		if len(lins) != len(withLin.Tuples) {
+			t.Fatalf("lineages = %d, tuples = %d", len(lins), len(withLin.Tuples))
+		}
+	}
+}
+
+func TestLineagePointsAtSourceNodes(t *testing.T) {
+	tree := xmltree.MustParseString(fig1XML)
+	rule := MustParseString(bookRuleText).Rules[0]
+	inst, lins := rule.EvalWithLineage(tree)
+	iIsbn := inst.Schema.Index("isbn")
+	for i, tuple := range inst.Tuples {
+		lin := lins[i]
+		// The root variable binds to the document root.
+		if lin[RootVar] != tree.Root {
+			t.Fatal("root lineage wrong")
+		}
+		// The isbn field's lineage is the @isbn attribute node whose value
+		// matches the tuple.
+		n := lin["x1"]
+		if tuple[iIsbn].Null {
+			if n != nil {
+				t.Errorf("row %d: null field with non-nil lineage", i)
+			}
+			continue
+		}
+		if n == nil || n.Kind != xmltree.Attribute || n.Value != tuple[iIsbn].S {
+			t.Errorf("row %d: isbn lineage = %+v, tuple value %s", i, n, tuple[iIsbn])
+		}
+		// The book element is the attribute's parent.
+		if lin["xa"] == nil || n.Parent != lin["xa"] {
+			t.Errorf("row %d: book element lineage inconsistent", i)
+		}
+	}
+}
+
+// TestLineageDebugsFDViolation: the workflow the feature exists for —
+// find the XML nodes behind a violated key on import (Fig 2a).
+func TestLineageDebugsFDViolation(t *testing.T) {
+	tree := xmltree.MustParseString(fig1XML)
+	rule := MustParseString(`
+rule Chapter(bookTitle: tt, chapterNum: n, chapterName: m) {
+  b := root / //book
+  tt := b / title
+  c := b / chapter
+  n := c / @number
+  m := c / name
+}`).Rules[0]
+	inst, lins := rule.EvalWithLineage(tree)
+	key := rel.MustParseFD(rule.Schema, "bookTitle, chapterNum -> chapterName")
+	vs := inst.CheckFD(key)
+	if len(vs) != 1 || vs[0].Condition != 2 {
+		t.Fatalf("expected one condition-2 violation, got %v", vs)
+	}
+	r1, r2 := vs[0].Rows[0], vs[0].Rows[1]
+	b1, b2 := lins[r1]["b"], lins[r2]["b"]
+	if b1 == nil || b2 == nil || b1 == b2 {
+		t.Fatalf("violating rows must trace to two distinct book elements")
+	}
+	// The two books are the isbn=123 and isbn=234 ones.
+	v1, _ := b1.AttrValue("isbn")
+	v2, _ := b2.AttrValue("isbn")
+	if (v1 != "123" || v2 != "234") && (v1 != "234" || v2 != "123") {
+		t.Errorf("traced books = %s, %s", v1, v2)
+	}
+}
+
+func TestLineageNullRows(t *testing.T) {
+	tree := xmltree.MustParseString(`<r><book isbn="9"/></r>`)
+	rule := MustParseString(bookRuleText).Rules[0]
+	inst, lins := rule.EvalWithLineage(tree)
+	if len(inst.Tuples) != 1 {
+		t.Fatalf("tuples = %d", len(inst.Tuples))
+	}
+	lin := lins[0]
+	if lin["x3"] != nil || lin["x4"] != nil || lin["x5"] != nil {
+		t.Error("author subtree lineage must be nil for the null row")
+	}
+	if lin["xa"] == nil {
+		t.Error("book element lineage must be set")
+	}
+}

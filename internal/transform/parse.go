@@ -1,0 +1,172 @@
+package transform
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"xkprop/internal/rel"
+	"xkprop/internal/xpath"
+)
+
+// Parse reads a transformation in a small textual DSL mirroring the
+// paper's notation. Each table rule is written
+//
+//	rule book(isbn: x1, title: x2, author: x4, contact: x5) {
+//	  xa := root / //book
+//	  x1 := xa / @isbn
+//	  x2 := xa / title
+//	  x3 := xa / author
+//	  x4 := x3 / name
+//	  x5 := x3 / contact
+//	}
+//
+// The header lists the relation's fields with the variables that populate
+// them ("field: value(var)" in the paper); each body line is a variable
+// mapping x ⇐ y/P, written x := y / P. The source variable is the
+// identifier before the first '/'; everything after it is the path
+// expression. Blank lines and '#' comments are skipped.
+func Parse(r io.Reader) (*Transformation, error) {
+	sc := bufio.NewScanner(r)
+	var rules []*Rule
+	var cur *ruleDraft
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "rule "):
+			if cur != nil {
+				return nil, fmt.Errorf("transform: line %d: nested rule", lineno)
+			}
+			d, err := parseRuleHeader(line)
+			if err != nil {
+				return nil, fmt.Errorf("transform: line %d: %w", lineno, err)
+			}
+			cur = d
+		case line == "}":
+			if cur == nil {
+				return nil, fmt.Errorf("transform: line %d: unmatched }", lineno)
+			}
+			rule, err := cur.build()
+			if err != nil {
+				return nil, fmt.Errorf("transform: line %d: %w", lineno, err)
+			}
+			rules = append(rules, rule)
+			cur = nil
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("transform: line %d: mapping outside rule: %q", lineno, line)
+			}
+			m, err := parseMapping(line)
+			if err != nil {
+				return nil, fmt.Errorf("transform: line %d: %w", lineno, err)
+			}
+			cur.mappings = append(cur.mappings, m)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("transform: read: %w", err)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("transform: unterminated rule %s", cur.name)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("transform: no rules found")
+	}
+	return NewTransformation(rules...)
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Transformation, error) { return Parse(strings.NewReader(s)) }
+
+// MustParseString is ParseString but panics on error.
+func MustParseString(s string) *Transformation {
+	t, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type ruleDraft struct {
+	name     string
+	fields   []FieldRule
+	mappings []VarMapping
+}
+
+func parseRuleHeader(line string) (*ruleDraft, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "rule "))
+	open := strings.Index(rest, "(")
+	if open < 0 || !strings.HasSuffix(rest, "{") {
+		return nil, fmt.Errorf("rule header must be 'rule NAME(field: var, ...) {'")
+	}
+	name := strings.TrimSpace(rest[:open])
+	if name == "" {
+		return nil, fmt.Errorf("empty rule name")
+	}
+	close := strings.LastIndex(rest, ")")
+	if close < open {
+		return nil, fmt.Errorf("missing ) in rule header")
+	}
+	d := &ruleDraft{name: name}
+	args := strings.TrimSpace(rest[open+1 : close])
+	if args == "" {
+		return nil, fmt.Errorf("rule %s has no fields", name)
+	}
+	for _, part := range strings.Split(args, ",") {
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("field spec %q must be 'field: var'", strings.TrimSpace(part))
+		}
+		f := strings.TrimSpace(kv[0])
+		v := strings.TrimSpace(kv[1])
+		v = strings.TrimSuffix(strings.TrimPrefix(v, "value("), ")")
+		if f == "" || v == "" {
+			return nil, fmt.Errorf("field spec %q must be 'field: var'", strings.TrimSpace(part))
+		}
+		d.fields = append(d.fields, FieldRule{Field: f, Var: v})
+	}
+	return d, nil
+}
+
+func parseMapping(line string) (VarMapping, error) {
+	// x := y / P     (also accepts the paper's x ⇐ y/P)
+	t := strings.ReplaceAll(line, "⇐", ":=")
+	parts := strings.SplitN(t, ":=", 2)
+	if len(parts) != 2 {
+		return VarMapping{}, fmt.Errorf("mapping %q must be 'x := y / path'", line)
+	}
+	v := strings.TrimSpace(parts[0])
+	rhs := strings.TrimSpace(parts[1])
+	slash := strings.Index(rhs, "/")
+	if slash < 0 {
+		return VarMapping{}, fmt.Errorf("mapping %q missing '/ path'", line)
+	}
+	src := strings.TrimSpace(rhs[:slash])
+	pathText := strings.TrimSpace(rhs[slash+1:])
+	if v == "" || src == "" || pathText == "" {
+		return VarMapping{}, fmt.Errorf("mapping %q must be 'x := y / path'", line)
+	}
+	p, err := xpath.Parse(pathText)
+	if err != nil {
+		return VarMapping{}, err
+	}
+	return VarMapping{Var: v, Src: src, Path: p}, nil
+}
+
+func (d *ruleDraft) build() (*Rule, error) {
+	attrs := make([]string, len(d.fields))
+	for i, f := range d.fields {
+		attrs[i] = f.Field
+	}
+	schema, err := rel.NewSchema(d.name, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	return NewRule(schema, d.fields, d.mappings)
+}

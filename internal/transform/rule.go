@@ -1,0 +1,377 @@
+// Package transform implements the XML-to-relational transformation
+// language of Davidson et al. (ICDE 2003), Definition 2.2: a transformation
+// σ is a set of table rules, one per relation of the target schema R. A
+// table rule consists of
+//
+//   - a set of variables, with a distinguished root variable;
+//   - variable mappings x ⇐ y/P binding each variable to a path from its
+//     parent variable (simple paths except from the root);
+//   - field rules f: value(x) populating each relation field from a leaf
+//     variable.
+//
+// A table rule is abstractly a node-labelled tree, the table tree (Fig 3),
+// which the propagation algorithms traverse.
+package transform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xkprop/internal/rel"
+	"xkprop/internal/xpath"
+)
+
+// RootVar is the distinguished root variable, written v_r in the paper.
+const RootVar = "root"
+
+// FieldRule is a field rule f: value(x).
+type FieldRule struct {
+	// Field is the relation attribute name f.
+	Field string
+	// Var is the variable x whose value populates the field.
+	Var string
+}
+
+func (fr FieldRule) String() string { return fr.Field + ": value(" + fr.Var + ")" }
+
+// VarMapping is a variable mapping x ⇐ y/P.
+type VarMapping struct {
+	// Var is the variable x being defined.
+	Var string
+	// Src is the variable y the path is relative to.
+	Src string
+	// Path is the path expression P.
+	Path xpath.Path
+}
+
+func (m VarMapping) String() string { return m.Var + " ⇐ " + m.Src + "/" + m.Path.String() }
+
+// Rule is the table rule for one relation.
+type Rule struct {
+	// Schema is the target relation's schema.
+	Schema *rel.Schema
+	// Fields holds one field rule per schema attribute.
+	Fields []FieldRule
+	// Mappings holds the variable mappings, in declaration order.
+	Mappings []VarMapping
+
+	// Derived, built by Validate:
+	parent   map[string]VarMapping // var -> its defining mapping
+	children map[string][]string   // var -> child vars (declaration order)
+	fieldOf  map[string]string     // var -> field it populates
+	varOrder []string              // topological order, root first
+}
+
+// NewRule builds and validates a table rule.
+func NewRule(schema *rel.Schema, fields []FieldRule, mappings []VarMapping) (*Rule, error) {
+	r := &Rule{Schema: schema, Fields: fields, Mappings: mappings}
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// MustRule is NewRule but panics on error; for fixtures and tests.
+func MustRule(schema *rel.Schema, fields []FieldRule, mappings []VarMapping) *Rule {
+	r, err := NewRule(schema, fields, mappings)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// validate enforces Definition 2.2 and builds the derived structures.
+func (r *Rule) validate() error {
+	name := r.Schema.Name
+	r.parent = make(map[string]VarMapping, len(r.Mappings))
+	r.children = make(map[string][]string, len(r.Mappings))
+	r.fieldOf = make(map[string]string, len(r.Fields))
+
+	for _, m := range r.Mappings {
+		if m.Var == RootVar {
+			return fmt.Errorf("transform: rule %s: the root variable cannot be redefined", name)
+		}
+		if m.Var == "" || m.Src == "" {
+			return fmt.Errorf("transform: rule %s: empty variable name in mapping %s", name, m)
+		}
+		if _, dup := r.parent[m.Var]; dup {
+			return fmt.Errorf("transform: rule %s: variable %s defined twice", name, m.Var)
+		}
+		if m.Path.IsEpsilon() {
+			return fmt.Errorf("transform: rule %s: mapping %s: empty path", name, m)
+		}
+		// Def 2.2 condition 1: P is simple unless y is the root variable.
+		if m.Src != RootVar && !m.Path.IsSimple() {
+			return fmt.Errorf("transform: rule %s: mapping %s: non-root mappings require simple paths (no //)", name, m)
+		}
+		r.parent[m.Var] = m
+		r.children[m.Src] = append(r.children[m.Src], m.Var)
+	}
+
+	// Connectivity: every variable reaches the root through mappings.
+	for _, m := range r.Mappings {
+		seen := map[string]bool{}
+		cur := m.Var
+		for cur != RootVar {
+			if seen[cur] {
+				return fmt.Errorf("transform: rule %s: variable %s is not connected to the root (cycle)", name, m.Var)
+			}
+			seen[cur] = true
+			pm, ok := r.parent[cur]
+			if !ok {
+				return fmt.Errorf("transform: rule %s: variable %s is not connected to the root (undefined %s)", name, m.Var, cur)
+			}
+			cur = pm.Src
+		}
+		// An attribute-final variable is a leaf by construction: no mapping
+		// may use it as a source (enforced because Concat from an attribute
+		// path is meaningless in the data model).
+		if pm := r.parent[m.Var]; pm.Path.HasAttribute() && len(r.children[m.Var]) > 0 {
+			return fmt.Errorf("transform: rule %s: attribute variable %s cannot have children", name, m.Var)
+		}
+	}
+
+	// Field rules: exactly one per schema attribute; variables must exist
+	// and be leaves (Def 2.2 condition 2: no field rule on y when some
+	// x ⇐ y/P exists).
+	seenField := map[string]bool{}
+	for _, f := range r.Fields {
+		if r.Schema.Index(f.Field) < 0 {
+			return fmt.Errorf("transform: rule %s: field %s not in schema", name, f.Field)
+		}
+		if seenField[f.Field] {
+			return fmt.Errorf("transform: rule %s: field %s populated twice", name, f.Field)
+		}
+		seenField[f.Field] = true
+		if f.Var != RootVar {
+			if _, ok := r.parent[f.Var]; !ok {
+				return fmt.Errorf("transform: rule %s: field %s uses undefined variable %s", name, f.Field, f.Var)
+			}
+		}
+		if len(r.children[f.Var]) > 0 {
+			return fmt.Errorf("transform: rule %s: field %s defined on internal variable %s", name, f.Field, f.Var)
+		}
+		if prev, dup := r.fieldOf[f.Var]; dup {
+			return fmt.Errorf("transform: rule %s: variable %s populates both %s and %s", name, f.Var, prev, f.Field)
+		}
+		r.fieldOf[f.Var] = f.Field
+	}
+	for _, a := range r.Schema.Attrs {
+		if !seenField[a] {
+			return fmt.Errorf("transform: rule %s: schema attribute %s has no field rule", name, a)
+		}
+	}
+
+	// Topological order: parents before children, declaration order within.
+	r.varOrder = []string{RootVar}
+	var visit func(v string)
+	visit = func(v string) {
+		for _, c := range r.children[v] {
+			r.varOrder = append(r.varOrder, c)
+			visit(c)
+		}
+	}
+	visit(RootVar)
+	if len(r.varOrder) != len(r.Mappings)+1 {
+		return fmt.Errorf("transform: rule %s: %d variables unreachable from root", name, len(r.Mappings)+1-len(r.varOrder))
+	}
+	return nil
+}
+
+// Vars returns all variables in topological order, the root first.
+func (r *Rule) Vars() []string { return append([]string(nil), r.varOrder...) }
+
+// Parent returns the parent variable of x (the y in x ⇐ y/P) and whether x
+// has one (the root does not).
+func (r *Rule) Parent(x string) (string, bool) {
+	m, ok := r.parent[x]
+	return m.Src, ok
+}
+
+// Mapping returns the defining mapping of x.
+func (r *Rule) Mapping(x string) (VarMapping, bool) {
+	m, ok := r.parent[x]
+	return m, ok
+}
+
+// Children returns the child variables of y in declaration order.
+func (r *Rule) Children(y string) []string {
+	return append([]string(nil), r.children[y]...)
+}
+
+// FieldOf returns the field populated by variable x, if any.
+func (r *Rule) FieldOf(x string) (string, bool) {
+	f, ok := r.fieldOf[x]
+	return f, ok
+}
+
+// VarOf returns the variable populating field f, if any.
+func (r *Rule) VarOf(field string) (string, bool) {
+	for _, fr := range r.Fields {
+		if fr.Field == field {
+			return fr.Var, true
+		}
+	}
+	return "", false
+}
+
+// HasVar reports whether x is a variable of the rule (including the root).
+func (r *Rule) HasVar(x string) bool {
+	if x == RootVar {
+		return true
+	}
+	_, ok := r.parent[x]
+	return ok
+}
+
+// IsDescendant reports whether x is a proper descendant of y in the table
+// tree.
+func (r *Rule) IsDescendant(x, y string) bool {
+	cur := x
+	for {
+		m, ok := r.parent[cur]
+		if !ok {
+			return false
+		}
+		if m.Src == y {
+			return true
+		}
+		cur = m.Src
+	}
+}
+
+// Ancestors returns the ancestors of x from the root down to x's parent
+// (the list Algorithm propagation walks). The root's ancestor list is empty.
+func (r *Rule) Ancestors(x string) []string {
+	var rev []string
+	cur := x
+	for {
+		m, ok := r.parent[cur]
+		if !ok {
+			break
+		}
+		rev = append(rev, m.Src)
+		cur = m.Src
+	}
+	out := make([]string, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// PathBetween returns P(y, x): the concatenated path from variable y down
+// to descendant x in the table tree. ok is false unless x == y (ε) or x is
+// a proper descendant of y.
+func (r *Rule) PathBetween(y, x string) (xpath.Path, bool) {
+	if x == y {
+		return xpath.Epsilon, true
+	}
+	var segs []xpath.Path
+	cur := x
+	for cur != y {
+		m, ok := r.parent[cur]
+		if !ok {
+			return xpath.Path{}, false
+		}
+		segs = append(segs, m.Path)
+		cur = m.Src
+	}
+	p := xpath.Epsilon
+	for i := len(segs) - 1; i >= 0; i-- {
+		p = p.Concat(segs[i])
+	}
+	return p, true
+}
+
+// PathFromRoot returns P(v_r, x).
+func (r *Rule) PathFromRoot(x string) xpath.Path {
+	p, ok := r.PathBetween(RootVar, x)
+	if !ok {
+		panic("transform: variable not connected: " + x)
+	}
+	return p
+}
+
+// AttrsOfVarForFields returns the attribute names @a such that some child
+// variable of v is mapped by v/@a and populates a field in the given field
+// set. This is the set ß computed at each target in Algorithm propagation
+// (Fig 5, line 13). The returned field names are those discharged.
+func (r *Rule) AttrsOfVarForFields(v string, fields map[string]bool) (attrs []string, covered []string) {
+	for _, c := range r.children[v] {
+		m := r.parent[c]
+		a, isAttr := m.Path.AttributeName()
+		if !isAttr || m.Path.Len() != 1 {
+			continue
+		}
+		f, hasField := r.fieldOf[c]
+		if !hasField || !fields[f] {
+			continue
+		}
+		attrs = append(attrs, a)
+		covered = append(covered, f)
+	}
+	sort.Strings(attrs)
+	sort.Strings(covered)
+	return attrs, covered
+}
+
+// String renders the rule in the paper's notation.
+func (r *Rule) String() string {
+	var fs []string
+	for _, f := range r.Fields {
+		fs = append(fs, f.String())
+	}
+	var ms []string
+	for _, m := range r.Mappings {
+		ms = append(ms, m.String())
+	}
+	return fmt.Sprintf("Rule(%s) = {%s},\n  %s", r.Schema.Name, strings.Join(fs, ", "), strings.Join(ms, ",\n  "))
+}
+
+// Transformation is a set of table rules, one per relation of the target
+// schema (Definition 2.2's σ).
+type Transformation struct {
+	Rules []*Rule
+}
+
+// NewTransformation groups rules after checking relation-name uniqueness.
+func NewTransformation(rules ...*Rule) (*Transformation, error) {
+	seen := map[string]bool{}
+	for _, r := range rules {
+		if seen[r.Schema.Name] {
+			return nil, fmt.Errorf("transform: duplicate table rule for %s", r.Schema.Name)
+		}
+		seen[r.Schema.Name] = true
+	}
+	return &Transformation{Rules: rules}, nil
+}
+
+// MustTransformation is NewTransformation but panics on error.
+func MustTransformation(rules ...*Rule) *Transformation {
+	t, err := NewTransformation(rules...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Rule returns the table rule for the named relation, or nil.
+func (t *Transformation) Rule(name string) *Rule {
+	for _, r := range t.Rules {
+		if r.Schema.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// String renders all rules.
+func (t *Transformation) String() string {
+	var parts []string
+	for _, r := range t.Rules {
+		parts = append(parts, r.String())
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,288 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"xkprop/internal/rel"
+	"xkprop/internal/xpath"
+)
+
+// bookRuleText is Rule(book) of Example 2.4.
+const bookRuleText = `
+rule book(isbn: x1, title: x2, author: x4, contact: x5) {
+  xa := root / //book
+  x1 := xa / @isbn
+  x2 := xa / title
+  x3 := xa / author
+  x4 := x3 / name
+  x5 := x3 / contact
+}
+`
+
+const sectionRuleText = `
+rule section(inChapt: z1, number: z2, name: z3) {
+  zc := root / //book/chapter
+  z1 := zc / @number
+  zs := zc / section
+  z2 := zs / @number
+  z3 := zs / name
+}
+`
+
+func bookRule(t *testing.T) *Rule {
+	t.Helper()
+	return MustParseString(bookRuleText).Rules[0]
+}
+
+func sectionRule(t *testing.T) *Rule {
+	t.Helper()
+	return MustParseString(sectionRuleText).Rules[0]
+}
+
+func TestParseRule(t *testing.T) {
+	r := bookRule(t)
+	if r.Schema.Name != "book" || r.Schema.Len() != 4 {
+		t.Fatalf("schema = %+v", r.Schema)
+	}
+	if len(r.Mappings) != 6 {
+		t.Fatalf("mappings = %d", len(r.Mappings))
+	}
+	if v, ok := r.VarOf("isbn"); !ok || v != "x1" {
+		t.Errorf("VarOf(isbn) = %q, %v", v, ok)
+	}
+	if f, ok := r.FieldOf("x4"); !ok || f != "author" {
+		t.Errorf("FieldOf(x4) = %q, %v", f, ok)
+	}
+	if _, ok := r.FieldOf("x3"); ok {
+		t.Error("x3 is internal; no field")
+	}
+}
+
+func TestParseAcceptsPaperNotation(t *testing.T) {
+	// value(...) wrappers and ⇐ arrows are tolerated.
+	tr, err := ParseString(`
+rule r(a: value(v)) {
+  v ⇐ root / //x
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tr.Rules[0].VarOf("a"); v != "v" {
+		t.Errorf("VarOf(a) = %q", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no rules", "# nothing\n"},
+		{"mapping outside rule", "x := root / a\n"},
+		{"unterminated", "rule r(a: x) {\n x := root / a\n"},
+		{"nested", "rule r(a: x) {\nrule q(b: y) {\n}\n}"},
+		{"unmatched close", "}\n"},
+		{"bad header", "rule r a: x {\n}"},
+		{"no fields", "rule r() {\n}"},
+		{"bad field spec", "rule r(a) {\n}"},
+		{"bad mapping", "rule r(a: x) {\n x = root / a\n}"},
+		{"mapping no path", "rule r(a: x) {\n x := root\n}"},
+		{"bad path", "rule r(a: x) {\n x := root / a(b\n}"},
+		{"dup rule", "rule r(a: x) {\n x := root / a\n}\nrule r(a: x) {\n x := root / a\n}"},
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c.src); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestValidateDefinition22(t *testing.T) {
+	schema := rel.MustSchema("r", "a")
+	path := xpath.MustParse("p")
+	deep := xpath.MustParse("//p")
+	cases := []struct {
+		name     string
+		fields   []FieldRule
+		mappings []VarMapping
+	}{
+		{"redefine root", []FieldRule{{"a", "x"}},
+			[]VarMapping{{"x", RootVar, path}, {RootVar, "x", path}}},
+		{"dup variable", []FieldRule{{"a", "x"}},
+			[]VarMapping{{"x", RootVar, path}, {"x", RootVar, path}}},
+		{"empty path", []FieldRule{{"a", "x"}},
+			[]VarMapping{{"x", RootVar, xpath.Epsilon}}},
+		{"non-root descendant path", []FieldRule{{"a", "y"}},
+			[]VarMapping{{"x", RootVar, path}, {"y", "x", deep}}},
+		{"disconnected", []FieldRule{{"a", "x"}},
+			[]VarMapping{{"x", "ghost", path}}},
+		{"cycle", []FieldRule{{"a", "x"}},
+			[]VarMapping{{"x", "y", path}, {"y", "x", path}}},
+		{"field on internal var", []FieldRule{{"a", "x"}},
+			[]VarMapping{{"x", RootVar, path}, {"y", "x", path}}},
+		{"field on unknown var", []FieldRule{{"a", "nope"}},
+			[]VarMapping{{"x", RootVar, path}}},
+		{"unknown field", []FieldRule{{"zzz", "x"}},
+			[]VarMapping{{"x", RootVar, path}}},
+		{"missing field rule", nil,
+			[]VarMapping{{"x", RootVar, path}}},
+		{"attr var with child", []FieldRule{{"a", "y"}},
+			[]VarMapping{{"x", RootVar, xpath.MustParse("@id")}, {"y", "x", path}}},
+	}
+	for _, c := range cases {
+		if _, err := NewRule(schema, c.fields, c.mappings); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestValidateDoubleFieldUse(t *testing.T) {
+	schema := rel.MustSchema("r", "a", "b")
+	path := xpath.MustParse("p")
+	// One variable populating two fields is rejected.
+	_, err := NewRule(schema,
+		[]FieldRule{{"a", "x"}, {"b", "x"}},
+		[]VarMapping{{"x", RootVar, path}})
+	if err == nil {
+		t.Error("variable populating two fields should be rejected")
+	}
+	// One field populated twice is rejected.
+	_, err = NewRule(rel.MustSchema("r", "a"),
+		[]FieldRule{{"a", "x"}, {"a", "y"}},
+		[]VarMapping{{"x", RootVar, path}, {"y", RootVar, path}})
+	if err == nil {
+		t.Error("field populated twice should be rejected")
+	}
+}
+
+func TestTableTreeNavigation(t *testing.T) {
+	r := bookRule(t)
+	if got := r.Vars(); len(got) != 7 || got[0] != RootVar {
+		t.Fatalf("Vars = %v", got)
+	}
+	if p, ok := r.Parent("x4"); !ok || p != "x3" {
+		t.Errorf("Parent(x4) = %q, %v", p, ok)
+	}
+	if _, ok := r.Parent(RootVar); ok {
+		t.Error("root has no parent")
+	}
+	if cs := r.Children("xa"); len(cs) != 3 {
+		t.Errorf("Children(xa) = %v", cs)
+	}
+	if !r.IsDescendant("x5", RootVar) || !r.IsDescendant("x5", "xa") || r.IsDescendant("xa", "x5") {
+		t.Error("IsDescendant wrong")
+	}
+	if r.IsDescendant("xa", "xa") {
+		t.Error("IsDescendant must be proper")
+	}
+	anc := r.Ancestors("x5")
+	if len(anc) != 3 || anc[0] != RootVar || anc[1] != "xa" || anc[2] != "x3" {
+		t.Errorf("Ancestors(x5) = %v", anc)
+	}
+	if got := r.Ancestors(RootVar); len(got) != 0 {
+		t.Errorf("Ancestors(root) = %v", got)
+	}
+	if !r.HasVar("x3") || !r.HasVar(RootVar) || r.HasVar("qq") {
+		t.Error("HasVar wrong")
+	}
+}
+
+func TestPathBetween(t *testing.T) {
+	r := bookRule(t)
+	cases := []struct {
+		y, x, want string
+		ok         bool
+	}{
+		{RootVar, "xa", "//book", true},
+		{RootVar, "x5", "//book/author/contact", true},
+		{"xa", "x5", "author/contact", true},
+		{"x3", "x5", "contact", true},
+		{"xa", "xa", "ε", true},
+		{"x5", "xa", "", false}, // not a descendant
+		{"x2", "x5", "", false}, // siblings
+	}
+	for _, c := range cases {
+		p, ok := r.PathBetween(c.y, c.x)
+		if ok != c.ok {
+			t.Errorf("PathBetween(%s, %s) ok = %v, want %v", c.y, c.x, ok, c.ok)
+			continue
+		}
+		if ok && p.String() != c.want {
+			t.Errorf("PathBetween(%s, %s) = %q, want %q", c.y, c.x, p, c.want)
+		}
+	}
+	// Fig 3(b)'s example: P(root, zs) = //book/chapter/section.
+	sr := sectionRule(t)
+	if got := sr.PathFromRoot("zs").String(); got != "//book/chapter/section" {
+		t.Errorf("P(root, zs) = %q", got)
+	}
+}
+
+func TestAttrsOfVarForFields(t *testing.T) {
+	sr := sectionRule(t)
+	// At zc with LHS fields {inChapt, number}: @number populates inChapt.
+	attrs, covered := sr.AttrsOfVarForFields("zc", map[string]bool{"inChapt": true, "number": true})
+	if len(attrs) != 1 || attrs[0] != "number" || len(covered) != 1 || covered[0] != "inChapt" {
+		t.Errorf("AttrsOfVarForFields(zc) = %v, %v", attrs, covered)
+	}
+	// At zs: @number populates the number field.
+	attrs, covered = sr.AttrsOfVarForFields("zs", map[string]bool{"inChapt": true, "number": true})
+	if len(attrs) != 1 || attrs[0] != "number" || covered[0] != "number" {
+		t.Errorf("AttrsOfVarForFields(zs) = %v, %v", attrs, covered)
+	}
+	// Fields not in the requested set are ignored.
+	attrs, _ = sr.AttrsOfVarForFields("zs", map[string]bool{"inChapt": true})
+	if len(attrs) != 0 {
+		t.Errorf("AttrsOfVarForFields(zs, {inChapt}) = %v", attrs)
+	}
+	// Non-attribute children contribute nothing.
+	br := bookRule(t)
+	attrs, _ = br.AttrsOfVarForFields("x3", map[string]bool{"author": true, "contact": true})
+	if len(attrs) != 0 {
+		t.Errorf("element children must not count as key attrs: %v", attrs)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := bookRule(t)
+	s := r.String()
+	for _, want := range []string{"Rule(book)", "isbn: value(x1)", "x1 ⇐ xa/@isbn", "xa ⇐ root///book"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Rule.String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTransformationLookup(t *testing.T) {
+	tr := MustParseString(bookRuleText + sectionRuleText)
+	if tr.Rule("book") == nil || tr.Rule("section") == nil {
+		t.Error("Rule lookup failed")
+	}
+	if tr.Rule("nope") != nil {
+		t.Error("unknown rule should be nil")
+	}
+	if !strings.Contains(tr.String(), "Rule(section)") {
+		t.Error("Transformation.String incomplete")
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	r := bookRule(t)
+	got := r.TreeString()
+	for _, want := range []string{
+		"root\n",
+		"└── xa ⇐ //book",
+		"├── x1 ⇐ @isbn  [isbn]",
+		"└── x3 ⇐ author",
+		"    ├── x4 ⇐ name  [author]",
+		"    └── x5 ⇐ contact  [contact]",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("TreeString missing %q:\n%s", want, got)
+		}
+	}
+	// Rendering Fig 3(b)'s section rule shows the chain through zc.
+	sr := sectionRule(t)
+	gotS := sr.TreeString()
+	if !strings.Contains(gotS, "zc ⇐ //book/chapter") || !strings.Contains(gotS, "zs ⇐ section") {
+		t.Errorf("section TreeString wrong:\n%s", gotS)
+	}
+}

@@ -1,0 +1,43 @@
+package transform
+
+import (
+	"strings"
+)
+
+// TreeString renders the rule's table tree in the style of the paper's
+// Fig 3/4: one node per variable, each labelled with its incoming path and
+// the field it populates, e.g.
+//
+//	root
+//	└── xa ⇐ //book
+//	    ├── x1 ⇐ @isbn  [isbn]
+//	    ├── x2 ⇐ title  [title]
+//	    └── x3 ⇐ author
+//	        ├── x4 ⇐ name  [author]
+//	        └── x5 ⇐ contact  [contact]
+func (r *Rule) TreeString() string {
+	var b strings.Builder
+	b.WriteString(RootVar + "\n")
+	children := r.Children(RootVar)
+	for i, c := range children {
+		r.renderSubtree(&b, c, "", i == len(children)-1)
+	}
+	return b.String()
+}
+
+func (r *Rule) renderSubtree(b *strings.Builder, v, prefix string, last bool) {
+	branch, childPrefix := "├── ", prefix+"│   "
+	if last {
+		branch, childPrefix = "└── ", prefix+"    "
+	}
+	m, _ := r.Mapping(v)
+	b.WriteString(prefix + branch + v + " ⇐ " + m.Path.String())
+	if f, ok := r.FieldOf(v); ok {
+		b.WriteString("  [" + f + "]")
+	}
+	b.WriteByte('\n')
+	children := r.Children(v)
+	for i, c := range children {
+		r.renderSubtree(b, c, childPrefix, i == len(children)-1)
+	}
+}

@@ -1,0 +1,138 @@
+package witness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xkprop/internal/core"
+	"xkprop/internal/rel"
+	"xkprop/internal/transform"
+	"xkprop/internal/xmlkey"
+)
+
+// genSoakWorkload builds a random rule + key set over a tiny vocabulary
+// (mirrors core's property-test generator, duplicated here to keep the
+// packages independent).
+func genSoakWorkload(r *rand.Rand) ([]xmlkey.Key, *transform.Rule) {
+	labels := []string{"a", "b", "c"}
+	attrs := []string{"x", "y"}
+	n := 1 + r.Intn(3)
+	var body strings.Builder
+	var fields []string
+	names := []string{transform.RootVar}
+	fieldNo := 0
+	for i := 0; i < n; i++ {
+		parent := names[r.Intn(len(names))]
+		name := fmt.Sprintf("v%d", i)
+		path := labels[r.Intn(len(labels))]
+		if parent == transform.RootVar && r.Intn(2) == 0 {
+			path = "//" + path
+		}
+		fmt.Fprintf(&body, "  %s := %s / %s\n", name, parent, path)
+		names = append(names, name)
+		for _, a := range attrs {
+			if r.Intn(2) == 0 {
+				f := fmt.Sprintf("f%d", fieldNo)
+				fieldNo++
+				fmt.Fprintf(&body, "  %s_%s := %s / @%s\n", name, a, name, a)
+				fields = append(fields, fmt.Sprintf("%s: %s_%s", f, name, a))
+			}
+		}
+	}
+	if len(fields) == 0 {
+		fmt.Fprintf(&body, "  v0_x := v0 / @x\n")
+		fields = append(fields, "f0: v0_x")
+	}
+	src := fmt.Sprintf("rule U(%s) {\n%s}\n", strings.Join(fields, ", "), body.String())
+	tr, err := transform.ParseString(src)
+	if err != nil {
+		panic(err)
+	}
+	var sigma []xmlkey.Key
+	for i := 0; i < 1+r.Intn(3); i++ {
+		ctx := "ε"
+		if r.Intn(2) == 0 {
+			ctx = "//" + labels[r.Intn(len(labels))]
+		}
+		tgt := labels[r.Intn(len(labels))]
+		var ks []string
+		if r.Intn(3) != 0 {
+			ks = append(ks, "@"+attrs[r.Intn(len(attrs))])
+		}
+		k, err := xmlkey.Parse(fmt.Sprintf("(%s, (%s, {%s}))", ctx, tgt, strings.Join(ks, ", ")))
+		if err != nil {
+			continue
+		}
+		sigma = append(sigma, k)
+	}
+	return sigma, tr.Rules[0]
+}
+
+// TestSoakRefusalsConfirmedByWitnesses measures, over random workloads,
+// how many propagation refusals are confirmed by a concrete
+// counterexample. A refusal that cannot be confirmed is either a witness-
+// search miss (expected occasionally: the search is incomplete) or — if
+// systematic — an over-conservative propagation check. We require a
+// healthy confirmation rate rather than perfection.
+func TestSoakRefusalsConfirmedByWitnesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped in -short")
+	}
+	r := rand.New(rand.NewSource(101))
+	refused, confirmed := 0, 0
+	for trial := 0; trial < 60 && refused < 40; trial++ {
+		sigma, rule := genSoakWorkload(r)
+		e := core.NewEngine(sigma, rule)
+		nf := rule.Schema.Len()
+		for q := 0; q < 6; q++ {
+			var lhs rel.AttrSet
+			for i := 0; i < nf; i++ {
+				if r.Intn(3) == 0 {
+					lhs = lhs.With(i)
+				}
+			}
+			fd := rel.NewFD(lhs, rel.AttrSet{}.With(r.Intn(nf)))
+			if fd.IsTrivial() || e.Propagates(fd) {
+				continue
+			}
+			refused++
+			if _, _, ok := FDCounterexample(sigma, rule, fd, Options{MaxTries: 4000, Seed: int64(trial*10 + q + 1)}); ok {
+				confirmed++
+			}
+		}
+	}
+	if refused == 0 {
+		t.Fatal("no refusals sampled")
+	}
+	rate := float64(confirmed) / float64(refused)
+	t.Logf("confirmed %d/%d refusals (%.0f%%)", confirmed, refused, rate*100)
+	if rate < 0.5 {
+		t.Errorf("confirmation rate %.0f%% is suspiciously low — propagation may be over-conservative", rate*100)
+	}
+}
+
+// TestSoakAcceptancesNeverRefuted: the dual direction must be perfect —
+// no accepted FD may ever have a counterexample.
+func TestSoakAcceptancesNeverRefuted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped in -short")
+	}
+	r := rand.New(rand.NewSource(102))
+	checked := 0
+	for trial := 0; trial < 80; trial++ {
+		sigma, rule := genSoakWorkload(r)
+		e := core.NewEngine(sigma, rule)
+		for _, fd := range e.MinimumCover() {
+			checked++
+			if doc, vs, ok := FDCounterexample(sigma, rule, fd, Options{MaxTries: 1500, Seed: int64(trial + 1)}); ok {
+				t.Fatalf("SOUNDNESS BUG: cover FD %s has counterexample\nrule:\n%s\nkeys: %v\ndoc:\n%s\nviolations: %v",
+					fd.Format(rule.Schema), rule, sigma, doc.XMLString(), vs)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Log("warning: no cover FDs sampled")
+	}
+}

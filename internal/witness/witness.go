@@ -1,0 +1,298 @@
+// Package witness searches for counterexamples. When Algorithm
+// propagation refuses an FD (Σ ⊭_σ ψ), the refusal is only meaningful if
+// some conforming document really can violate ψ; this package hunts for
+// such a document: a tree T with T ⊨ Σ whose generated instance σ(T)
+// violates ψ. Similarly for key implication: a tree satisfying Σ but not
+// a candidate key φ.
+//
+// The search is randomized and guided by the table tree: documents are
+// instantiated along the rule's variable paths (so instances are
+// non-degenerate), with small value domains to provoke collisions and
+// probabilistic attribute omission to provoke nulls, then filtered by
+// Σ-satisfaction. It is sound (any returned tree is a checked
+// counterexample) but incomplete: failure to find one proves nothing.
+// The package tests use it as a completeness probe: every negative
+// verdict the paper's examples rely on is backed by a concrete witness.
+package witness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xkprop/internal/rel"
+	"xkprop/internal/transform"
+	"xkprop/internal/xmlkey"
+	"xkprop/internal/xmltree"
+	"xkprop/internal/xpath"
+)
+
+// Options tunes the randomized search.
+type Options struct {
+	// MaxTries bounds the number of candidate documents (default 2000).
+	MaxTries int
+	// MaxFanout bounds sibling replication per variable (default 3).
+	MaxFanout int
+	// Seed seeds the search (default 1).
+	Seed int64
+	// AttrDomain is the value pool for attributes (default {"0", "1"}).
+	AttrDomain []string
+	// OmitProb is the probability of omitting an optional attribute or
+	// element, in percent (default 20).
+	OmitProb int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxTries == 0 {
+		o.MaxTries = 2000
+	}
+	if o.MaxFanout == 0 {
+		o.MaxFanout = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.AttrDomain) == 0 {
+		o.AttrDomain = []string{"0", "1"}
+	}
+	if o.OmitProb == 0 {
+		o.OmitProb = 20
+	}
+	return o
+}
+
+// FDCounterexample searches for a tree satisfying sigma whose instance
+// under the rule violates fd. The returned violation pinpoints the failing
+// condition.
+func FDCounterexample(sigma []xmlkey.Key, rule *transform.Rule, fd rel.FD, opts Options) (*xmltree.Tree, []rel.FDViolation, bool) {
+	opts = opts.withDefaults()
+	r := rand.New(rand.NewSource(opts.Seed))
+	for try := 0; try < opts.MaxTries; try++ {
+		root := instantiate(rule, r, opts)
+		repairExistence(root, sigma, r, opts)
+		doc := xmltree.NewTree(root)
+		if !xmlkey.SatisfiesAll(doc, sigma) {
+			continue
+		}
+		inst := rule.Eval(doc)
+		if vs := inst.CheckFD(fd); len(vs) > 0 {
+			return doc, vs, true
+		}
+	}
+	return nil, nil, false
+}
+
+// KeyCounterexample searches for a tree satisfying sigma but violating
+// phi, i.e. a model refuting Σ ⊨ φ. Targeted constructions (two clashing
+// targets under one context, or a target missing a key attribute) are
+// interleaved with purely random trees.
+func KeyCounterexample(sigma []xmlkey.Key, phi xmlkey.Key, opts Options) (*xmltree.Tree, bool) {
+	opts = opts.withDefaults()
+	r := rand.New(rand.NewSource(opts.Seed))
+	labels, attrs := vocabulary(append(append([]xmlkey.Key{}, sigma...), phi))
+	for try := 0; try < opts.MaxTries; try++ {
+		var root *xmltree.Node
+		if try%3 == 2 {
+			root = randomTreeNode(labels, attrs, r, opts)
+		} else {
+			root = buildKeyViolator(phi, r, opts)
+			repairExistence(root, sigma, r, opts)
+		}
+		doc := xmltree.NewTree(root)
+		if !xmlkey.SatisfiesAll(doc, sigma) {
+			continue
+		}
+		if !xmlkey.Satisfies(doc, phi) {
+			return doc, true
+		}
+	}
+	return nil, false
+}
+
+// buildKeyViolator constructs a document aimed directly at violating phi:
+// a concrete context chain for Q with two target chains for Q' whose key
+// attributes collide (or, sometimes, with one attribute missing to provoke
+// an existence violation).
+func buildKeyViolator(phi xmlkey.Key, r *rand.Rand, opts Options) *xmltree.Node {
+	root := xmltree.NewElement("r")
+	ctx := materializeConcrete(root, phi.Context, r)
+	t1 := materializeConcrete(ctx, phi.Target, r)
+	t2 := materializeConcrete(ctx, phi.Target, r)
+	val := opts.AttrDomain[r.Intn(len(opts.AttrDomain))]
+	dropOne := len(phi.Attrs) > 0 && r.Intn(3) == 0
+	for i, a := range phi.Attrs {
+		t1.SetAttr(a, val)
+		if dropOne && i == 0 {
+			continue // existence violation on t2
+		}
+		t2.SetAttr(a, val)
+	}
+	return root
+}
+
+// materializeConcrete instantiates a path below parent, returning the
+// final element ("//" gaps become 0–2 filler levels).
+func materializeConcrete(parent *xmltree.Node, p xpath.Path, r *rand.Rand) *xmltree.Node {
+	cur := parent
+	for _, s := range p.Steps() {
+		if s.Kind == xpath.DescendantOrSelf {
+			for k := r.Intn(2); k > 0; k-- {
+				cur = cur.Elem(fmt.Sprintf("w%d", r.Intn(2)))
+			}
+			continue
+		}
+		cur = cur.Elem(s.Name)
+	}
+	return cur
+}
+
+// repairExistence adds the attributes Σ's strict semantics force to exist:
+// for each key with attributes, every node in its target set gets the
+// missing attributes. Values are drawn half the time from a global serial
+// (helping uniqueness hold) and half the time from the small domain
+// (leaving room for the collisions a counterexample needs elsewhere).
+func repairExistence(root *xmltree.Node, sigma []xmlkey.Key, r *rand.Rand, opts Options) {
+	serial := r.Intn(1 << 20)
+	for _, k := range sigma {
+		if len(k.Attrs) == 0 {
+			continue
+		}
+		for _, ctx := range xmltree.Eval(root, k.Context) {
+			for _, tgt := range xmltree.Eval(ctx, k.Target) {
+				for _, a := range k.Attrs {
+					if tgt.Attr(a) != nil {
+						continue
+					}
+					if r.Intn(2) == 0 {
+						serial++
+						tgt.SetAttr(a, fmt.Sprintf("s%d", serial))
+					} else {
+						tgt.SetAttr(a, opts.AttrDomain[r.Intn(len(opts.AttrDomain))])
+					}
+				}
+			}
+		}
+	}
+}
+
+// instantiate builds a random document along the rule's table tree.
+func instantiate(rule *transform.Rule, r *rand.Rand, opts Options) *xmltree.Node {
+	root := xmltree.NewElement("r")
+	var expand func(parents []*xmltree.Node, v string)
+	expand = func(parents []*xmltree.Node, v string) {
+		m, ok := rule.Mapping(v)
+		if !ok {
+			return
+		}
+		var nodes []*xmltree.Node
+		for _, p := range parents {
+			// Replicate this variable 0..MaxFanout times under each parent
+			// instance (0 provokes nulls).
+			n := r.Intn(opts.MaxFanout + 1)
+			if n == 0 && r.Intn(100) >= opts.OmitProb {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				nodes = append(nodes, materializePath(p, m.Path, r, opts)...)
+			}
+		}
+		// Element leaves that populate fields carry text so instances have
+		// comparable values (small domain to provoke FD collisions).
+		if len(rule.Children(v)) == 0 && !m.Path.HasAttribute() {
+			if _, hasField := rule.FieldOf(v); hasField {
+				for _, nd := range nodes {
+					if r.Intn(100) >= opts.OmitProb {
+						nd.AddText(opts.AttrDomain[r.Intn(len(opts.AttrDomain))])
+					}
+				}
+			}
+		}
+		for _, c := range rule.Children(v) {
+			expand(nodes, c)
+		}
+	}
+	for _, v := range rule.Children(transform.RootVar) {
+		expand([]*xmltree.Node{root}, v)
+	}
+	return root
+}
+
+// materializePath creates one concrete chain of elements under parent
+// following the path expression, returning the final node(s). Attribute
+// steps set an attribute on the parent; "//" steps insert 0–2 filler
+// levels.
+func materializePath(parent *xmltree.Node, p xpath.Path, r *rand.Rand, opts Options) []*xmltree.Node {
+	cur := parent
+	steps := p.Steps()
+	for i, s := range steps {
+		switch {
+		case s.Kind == xpath.DescendantOrSelf:
+			for k := r.Intn(3); k > 0; k-- {
+				cur = cur.Elem(fmt.Sprintf("w%d", r.Intn(2)))
+			}
+		case s.IsAttribute():
+			if i != len(steps)-1 {
+				return nil
+			}
+			if r.Intn(100) >= opts.OmitProb {
+				cur.SetAttr(s.Name, opts.AttrDomain[r.Intn(len(opts.AttrDomain))])
+			}
+			// The attribute node (or its absence) terminates the chain;
+			// return the owning element so Eval can find the attribute.
+			return []*xmltree.Node{cur}
+		default:
+			cur = cur.Elem(s.Name)
+		}
+	}
+	return []*xmltree.Node{cur}
+}
+
+// vocabulary extracts the element labels and attribute names mentioned in
+// a key set.
+func vocabulary(keys []xmlkey.Key) (labels, attrs []string) {
+	seenL, seenA := map[string]bool{}, map[string]bool{}
+	for _, k := range keys {
+		for _, p := range []xpath.Path{k.Context, k.Target} {
+			for _, s := range p.Steps() {
+				if s.Kind == xpath.Label && !s.IsAttribute() && !seenL[s.Name] {
+					seenL[s.Name] = true
+					labels = append(labels, s.Name)
+				}
+			}
+		}
+		for _, a := range k.Attrs {
+			if !seenA[a] {
+				seenA[a] = true
+				attrs = append(attrs, a)
+			}
+		}
+	}
+	if len(labels) == 0 {
+		labels = []string{"a"}
+	}
+	if len(attrs) == 0 {
+		attrs = []string{"x"}
+	}
+	return labels, attrs
+}
+
+// randomTreeNode builds a small random tree over the given vocabulary.
+func randomTreeNode(labels, attrs []string, r *rand.Rand, opts Options) *xmltree.Node {
+	root := xmltree.NewElement("r")
+	var build func(n *xmltree.Node, depth int)
+	build = func(n *xmltree.Node, depth int) {
+		if depth >= 4 {
+			return
+		}
+		for i := 0; i < r.Intn(opts.MaxFanout+1); i++ {
+			c := n.Elem(labels[r.Intn(len(labels))])
+			for _, a := range attrs {
+				if r.Intn(100) >= opts.OmitProb {
+					c.SetAttr(a, opts.AttrDomain[r.Intn(len(opts.AttrDomain))])
+				}
+			}
+			build(c, depth+1)
+		}
+	}
+	build(root, 0)
+	return root
+}

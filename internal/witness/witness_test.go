@@ -1,0 +1,179 @@
+package witness
+
+import (
+	"testing"
+
+	"xkprop/internal/core"
+	"xkprop/internal/paperdata"
+	"xkprop/internal/rel"
+	"xkprop/internal/xmlkey"
+)
+
+// TestFDCounterexamplePaperNegative: the paper's Example 4.2 negative —
+// (inChapt, number) → name on Rule(section) — is backed by a concrete
+// conforming document whose instance violates the FD.
+func TestFDCounterexamplePaperNegative(t *testing.T) {
+	sigma := paperdata.Keys()
+	rule := paperdata.Transform().Rule("section")
+	fd := rel.MustParseFD(rule.Schema, "inChapt, number -> name")
+	if core.Propagates(sigma, rule, fd) {
+		t.Fatal("precondition: FD must not be propagated")
+	}
+	doc, vs, ok := FDCounterexample(sigma, rule, fd, Options{MaxTries: 20000})
+	if !ok {
+		t.Fatal("no counterexample found for the paper's negative example")
+	}
+	if !xmlkey.SatisfiesAll(doc, sigma) {
+		t.Fatal("witness must satisfy Σ")
+	}
+	if len(vs) == 0 {
+		t.Fatal("witness must come with violations")
+	}
+	inst := rule.Eval(doc)
+	if inst.SatisfiesFD(fd) {
+		t.Fatalf("claimed witness does not violate the FD:\n%s\n%s", doc.XMLString(), inst)
+	}
+}
+
+// TestFDCounterexampleFig2a: the initial Chapter design's key can break —
+// with a concrete two-books-same-title witness, like the paper's Fig 1.
+func TestFDCounterexampleFig2a(t *testing.T) {
+	sigma := paperdata.Keys()
+	rule := paperdata.Fig2aRule()
+	fd := rel.MustParseFD(rule.Schema, "bookTitle, chapterNum -> chapterName")
+	doc, _, ok := FDCounterexample(sigma, rule, fd, Options{MaxTries: 20000})
+	if !ok {
+		t.Fatal("no counterexample found for the Fig 2(a) design")
+	}
+	if !xmlkey.SatisfiesAll(doc, sigma) {
+		t.Fatal("witness must satisfy Σ")
+	}
+}
+
+// TestFDCounterexampleAbsentForPropagated: propagated FDs must have no
+// counterexample (soundness spot check through the witness machinery).
+func TestFDCounterexampleAbsentForPropagated(t *testing.T) {
+	sigma := paperdata.Keys()
+	rule := paperdata.Fig2bRule()
+	fd := rel.MustParseFD(rule.Schema, "isbn, chapterNum -> chapterName")
+	if !core.Propagates(sigma, rule, fd) {
+		t.Fatal("precondition: FD must be propagated")
+	}
+	if doc, vs, ok := FDCounterexample(sigma, rule, fd, Options{MaxTries: 3000}); ok {
+		t.Fatalf("propagated FD has a counterexample — propagation is unsound!\n%s\nviolations: %v",
+			doc.XMLString(), vs)
+	}
+}
+
+// TestFDCounterexampleNullCondition: condition 1 violations are found too:
+// with no key guaranteeing @isbn, isbn can be null while name is not.
+func TestFDCounterexampleNullCondition(t *testing.T) {
+	// Σ keys chapters but nothing guarantees @isbn exists.
+	sigma := xmlkey.MustParseSet(`
+		(//book, (chapter, {@number}))
+		(//book/chapter, (name, {}))
+		(//book, (title, {}))
+	`)
+	rule := paperdata.Fig2bRule()
+	fd := rel.MustParseFD(rule.Schema, "isbn, chapterNum -> chapterName")
+	if core.Propagates(sigma, rule, fd) {
+		t.Fatal("precondition: without φ1 the FD must not be propagated")
+	}
+	doc, vs, ok := FDCounterexample(sigma, rule, fd, Options{MaxTries: 20000})
+	if !ok {
+		t.Fatal("no counterexample found")
+	}
+	_ = doc
+	// At least one violation should be a condition-1 (null) violation or a
+	// condition-2 collision; both refute the FD.
+	if len(vs) == 0 {
+		t.Fatal("empty violation list")
+	}
+}
+
+// TestKeyCounterexamplePaperImplicationNegatives: the implication
+// refusals of Example 4.2 are backed by witnesses.
+func TestKeyCounterexamplePaperImplicationNegatives(t *testing.T) {
+	sigma := paperdata.Keys()
+	for _, s := range []string{
+		"(ε, (//book/chapter, {@number}))",
+		"(ε, (//book/chapter/section, {@number}))",
+	} {
+		phi := xmlkey.MustParse(s)
+		if xmlkey.Implies(sigma, phi) {
+			t.Fatalf("precondition: Σ must not imply %s", s)
+		}
+		doc, ok := KeyCounterexample(sigma, phi, Options{MaxTries: 20000})
+		if !ok {
+			t.Errorf("no witness for Σ ⊭ %s", s)
+			continue
+		}
+		if !xmlkey.SatisfiesAll(doc, sigma) || xmlkey.Satisfies(doc, phi) {
+			t.Errorf("invalid witness for %s", s)
+		}
+	}
+}
+
+// TestKeyCounterexampleAbsentForImplied: implied keys admit no witness.
+func TestKeyCounterexampleAbsentForImplied(t *testing.T) {
+	sigma := paperdata.Keys()
+	phi := xmlkey.MustParse("(book, (chapter, {@number}))")
+	if !xmlkey.Implies(sigma, phi) {
+		t.Fatal("precondition: φ must be implied")
+	}
+	if doc, ok := KeyCounterexample(sigma, phi, Options{MaxTries: 3000}); ok {
+		t.Fatalf("implied key has a counterexample — implication unsound!\n%s", doc.XMLString())
+	}
+}
+
+// TestImplicationCompletenessProbe: for random non-implied keys, the
+// witness generator frequently confirms the refusal. This quantifies how
+// tight the (sound, not provably complete) implication rules are.
+func TestImplicationCompletenessProbe(t *testing.T) {
+	sigma := xmlkey.MustParseSet(`
+		(ε, (//a, {@x}))
+		(//a, (b, {@y}))
+	`)
+	refused := []string{
+		"(ε, (//b, {@y}))",   // b only keyed relative to a
+		"(ε, (//a, {@y}))",   // wrong attribute
+		"(//a, (b/c, {@y}))", // deeper target not keyed
+		"(ε, (//a/b, {@x}))", // x not on b
+	}
+	confirmed := 0
+	for _, s := range refused {
+		phi := xmlkey.MustParse(s)
+		if xmlkey.Implies(sigma, phi) {
+			t.Fatalf("precondition: Σ must not imply %s", s)
+		}
+		if _, ok := KeyCounterexample(sigma, phi, Options{MaxTries: 20000}); ok {
+			confirmed++
+		}
+	}
+	if confirmed < 3 {
+		t.Errorf("only %d/%d refusals confirmed by witnesses", confirmed, len(refused))
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxTries == 0 || o.MaxFanout == 0 || o.Seed == 0 || len(o.AttrDomain) == 0 || o.OmitProb == 0 {
+		t.Errorf("defaults not applied: %+v", o)
+	}
+	// Explicit values survive.
+	o2 := Options{MaxTries: 7, Seed: 9}.withDefaults()
+	if o2.MaxTries != 7 || o2.Seed != 9 {
+		t.Errorf("explicit options overridden: %+v", o2)
+	}
+}
+
+func TestVocabularyFallbacks(t *testing.T) {
+	labels, attrs := vocabulary(nil)
+	if len(labels) == 0 || len(attrs) == 0 {
+		t.Error("vocabulary must have fallbacks")
+	}
+	labels, attrs = vocabulary([]xmlkey.Key{xmlkey.MustParse("(//p, (q, {@z}))")})
+	if len(labels) != 2 || len(attrs) != 1 {
+		t.Errorf("vocabulary = %v, %v", labels, attrs)
+	}
+}

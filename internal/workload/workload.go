@@ -1,0 +1,403 @@
+// Package workload generates the synthetic inputs for the paper's
+// experiments (§6): universal-relation table rules of controlled size
+// ("fields" and "depth of the table tree") together with XML key sets of
+// controlled cardinality ("keys"). The paper chose its parameters from
+// statistics of real DTDs [Choi, WebDB'02]: depth 2–10, fields 5–500, keys
+// 10–100. The generator is deterministic for a given configuration.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"xkprop/internal/rel"
+	"xkprop/internal/transform"
+	"xkprop/internal/xmlkey"
+	"xkprop/internal/xmltree"
+	"xkprop/internal/xpath"
+)
+
+// Config controls one generated workload.
+type Config struct {
+	// Fields is the number of attributes of the universal relation.
+	Fields int
+	// Depth is the number of element levels in the table tree below the
+	// root (the paper's "depth of the table-tree").
+	Depth int
+	// Keys is the number of XML keys in Σ. The first Depth keys form a
+	// transitive chain keying each level by its first attribute; further
+	// keys add alternative relative keys over the other attributes,
+	// cycling through the levels.
+	Keys int
+	// Width is the number of parallel element chains below the root
+	// (default 1, the paper's implicit shape). Width > 1 produces bushy
+	// table trees: fields and keys are spread across the chains, chain 0
+	// first. The probes always target chain 0.
+	Width int
+}
+
+// Workload is a generated experiment input.
+type Workload struct {
+	Config Config
+	// Rule is the universal relation's table rule: a chain of Depth
+	// element variables, each carrying a share of the Fields attribute
+	// variables.
+	Rule *transform.Rule
+	// Sigma is the generated key set.
+	Sigma []xmlkey.Key
+	// ProbeTrue is an FD designed to be propagated when Keys >= Depth:
+	// the level keys determine the deepest level's second attribute.
+	ProbeTrue rel.FD
+	// ProbeFalse is an FD designed not to be propagated: a non-key
+	// attribute alone determines another.
+	ProbeFalse rel.FD
+}
+
+// level describes one chain level of the generated table tree.
+type level struct {
+	elemVar string // element variable name
+	label   string // element label
+	nAttrs  int    // number of attribute fields at this level
+}
+
+// Generate builds the workload for cfg. It panics on nonsensical
+// configurations (Fields < Depth would leave levels without attributes).
+func Generate(cfg Config) *Workload {
+	if cfg.Depth < 1 {
+		panic("workload: Depth must be >= 1")
+	}
+	if cfg.Width < 1 {
+		cfg.Width = 1
+	}
+	if cfg.Fields < cfg.Depth*cfg.Width {
+		panic("workload: need at least one field per chain level")
+	}
+	if cfg.Width > 1 {
+		return generateWide(cfg)
+	}
+	levels := planLevels(cfg)
+
+	rule := buildRule(levels)
+	sigma := buildKeys(cfg, levels)
+
+	w := &Workload{Config: cfg, Rule: rule, Sigma: sigma}
+	w.ProbeTrue, w.ProbeFalse = probes(rule.Schema, levels)
+	return w
+}
+
+// generateWide builds a bushy table tree: Width parallel chains of Depth
+// element levels, fields spread evenly, one chain-key set per chain (chain
+// 0 first so the probes exercise a full keyed walk).
+func generateWide(cfg Config) *Workload {
+	perChain := cfg.Fields / cfg.Width
+	extra := cfg.Fields % cfg.Width
+	var fields []transform.FieldRule
+	var mappings []transform.VarMapping
+	var attrs []string
+	type slot struct {
+		ctx    xpath.Path
+		label  string
+		elem   string
+		nAttrs int
+	}
+	var chains [][]slot
+	for c := 0; c < cfg.Width; c++ {
+		nf := perChain
+		if c < extra {
+			nf++
+		}
+		base := nf / cfg.Depth
+		rem := nf % cfg.Depth
+		parent := transform.RootVar
+		ctx := xpath.Epsilon
+		var chain []slot
+		for d := 0; d < cfg.Depth; d++ {
+			n := base
+			if d < rem {
+				n++
+			}
+			label := fmt.Sprintf("c%dl%d", c, d+1)
+			elem := fmt.Sprintf("c%de%d", c, d+1)
+			mappings = append(mappings, transform.VarMapping{
+				Var: elem, Src: parent, Path: xpath.Elem(label),
+			})
+			for j := 0; j < n; j++ {
+				f := fmt.Sprintf("g%d_%d_%d", c, d+1, j)
+				v := elem + "_" + attrName(j)
+				attrs = append(attrs, f)
+				fields = append(fields, transform.FieldRule{Field: f, Var: v})
+				mappings = append(mappings, transform.VarMapping{
+					Var: v, Src: elem, Path: xpath.Attr(attrName(j)),
+				})
+			}
+			chain = append(chain, slot{ctx: ctx, label: label, elem: elem, nAttrs: n})
+			ctx = ctx.Concat(xpath.Elem(label))
+			parent = elem
+		}
+		chains = append(chains, chain)
+	}
+	schema, err := rel.NewSchema("U", attrs...)
+	if err != nil {
+		panic(err)
+	}
+	rule := transform.MustRule(schema, fields, mappings)
+
+	// Chain keys, chain-major so chain 0 is fully keyed first.
+	var sigma []xmlkey.Key
+	for c := 0; c < cfg.Width && len(sigma) < cfg.Keys; c++ {
+		for d := 0; d < cfg.Depth && len(sigma) < cfg.Keys; d++ {
+			s := chains[c][d]
+			if s.nAttrs == 0 {
+				continue
+			}
+			sigma = append(sigma, xmlkey.New(
+				fmt.Sprintf("k%d", len(sigma)+1), s.ctx, xpath.Elem(s.label), attrName(0)))
+		}
+	}
+
+	// Probes over chain 0, mirroring the single-chain construction.
+	var lhs rel.AttrSet
+	rhsLevel := -1
+	for d := cfg.Depth - 1; d >= 0; d-- {
+		if chains[0][d].nAttrs > 1 {
+			rhsLevel = d
+			break
+		}
+	}
+	rhsField := fmt.Sprintf("g0_%d_0", cfg.Depth)
+	if rhsLevel >= 0 {
+		rhsField = fmt.Sprintf("g0_%d_1", rhsLevel+1)
+	} else {
+		rhsLevel = cfg.Depth - 1
+	}
+	for d := 0; d <= rhsLevel; d++ {
+		lhs = lhs.With(schema.Index(fmt.Sprintf("g0_%d_0", d+1)))
+	}
+	w := &Workload{Config: cfg, Rule: rule, Sigma: sigma}
+	w.ProbeTrue = rel.NewFD(lhs, rel.AttrSet{}.With(schema.Index(rhsField)))
+	w.ProbeFalse = rel.NewFD(
+		rel.AttrSet{}.With(schema.Index(fmt.Sprintf("g0_%d_0", cfg.Depth))),
+		rel.AttrSet{}.With(schema.Index("g0_1_0")))
+	return w
+}
+
+func planLevels(cfg Config) []level {
+	levels := make([]level, cfg.Depth)
+	base := cfg.Fields / cfg.Depth
+	extra := cfg.Fields % cfg.Depth
+	for i := range levels {
+		n := base
+		if i < extra {
+			n++
+		}
+		levels[i] = level{
+			elemVar: fmt.Sprintf("e%d", i+1),
+			label:   fmt.Sprintf("l%d", i+1),
+			nAttrs:  n,
+		}
+	}
+	return levels
+}
+
+// fieldName names the field for attribute j of level i (both 0-based).
+func fieldName(i, j int) string { return fmt.Sprintf("f%d_%d", i+1, j) }
+
+// attrName names attribute j within any level.
+func attrName(j int) string { return fmt.Sprintf("a%d", j) }
+
+func buildRule(levels []level) *transform.Rule {
+	var fields []transform.FieldRule
+	var mappings []transform.VarMapping
+	var attrs []string
+	parent := transform.RootVar
+	for i, lv := range levels {
+		mappings = append(mappings, transform.VarMapping{
+			Var: lv.elemVar, Src: parent, Path: xpath.Elem(lv.label),
+		})
+		for j := 0; j < lv.nAttrs; j++ {
+			f := fieldName(i, j)
+			v := lv.elemVar + "_" + attrName(j)
+			attrs = append(attrs, f)
+			fields = append(fields, transform.FieldRule{Field: f, Var: v})
+			mappings = append(mappings, transform.VarMapping{
+				Var: v, Src: lv.elemVar, Path: xpath.Attr(attrName(j)),
+			})
+		}
+		parent = lv.elemVar
+	}
+	schema, err := rel.NewSchema("U", attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return transform.MustRule(schema, fields, mappings)
+}
+
+// contextPath returns the absolute path to level i's element (1-based; 0
+// means the root, i.e. ε).
+func contextPath(levels []level, i int) xpath.Path {
+	p := xpath.Epsilon
+	for k := 0; k < i; k++ {
+		p = p.Concat(xpath.Elem(levels[k].label))
+	}
+	return p
+}
+
+func buildKeys(cfg Config, levels []level) []xmlkey.Key {
+	var sigma []xmlkey.Key
+	// Chain keys: level i keyed by @a0 relative to level i-1.
+	n := cfg.Keys
+	for i := 0; i < len(levels) && len(sigma) < n; i++ {
+		sigma = append(sigma, xmlkey.New(
+			fmt.Sprintf("k%d", len(sigma)+1),
+			contextPath(levels, i),
+			xpath.Elem(levels[i].label),
+			attrName(0),
+		))
+	}
+	// Alternative keys: cycle through levels and remaining attributes.
+	j := 1
+	for len(sigma) < n {
+		progressed := false
+		for i := 0; i < len(levels) && len(sigma) < n; i++ {
+			if j >= levels[i].nAttrs {
+				continue
+			}
+			progressed = true
+			sigma = append(sigma, xmlkey.New(
+				fmt.Sprintf("k%d", len(sigma)+1),
+				contextPath(levels, i),
+				xpath.Elem(levels[i].label),
+				attrName(j),
+			))
+		}
+		j++
+		if !progressed {
+			// All attributes exhausted; recycle with wider contexts so the
+			// requested key count is met without duplicates.
+			for i := 1; i < len(levels) && len(sigma) < n; i++ {
+				sigma = append(sigma, xmlkey.New(
+					fmt.Sprintf("k%d", len(sigma)+1),
+					xpath.Desc.Concat(xpath.Elem(levels[i-1].label)),
+					xpath.Elem(levels[i].label),
+					attrName(0),
+				))
+			}
+			break
+		}
+	}
+	return sigma
+}
+
+func probes(schema *rel.Schema, levels []level) (probeTrue, probeFalse rel.FD) {
+	// RHS: the second attribute of the deepest level that has one (a
+	// non-key attribute, so the probe exercises the full keyed-ancestor
+	// walk); LHS: the chain-key attributes of every level down to the RHS.
+	// With one attribute per level everywhere (Fields == Depth) the probe
+	// degenerates to a trivially-shaped FD on the deepest level.
+	rhsLevel := -1
+	for i := len(levels) - 1; i >= 0; i-- {
+		if levels[i].nAttrs > 1 {
+			rhsLevel = i
+			break
+		}
+	}
+	rhsField := fieldName(len(levels)-1, 0)
+	if rhsLevel >= 0 {
+		rhsField = fieldName(rhsLevel, 1)
+	} else {
+		rhsLevel = len(levels) - 1
+	}
+	var lhs rel.AttrSet
+	for i := 0; i <= rhsLevel; i++ {
+		lhs = lhs.With(schema.Index(fieldName(i, 0)))
+	}
+	probeTrue = rel.NewFD(lhs, rel.AttrSet{}.With(schema.Index(rhsField)))
+
+	// A single deep non-key attribute cannot determine a top-level one.
+	last := len(levels) - 1
+	probeFalse = rel.NewFD(
+		rel.AttrSet{}.With(schema.Index(fieldName(last, 0))),
+		rel.AttrSet{}.With(schema.Index(fieldName(0, 0))),
+	)
+	return probeTrue, probeFalse
+}
+
+// Document generates an XML document conforming to the workload's table
+// tree: nested lᵢ elements with fanout children per level, every element
+// carrying all its level's attributes with globally unique values (so the
+// generated Σ — and indeed any K̄ key set — is satisfied).
+func (w *Workload) Document(fanout int) *xmltree.Tree {
+	if fanout < 1 {
+		fanout = 1
+	}
+	if w.Config.Width > 1 {
+		return w.wideDocument(fanout)
+	}
+	levels := planLevels(w.Config)
+	root := xmltree.NewElement("r")
+	serial := 0
+	var build func(parent *xmltree.Node, depth int)
+	build = func(parent *xmltree.Node, depth int) {
+		if depth >= len(levels) {
+			return
+		}
+		lv := levels[depth]
+		for c := 0; c < fanout; c++ {
+			e := parent.Elem(lv.label)
+			for j := 0; j < lv.nAttrs; j++ {
+				serial++
+				e.SetAttr(attrName(j), fmt.Sprintf("u%d", serial))
+			}
+			build(e, depth+1)
+		}
+	}
+	build(root, 0)
+	return xmltree.NewTree(root)
+}
+
+// Describe summarizes the workload for experiment logs.
+func (w *Workload) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload fields=%d depth=%d keys=%d: |vars|=%d |Σ|=%d",
+		w.Config.Fields, w.Config.Depth, w.Config.Keys,
+		len(w.Rule.Vars()), len(w.Sigma))
+	return b.String()
+}
+
+// wideDocument is Document for Width > 1 workloads: one subtree per chain,
+// mirroring generateWide's labels and attribute counts.
+func (w *Workload) wideDocument(fanout int) *xmltree.Tree {
+	cfg := w.Config
+	perChain := cfg.Fields / cfg.Width
+	extra := cfg.Fields % cfg.Width
+	root := xmltree.NewElement("r")
+	serial := 0
+	for c := 0; c < cfg.Width; c++ {
+		nf := perChain
+		if c < extra {
+			nf++
+		}
+		base := nf / cfg.Depth
+		rem := nf % cfg.Depth
+		var build func(parent *xmltree.Node, d int)
+		build = func(parent *xmltree.Node, d int) {
+			if d >= cfg.Depth {
+				return
+			}
+			n := base
+			if d < rem {
+				n++
+			}
+			for k := 0; k < fanout; k++ {
+				e := parent.Elem(fmt.Sprintf("c%dl%d", c, d+1))
+				for j := 0; j < n; j++ {
+					serial++
+					e.SetAttr(attrName(j), fmt.Sprintf("u%d", serial))
+				}
+				build(e, d+1)
+			}
+		}
+		build(root, 0)
+	}
+	return xmltree.NewTree(root)
+}

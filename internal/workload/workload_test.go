@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"testing"
+
+	"xkprop/internal/core"
+	"xkprop/internal/rel"
+	"xkprop/internal/xmlkey"
+)
+
+func TestGenerateShape(t *testing.T) {
+	w := Generate(Config{Fields: 15, Depth: 5, Keys: 10})
+	if got := w.Rule.Schema.Len(); got != 15 {
+		t.Errorf("fields = %d, want 15", got)
+	}
+	if got := len(w.Sigma); got != 10 {
+		t.Errorf("keys = %d, want 10", got)
+	}
+	// 5 element vars + 15 attribute vars + root.
+	if got := len(w.Rule.Vars()); got != 21 {
+		t.Errorf("vars = %d, want 21", got)
+	}
+	// Chain depth: e5's ancestors are root, e1..e4.
+	if got := len(w.Rule.Ancestors("e5")); got != 5 {
+		t.Errorf("chain depth = %d, want 5", got)
+	}
+}
+
+func TestGenerateUnevenFieldSplit(t *testing.T) {
+	w := Generate(Config{Fields: 7, Depth: 3, Keys: 3})
+	if w.Rule.Schema.Len() != 7 {
+		t.Errorf("fields = %d", w.Rule.Schema.Len())
+	}
+	// 3+2+2 distribution.
+	if _, ok := w.Rule.VarOf("f1_2"); !ok {
+		t.Error("level 1 should carry 3 attributes")
+	}
+	if _, ok := w.Rule.VarOf("f2_2"); ok {
+		t.Error("level 2 should carry only 2 attributes")
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	for _, cfg := range []Config{{Fields: 2, Depth: 3, Keys: 1}, {Fields: 5, Depth: 0, Keys: 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Generate(%+v) should panic", cfg)
+				}
+			}()
+			Generate(cfg)
+		}()
+	}
+}
+
+func TestGeneratedKeysAreTransitive(t *testing.T) {
+	w := Generate(Config{Fields: 15, Depth: 5, Keys: 5})
+	if !xmlkey.IsTransitive(w.Sigma) {
+		t.Error("chain keys must form a transitive set")
+	}
+}
+
+func TestProbeTruePropagates(t *testing.T) {
+	w := Generate(Config{Fields: 15, Depth: 5, Keys: 10})
+	e := core.NewEngine(w.Sigma, w.Rule)
+	if !e.Propagates(w.ProbeTrue) {
+		t.Errorf("ProbeTrue %s must be propagated", w.ProbeTrue.Format(w.Rule.Schema))
+	}
+	if e.Propagates(w.ProbeFalse) {
+		t.Errorf("ProbeFalse %s must not be propagated", w.ProbeFalse.Format(w.Rule.Schema))
+	}
+}
+
+func TestProbeWithTooFewKeys(t *testing.T) {
+	// With fewer keys than levels, the deep chain is unkeyed and the
+	// probe fails (exercising the full negative walk, as in Fig 7).
+	w := Generate(Config{Fields: 15, Depth: 5, Keys: 2})
+	e := core.NewEngine(w.Sigma, w.Rule)
+	if e.Propagates(w.ProbeTrue) {
+		t.Error("probe must fail with an incomplete key chain")
+	}
+}
+
+func TestMinimumCoverOnWorkload(t *testing.T) {
+	w := Generate(Config{Fields: 10, Depth: 5, Keys: 5})
+	e := core.NewEngine(w.Sigma, w.Rule)
+	cover := e.MinimumCover()
+	if len(cover) == 0 {
+		t.Fatal("expected a non-empty cover")
+	}
+	if !rel.IsNonRedundant(cover) {
+		t.Error("cover must be non-redundant")
+	}
+	// Cross-check against naive on this small instance.
+	naive := e.NaiveCover()
+	if !rel.EquivalentCovers(cover, naive) {
+		t.Errorf("minimumCover ≢ naive on workload:\nmin: %v\nnaive: %v",
+			e.CoverAsStrings(cover), e.CoverAsStrings(naive))
+	}
+}
+
+func TestAlternativeKeysGrowCover(t *testing.T) {
+	// More keys than levels → alternative keys → more FDs before
+	// minimization, and equivalence FDs between alternates in the cover.
+	small := Generate(Config{Fields: 10, Depth: 2, Keys: 2})
+	large := Generate(Config{Fields: 10, Depth: 2, Keys: 6})
+	eSmall := core.NewEngine(small.Sigma, small.Rule)
+	eLarge := core.NewEngine(large.Sigma, large.Rule)
+	cs, cl := eSmall.MinimumCover(), eLarge.MinimumCover()
+	if len(cl) <= len(cs) {
+		t.Errorf("more keys should yield a larger cover: %d vs %d", len(cl), len(cs))
+	}
+}
+
+func TestDocumentSatisfiesSigma(t *testing.T) {
+	w := Generate(Config{Fields: 12, Depth: 4, Keys: 8})
+	doc := w.Document(2)
+	if !xmlkey.SatisfiesAll(doc, w.Sigma) {
+		t.Fatal("generated document must satisfy the generated keys")
+	}
+	// And the cover's FDs hold on the generated instance (end-to-end).
+	e := core.NewEngine(w.Sigma, w.Rule)
+	inst := w.Rule.Eval(doc)
+	if len(inst.Tuples) == 0 {
+		t.Fatal("instance should be non-empty")
+	}
+	for _, fd := range e.MinimumCover() {
+		if !inst.SatisfiesFD(fd) {
+			t.Errorf("cover FD %s violated on generated instance", fd.Format(w.Rule.Schema))
+		}
+	}
+}
+
+func TestDocumentFanout(t *testing.T) {
+	w := Generate(Config{Fields: 4, Depth: 2, Keys: 2})
+	d1, d3 := w.Document(1), w.Document(3)
+	if d1.Size() >= d3.Size() {
+		t.Error("fanout should grow the document")
+	}
+	if got := w.Document(0); got.Size() != d1.Size() {
+		t.Error("fanout < 1 should clamp to 1")
+	}
+}
+
+func TestKeyCountExact(t *testing.T) {
+	for _, n := range []int{1, 5, 10, 50, 100} {
+		w := Generate(Config{Fields: 15, Depth: 5, Keys: n})
+		if len(w.Sigma) > n {
+			t.Errorf("keys=%d: generated %d (must not exceed request)", n, len(w.Sigma))
+		}
+		if n <= 15+5 && len(w.Sigma) != n {
+			t.Errorf("keys=%d: generated %d", n, len(w.Sigma))
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	w := Generate(Config{Fields: 15, Depth: 5, Keys: 10})
+	got := w.Describe()
+	if got == "" || len(got) < 20 {
+		t.Errorf("Describe = %q", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Config{Fields: 20, Depth: 4, Keys: 12})
+	b := Generate(Config{Fields: 20, Depth: 4, Keys: 12})
+	if a.Rule.String() != b.Rule.String() {
+		t.Error("rules differ across runs")
+	}
+	if len(a.Sigma) != len(b.Sigma) {
+		t.Fatal("key counts differ")
+	}
+	for i := range a.Sigma {
+		if a.Sigma[i].String() != b.Sigma[i].String() {
+			t.Errorf("key %d differs: %s vs %s", i, a.Sigma[i], b.Sigma[i])
+		}
+	}
+}
+
+func TestGenerateWide(t *testing.T) {
+	w := Generate(Config{Fields: 24, Depth: 3, Keys: 6, Width: 2})
+	if got := w.Rule.Schema.Len(); got != 24 {
+		t.Errorf("fields = %d", got)
+	}
+	// 2 chains × 3 element vars + 24 attr vars + root = 31.
+	if got := len(w.Rule.Vars()); got != 31 {
+		t.Errorf("vars = %d, want 31", got)
+	}
+	// Chain 0 and chain 1 hang off the root independently.
+	if got := len(w.Rule.Children("root")); got != 2 {
+		t.Errorf("root children = %d, want 2", got)
+	}
+	if len(w.Sigma) != 6 {
+		t.Errorf("keys = %d", len(w.Sigma))
+	}
+	e := core.NewEngine(w.Sigma, w.Rule)
+	if !e.Propagates(w.ProbeTrue) {
+		t.Errorf("wide ProbeTrue %s must be propagated", w.ProbeTrue.Format(w.Rule.Schema))
+	}
+	if e.Propagates(w.ProbeFalse) {
+		t.Error("wide ProbeFalse must not be propagated")
+	}
+}
+
+func TestGenerateWideDocumentConforms(t *testing.T) {
+	w := Generate(Config{Fields: 12, Depth: 2, Keys: 4, Width: 3})
+	doc := w.Document(2)
+	if !xmlkey.SatisfiesAll(doc, w.Sigma) {
+		t.Fatal("wide document must satisfy its keys")
+	}
+	inst := w.Rule.Eval(doc)
+	if len(inst.Tuples) == 0 {
+		t.Fatal("instance empty")
+	}
+	eng := core.NewEngine(w.Sigma, w.Rule)
+	for _, fd := range eng.MinimumCover() {
+		if !inst.SatisfiesFD(fd) {
+			t.Errorf("cover FD %s violated on wide instance", fd.Format(w.Rule.Schema))
+		}
+	}
+}
+
+func TestGenerateWideMatchesNaive(t *testing.T) {
+	w := Generate(Config{Fields: 8, Depth: 2, Keys: 4, Width: 2})
+	e := core.NewEngine(w.Sigma, w.Rule)
+	if !rel.EquivalentCovers(e.MinimumCover(), e.NaiveCover()) {
+		t.Error("minimumCover ≢ naive on wide workload")
+	}
+}
+
+func TestGenerateWidePanicsUnderfull(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: fields < depth*width")
+		}
+	}()
+	Generate(Config{Fields: 3, Depth: 2, Keys: 1, Width: 2})
+}

@@ -1,0 +1,299 @@
+package xmlkey
+
+import (
+	"sort"
+	"strings"
+
+	"xkprop/internal/xpath"
+)
+
+// This file implements Algorithm implication of the paper (described in §4
+// and detailed only in the full version, TR MS-CIS-02-16): deciding whether
+// a set Σ of K̄ keys implies a key φ, written Σ ⊨ φ — φ holds in every XML
+// tree that satisfies all keys of Σ.
+//
+// The procedure is a memoized search over a system of inference rules in
+// the style of the paper's companion work (Buneman et al., "Reasoning about
+// keys for XML", DBPL'01), adapted to the strict semantics of Definition
+// 2.1 (key attributes must exist on every target node):
+//
+//	epsilon            (Q, (ε, ∅)) always holds: a subtree has one root.
+//	attribute-step     (Q, (P/@a, ∅)) ⇐ (Q, (P, ∅)): at most one @a per node.
+//	direct             σ = (Qσ, (Q'σ, Sσ)) implies (Q, (Q', S)) when
+//	                   Sσ ⊆ S, the extra attributes S∖Sσ are guaranteed to
+//	                   exist on Q/Q' nodes (ExistsAll), and for some split
+//	                   Q'σ ≡ P1/P2: Q ⊆ Qσ/P1 and Q' ⊆ P2. The split is the
+//	                   paper's target-to-context rule; the two containments
+//	                   are the context- and target-containment weakenings.
+//	unique-target      (Q, (Q', S)) ⇐ (Q, (Q', ∅)) when S exists on Q/Q'
+//	                   nodes: with at most one target node per context,
+//	                   condition 2 is vacuous and only existence remains.
+//	unique-prefix      (Q, (Q1/Q2, S)) ⇐ (Q, (Q1, ∅)) ∧ (Q/Q1, (Q2, S)):
+//	                   with at most one Q1 node per context, all Q1/Q2
+//	                   nodes share that node, so the relative key applies.
+//
+// The rules are sound for Definition 2.1 (see the package tests, which
+// include a model-based soundness check against randomized trees). We do
+// not claim completeness for arbitrary K̄ — the paper defers the full
+// axiomatization to DBPL'01 — but the procedure decides every implication
+// exercised by the paper's examples and experiments.
+
+// Implies reports whether Σ ⊨ φ.
+func Implies(sigma []Key, phi Key) bool {
+	d := &decider{sigma: sigma, memo: make(map[string]int8)}
+	return d.implies(phi.Context, phi.Target, phi.Attrs)
+}
+
+// ImpliesAll reports whether Σ implies every key in phis.
+func ImpliesAll(sigma []Key, phis []Key) bool {
+	d := &decider{sigma: sigma, memo: make(map[string]int8)}
+	for _, phi := range phis {
+		if !d.implies(phi.Context, phi.Target, phi.Attrs) {
+			return false
+		}
+	}
+	return true
+}
+
+// Decider is a reusable implication context over a fixed Σ; it caches
+// sub-goals across queries, which matters inside the propagation and
+// minimum-cover algorithms that issue many related queries.
+type Decider struct {
+	d *decider
+}
+
+// NewDecider returns a Decider for the key set sigma.
+func NewDecider(sigma []Key) *Decider {
+	return &Decider{d: &decider{sigma: sigma, memo: make(map[string]int8)}}
+}
+
+// Implies reports whether Σ ⊨ φ.
+func (dc *Decider) Implies(phi Key) bool {
+	return dc.d.implies(phi.Context, phi.Target, phi.Attrs)
+}
+
+// ExistsAll reports whether all attrs are guaranteed on nodes of p.
+func (dc *Decider) ExistsAll(p xpath.Path, attrs []string) bool {
+	return ExistsAll(dc.d.sigma, p, attrs)
+}
+
+// Sigma returns the key set the decider reasons over.
+func (dc *Decider) Sigma() []Key { return dc.d.sigma }
+
+type decider struct {
+	sigma []Key
+	// memo caches goals: 1 = proved, -2 = refuted, -3 = refuted under a
+	// cycle-cut assumption (valid only within the current top-level query),
+	// inProgress = on the current proof path (treated as refuted to cut
+	// cycles in the least-fixpoint search; a goal on its own proof path
+	// cannot support itself).
+	memo map[string]int8
+	// depth tracks recursion depth; tempNegs lists -3 entries to clear
+	// when the top-level query finishes, keeping answers independent of
+	// query order while still pruning within one query.
+	depth    int
+	tempNegs []string
+}
+
+const (
+	inProgress int8 = -1
+	tempNeg    int8 = -3
+)
+
+func goalKey(q, t xpath.Path, attrs []string) string {
+	var b strings.Builder
+	b.WriteString(q.String())
+	b.WriteByte('\x01')
+	b.WriteString(t.String())
+	b.WriteByte('\x01')
+	b.WriteString(strings.Join(attrs, ","))
+	return b.String()
+}
+
+func (d *decider) implies(q, t xpath.Path, attrs []string) bool {
+	res, _ := d.impliesT(q, t, attrs)
+	return res
+}
+
+// impliesT decides the goal and additionally reports whether the result was
+// tainted by an in-progress (cyclic) sub-goal. Tainted negative results are
+// not memoized — a different proof path might still establish them — which
+// keeps the procedure deterministic regardless of query order. Positive
+// results are never tainted: a successful proof uses only genuine sub-proofs.
+func (d *decider) impliesT(q, t xpath.Path, attrs []string) (bool, bool) {
+	attrs = normalizeAttrs(attrs)
+	q = q.Normalize()
+	t = t.Normalize()
+
+	// attribute-step reduction: a trailing attribute step is unique per
+	// parent node, so (Q, (P/@a, ∅)) follows from (Q, (P, ∅)); key-path
+	// sets on attribute-final targets only make sense empty.
+	if t.HasAttribute() {
+		if len(attrs) != 0 {
+			return false, false
+		}
+		t = t.StripAttribute()
+	}
+	if q.HasAttribute() {
+		return false, false
+	}
+
+	g := goalKey(q, t, attrs)
+	if v, ok := d.memo[g]; ok {
+		switch v {
+		case inProgress:
+			// Cycle: a goal on its own proof path cannot support itself.
+			return false, true
+		case tempNeg:
+			// Refuted earlier in this top-level query under a cycle-cut
+			// assumption; still refuted here, still tainted.
+			return false, true
+		}
+		return v == 1, false
+	}
+	d.memo[g] = inProgress
+	d.depth++
+	res, tainted := d.prove(q, t, attrs)
+	d.depth--
+	switch {
+	case res:
+		d.memo[g] = 1
+	case tainted:
+		// Valid within this top-level query only: a different query
+		// context might still prove it, so clear these on the way out.
+		d.memo[g] = tempNeg
+		d.tempNegs = append(d.tempNegs, g)
+	default:
+		d.memo[g] = -2
+	}
+	if d.depth == 0 && len(d.tempNegs) > 0 {
+		for _, k := range d.tempNegs {
+			if d.memo[k] == tempNeg {
+				delete(d.memo, k)
+			}
+		}
+		d.tempNegs = d.tempNegs[:0]
+	}
+	return res, tainted
+}
+
+func (d *decider) prove(q, t xpath.Path, attrs []string) (bool, bool) {
+	// epsilon rule.
+	if t.IsEpsilon() && len(attrs) == 0 {
+		return true, false
+	}
+	tainted := false
+
+	// unique-target weakening: if the target is unique per context, only
+	// the existence of attrs remains to be discharged.
+	if len(attrs) > 0 && ExistsAll(d.sigma, q.Concat(t), attrs) {
+		res, tnt := d.impliesT(q, t, nil)
+		if res {
+			return true, false
+		}
+		tainted = tainted || tnt
+	}
+
+	// direct rule.
+	attrSet := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		attrSet[a] = true
+	}
+	qt := q.Concat(t)
+	for _, sig := range d.sigma {
+		if !sig.AttrsSubsetOf(attrSet) {
+			continue
+		}
+		extra := diffAttrs(attrs, sig.Attrs)
+		if len(extra) > 0 && !ExistsAll(d.sigma, qt, extra) {
+			continue
+		}
+		if d.directCovers(sig, q, t) {
+			return true, false
+		}
+	}
+
+	// unique-prefix composition: split t ≡ t1/t2 with non-empty t1 unique
+	// under q and the remainder keyed under q/t1. splits only yields
+	// decompositions whose suffix is strictly shorter than t, so the
+	// recursion terminates.
+	for _, sp := range splits(t) {
+		t1, t2 := sp.prefix, sp.suffix
+		ok1, tnt1 := d.impliesT(q, t1, nil)
+		tainted = tainted || tnt1
+		if !ok1 {
+			continue
+		}
+		ok2, tnt2 := d.impliesT(q.Concat(t1), t2, attrs)
+		tainted = tainted || tnt2
+		if ok2 {
+			return true, false
+		}
+	}
+	return false, tainted
+}
+
+// directCovers reports whether σ implies the (Q, Q') pair by the
+// target-to-context rule plus containment weakenings: for some split
+// Q'σ ≡ P1/P2, Q ⊆ Qσ/P1 and Q' ⊆ P2.
+func (d *decider) directCovers(sig Key, q, t xpath.Path) bool {
+	for _, sp := range splitsAll(sig.Target) {
+		if q.ContainedIn(sig.Context.Concat(sp.prefix)) && t.ContainedIn(sp.suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+type split struct {
+	prefix, suffix xpath.Path
+	dup            bool // split duplicated a // step onto both sides
+}
+
+// splitsAll enumerates the concatenation decompositions of p, including the
+// ones that duplicate a "//" step onto both sides (since // ≡ ////).
+func splitsAll(p xpath.Path) []split {
+	n := p.Len()
+	out := make([]split, 0, 2*n+2)
+	for i := 0; i <= n; i++ {
+		pre, suf := p.Split(i)
+		out = append(out, split{pre, suf, false})
+		if i < n && p.Step(i).Kind == xpath.DescendantOrSelf {
+			pre2, _ := p.Split(i + 1)
+			out = append(out, split{pre2, suf, true})
+		}
+	}
+	return out
+}
+
+// splits enumerates decompositions useful for the unique-prefix rule:
+// proper prefixes only (i >= 1), with //-duplication variants whose suffix
+// is strictly shorter than p (to guarantee termination of the recursion).
+func splits(p xpath.Path) []split {
+	n := p.Len()
+	var out []split
+	for i := 1; i <= n; i++ {
+		pre, suf := p.Split(i)
+		out = append(out, split{pre, suf, false})
+		if i < n && p.Step(i).Kind == xpath.DescendantOrSelf {
+			pre2, _ := p.Split(i + 1)
+			out = append(out, split{pre2, suf, true})
+		}
+	}
+	return out
+}
+
+func diffAttrs(a, b []string) []string {
+	bs := make(map[string]bool, len(b))
+	for _, x := range b {
+		bs[x] = true
+	}
+	var out []string
+	for _, x := range a {
+		if !bs[x] {
+			out = append(out, x)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

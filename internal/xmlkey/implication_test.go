@@ -1,0 +1,340 @@
+package xmlkey
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xkprop/internal/xmltree"
+	"xkprop/internal/xpath"
+)
+
+func TestImpliesEpsilonRule(t *testing.T) {
+	// (Q, (ε, {})) holds for any Q with an empty Σ (§4's epsilon rule).
+	for _, q := range []string{"ε", "//book", "a/b//c"} {
+		phi := New("", xpath.MustParse(q), xpath.Epsilon)
+		if !Implies(nil, phi) {
+			t.Errorf("ε-rule failed for context %s", q)
+		}
+	}
+	// But not with key attributes: nothing guarantees their existence.
+	phi := New("", xpath.MustParse("//book"), xpath.Epsilon, "id")
+	if Implies(nil, phi) {
+		t.Error("(Q, (ε, {@id})) must not follow from the empty key set")
+	}
+}
+
+func TestImpliesReflexiveAndWeakening(t *testing.T) {
+	sigma := paperKeys()
+	// Every key implies itself.
+	for _, k := range sigma {
+		if !Implies(sigma, k) {
+			t.Errorf("%s not implied by Σ containing it", k)
+		}
+	}
+	// Context containment: book ⊆ //book.
+	phi := MustParse("(ε, (book, {@isbn}))")
+	if !Implies(sigma, phi) {
+		t.Errorf("context-contained variant %s should follow from φ1", phi)
+	}
+	// Target containment under a narrower context.
+	phi2 := MustParse("(//book, (chapter, {@number}))")
+	if !Implies(sigma, phi2) {
+		t.Error("φ2 should be implied")
+	}
+}
+
+func TestImpliesTargetToContext(t *testing.T) {
+	// target-to-context (§4): (//, (book/chapter, {@n})) ⊢ (//book, (chapter, {@n})).
+	sigma := MustParseSet("(//, (book/chapter, {@n}))")
+	phi := MustParse("(//book, (chapter, {@n}))")
+	if !Implies(sigma, phi) {
+		t.Errorf("target-to-context failed: Σ=%v ⊭ %s", sigma, phi)
+	}
+	// And with a // split: (ε, (//chapter, {@n})) ⊢ (//, (chapter, {@n}))
+	// and ⊢ (//book, (chapter, {@n})).
+	sigma2 := MustParseSet("(ε, (//chapter, {@n}))")
+	for _, s := range []string{"(//, (chapter, {@n}))", "(//book, (chapter, {@n}))", "(//book//, (chapter, {@n}))"} {
+		if !Implies(sigma2, MustParse(s)) {
+			t.Errorf("Σ=%v ⊭ %s", sigma2, s)
+		}
+	}
+}
+
+func TestImpliesPaperExample42Positive(t *testing.T) {
+	sigma := paperKeys()
+	// The checks performed while verifying isbn → contact on book:
+	checks := []string{
+		"(ε, (ε, {}))",                   // x_r keyed
+		"(ε, (//book, {@isbn}))",         // x_a keyed by @isbn
+		"(//book, (author/contact, {}))", // x₅ unique under x_a (φ7)
+	}
+	for _, s := range checks {
+		if !Implies(sigma, MustParse(s)) {
+			t.Errorf("Σ ⊭ %s (needed for Example 4.2)", s)
+		}
+	}
+}
+
+func TestImpliesPaperExample42Negative(t *testing.T) {
+	sigma := paperKeys()
+	// The failing checks for (inChapt, number) → name on section:
+	for _, s := range []string{
+		"(ε, (//book/chapter, {@number}))",
+		"(ε, (//book/chapter/section, {@number}))",
+	} {
+		if Implies(sigma, MustParse(s)) {
+			t.Errorf("Σ ⊨ %s but the paper's Example 4.2 requires it to fail", s)
+		}
+	}
+}
+
+func TestImpliesUniquePrefixComposition(t *testing.T) {
+	// Each db has at most one config, and within a config params are keyed
+	// by @name; hence within a db, config/param is keyed by @name.
+	sigma := MustParseSet(`
+		(//db, (config, {}))
+		(//db/config, (param, {@name}))
+	`)
+	phi := MustParse("(//db, (config/param, {@name}))")
+	if !Implies(sigma, phi) {
+		t.Errorf("unique-prefix composition failed for %s", phi)
+	}
+	// Without the uniqueness of config it must fail.
+	if Implies(sigma[1:], phi) {
+		t.Error("composition must require the unique prefix")
+	}
+}
+
+func TestImpliesUniqueTargetWeakening(t *testing.T) {
+	// title unique per book, and @lang exists on all titles (forced by
+	// another key) ⟹ (//book, (title, {@lang})).
+	sigma := MustParseSet(`
+		(//book, (title, {}))
+		(ε, (//title, {@lang}))
+	`)
+	if !Implies(sigma, MustParse("(//book, (title, {@lang}))")) {
+		t.Error("unique-target weakening failed")
+	}
+	// Without the existence guarantee it must fail (strict Def 2.1).
+	if Implies(sigma[:1], MustParse("(//book, (title, {@lang}))")) {
+		t.Error("missing existence guarantee must block the weakening")
+	}
+}
+
+func TestImpliesSupersetAttrsNeedExistence(t *testing.T) {
+	sigma := MustParseSet(`
+		(ε, (//book, {@isbn}))
+	`)
+	// @isbn plus a phantom attribute: fails (condition 1 not guaranteed).
+	if Implies(sigma, MustParse("(ε, (//book, {@isbn, @extra}))")) {
+		t.Error("superset attrs without existence must fail")
+	}
+	// If another key guarantees @extra exists on books, it holds.
+	sigma2 := append(sigma, MustParse("(ε, (//book, {@extra}))"))
+	if !Implies(sigma2, MustParse("(ε, (//book, {@isbn, @extra}))")) {
+		t.Error("superset attrs with existence should hold")
+	}
+}
+
+func TestImpliesAttributeFinalTargets(t *testing.T) {
+	sigma := paperKeys()
+	// A node has at most one @isbn attribute; uniqueness of //book lifts to
+	// //book/@isbn only when //book itself is unique — it is not.
+	if Implies(sigma, New("", xpath.Epsilon, xpath.MustParse("//book/@isbn"))) {
+		t.Error("(ε, (//book/@isbn, {})) should fail: many books")
+	}
+	// Per-book, @isbn is unique.
+	if !Implies(sigma, New("", xpath.MustParse("//book"), xpath.MustParse("@isbn"))) {
+		t.Error("(//book, (@isbn, {})) should hold: one attribute per node")
+	}
+	// title is unique per book, so title/@x is too.
+	if !Implies(sigma, New("", xpath.MustParse("//book"), xpath.MustParse("title/@x"))) {
+		t.Error("(//book, (title/@x, {})) should follow from φ3")
+	}
+	// Attribute-final targets with a non-empty key-path set are malformed.
+	if Implies(sigma, New("", xpath.MustParse("//book"), xpath.MustParse("@isbn"), "x")) {
+		t.Error("attribute-final target with key paths must be rejected")
+	}
+}
+
+func TestImpliesAllAndDecider(t *testing.T) {
+	sigma := paperKeys()
+	if !ImpliesAll(sigma, sigma) {
+		t.Error("Σ should imply all of itself")
+	}
+	if ImpliesAll(sigma, append([]Key{}, MustParse("(ε, (//chapter, {@number}))"))) {
+		t.Error("ImpliesAll should fail on a non-implied key")
+	}
+	d := NewDecider(sigma)
+	if !d.Implies(sigma[0]) || !d.Implies(sigma[1]) {
+		t.Error("Decider should prove Σ's own keys")
+	}
+	if d.Implies(MustParse("(ε, (//chapter, {@number}))")) {
+		t.Error("Decider should refute the absolute chapter key")
+	}
+	if len(d.Sigma()) != len(sigma) {
+		t.Error("Decider.Sigma should return the key set")
+	}
+	if !d.ExistsAll(xpath.MustParse("//book"), []string{"isbn"}) {
+		t.Error("Decider.ExistsAll should delegate")
+	}
+}
+
+func TestImpliesDeterministicAcrossQueryOrders(t *testing.T) {
+	sigma := MustParseSet(`
+		(//db, (config, {}))
+		(//db/config, (param, {@name}))
+		(ε, (//db, {@id}))
+	`)
+	goals := []Key{
+		MustParse("(//db, (config/param, {@name}))"),
+		MustParse("(ε, (//db/config, {}))"),
+		MustParse("(ε, (//db, {@id}))"),
+		MustParse("(//db, (config, {}))"),
+	}
+	// Evaluate in several different orders on fresh deciders; answers for
+	// each goal must agree.
+	want := make(map[string]bool)
+	for _, g := range goals {
+		want[g.String()] = Implies(sigma, g)
+	}
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}}
+	for _, perm := range perms {
+		d := NewDecider(sigma)
+		for _, i := range perm {
+			if got := d.Implies(goals[i]); got != want[goals[i].String()] {
+				t.Fatalf("order %v: goal %s = %v, want %v", perm, goals[i], got, want[goals[i].String()])
+			}
+		}
+	}
+}
+
+// --- model-based soundness check -----------------------------------------
+
+// randomKey builds a random key over a tiny vocabulary.
+func randomKey(r *rand.Rand) Key {
+	labels := []string{"a", "b", "c"}
+	attrs := []string{"x", "y"}
+	randPath := func(maxLen int, allowDesc bool) xpath.Path {
+		p := xpath.Epsilon
+		n := r.Intn(maxLen + 1)
+		for i := 0; i < n; i++ {
+			if allowDesc && r.Intn(4) == 0 {
+				p = p.Concat(xpath.Desc)
+			} else {
+				p = p.Concat(xpath.Elem(labels[r.Intn(len(labels))]))
+			}
+		}
+		return p
+	}
+	var ks []string
+	for _, a := range attrs {
+		if r.Intn(2) == 0 {
+			ks = append(ks, a)
+		}
+	}
+	tgt := randPath(2, true)
+	if tgt.IsEpsilon() {
+		tgt = xpath.Elem(labels[r.Intn(len(labels))])
+	}
+	return New("", randPath(2, true), tgt, ks...)
+}
+
+// randomModelTree builds a small random tree over the same vocabulary.
+func randomModelTree(r *rand.Rand) *xmltree.Tree {
+	labels := []string{"a", "b", "c"}
+	root := xmltree.NewElement("r")
+	var build func(n *xmltree.Node, depth int)
+	build = func(n *xmltree.Node, depth int) {
+		if depth >= 3 {
+			return
+		}
+		for i := 0; i < r.Intn(3); i++ {
+			c := n.Elem(labels[r.Intn(len(labels))])
+			for _, a := range []string{"x", "y"} {
+				if r.Intn(2) == 0 {
+					c.SetAttr(a, fmt.Sprintf("%d", r.Intn(3)))
+				}
+			}
+			build(c, depth+1)
+		}
+	}
+	build(root, 0)
+	return xmltree.NewTree(root)
+}
+
+// TestImplicationSoundnessOnModels: whenever Implies(Σ, φ) = true, every
+// random tree satisfying Σ must satisfy φ. A failure is a soundness bug in
+// the implication rules.
+func TestImplicationSoundnessOnModels(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	trees := make([]*xmltree.Tree, 400)
+	for i := range trees {
+		trees[i] = randomModelTree(r)
+	}
+	checked := 0
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + r.Intn(3)
+		sigma := make([]Key, n)
+		for i := range sigma {
+			sigma[i] = randomKey(r)
+		}
+		phi := randomKey(r)
+		if !Implies(sigma, phi) {
+			continue
+		}
+		checked++
+		for _, tree := range trees {
+			if !SatisfiesAll(tree, sigma) {
+				continue
+			}
+			if !Satisfies(tree, phi) {
+				t.Fatalf("soundness violation:\nΣ = %v\nφ = %s\ntree:\n%s", sigma, phi, tree.XMLString())
+			}
+		}
+	}
+	if checked == 0 {
+		t.Log("warning: no positive implications sampled")
+	}
+}
+
+// TestImplicationSoundnessDerivedGoals repeats the model check on goals
+// derived from Σ's own keys (weakenings and compositions), which hit the
+// positive rules much more often than fully random goals.
+func TestImplicationSoundnessDerivedGoals(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	trees := make([]*xmltree.Tree, 300)
+	for i := range trees {
+		trees[i] = randomModelTree(r)
+	}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(3)
+		sigma := make([]Key, n)
+		for i := range sigma {
+			sigma[i] = randomKey(r)
+		}
+		base := sigma[r.Intn(len(sigma))]
+		// Derive a goal: push a prefix of the target into the context and/or
+		// weaken context to a contained one.
+		full := base.Target
+		i := r.Intn(full.Len() + 1)
+		p1, p2 := full.Split(i)
+		goal := New("", base.Context.Concat(p1), p2, base.Attrs...)
+		if goal.Target.IsEpsilon() && len(goal.Attrs) > 0 {
+			continue
+		}
+		if !Implies(sigma, goal) {
+			continue
+		}
+		for _, tree := range trees {
+			if !SatisfiesAll(tree, sigma) {
+				continue
+			}
+			if !Satisfies(tree, goal) {
+				t.Fatalf("soundness violation on derived goal:\nΣ = %v\nφ = %s\ntree:\n%s",
+					sigma, goal, tree.XMLString())
+			}
+		}
+	}
+}

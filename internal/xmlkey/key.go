@@ -1,0 +1,205 @@
+// Package xmlkey implements the class K̄ of XML keys from Davidson et al.
+// (ICDE 2003) — keys written (Q, (Q', {@a1..@ak})) with a context path Q, a
+// target path Q' and attribute key paths — together with:
+//
+//   - satisfaction checking against XML trees (Definition 2.1, the strict
+//     semantics requiring both existence and uniqueness of key attributes);
+//   - implication Σ ⊨ φ (Algorithm implication of the paper's full
+//     version), via a sound rule-based decision procedure;
+//   - the exist() attribute-existence closure used by the propagation
+//     algorithms (Fig 5);
+//   - the transitive-set and precedes relations of Section 4.
+package xmlkey
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xkprop/internal/xpath"
+)
+
+// Key is an XML key φ = (Q, (Q', {@a1, ..., @ak})) of class K̄.
+// Q is the context path, Q' the target path, and the key paths are
+// restricted to attributes (paper §2). A key with empty Context is
+// absolute; otherwise it is relative. A key with no attributes asserts
+// that each context node has at most one target node.
+type Key struct {
+	// Name is an optional identifier (the paper writes φ1, φ2, ...).
+	Name string
+	// Context is Q, the context path; ε for absolute keys.
+	Context xpath.Path
+	// Target is Q', the target path, relative to a context node.
+	Target xpath.Path
+	// Attrs are the key attribute names, without the '@' prefix, sorted.
+	Attrs []string
+}
+
+// New constructs a key, normalizing attribute names (leading '@' stripped,
+// duplicates removed, sorted).
+func New(name string, context, target xpath.Path, attrs ...string) Key {
+	return Key{Name: name, Context: context, Target: target, Attrs: normalizeAttrs(attrs)}
+}
+
+func normalizeAttrs(attrs []string) []string {
+	seen := make(map[string]bool, len(attrs))
+	out := make([]string, 0, len(attrs))
+	for _, a := range attrs {
+		a = strings.TrimPrefix(a, "@")
+		if a == "" || seen[a] {
+			continue
+		}
+		seen[a] = true
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsAbsolute reports whether the key's context is ε (paper §2).
+func (k Key) IsAbsolute() bool { return k.Context.IsEpsilon() }
+
+// TargetFromRoot returns Q/Q', the path reaching the key's target nodes
+// from the document root.
+func (k Key) TargetFromRoot() xpath.Path { return k.Context.Concat(k.Target) }
+
+// HasAttr reports whether a (with or without '@') is among the key paths.
+func (k Key) HasAttr(a string) bool {
+	a = strings.TrimPrefix(a, "@")
+	for _, x := range k.Attrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// AttrsSubsetOf reports whether k's attribute set is a subset of attrs
+// (names without '@').
+func (k Key) AttrsSubsetOf(attrs map[string]bool) bool {
+	for _, a := range k.Attrs {
+		if !attrs[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the key in the paper's syntax, e.g.
+// φ1 = (ε, (//book, {@isbn})).
+func (k Key) String() string {
+	parts := make([]string, len(k.Attrs))
+	for i, a := range k.Attrs {
+		parts[i] = "@" + a
+	}
+	body := fmt.Sprintf("(%s, (%s, {%s}))", k.Context, k.Target, strings.Join(parts, ", "))
+	if k.Name != "" {
+		return k.Name + " = " + body
+	}
+	return body
+}
+
+// Equal reports whether two keys are syntactically identical up to path
+// normalization and attribute order (names ignored).
+func (k Key) Equal(o Key) bool {
+	if !k.Context.Equal(o.Context) || !k.Target.Equal(o.Target) || len(k.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range k.Attrs {
+		if k.Attrs[i] != o.Attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ImmediatelyPrecedes reports whether k immediately precedes o:
+// o's context path equals k.Context/k.Target (§4). Path equality is
+// semantic (language equivalence).
+func (k Key) ImmediatelyPrecedes(o Key) bool {
+	return o.Context.Equivalent(k.TargetFromRoot())
+}
+
+// Precedes reports whether k precedes o in Σ: the transitive closure of
+// ImmediatelyPrecedes over keys of Σ (k itself must be in the chain's
+// start; k and o need not be members of sigma).
+func Precedes(sigma []Key, k, o Key) bool {
+	// BFS from k over the immediately-precedes relation.
+	queue := []Key{k}
+	var visited []Key
+	seen := func(x Key) bool {
+		for _, v := range visited {
+			if v.Equal(x) {
+				return true
+			}
+		}
+		return false
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.ImmediatelyPrecedes(o) {
+			return true
+		}
+		for _, next := range sigma {
+			if cur.ImmediatelyPrecedes(next) && !seen(next) {
+				visited = append(visited, next)
+				queue = append(queue, next)
+			}
+		}
+	}
+	return false
+}
+
+// IsTransitive reports whether Σ is a transitive set of keys (§4): every
+// relative key in Σ is preceded by an absolute key of Σ.
+//
+// Example 4.1: {φ1, φ2} is transitive; {φ2} alone is not.
+func IsTransitive(sigma []Key) bool {
+	for _, k := range sigma {
+		if k.IsAbsolute() {
+			continue
+		}
+		ok := false
+		for _, a := range sigma {
+			if a.IsAbsolute() && (a.ImmediatelyPrecedes(k) || Precedes(sigma, a, k)) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ExistsAll implements the paper's exist() function (Fig 5): it reports
+// whether every node reachable by path p (from the root) is guaranteed, in
+// every tree satisfying sigma, to carry all the attributes attrs. An
+// attribute @a is guaranteed on p-nodes if some key σ ∈ Σ has @a among its
+// key paths and p ⊆ Qσ/Q'σ — σ's strict semantics (Def 2.1 condition 1)
+// forces @a to exist on every target node of σ.
+func ExistsAll(sigma []Key, p xpath.Path, attrs []string) bool {
+	remaining := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		remaining[strings.TrimPrefix(a, "@")] = true
+	}
+	if len(remaining) == 0 {
+		return true
+	}
+	for _, k := range sigma {
+		if len(k.Attrs) == 0 {
+			continue
+		}
+		if p.ContainedIn(k.TargetFromRoot()) {
+			for _, a := range k.Attrs {
+				delete(remaining, a)
+			}
+			if len(remaining) == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,166 @@
+package xmlkey
+
+import (
+	"strings"
+	"testing"
+
+	"xkprop/internal/xpath"
+)
+
+// paperKeys returns the seven sample constraints of Example 2.1.
+func paperKeys() []Key {
+	return MustParseSet(`
+		φ1 = (ε, (//book, {@isbn}))
+		φ2 = (//book, (chapter, {@number}))
+		φ3 = (//book, (title, {}))
+		φ4 = (//book/chapter, (name, {}))
+		φ5 = (//book/chapter/section, (name, {}))
+		φ6 = (//book/chapter, (section, {@number}))
+		φ7 = (//book, (author/contact, {}))
+	`)
+}
+
+func TestParseKey(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"(ε, (//book, {@isbn}))", "(ε, (//book, {@isbn}))"},
+		{"φ2 = (//book, (chapter, {@number}))", "φ2 = (//book, (chapter, {@number}))"},
+		{"(//book, (title, {}))", "(//book, (title, {}))"},
+		{"( //book/chapter , ( section , { @number } ))", "(//book/chapter, (section, {@number}))"},
+		{"(ε, (//emp, {@id, @dept}))", "(ε, (//emp, {@dept, @id}))"}, // attrs sorted
+		{"k=(ε,(a,{@x,@x}))", "k = (ε, (a, {@x}))"},                  // dedup
+	}
+	for _, c := range cases {
+		k, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := k.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseKeyErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"(ε)",
+		"(ε, //book, {@isbn})",
+		"(ε, (//book, @isbn))",
+		"(ε, (//book, {isbn}))",   // key path must be attribute
+		"(ε, (//book, {@}))",      // empty attr
+		"(//book/@isbn, (x, {}))", // attribute in context
+		"(ε, (//book/@isbn, {}))", // attribute in target
+		"(ε, (//bo ok, {@a}))",    // bad path
+		"name = ",                 // empty body
+		"(ε, (//book, {@isbn})",   // unbalanced
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): want error", in)
+		}
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	ks, err := ParseSet(strings.NewReader(`
+# the two keys that make chapters addressable
+φ1 = (ε, (//book, {@isbn}))
+
+φ2 = (//book, (chapter, {@number}))
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 2 || ks[0].Name != "φ1" || ks[1].Name != "φ2" {
+		t.Fatalf("ParseSet = %v", ks)
+	}
+	if _, err := ParseSet(strings.NewReader("bogus line")); err == nil {
+		t.Error("ParseSet should fail on malformed line")
+	}
+}
+
+func TestKeyPredicates(t *testing.T) {
+	ks := paperKeys()
+	if !ks[0].IsAbsolute() {
+		t.Error("φ1 should be absolute")
+	}
+	if ks[1].IsAbsolute() {
+		t.Error("φ2 should be relative")
+	}
+	if got := ks[1].TargetFromRoot().String(); got != "//book/chapter" {
+		t.Errorf("φ2 target from root = %q", got)
+	}
+	if !ks[0].HasAttr("isbn") || !ks[0].HasAttr("@isbn") || ks[0].HasAttr("number") {
+		t.Error("HasAttr misbehaves")
+	}
+	if !ks[0].AttrsSubsetOf(map[string]bool{"isbn": true, "x": true}) {
+		t.Error("AttrsSubsetOf should hold")
+	}
+	if ks[0].AttrsSubsetOf(map[string]bool{"x": true}) {
+		t.Error("AttrsSubsetOf should fail")
+	}
+}
+
+func TestKeyEqual(t *testing.T) {
+	a := MustParse("(ε, (////book, {@isbn, @x}))")
+	b := MustParse("other = (ε, (//book, {@x, @isbn}))")
+	if !a.Equal(b) {
+		t.Error("keys should be equal up to normalization, order and name")
+	}
+	c := MustParse("(ε, (//book, {@isbn}))")
+	if a.Equal(c) {
+		t.Error("different attr sets should differ")
+	}
+}
+
+// TestTransitivePaperExample41 checks Example 4.1: {φ1, φ2} is transitive,
+// {φ2} alone is not.
+func TestTransitivePaperExample41(t *testing.T) {
+	ks := paperKeys()
+	phi1, phi2 := ks[0], ks[1]
+	if !phi1.ImmediatelyPrecedes(phi2) {
+		t.Error("φ1 should immediately precede φ2 (ε/(//book) = //book)")
+	}
+	if !IsTransitive([]Key{phi1, phi2}) {
+		t.Error("{φ1, φ2} should be transitive")
+	}
+	if IsTransitive([]Key{phi2}) {
+		t.Error("{φ2} alone should not be transitive")
+	}
+	// Three-level chain: φ1 precedes φ6 through φ2.
+	phi6 := ks[5]
+	if !Precedes(ks, phi1, phi6) {
+		t.Error("φ1 should precede φ6 via φ2")
+	}
+	if !IsTransitive(ks) {
+		t.Error("the full paper key set should be transitive")
+	}
+}
+
+func TestExistsAll(t *testing.T) {
+	ks := paperKeys()
+	cases := []struct {
+		path  string
+		attrs []string
+		want  bool
+	}{
+		{"//book", []string{"isbn"}, true},
+		{"//book", []string{"@isbn"}, true},
+		{"book", []string{"isbn"}, true}, // book ⊆ //book
+		{"//book", []string{"isbn", "number"}, false},
+		{"//book/chapter", []string{"number"}, true},
+		{"//chapter", []string{"number"}, false}, // //chapter ⊄ //book/chapter
+		{"//book/chapter/section", []string{"number"}, true},
+		{"//book", nil, true},
+		{"//title", []string{"isbn"}, false},
+	}
+	for _, c := range cases {
+		p := xpath.MustParse(c.path)
+		if got := ExistsAll(ks, p, c.attrs); got != c.want {
+			t.Errorf("ExistsAll(%s, %v) = %v, want %v", c.path, c.attrs, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package xmlkey
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"xkprop/internal/xpath"
+)
+
+// Parse parses one key in the paper's surface syntax:
+//
+//	key  ::= [ NAME "=" ] "(" path "," "(" path "," "{" attrs "}" ")" ")"
+//	attrs ::= ε | "@" NAME ( "," "@" NAME )*
+//
+// Examples:
+//
+//	φ1 = (ε, (//book, {@isbn}))
+//	(//book, (chapter, {@number}))
+//	(//book, (title, {}))
+func Parse(s string) (Key, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	name := ""
+	if i := strings.Index(s, "="); i >= 0 && !strings.HasPrefix(s, "(") {
+		name = strings.TrimSpace(s[:i])
+		s = strings.TrimSpace(s[i+1:])
+	}
+	fail := func(msg string) (Key, error) {
+		return Key{}, fmt.Errorf("xmlkey: parse %q: %s", orig, msg)
+	}
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return fail("expected (Q, (Q', {@a, ...}))")
+	}
+	body := s[1 : len(s)-1]
+
+	// Split at the top-level comma preceding the inner "(".
+	inner := strings.Index(body, "(")
+	if inner < 0 {
+		return fail("missing inner (Q', {...}) group")
+	}
+	ctxPart := strings.TrimSpace(body[:inner])
+	ctxPart = strings.TrimSuffix(ctxPart, ",")
+	ctxPart = strings.TrimSpace(ctxPart)
+	rest := strings.TrimSpace(body[inner:])
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return fail("malformed inner group")
+	}
+	rest = rest[1 : len(rest)-1]
+
+	brace := strings.Index(rest, "{")
+	if brace < 0 {
+		return fail("missing {attrs}")
+	}
+	tgtPart := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(rest[:brace]), ","))
+	attrPart := strings.TrimSpace(rest[brace:])
+	if !strings.HasPrefix(attrPart, "{") || !strings.HasSuffix(attrPart, "}") {
+		return fail("malformed {attrs}")
+	}
+	attrPart = strings.TrimSpace(attrPart[1 : len(attrPart)-1])
+
+	ctx, err := xpath.Parse(ctxPart)
+	if err != nil {
+		return fail(fmt.Sprintf("context path: %v", err))
+	}
+	tgt, err := xpath.Parse(tgtPart)
+	if err != nil {
+		return fail(fmt.Sprintf("target path: %v", err))
+	}
+	if ctx.HasAttribute() {
+		return fail("context path must not end in an attribute")
+	}
+	if tgt.HasAttribute() {
+		return fail("target path must not end in an attribute (attributes go in the key-path set)")
+	}
+	var attrs []string
+	if attrPart != "" {
+		for _, a := range strings.Split(attrPart, ",") {
+			a = strings.TrimSpace(a)
+			if !strings.HasPrefix(a, "@") {
+				return fail(fmt.Sprintf("key path %q must be an attribute (@name)", a))
+			}
+			name := a[1:]
+			if name == "" {
+				return fail("empty attribute name")
+			}
+			if strings.ContainsAny(name, "@/(){}, \t") {
+				return fail(fmt.Sprintf("invalid attribute name %q", a))
+			}
+			attrs = append(attrs, a)
+		}
+	}
+	return New(name, ctx, tgt, attrs...), nil
+}
+
+// MustParse is Parse but panics on error; for fixtures and tests.
+func MustParse(s string) Key {
+	k, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// ParseSet reads a set of keys, one per line. Blank lines and lines
+// starting with '#' are skipped.
+func ParseSet(r io.Reader) ([]Key, error) {
+	var out []Key
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		k, err := Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		out = append(out, k)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("xmlkey: read keys: %w", err)
+	}
+	return out, nil
+}
+
+// MustParseSet parses newline-separated keys from a string, panicking on
+// error.
+func MustParseSet(s string) []Key {
+	ks, err := ParseSet(strings.NewReader(s))
+	if err != nil {
+		panic(err)
+	}
+	return ks
+}

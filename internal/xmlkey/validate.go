@@ -1,0 +1,118 @@
+package xmlkey
+
+import (
+	"fmt"
+	"strings"
+
+	"xkprop/internal/xmltree"
+)
+
+// Violation describes one way a tree fails to satisfy a key under the
+// strict semantics of Definition 2.1.
+type Violation struct {
+	Key Key
+	// Context is the context node n ∈ ⟦Q⟧ under which the violation occurs.
+	Context *xmltree.Node
+	// Kind distinguishes missing key attributes from uniqueness failures.
+	Kind ViolationKind
+	// Nodes holds the offending target node(s): one node for
+	// MissingAttribute, the clashing pair for DuplicateKey.
+	Nodes []*xmltree.Node
+	// Attr is the missing attribute name for MissingAttribute.
+	Attr string
+}
+
+// ViolationKind classifies a key violation.
+type ViolationKind uint8
+
+const (
+	// MissingAttribute: a target node lacks one of the key attributes
+	// (condition 1 of Definition 2.1).
+	MissingAttribute ViolationKind = iota
+	// DuplicateKey: two distinct target nodes agree on all key attribute
+	// values (condition 2), or — for keys with an empty key-path set — a
+	// context node has more than one target node.
+	DuplicateKey
+)
+
+func (v Violation) String() string {
+	name := v.Key.Name
+	if name == "" {
+		name = v.Key.String()
+	}
+	switch v.Kind {
+	case MissingAttribute:
+		return fmt.Sprintf("%s: target node #%d (%s) under context node #%d lacks @%s",
+			name, v.Nodes[0].ID, v.Nodes[0].Label, v.Context.ID, v.Attr)
+	default:
+		return fmt.Sprintf("%s: target nodes #%d and #%d under context node #%d agree on all key values",
+			name, v.Nodes[0].ID, v.Nodes[1].ID, v.Context.ID)
+	}
+}
+
+// Validate checks key k against the tree and returns all violations
+// (empty iff T ⊨ k, Definition 2.1).
+func Validate(t *xmltree.Tree, k Key) []Violation {
+	var out []Violation
+	for _, ctx := range t.EvalTree(k.Context) {
+		targets := xmltree.Eval(ctx, k.Target)
+		if len(targets) == 0 {
+			continue
+		}
+		// Condition 1: every target node has every key attribute (our data
+		// model guarantees per-name uniqueness of attributes).
+		complete := targets[:0:0]
+		for _, n := range targets {
+			ok := true
+			for _, a := range k.Attrs {
+				if n.Attr(a) == nil {
+					out = append(out, Violation{Key: k, Context: ctx, Kind: MissingAttribute, Nodes: []*xmltree.Node{n}, Attr: a})
+					ok = false
+				}
+			}
+			if ok {
+				complete = append(complete, n)
+			}
+		}
+		// Condition 2: distinct target nodes must differ on some key value.
+		// With an empty key-path set the tuple is always (), so any two
+		// target nodes collide: the key asserts at-most-one target.
+		byTuple := make(map[string]*xmltree.Node, len(complete))
+		for _, n := range complete {
+			var sb strings.Builder
+			for _, a := range k.Attrs {
+				v, _ := n.AttrValue(a)
+				sb.WriteString(fmt.Sprintf("%d:%s\x00", len(v), v))
+			}
+			tuple := sb.String()
+			if prev, dup := byTuple[tuple]; dup {
+				out = append(out, Violation{Key: k, Context: ctx, Kind: DuplicateKey, Nodes: []*xmltree.Node{prev, n}})
+			} else {
+				byTuple[tuple] = n
+			}
+		}
+	}
+	return out
+}
+
+// Satisfies reports whether T ⊨ k.
+func Satisfies(t *xmltree.Tree, k Key) bool { return len(Validate(t, k)) == 0 }
+
+// SatisfiesAll reports whether T satisfies every key in sigma.
+func SatisfiesAll(t *xmltree.Tree, sigma []Key) bool {
+	for _, k := range sigma {
+		if !Satisfies(t, k) {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateAll returns the violations of every key in sigma against t.
+func ValidateAll(t *xmltree.Tree, sigma []Key) []Violation {
+	var out []Violation
+	for _, k := range sigma {
+		out = append(out, Validate(t, k)...)
+	}
+	return out
+}

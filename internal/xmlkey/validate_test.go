@@ -1,0 +1,176 @@
+package xmlkey
+
+import (
+	"strings"
+	"testing"
+
+	"xkprop/internal/xmltree"
+)
+
+// fig1 is the paper's Fig 1 document.
+const fig1XML = `
+<r>
+  <book isbn="123">
+    <author><name>Tim Bray</name><contact>tim@textuality.com</contact></author>
+    <title>XML</title>
+    <chapter number="1">
+      <name>Introduction</name>
+      <section number="1"><name>Fundamentals</name></section>
+      <section number="2"><name>Attributes</name></section>
+    </chapter>
+    <chapter number="10"><name>Conclusion</name></chapter>
+  </book>
+  <book isbn="234">
+    <title>XML</title>
+    <chapter number="1"><name>Getting Acquainted</name></chapter>
+  </book>
+</r>`
+
+func fig1Tree(t *testing.T) *xmltree.Tree {
+	t.Helper()
+	tree, err := xmltree.ParseString(fig1XML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// TestPaperExample23 checks Example 2.3: the Fig 1 tree satisfies all
+// sample constraints of Example 2.1.
+func TestPaperExample23(t *testing.T) {
+	tree := fig1Tree(t)
+	for _, k := range paperKeys() {
+		if vs := Validate(tree, k); len(vs) != 0 {
+			t.Errorf("%s: unexpected violations: %v", k.Name, vs)
+		}
+	}
+	if !SatisfiesAll(tree, paperKeys()) {
+		t.Error("SatisfiesAll should hold")
+	}
+}
+
+func TestValidateDuplicateAbsoluteKey(t *testing.T) {
+	// Two books with the same isbn violate φ1.
+	tree := xmltree.MustParseString(`<r><book isbn="1"/><book isbn="1"/></r>`)
+	k := MustParse("φ1 = (ε, (//book, {@isbn}))")
+	vs := Validate(tree, k)
+	if len(vs) != 1 || vs[0].Kind != DuplicateKey {
+		t.Fatalf("want one DuplicateKey violation, got %v", vs)
+	}
+	if !strings.Contains(vs[0].String(), "φ1") {
+		t.Errorf("violation string should mention key name: %s", vs[0])
+	}
+	if Satisfies(tree, k) {
+		t.Error("Satisfies should be false")
+	}
+}
+
+func TestValidateMissingAttribute(t *testing.T) {
+	// Strict semantics (Def 2.1 condition 1): every target node must carry
+	// the key attributes.
+	tree := xmltree.MustParseString(`<r><book isbn="1"/><book/></r>`)
+	k := MustParse("(ε, (//book, {@isbn}))")
+	vs := Validate(tree, k)
+	if len(vs) != 1 || vs[0].Kind != MissingAttribute || vs[0].Attr != "isbn" {
+		t.Fatalf("want one MissingAttribute violation, got %v", vs)
+	}
+	if !strings.Contains(vs[0].String(), "@isbn") {
+		t.Errorf("violation string should mention the attribute: %s", vs[0])
+	}
+}
+
+func TestValidateRelativeScope(t *testing.T) {
+	// Same chapter number in different books is fine for φ2...
+	tree := xmltree.MustParseString(`
+		<r>
+		  <book isbn="1"><chapter number="1"/></book>
+		  <book isbn="2"><chapter number="1"/></book>
+		</r>`)
+	k2 := MustParse("(//book, (chapter, {@number}))")
+	if !Satisfies(tree, k2) {
+		t.Error("relative key should scope per book")
+	}
+	// ...but duplicate numbers within one book are not.
+	tree2 := xmltree.MustParseString(`
+		<r><book isbn="1"><chapter number="1"/><chapter number="1"/></book></r>`)
+	vs := Validate(tree2, k2)
+	if len(vs) != 1 || vs[0].Kind != DuplicateKey {
+		t.Fatalf("want DuplicateKey within one book, got %v", vs)
+	}
+	// The absolute version of the same constraint fails on tree 1.
+	kAbs := MustParse("(ε, (//chapter, {@number}))")
+	if Satisfies(tree, kAbs) {
+		t.Error("absolute chapter key should be violated across books")
+	}
+}
+
+func TestValidateEmptyKeyPathSet(t *testing.T) {
+	// (//book, (title, {})) asserts at most one title per book.
+	one := xmltree.MustParseString(`<r><book><title>A</title></book></r>`)
+	two := xmltree.MustParseString(`<r><book><title>A</title><title>B</title></book></r>`)
+	k := MustParse("(//book, (title, {}))")
+	if !Satisfies(one, k) {
+		t.Error("single title should satisfy the uniqueness key")
+	}
+	vs := Validate(two, k)
+	if len(vs) != 1 || vs[0].Kind != DuplicateKey {
+		t.Fatalf("two titles should violate, got %v", vs)
+	}
+	// No titles at all is fine: keys do not force existence of targets.
+	none := xmltree.MustParseString(`<r><book/></r>`)
+	if !Satisfies(none, k) {
+		t.Error("absent target set should satisfy")
+	}
+}
+
+func TestValidateMultiAttributeKey(t *testing.T) {
+	k := MustParse("(ε, (//pt, {@x, @y}))")
+	ok := xmltree.MustParseString(`<r><pt x="1" y="1"/><pt x="1" y="2"/></r>`)
+	if !Satisfies(ok, k) {
+		t.Error("points differing in one coordinate satisfy the key")
+	}
+	bad := xmltree.MustParseString(`<r><pt x="1" y="1"/><pt x="1" y="1"/></r>`)
+	if Satisfies(bad, k) {
+		t.Error("equal coordinate pairs violate the key")
+	}
+}
+
+func TestValidateValueEscaping(t *testing.T) {
+	// Tuple hashing must not confuse ("ab", "c") with ("a", "bc").
+	k := MustParse("(ε, (//pt, {@x, @y}))")
+	tree := xmltree.MustParseString(`<r><pt x="ab" y="c"/><pt x="a" y="bc"/></r>`)
+	if !Satisfies(tree, k) {
+		t.Error("distinct tuples ('ab','c') vs ('a','bc') must not collide")
+	}
+}
+
+func TestValidateAllCollects(t *testing.T) {
+	tree := xmltree.MustParseString(`<r><book/><book/></r>`)
+	sigma := MustParseSet(`
+		(ε, (//book, {@isbn}))
+		(//book, (title, {}))
+	`)
+	vs := ValidateAll(tree, sigma)
+	// Two missing @isbn attributes, plus one duplicate (both books have the
+	// empty key tuple... no: both lack @isbn so they are excluded from the
+	// uniqueness check). Expect exactly 2 violations.
+	if len(vs) != 2 {
+		t.Fatalf("ValidateAll = %d violations, want 2: %v", len(vs), vs)
+	}
+}
+
+func TestValidateDeepContexts(t *testing.T) {
+	// φ6 scopes sections inside each chapter of each book.
+	tree := xmltree.MustParseString(`
+		<r><book>
+		  <chapter number="1"><section number="1"/><section number="1"/></chapter>
+		</book></r>`)
+	k6 := MustParse("(//book/chapter, (section, {@number}))")
+	vs := Validate(tree, k6)
+	if len(vs) != 1 {
+		t.Fatalf("want 1 violation, got %v", vs)
+	}
+	if vs[0].Context.Label != "chapter" {
+		t.Errorf("violation context = %s, want chapter", vs[0].Context.Label)
+	}
+}

@@ -1,0 +1,153 @@
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"xkprop/internal/xpath"
+)
+
+// FuzzParse checks the XML parser never panics and that accepted trees
+// survive a serialize/re-parse cycle.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"<r/>",
+		`<r><book isbn="1"><title>XML</title></book></r>`,
+		"<a><b><c>deep</c></b></a>",
+		`<r x="&lt;&amp;&quot;">text &amp; more</r>`,
+		"<r><!-- c --><?pi?><a/></r>",
+		"<a><a><a/></a></a>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		tree, err := ParseString(in)
+		if err != nil {
+			return
+		}
+		out := tree.XMLString()
+		tree2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("serialized form does not re-parse: %v\ninput: %q\noutput: %q", err, in, out)
+		}
+		if tree2.XMLString() != out {
+			t.Fatalf("serialization not a fixpoint:\n%q\nvs\n%q", out, tree2.XMLString())
+		}
+		if tree.Size() != tree2.Size() {
+			t.Fatalf("node counts differ after round trip: %d vs %d", tree.Size(), tree2.Size())
+		}
+	})
+}
+
+// FuzzEval checks path evaluation never panics and respects set semantics.
+func FuzzEval(f *testing.F) {
+	f.Add(`<r><a><b x="1"/></a></r>`, "//b/@x")
+	f.Add(`<r><a/><a/></r>`, "a")
+	f.Add("<r/>", "//")
+	f.Fuzz(func(t *testing.T, doc, path string) {
+		tree, err := ParseString(doc)
+		if err != nil {
+			return
+		}
+		p, err := xpath.Parse(path)
+		if err != nil {
+			return
+		}
+		got := tree.EvalTree(p)
+		seen := map[*Node]bool{}
+		for _, n := range got {
+			if seen[n] {
+				t.Fatalf("duplicate node in result for %q over %q", path, doc)
+			}
+			seen[n] = true
+		}
+		// Every result's root path must match the expression.
+		for _, n := range got {
+			if !p.Matches(PathFromRoot(n)) {
+				t.Fatalf("node %v (path %v) does not match %q", n.Label, PathFromRoot(n), path)
+			}
+		}
+	})
+}
+
+func benchTree(depth, fanout int) *Tree {
+	return Generate(GenConfig{Depth: depth, Fanout: fanout, AttrsPerElem: 2, Seed: 3})
+}
+
+func BenchmarkEvalConcrete(b *testing.B) {
+	tree := benchTree(5, 4)
+	p := xpath.MustParse("l1/l2/l3/l4/l5")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := tree.EvalTree(p); len(got) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkEvalDescendant(b *testing.B) {
+	tree := benchTree(5, 4)
+	p := xpath.MustParse("//l5/@a0")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := tree.EvalTree(p); len(got) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkParseSerialize(b *testing.B) {
+	src := benchTree(4, 4).XMLString()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree, err := ParseString(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = tree.XMLString()
+	}
+}
+
+func BenchmarkValue(b *testing.B) {
+	tree := benchTree(4, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := Value(tree.Root); len(s) == 0 {
+			b.Fatal("empty value")
+		}
+	}
+}
+
+// TestGenerateLabelsOption covers the custom-label path of the generator.
+func TestGenerateLabelsOption(t *testing.T) {
+	tr := Generate(GenConfig{Depth: 2, Fanout: 1, Labels: []string{"x", "y"}, Seed: 1})
+	if got := tr.EvalTree(xpath.MustParse("x/y")); len(got) != 1 {
+		t.Errorf("custom labels not used: %v", got)
+	}
+}
+
+// TestGenerateDefaultsClamp covers Depth/Fanout clamping.
+func TestGenerateDefaultsClamp(t *testing.T) {
+	tr := Generate(GenConfig{Depth: 0, Fanout: 0, Seed: 1})
+	if tr.Depth() != 2 { // root + one level
+		t.Errorf("clamped depth = %d", tr.Depth())
+	}
+}
+
+// TestEvalLargeFanoutStress exercises dedup on wide trees.
+func TestEvalLargeFanoutStress(t *testing.T) {
+	root := NewElement("r")
+	for i := 0; i < 2000; i++ {
+		c := root.Elem("a")
+		c.SetAttr("k", fmt.Sprint(i))
+		c.Elem("b").AddText(strings.Repeat("x", 3))
+	}
+	tree := NewTree(root)
+	if got := tree.EvalTree(xpath.MustParse("//b")); len(got) != 2000 {
+		t.Fatalf("got %d", len(got))
+	}
+	if got := tree.EvalTree(xpath.MustParse("a/@k")); len(got) != 2000 {
+		t.Fatalf("got %d", len(got))
+	}
+}

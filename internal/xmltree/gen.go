@@ -1,0 +1,71 @@
+package xmltree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig controls the synthetic document generator. The generator is
+// deterministic for a given seed; experiments use it to build documents of
+// controlled depth and fanout, mirroring the parameters the paper draws
+// from real-DTD statistics [Choi, WebDB'02].
+type GenConfig struct {
+	// Depth is the element-nesting depth below the root (root children are
+	// depth 1). Must be >= 1.
+	Depth int
+	// Fanout is the number of children of each internal element.
+	Fanout int
+	// AttrsPerElem is the number of attributes attached to every element.
+	AttrsPerElem int
+	// Labels is the pool of element labels per level; level i uses
+	// Labels[i%len(Labels)]. Defaults to l0, l1, ...
+	Labels []string
+	// UniqueAttrValues makes every attribute value globally unique, so
+	// every key in the class K̄ is trivially satisfied (useful for
+	// soundness property tests).
+	UniqueAttrValues bool
+	// Seed seeds the deterministic value generator.
+	Seed int64
+}
+
+// Generate builds a synthetic tree per cfg.
+func Generate(cfg GenConfig) *Tree {
+	if cfg.Depth < 1 {
+		cfg.Depth = 1
+	}
+	if cfg.Fanout < 1 {
+		cfg.Fanout = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	label := func(level int) string {
+		if len(cfg.Labels) > 0 {
+			return cfg.Labels[(level-1)%len(cfg.Labels)]
+		}
+		return fmt.Sprintf("l%d", level)
+	}
+	serial := 0
+	attrValue := func() string {
+		if cfg.UniqueAttrValues {
+			serial++
+			return fmt.Sprintf("u%d", serial)
+		}
+		return fmt.Sprintf("v%d", r.Intn(4))
+	}
+	root := NewElement("r")
+	var build func(parent *Node, level int)
+	build = func(parent *Node, level int) {
+		if level > cfg.Depth {
+			parent.AddText(fmt.Sprintf("t%d", r.Intn(100)))
+			return
+		}
+		for i := 0; i < cfg.Fanout; i++ {
+			c := parent.Elem(label(level))
+			for a := 0; a < cfg.AttrsPerElem; a++ {
+				c.SetAttr(fmt.Sprintf("a%d", a), attrValue())
+			}
+			build(c, level+1)
+		}
+	}
+	build(root, 1)
+	return NewTree(root)
+}

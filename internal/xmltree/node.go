@@ -1,0 +1,323 @@
+// Package xmltree implements the XML data model of Davidson et al.
+// (ICDE 2003): node-labelled trees with element, attribute and text nodes,
+// node identity, the pre-order value() function, and evaluation of path
+// expressions n⟦P⟧ (the set of nodes reached from n by following a path
+// matched by P).
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xkprop/internal/xpath"
+)
+
+// Kind classifies a node. The paper's trees (Fig 1) contain E (element),
+// A (attribute) and S (text) nodes.
+type Kind uint8
+
+const (
+	// Element is an E node.
+	Element Kind = iota
+	// Attribute is an A node; attributes are leaves holding a text value.
+	Attribute
+	// Text is an S node holding character data.
+	Text
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Element:
+		return "E"
+	case Attribute:
+		return "A"
+	case Text:
+		return "S"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Node is a node of an XML tree. Nodes have identity: two nodes are the
+// same node iff they are the same *Node. ID is a document-wide pre-order
+// number assigned by Finalize (and by the Document constructor); it exists
+// for stable ordering and readable diagnostics, identity is the pointer.
+type Node struct {
+	Kind Kind
+	// Label is the element tag or attribute name (without '@'); empty for
+	// text nodes.
+	Label string
+	// Value is the text content for Text and Attribute nodes; unused for
+	// elements.
+	Value string
+
+	// Parent is the parent node (nil for the root). Attribute nodes have
+	// their owning element as parent.
+	Parent *Node
+	// Children holds element and text children in document order.
+	Children []*Node
+	// Attrs holds attribute nodes in the order they were added.
+	Attrs []*Node
+
+	// ID is the pre-order number assigned by Finalize; -1 before that.
+	ID int
+}
+
+// NewElement returns a fresh element node with the given tag.
+func NewElement(label string) *Node {
+	return &Node{Kind: Element, Label: label, ID: -1}
+}
+
+// AddChild appends child to n's children and sets its parent. It returns
+// child for chaining. It panics if n is not an element or child is an
+// attribute (use SetAttr).
+func (n *Node) AddChild(child *Node) *Node {
+	if n.Kind != Element {
+		panic("xmltree: AddChild on non-element node")
+	}
+	if child.Kind == Attribute {
+		panic("xmltree: attribute added as child; use SetAttr")
+	}
+	child.Parent = n
+	n.Children = append(n.Children, child)
+	return child
+}
+
+// Elem creates a new element child with the given tag, appends it and
+// returns it.
+func (n *Node) Elem(label string) *Node {
+	return n.AddChild(NewElement(label))
+}
+
+// AddText appends a text child with the given character data and returns n.
+func (n *Node) AddText(s string) *Node {
+	n.AddChild(&Node{Kind: Text, Value: s, ID: -1})
+	return n
+}
+
+// SetAttr sets attribute name to value on element n (replacing an existing
+// attribute of the same name) and returns n.
+func (n *Node) SetAttr(name, value string) *Node {
+	if n.Kind != Element {
+		panic("xmltree: SetAttr on non-element node")
+	}
+	name = strings.TrimPrefix(name, "@")
+	for _, a := range n.Attrs {
+		if a.Label == name {
+			a.Value = value
+			return n
+		}
+	}
+	n.Attrs = append(n.Attrs, &Node{Kind: Attribute, Label: name, Value: value, Parent: n, ID: -1})
+	return n
+}
+
+// Attr returns the attribute node with the given name (without '@'), or nil.
+func (n *Node) Attr(name string) *Node {
+	name = strings.TrimPrefix(name, "@")
+	for _, a := range n.Attrs {
+		if a.Label == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// AttrValue returns the text value of attribute name and whether it exists.
+func (n *Node) AttrValue(name string) (string, bool) {
+	if a := n.Attr(name); a != nil {
+		return a.Value, true
+	}
+	return "", false
+}
+
+// Tree is a finalized XML tree: a root element with pre-order node IDs
+// assigned. The paper writes T for trees and r for the root.
+type Tree struct {
+	Root *Node
+	// nodes lists all nodes in pre-order (elements, their attributes, then
+	// children), indexed by ID.
+	nodes []*Node
+}
+
+// NewTree finalizes root into a Tree, assigning pre-order IDs (root = 0,
+// matching Fig 1 where the root r has identifier 0).
+func NewTree(root *Node) *Tree {
+	t := &Tree{Root: root}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		n.ID = len(t.nodes)
+		t.nodes = append(t.nodes, n)
+		for _, a := range n.Attrs {
+			a.ID = len(t.nodes)
+			t.nodes = append(t.nodes, a)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return t
+}
+
+// Size returns the total number of nodes in the tree.
+func (t *Tree) Size() int { return len(t.nodes) }
+
+// Node returns the node with the given pre-order ID, or nil.
+func (t *Tree) Node(id int) *Node {
+	if id < 0 || id >= len(t.nodes) {
+		return nil
+	}
+	return t.nodes[id]
+}
+
+// Nodes returns all nodes in pre-order. The returned slice is shared; do
+// not modify.
+func (t *Tree) Nodes() []*Node { return t.nodes }
+
+// Depth returns the maximum element-nesting depth of the tree (root = 1).
+func (t *Tree) Depth() int {
+	var rec func(n *Node) int
+	rec = func(n *Node) int {
+		d := 1
+		for _, c := range n.Children {
+			if c.Kind == Element {
+				if cd := rec(c) + 1; cd > d {
+					d = cd
+				}
+			}
+		}
+		return d
+	}
+	return rec(t.Root)
+}
+
+// PathFromRoot returns the label sequence from the root to n (excluding the
+// root's own label, matching the paper's convention that the root is the
+// anchor ε). Attribute nodes contribute a final "@name" label.
+func PathFromRoot(n *Node) []string {
+	var rev []string
+	for cur := n; cur != nil && cur.Parent != nil; cur = cur.Parent {
+		switch cur.Kind {
+		case Attribute:
+			rev = append(rev, "@"+cur.Label)
+		case Element:
+			rev = append(rev, cur.Label)
+		default:
+			// Text nodes are not addressable by the path language.
+			return nil
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Eval evaluates path expression p from node n, returning n⟦p⟧ in document
+// order. Only element nodes are traversed by label and "//" steps;
+// attribute steps select attribute nodes and must be final.
+func Eval(n *Node, p xpath.Path) []*Node {
+	frontier := map[*Node]bool{n: true}
+	steps := p.Normalize().Steps()
+	for _, s := range steps {
+		next := make(map[*Node]bool)
+		switch {
+		case s.Kind == xpath.DescendantOrSelf:
+			for m := range frontier {
+				collectDescendantsOrSelf(m, next)
+			}
+		case s.IsAttribute():
+			name := strings.TrimPrefix(s.Name, "@")
+			for m := range frontier {
+				if m.Kind != Element {
+					continue
+				}
+				if a := m.Attr(name); a != nil {
+					next[a] = true
+				}
+			}
+		default:
+			for m := range frontier {
+				if m.Kind != Element {
+					continue
+				}
+				for _, c := range m.Children {
+					if c.Kind == Element && c.Label == s.Name {
+						next[c] = true
+					}
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	out := make([]*Node, 0, len(frontier))
+	for m := range frontier {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func collectDescendantsOrSelf(n *Node, into map[*Node]bool) {
+	if n.Kind != Element {
+		return
+	}
+	into[n] = true
+	for _, c := range n.Children {
+		collectDescendantsOrSelf(c, into)
+	}
+}
+
+// EvalTree evaluates p from the tree root: ⟦p⟧ in the paper's notation.
+func (t *Tree) EvalTree(p xpath.Path) []*Node { return Eval(t.Root, p) }
+
+// Value implements the paper's value() function: a string representing the
+// pre-order traversal of the subtree rooted at n. For the chapter node of
+// Fig 1, Value returns "(@number:1, name: (S: Introduction))" (Example 2.5).
+func Value(n *Node) string {
+	switch n.Kind {
+	case Attribute, Text:
+		return n.Value
+	}
+	var parts []string
+	for _, a := range n.Attrs {
+		parts = append(parts, "@"+a.Label+":"+a.Value)
+	}
+	for _, c := range n.Children {
+		switch c.Kind {
+		case Text:
+			parts = append(parts, "S: "+c.Value)
+		case Element:
+			parts = append(parts, c.Label+": "+Value(c))
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// TextContent returns the concatenation of all text in the subtree of n;
+// for attribute nodes it is the attribute value. This is the "atomic value"
+// used when populating relational fields from leaf-level nodes.
+func TextContent(n *Node) string {
+	switch n.Kind {
+	case Attribute, Text:
+		return n.Value
+	}
+	var b strings.Builder
+	var rec func(m *Node)
+	rec = func(m *Node) {
+		for _, c := range m.Children {
+			if c.Kind == Text {
+				b.WriteString(c.Value)
+			} else {
+				rec(c)
+			}
+		}
+	}
+	rec(n)
+	return b.String()
+}

@@ -1,0 +1,389 @@
+package xmltree
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"xkprop/internal/xpath"
+)
+
+// fig1 builds the paper's Fig 1 document:
+//
+//	r
+//	├── book @isbn=123
+//	│   ├── author ── name "Tim Bray", contact "tim@textuality.com"
+//	│   ├── title "XML"
+//	│   └── chapter @number=1  name "Introduction"
+//	│       ├── section @number=1 name "Fundamentals"
+//	│       └── section @number=2 name "Attributes"
+//	│   └── chapter @number=10 name "Conclusion"
+//	└── book @isbn=234
+//	    ├── title "XML"
+//	    └── chapter @number=1 name "Getting Acquainted"
+func fig1() *Tree {
+	r := NewElement("r")
+
+	b1 := r.Elem("book")
+	b1.SetAttr("isbn", "123")
+	au := b1.Elem("author")
+	au.Elem("name").AddText("Tim Bray")
+	au.Elem("contact").AddText("tim@textuality.com")
+	b1.Elem("title").AddText("XML")
+	c1 := b1.Elem("chapter")
+	c1.SetAttr("number", "1")
+	c1.Elem("name").AddText("Introduction")
+	s1 := c1.Elem("section")
+	s1.SetAttr("number", "1")
+	s1.Elem("name").AddText("Fundamentals")
+	s2 := c1.Elem("section")
+	s2.SetAttr("number", "2")
+	s2.Elem("name").AddText("Attributes")
+	c2 := b1.Elem("chapter")
+	c2.SetAttr("number", "10")
+	c2.Elem("name").AddText("Conclusion")
+
+	b2 := r.Elem("book")
+	b2.SetAttr("isbn", "234")
+	b2.Elem("title").AddText("XML")
+	c3 := b2.Elem("chapter")
+	c3.SetAttr("number", "1")
+	c3.Elem("name").AddText("Getting Acquainted")
+
+	return NewTree(r)
+}
+
+func labelsOf(ns []*Node) []string {
+	var out []string
+	for _, n := range ns {
+		out = append(out, n.Label)
+	}
+	return out
+}
+
+func valuesOf(ns []*Node) []string {
+	var out []string
+	for _, n := range ns {
+		out = append(out, n.Value)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestEvalPaperExample22(t *testing.T) {
+	// Example 2.2: ⟦book⟧ has two nodes, book1⟦chapter⟧ has two nodes,
+	// ⟦//@number⟧ has five nodes.
+	tree := fig1()
+	books := tree.EvalTree(xpath.MustParse("book"))
+	if len(books) != 2 {
+		t.Fatalf("⟦book⟧: got %d nodes, want 2", len(books))
+	}
+	chapters := Eval(books[0], xpath.MustParse("chapter"))
+	if len(chapters) != 2 {
+		t.Fatalf("book1⟦chapter⟧: got %d nodes, want 2", len(chapters))
+	}
+	nums := tree.EvalTree(xpath.MustParse("//@number"))
+	if len(nums) != 5 {
+		t.Fatalf("⟦//@number⟧: got %d nodes, want 5", len(nums))
+	}
+	got := valuesOf(nums)
+	want := []string{"1", "1", "1", "10", "2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("⟦//@number⟧ values = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEvalDescendantVariants(t *testing.T) {
+	tree := fig1()
+	cases := []struct {
+		path string
+		n    int
+	}{
+		{"//book", 2},
+		{"//chapter", 3},
+		{"//book/chapter", 3},
+		{"//section", 2},
+		{"//book/chapter/section", 2},
+		{"//name", 6},
+		{"//book//name", 6},
+		{"//book/chapter/name", 3},
+		{"book/title", 2},
+		{"//", 18}, // all element nodes incl. root
+		{"ε", 1},   // the root itself
+		{"//@isbn", 2},
+		{"book/@isbn", 2},
+		{"//section/@number", 2},
+		{"//nonexistent", 0},
+		{"book/chapter/section/name/nothing", 0},
+		{"//author/contact", 1},
+	}
+	for _, c := range cases {
+		got := tree.EvalTree(xpath.MustParse(c.path))
+		if len(got) != c.n {
+			t.Errorf("⟦%s⟧: got %d nodes (%v), want %d", c.path, len(got), labelsOf(got), c.n)
+		}
+	}
+}
+
+func TestEvalFromSubtree(t *testing.T) {
+	tree := fig1()
+	books := tree.EvalTree(xpath.MustParse("book"))
+	// Within book1: 2 chapters, 3 names (author + 1 per chapter... actually
+	// author/name + chapter names + section names = 1+2+2 = 5).
+	if got := Eval(books[0], xpath.MustParse("//name")); len(got) != 5 {
+		t.Errorf("book1⟦//name⟧ = %d, want 5", len(got))
+	}
+	if got := Eval(books[1], xpath.MustParse("//name")); len(got) != 1 {
+		t.Errorf("book2⟦//name⟧ = %d, want 1", len(got))
+	}
+	if got := Eval(books[0], xpath.MustParse("@isbn")); len(got) != 1 || got[0].Value != "123" {
+		t.Errorf("book1⟦@isbn⟧ = %v", valuesOf(got))
+	}
+}
+
+func TestEvalDeduplicates(t *testing.T) {
+	// //a//b can reach the same node along multiple derivations; the result
+	// must be a set.
+	tree := MustParseString(`<r><a><a><b/></a></a></r>`)
+	got := tree.EvalTree(xpath.MustParse("//a//b"))
+	if len(got) != 1 {
+		t.Fatalf("⟦//a//b⟧ = %d nodes, want 1 (set semantics)", len(got))
+	}
+}
+
+func TestEvalDocumentOrder(t *testing.T) {
+	tree := fig1()
+	ns := tree.EvalTree(xpath.MustParse("//name"))
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1].ID >= ns[i].ID {
+			t.Fatalf("results not in document order: %d >= %d", ns[i-1].ID, ns[i].ID)
+		}
+	}
+}
+
+func TestValuePaperExample25(t *testing.T) {
+	// Example 2.5: value(chapter₆) = (@number:1, name: (S: Introduction)).
+	tree := fig1()
+	chapters := tree.EvalTree(xpath.MustParse("book/chapter"))
+	var ch1 *Node
+	for _, c := range chapters {
+		if v, _ := c.AttrValue("number"); v == "1" {
+			ch1 = c
+			break
+		}
+	}
+	if ch1 == nil {
+		t.Fatal("chapter 1 not found")
+	}
+	got := Value(ch1)
+	want := "(@number:1, name: (S: Introduction), section: (@number:1, name: (S: Fundamentals)), section: (@number:2, name: (S: Attributes)))"
+	if got != want {
+		t.Errorf("Value(chapter1) =\n  %s\nwant\n  %s", got, want)
+	}
+}
+
+func TestValueLeafKinds(t *testing.T) {
+	tree := fig1()
+	isbn := tree.EvalTree(xpath.MustParse("book/@isbn"))[0]
+	if Value(isbn) != "123" {
+		t.Errorf("Value(@isbn) = %q", Value(isbn))
+	}
+	title := tree.EvalTree(xpath.MustParse("book/title"))[0]
+	if Value(title) != "(S: XML)" {
+		t.Errorf("Value(title) = %q", Value(title))
+	}
+	if TextContent(title) != "XML" {
+		t.Errorf("TextContent(title) = %q", TextContent(title))
+	}
+	if TextContent(isbn) != "123" {
+		t.Errorf("TextContent(@isbn) = %q", TextContent(isbn))
+	}
+}
+
+func TestTreeIDsArePreorder(t *testing.T) {
+	tree := fig1()
+	if tree.Root.ID != 0 {
+		t.Errorf("root ID = %d, want 0", tree.Root.ID)
+	}
+	seen := map[int]bool{}
+	for i, n := range tree.Nodes() {
+		if n.ID != i {
+			t.Fatalf("node %d has ID %d", i, n.ID)
+		}
+		if seen[n.ID] {
+			t.Fatalf("duplicate ID %d", n.ID)
+		}
+		seen[n.ID] = true
+		if n != tree.Root && n.Parent == nil {
+			t.Fatalf("non-root node %s has nil parent", n.Label)
+		}
+	}
+	if tree.Node(-1) != nil || tree.Node(tree.Size()) != nil {
+		t.Error("out-of-range Node() should return nil")
+	}
+}
+
+func TestPathFromRoot(t *testing.T) {
+	tree := fig1()
+	sec := tree.EvalTree(xpath.MustParse("//section"))[0]
+	got := PathFromRoot(sec)
+	want := []string{"book", "chapter", "section"}
+	if len(got) != len(want) {
+		t.Fatalf("PathFromRoot = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PathFromRoot = %v, want %v", got, want)
+		}
+	}
+	num := tree.EvalTree(xpath.MustParse("//section/@number"))[0]
+	gotA := PathFromRoot(num)
+	if len(gotA) != 4 || gotA[3] != "@number" {
+		t.Fatalf("PathFromRoot(attr) = %v", gotA)
+	}
+	if PathFromRoot(tree.Root) != nil {
+		t.Error("PathFromRoot(root) should be empty")
+	}
+}
+
+func TestDepth(t *testing.T) {
+	if d := fig1().Depth(); d != 5 {
+		t.Errorf("Fig 1 depth = %d, want 5 (r/book/chapter/section/name)", d)
+	}
+	if d := MustParseString("<r/>").Depth(); d != 1 {
+		t.Errorf("single-node depth = %d, want 1", d)
+	}
+}
+
+func TestAttrAccessors(t *testing.T) {
+	n := NewElement("e")
+	n.SetAttr("a", "1").SetAttr("@b", "2").SetAttr("a", "3")
+	if v, ok := n.AttrValue("a"); !ok || v != "3" {
+		t.Errorf("AttrValue(a) = %q, %v", v, ok)
+	}
+	if v, ok := n.AttrValue("@b"); !ok || v != "2" {
+		t.Errorf("AttrValue(@b) = %q, %v", v, ok)
+	}
+	if _, ok := n.AttrValue("c"); ok {
+		t.Error("AttrValue(c) should be absent")
+	}
+	if len(n.Attrs) != 2 {
+		t.Errorf("len(Attrs) = %d, want 2 (SetAttr replaces)", len(n.Attrs))
+	}
+}
+
+func TestAddChildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic adding child to text node")
+		}
+	}()
+	n := &Node{Kind: Text, Value: "x"}
+	n.AddChild(NewElement("e"))
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `<catalog count="2">
+  <book isbn="123">
+    <title>XML &amp; more</title>
+    <chapter number="1"><name>Introduction</name></chapter>
+  </book>
+  <book isbn="234"><title>Other</title></book>
+</catalog>`
+	tree, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tree.XMLString()
+	tree2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if tree2.XMLString() != out {
+		t.Errorf("serialization not stable:\n%s\nvs\n%s", out, tree2.XMLString())
+	}
+	titles := tree2.EvalTree(xpath.MustParse("//title"))
+	if len(titles) != 2 || TextContent(titles[0]) != "XML & more" {
+		t.Errorf("round-tripped titles wrong: %d %q", len(titles), TextContent(titles[0]))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "   ", "<a><b></a></b>", "text only", "<a/><b/>",
+	} {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q): want error", src)
+		}
+	}
+}
+
+func TestParseDropsNoiseNodes(t *testing.T) {
+	tree := MustParseString("<r><!-- comment --><?pi data?>\n  <a/>  </r>")
+	if len(tree.Root.Children) != 1 || tree.Root.Children[0].Label != "a" {
+		t.Errorf("comments/PIs/whitespace should be dropped: %+v", tree.Root.Children)
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	tr := Generate(GenConfig{Depth: 3, Fanout: 2, AttrsPerElem: 2, Seed: 7})
+	if got := tr.Depth(); got != 4 { // root + 3 levels
+		t.Errorf("generated depth = %d, want 4", got)
+	}
+	// 2 + 4 + 8 = 14 elements below root.
+	elems := tr.EvalTree(xpath.MustParse("//"))
+	if len(elems) != 15 {
+		t.Errorf("generated elements = %d, want 15", len(elems))
+	}
+	for _, e := range elems[1:] {
+		if len(e.Attrs) != 2 {
+			t.Fatalf("element %s has %d attrs, want 2", e.Label, len(e.Attrs))
+		}
+	}
+	// Deterministic for a fixed seed.
+	tr2 := Generate(GenConfig{Depth: 3, Fanout: 2, AttrsPerElem: 2, Seed: 7})
+	if tr.XMLString() != tr2.XMLString() {
+		t.Error("generator not deterministic for fixed seed")
+	}
+}
+
+func TestGenerateUniqueAttrValues(t *testing.T) {
+	tr := Generate(GenConfig{Depth: 3, Fanout: 3, AttrsPerElem: 1, UniqueAttrValues: true, Seed: 1})
+	seen := map[string]bool{}
+	for _, n := range tr.Nodes() {
+		if n.Kind != Attribute {
+			continue
+		}
+		if seen[n.Value] {
+			t.Fatalf("duplicate attribute value %q", n.Value)
+		}
+		seen[n.Value] = true
+	}
+	if len(seen) == 0 {
+		t.Fatal("no attributes generated")
+	}
+}
+
+func TestXMLStringEscaping(t *testing.T) {
+	n := NewElement("r")
+	n.SetAttr("q", `a"b<c`)
+	n.AddText("x < y & z")
+	out := NewTree(n).XMLString()
+	if !strings.Contains(out, "&quot;") || !strings.Contains(out, "&lt;") || !strings.Contains(out, "&amp;") {
+		t.Errorf("escaping missing in %q", out)
+	}
+	if _, err := ParseString(out); err != nil {
+		t.Errorf("escaped output must re-parse: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Element.String() != "E" || Attribute.String() != "A" || Text.String() != "S" {
+		t.Error("Kind.String mismatch with paper notation")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind formatting")
+	}
+}

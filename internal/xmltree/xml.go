@@ -1,0 +1,144 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r and builds a Tree. Comments,
+// processing instructions and whitespace-only character data are dropped;
+// namespaces are flattened to local names (the paper's data model is
+// namespace-free).
+func Parse(r io.Reader) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := NewElement(t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				n.SetAttr(a.Name.Local, a.Value)
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: parse: multiple root elements")
+				}
+				root = n
+			} else {
+				stack[len(stack)-1].AddChild(n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			s := string(t)
+			if strings.TrimSpace(s) == "" {
+				continue
+			}
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: character data outside root")
+			}
+			stack[len(stack)-1].AddText(strings.TrimSpace(s))
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: parse: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse: unclosed elements")
+	}
+	return NewTree(root), nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Tree, error) { return Parse(strings.NewReader(s)) }
+
+// MustParseString is ParseString but panics on error; for tests and fixtures.
+func MustParseString(s string) *Tree {
+	t, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Write serializes the tree as indented XML.
+func (t *Tree) Write(w io.Writer) error {
+	bw := &errWriter{w: w}
+	writeNode(bw, t.Root, 0)
+	return bw.err
+}
+
+// XMLString returns the tree serialized as indented XML.
+func (t *Tree) XMLString() string {
+	var b strings.Builder
+	_ = t.Write(&b)
+	return b.String()
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) WriteString(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+func writeNode(w *errWriter, n *Node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	switch n.Kind {
+	case Text:
+		w.WriteString(ind + escapeText(n.Value) + "\n")
+		return
+	case Attribute:
+		return
+	}
+	w.WriteString(ind + "<" + n.Label)
+	for _, a := range n.Attrs {
+		w.WriteString(" " + a.Label + `="` + escapeAttr(a.Value) + `"`)
+	}
+	if len(n.Children) == 0 {
+		w.WriteString("/>\n")
+		return
+	}
+	// Single text child renders inline.
+	if len(n.Children) == 1 && n.Children[0].Kind == Text {
+		w.WriteString(">" + escapeText(n.Children[0].Value) + "</" + n.Label + ">\n")
+		return
+	}
+	w.WriteString(">\n")
+	for _, c := range n.Children {
+		writeNode(w, c, depth+1)
+	}
+	w.WriteString(ind + "</" + n.Label + ">\n")
+}
+
+func escapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+func escapeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

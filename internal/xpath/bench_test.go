@@ -1,0 +1,63 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// longPath builds l1/l2/.../ln with a // every gap-th step.
+func longPath(n, gap int) Path {
+	var parts []string
+	for i := 1; i <= n; i++ {
+		if gap > 0 && i%gap == 0 {
+			parts = append(parts, "/")
+		}
+		parts = append(parts, fmt.Sprintf("l%d", i))
+	}
+	return MustParse(strings.ReplaceAll(strings.Join(parts, "/"), "///", "//"))
+}
+
+func BenchmarkContainment(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		p := longPath(n, 0)
+		q := longPath(n, 4)
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !p.ContainedIn(q) {
+					b.Fatal("expected containment")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkContainmentNegative(b *testing.B) {
+	p := longPath(64, 0)
+	q := longPath(64, 4).Concat(Elem("zz"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.ContainedIn(q) {
+			b.Fatal("unexpected containment")
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	s := longPath(64, 8).String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIntersects(b *testing.B) {
+	p := longPath(64, 3)
+	q := longPath(64, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Intersects(q)
+	}
+}

@@ -1,0 +1,148 @@
+package xpath
+
+// This file implements decision procedures on the path language: language
+// containment P ⊆ Q, membership of a concrete path ρ ∈ Q, and intersection
+// non-emptiness. The language of a path expression is a set of label
+// sequences over an (unbounded) label alphabet; "//" denotes Σ*, any
+// sequence of labels including the empty one.
+//
+// For this fragment — concatenations of literal labels and Σ* gaps, no
+// branching and no single-label wildcard — containment coincides with the
+// existence of an order- and adjacency-preserving embedding and is decided
+// by an O(|P|·|Q|) dynamic program (cf. Miklau & Suciu on XP{/,//}
+// containment; the linear fragment is PTIME).
+
+// ContainedIn reports whether L(p) ⊆ L(q): every concrete path matched by p
+// is also matched by q.
+func (p Path) ContainedIn(q Path) bool {
+	ps, qs := p.Normalize().steps, q.Normalize().steps
+	np, nq := len(ps), len(qs)
+	// memo[i][j] caches contained(i, j); 0 = unknown, 1 = true, 2 = false.
+	memo := make([][]uint8, np+1)
+	for i := range memo {
+		memo[i] = make([]uint8, nq+1)
+	}
+	var rec func(i, j int) bool
+	rec = func(i, j int) bool {
+		if m := memo[i][j]; m != 0 {
+			return m == 1
+		}
+		res := false
+		switch {
+		case j == nq:
+			// L(P[i:]) ⊆ {ε} only if P[i:] is empty: any remaining step
+			// (label or //) generates a non-empty word.
+			res = i == np
+		case qs[j].Kind == DescendantOrSelf:
+			// Σ*·L(Q[j+1:]): either the gap absorbs nothing, or it absorbs
+			// the first unit of P (a label, or collapses with P's own //).
+			res = rec(i, j+1) || (i < np && rec(i+1, j))
+		case i == np:
+			// ε versus a label-initial pattern.
+			res = false
+		case ps[i].Kind == DescendantOrSelf:
+			// P generates words with arbitrary first labels; Q requires a
+			// specific one. Over an unbounded alphabet this always fails.
+			res = false
+		default:
+			res = ps[i].Name == qs[j].Name && rec(i+1, j+1)
+		}
+		if res {
+			memo[i][j] = 1
+		} else {
+			memo[i][j] = 2
+		}
+		return res
+	}
+	return rec(0, 0)
+}
+
+// Matches reports whether the concrete label sequence labels is in L(p),
+// i.e. labels ∈ p in the paper's notation.
+func (p Path) Matches(labels []string) bool {
+	steps := make([]Step, len(labels))
+	for i, l := range labels {
+		steps[i] = Step{Kind: Label, Name: l}
+	}
+	return Path{steps: steps}.ContainedIn(p)
+}
+
+// Intersects reports whether L(p) ∩ L(q) ≠ ∅: some concrete path is matched
+// by both expressions.
+func (p Path) Intersects(q Path) bool {
+	ps, qs := p.Normalize().steps, q.Normalize().steps
+	np, nq := len(ps), len(qs)
+	memo := make([][]uint8, np+1)
+	for i := range memo {
+		memo[i] = make([]uint8, nq+1)
+	}
+	var rec func(i, j int) bool
+	rec = func(i, j int) bool {
+		if m := memo[i][j]; m != 0 {
+			return m == 1
+		}
+		res := false
+		switch {
+		case i == np && j == nq:
+			res = true
+		case i < np && ps[i].Kind == DescendantOrSelf:
+			// P's gap matches ε, or absorbs whatever Q produces next.
+			res = rec(i+1, j) || (j < nq && rec(i, j+1))
+		case j < nq && qs[j].Kind == DescendantOrSelf:
+			res = rec(i, j+1) || (i < np && rec(i+1, j))
+		case i == np || j == nq:
+			res = false
+		default:
+			res = ps[i].Name == qs[j].Name && rec(i+1, j+1)
+		}
+		if res {
+			memo[i][j] = 1
+		} else {
+			memo[i][j] = 2
+		}
+		return res
+	}
+	return rec(0, 0)
+}
+
+// Equivalent reports whether p and q denote the same path set.
+func (p Path) Equivalent(q Path) bool {
+	return p.ContainedIn(q) && q.ContainedIn(p)
+}
+
+// Samples returns up to limit concrete paths (label sequences) in L(p),
+// instantiating each "//" gap with 0..gapMax fresh labels drawn from fill.
+// It is used by property tests to cross-check the containment DP against
+// direct membership, and by the documentation examples.
+func (p Path) Samples(gapMax, limit int, fill []string) [][]string {
+	if len(fill) == 0 {
+		fill = []string{"x"}
+	}
+	var out [][]string
+	var rec func(i int, acc []string)
+	rec = func(i int, acc []string) {
+		if len(out) >= limit {
+			return
+		}
+		if i == len(p.steps) {
+			cp := make([]string, len(acc))
+			copy(cp, acc)
+			out = append(out, cp)
+			return
+		}
+		s := p.steps[i]
+		if s.Kind == Label {
+			rec(i+1, append(acc, s.Name))
+			return
+		}
+		for n := 0; n <= gapMax && len(out) < limit; n++ {
+			ext := acc
+			for k := 0; k < n; k++ {
+				ext = append(ext, fill[k%len(fill)])
+			}
+			rec(i+1, ext)
+		}
+	}
+	rec(0, nil)
+	return out
+}

@@ -1,0 +1,73 @@
+package xpath
+
+import (
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that accepted inputs
+// round-trip: Parse(p.String()) ≡ p.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"ε", "", "book", "//book/chapter", "//book/@isbn", "a/b//c",
+		"////x", "@a", "a/@b", "b@d", "//", "/a", ".", "a//", "//@n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := Parse(in)
+		if err != nil {
+			return
+		}
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("round trip failed: %q -> %q: %v", in, p.String(), err)
+		}
+		if !p.Equal(q) {
+			t.Fatalf("round trip not equal: %q -> %q -> %q", in, p, q)
+		}
+		// Containment invariants on anything parseable.
+		if !p.ContainedIn(p) {
+			t.Fatalf("reflexivity failed for %q", p)
+		}
+		if !p.ContainedIn(Desc) {
+			t.Fatalf("%q not contained in //", p)
+		}
+		if !p.Intersects(p) {
+			t.Fatalf("%q does not intersect itself", p)
+		}
+	})
+}
+
+// FuzzContainmentPair feeds pairs of path strings and checks algebraic
+// consistency between containment and intersection.
+func FuzzContainmentPair(f *testing.F) {
+	f.Add("a/b", "//b")
+	f.Add("//", "ε")
+	f.Add("a//c", "//b")
+	f.Add("//x/@y", "//@y")
+	f.Fuzz(func(t *testing.T, sa, sb string) {
+		a, err := Parse(sa)
+		if err != nil {
+			return
+		}
+		b, err := Parse(sb)
+		if err != nil {
+			return
+		}
+		ab := a.ContainedIn(b)
+		ba := b.ContainedIn(a)
+		if ab && !a.Intersects(b) {
+			t.Fatalf("%q ⊆ %q but no intersection", a, b)
+		}
+		if ab && ba && !a.Equivalent(b) {
+			t.Fatalf("mutual containment but not equivalent: %q, %q", a, b)
+		}
+		// Concatenation monotonicity.
+		if ab && !a.HasAttribute() && !b.HasAttribute() {
+			c := Elem("z")
+			if !a.Concat(c).ContainedIn(b.Concat(c)) {
+				t.Fatalf("monotonicity failed: %q ⊆ %q", a, b)
+			}
+		}
+	})
+}

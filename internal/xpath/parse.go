@@ -1,0 +1,88 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a path expression in the paper's surface syntax.
+//
+// Grammar (whitespace-insensitive between steps):
+//
+//	path   ::= "ε" | "" | steps
+//	steps  ::= step ( "/" step )*        -- "//" introduces a descendant step
+//	step   ::= NAME | "@" NAME | "//" step
+//
+// Examples: "ε", "book/chapter", "//book/@isbn", "//book//section/name".
+// A leading "/" is tolerated and ignored (absolute paths are written from
+// the root in the paper). Attribute steps may only appear last.
+func Parse(s string) (Path, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "ε" || s == "." {
+		return Epsilon, nil
+	}
+	var steps []Step
+	i := 0
+	// Tolerate one leading '/' ("absolute" spelling); "//" is handled below.
+	if strings.HasPrefix(s, "/") && !strings.HasPrefix(s, "//") {
+		i = 1
+	}
+	for i < len(s) {
+		switch {
+		case strings.HasPrefix(s[i:], "//"):
+			steps = append(steps, Step{Kind: DescendantOrSelf})
+			i += 2
+		case s[i] == '/':
+			i++
+		default:
+			j := i
+			for j < len(s) && s[j] != '/' {
+				j++
+			}
+			name := strings.TrimSpace(s[i:j])
+			if name == "." {
+				// Self step: contributes nothing (ε).
+				i = j
+				continue
+			}
+			if name == ".." {
+				return Path{}, fmt.Errorf("xpath: parse %q: parent steps are not in the path language", s)
+			}
+			if err := checkName(name); err != nil {
+				return Path{}, fmt.Errorf("xpath: parse %q: %w", s, err)
+			}
+			steps = append(steps, Step{Kind: Label, Name: name})
+			i = j
+		}
+	}
+	if len(steps) == 0 {
+		return Path{}, fmt.Errorf("xpath: parse %q: empty path expression", s)
+	}
+	for k, st := range steps[:len(steps)-1] {
+		if st.IsAttribute() {
+			return Path{}, fmt.Errorf("xpath: parse %q: attribute step %s at non-final position %d", s, st, k)
+		}
+	}
+	return Path{steps: steps}.Normalize(), nil
+}
+
+// MustParse is like Parse but panics on error. Intended for tests and
+// package-level declarations of literal paths.
+func MustParse(s string) Path {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func checkName(name string) error {
+	bare := strings.TrimPrefix(name, "@")
+	if bare == "" {
+		return fmt.Errorf("empty step name")
+	}
+	if strings.ContainsAny(bare, "@/(){}, \t\n") {
+		return fmt.Errorf("invalid step name %q", name)
+	}
+	return nil
+}

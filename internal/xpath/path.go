@@ -1,0 +1,221 @@
+// Package xpath implements the path language of Davidson et al. (ICDE 2003),
+// a common fragment of regular expressions and XPath:
+//
+//	P ::= ε | l | P/P | //
+//
+// where ε is the empty path, l is a node label, "/" is concatenation (child
+// in XPath) and "//" is descendant-or-self. A path expression denotes a set
+// of paths (label sequences); "//" matches any path, including the empty one.
+//
+// Attributes are modelled as labels beginning with '@'. By convention an
+// attribute step may only appear as the final step of a path, mirroring the
+// XML data model where attributes are leaves.
+package xpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StepKind distinguishes the two kinds of steps in a path expression.
+type StepKind uint8
+
+const (
+	// Label is a single node-label step (an element name, or an attribute
+	// name beginning with '@').
+	Label StepKind = iota
+	// DescendantOrSelf is the "//" step; it matches any label sequence,
+	// including the empty one.
+	DescendantOrSelf
+)
+
+// Step is one step of a path expression.
+type Step struct {
+	Kind StepKind
+	// Name is the node label for Label steps; empty for DescendantOrSelf.
+	Name string
+}
+
+// IsAttribute reports whether the step is an attribute label (starts with '@').
+func (s Step) IsAttribute() bool {
+	return s.Kind == Label && strings.HasPrefix(s.Name, "@")
+}
+
+func (s Step) String() string {
+	if s.Kind == DescendantOrSelf {
+		return "//"
+	}
+	return s.Name
+}
+
+// Path is a path expression: a sequence of steps. The zero value is ε, the
+// empty path. Path values are immutable by convention: all methods return
+// fresh values and never mutate the receiver's backing array.
+type Path struct {
+	steps []Step
+}
+
+// Epsilon is the empty path ε.
+var Epsilon = Path{}
+
+// New builds a path expression from the given steps.
+// It panics if an attribute step appears in a non-final position, since such
+// paths denote the empty set in the XML data model.
+func New(steps ...Step) Path {
+	for i, s := range steps[:max(0, len(steps)-1)] {
+		if s.IsAttribute() {
+			panic(fmt.Sprintf("xpath: attribute step %s at non-final position %d", s, i))
+		}
+	}
+	cp := make([]Step, len(steps))
+	copy(cp, steps)
+	return Path{steps: cp}
+}
+
+// Elem returns a single-step path consisting of the element label l.
+func Elem(l string) Path { return Path{steps: []Step{{Kind: Label, Name: l}}} }
+
+// Attr returns a single-step path consisting of the attribute label @name.
+// The leading '@' is added if absent.
+func Attr(name string) Path {
+	if !strings.HasPrefix(name, "@") {
+		name = "@" + name
+	}
+	return Path{steps: []Step{{Kind: Label, Name: name}}}
+}
+
+// Desc is the descendant-or-self path "//".
+var Desc = Path{steps: []Step{{Kind: DescendantOrSelf}}}
+
+// Steps returns a copy of the path's steps.
+func (p Path) Steps() []Step {
+	cp := make([]Step, len(p.steps))
+	copy(cp, p.steps)
+	return cp
+}
+
+// Len returns the number of steps in the path expression.
+func (p Path) Len() int { return len(p.steps) }
+
+// Step returns the i-th step.
+func (p Path) Step(i int) Step { return p.steps[i] }
+
+// IsEpsilon reports whether the path is the empty path ε.
+func (p Path) IsEpsilon() bool { return len(p.steps) == 0 }
+
+// IsSimple reports whether the path contains no "//" steps. The
+// transformation language of the paper requires variable mappings from
+// non-root variables to use simple paths.
+func (p Path) IsSimple() bool {
+	for _, s := range p.steps {
+		if s.Kind == DescendantOrSelf {
+			return false
+		}
+	}
+	return true
+}
+
+// HasAttribute reports whether the final step is an attribute step.
+func (p Path) HasAttribute() bool {
+	return len(p.steps) > 0 && p.steps[len(p.steps)-1].IsAttribute()
+}
+
+// AttributeName returns the name (without '@') of the final attribute step,
+// and whether the path ends in one.
+func (p Path) AttributeName() (string, bool) {
+	if !p.HasAttribute() {
+		return "", false
+	}
+	return strings.TrimPrefix(p.steps[len(p.steps)-1].Name, "@"), true
+}
+
+// StripAttribute returns the path with a trailing attribute step removed,
+// or the path itself if it does not end in one.
+func (p Path) StripAttribute() Path {
+	if !p.HasAttribute() {
+		return p
+	}
+	return Path{steps: p.steps[:len(p.steps)-1]}
+}
+
+// Concat returns the concatenation p/q. Adjacent "//" steps are merged,
+// since ////… denotes the same path set as //. It panics if p ends in an
+// attribute step and q is non-empty.
+func (p Path) Concat(q Path) Path {
+	if q.IsEpsilon() {
+		return p
+	}
+	if p.HasAttribute() {
+		panic(fmt.Sprintf("xpath: cannot extend attribute-final path %s with %s", p, q))
+	}
+	out := make([]Step, 0, len(p.steps)+len(q.steps))
+	out = append(out, p.steps...)
+	for _, s := range q.steps {
+		if s.Kind == DescendantOrSelf && len(out) > 0 && out[len(out)-1].Kind == DescendantOrSelf {
+			continue // //·// ≡ //
+		}
+		out = append(out, s)
+	}
+	return Path{steps: out}
+}
+
+// Normalize returns an equivalent path with adjacent "//" steps merged.
+func (p Path) Normalize() Path {
+	out := make([]Step, 0, len(p.steps))
+	for _, s := range p.steps {
+		if s.Kind == DescendantOrSelf && len(out) > 0 && out[len(out)-1].Kind == DescendantOrSelf {
+			continue
+		}
+		out = append(out, s)
+	}
+	return Path{steps: out}
+}
+
+// Split returns the prefix p[0:i] and suffix p[i:] as two paths.
+// i ranges over 0..Len(). Splitting never copies step data it does not own.
+func (p Path) Split(i int) (prefix, suffix Path) {
+	return Path{steps: p.steps[:i]}, Path{steps: p.steps[i:]}
+}
+
+// Equal reports whether p and q are syntactically identical after
+// normalization (merging of adjacent // steps).
+func (p Path) Equal(q Path) bool {
+	a, b := p.Normalize().steps, q.Normalize().steps
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the path in the paper's notation: steps joined by '/',
+// with "//" absorbing its separators (e.g. ε, book/chapter, //book/@isbn).
+func (p Path) String() string {
+	if p.IsEpsilon() {
+		return "ε"
+	}
+	var b strings.Builder
+	for i, s := range p.steps {
+		switch s.Kind {
+		case DescendantOrSelf:
+			b.WriteString("//")
+		default:
+			if i > 0 && p.steps[i-1].Kind != DescendantOrSelf {
+				b.WriteByte('/')
+			}
+			b.WriteString(s.Name)
+		}
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

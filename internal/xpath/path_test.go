@@ -1,0 +1,385 @@
+package xpath
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndString(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"ε", "ε"},
+		{"", "ε"},
+		{".", "ε"},
+		{"book", "book"},
+		{"book/chapter", "book/chapter"},
+		{"//book", "//book"},
+		{"//book/chapter", "//book/chapter"},
+		{"//book//section", "//book//section"},
+		{"//book/@isbn", "//book/@isbn"},
+		{"book/chapter/@number", "book/chapter/@number"},
+		{"////book", "//book"},
+		{"/book", "book"},
+		{"author/contact", "author/contact"},
+		{"//", "//"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := p.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"@isbn/title",   // attribute not last
+		"//@a/b",        // attribute not last
+		"book/@@a",      // invalid name
+		"a/(b)",         // invalid char
+		"a b/c",         // space inside name
+		"@",             // empty attribute name
+		"book//@a/rest", // attribute not last after //
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error, got none", in)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, in := range []string{"ε", "book", "//book/chapter/@number", "a/b//c/d", "//a//b"} {
+		p := MustParse(in)
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", p.String(), err)
+		}
+		if !p.Equal(q) {
+			t.Errorf("round trip %q -> %q -> %q not equal", in, p, q)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	cases := []struct{ a, b, want string }{
+		{"ε", "book", "book"},
+		{"book", "ε", "book"},
+		{"//book", "chapter", "//book/chapter"},
+		{"//book", "//section", "//book//section"},
+		{"//", "//", "//"},
+		{"a//", "//b", "a//b"},
+		{"book/chapter", "@number", "book/chapter/@number"},
+	}
+	for _, c := range cases {
+		got := MustParse(c.a).Concat(MustParse(c.b))
+		if got.String() != c.want {
+			t.Errorf("Concat(%q, %q) = %q, want %q", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestConcatPanicsOnAttributeExtension(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic extending @isbn with title")
+		}
+	}()
+	MustParse("book/@isbn").Concat(MustParse("title"))
+}
+
+func TestNewPanicsOnInteriorAttribute(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for interior attribute step")
+		}
+	}()
+	New(Step{Kind: Label, Name: "@a"}, Step{Kind: Label, Name: "b"})
+}
+
+func TestPredicates(t *testing.T) {
+	p := MustParse("//book/chapter/@number")
+	if p.IsSimple() {
+		t.Error("//book/chapter/@number should not be simple")
+	}
+	if !MustParse("book/chapter").IsSimple() {
+		t.Error("book/chapter should be simple")
+	}
+	if !Epsilon.IsSimple() || !Epsilon.IsEpsilon() {
+		t.Error("ε should be simple and epsilon")
+	}
+	if !p.HasAttribute() {
+		t.Error("path should end in attribute")
+	}
+	name, ok := p.AttributeName()
+	if !ok || name != "number" {
+		t.Errorf("AttributeName = %q, %v", name, ok)
+	}
+	if got := p.StripAttribute().String(); got != "//book/chapter" {
+		t.Errorf("StripAttribute = %q", got)
+	}
+	if got := MustParse("a/b").StripAttribute().String(); got != "a/b" {
+		t.Errorf("StripAttribute on non-attribute path = %q", got)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	p := MustParse("//book/chapter")
+	for i := 0; i <= p.Len(); i++ {
+		pre, suf := p.Split(i)
+		if got := pre.Concat(suf); !got.Equal(p) {
+			t.Errorf("Split(%d): %q ++ %q = %q, want %q", i, pre, suf, got, p)
+		}
+	}
+}
+
+func TestContainment(t *testing.T) {
+	cases := []struct {
+		p, q string
+		want bool
+	}{
+		{"book", "//book", true},
+		{"//book", "book", false},
+		{"a/b/c", "//c", true},
+		{"a/b/c", "//b", false},
+		{"a/b/c", "a//c", true},
+		{"a/b/c", "a//b//c", true},
+		{"a/c", "a//b//c", false},
+		{"ε", "//", true},
+		{"//", "ε", false},
+		{"ε", "ε", true},
+		{"//", "//", true},
+		{"//a//", "//", true},
+		{"//", "//a//", false},
+		{"a//b", "a//b", true},
+		{"a/b", "a//b", true},
+		{"a//b", "a/b", false},
+		{"//book/chapter", "//chapter", true},
+		{"//chapter", "//book/chapter", false},
+		{"//book/chapter/section", "//book//section", true},
+		{"//book/@isbn", "//@isbn", true},
+		{"//book/@isbn", "//book/@id", false},
+		{"a/b//c/d", "//b//d", true},
+		{"a/b//c/d", "a//d", true},
+		{"a/b//c/d", "//c//b//", false},
+		{"x", "//x//", true},
+		{"x/y", "//x//", true},
+		{"y/x", "//x//", true},
+		{"y/z", "//x//", false},
+	}
+	for _, c := range cases {
+		p, q := MustParse(c.p), MustParse(c.q)
+		if got := p.ContainedIn(q); got != c.want {
+			t.Errorf("(%q ⊆ %q) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestContainmentPaperExamples(t *testing.T) {
+	// From §2: book/chapter ∈ ε/book/chapter and book/chapter ∈ //chapter.
+	ρ := []string{"book", "chapter"}
+	if !MustParse("book/chapter").Matches(ρ) {
+		t.Error("book/chapter should match itself")
+	}
+	if !MustParse("//chapter").Matches(ρ) {
+		t.Error("//chapter should match book/chapter")
+	}
+	if MustParse("//section").Matches(ρ) {
+		t.Error("//section should not match book/chapter")
+	}
+	if !MustParse("//").Matches(nil) {
+		t.Error("// should match the empty path")
+	}
+	if !Epsilon.Matches(nil) {
+		t.Error("ε should match the empty path")
+	}
+	if Epsilon.Matches([]string{"a"}) {
+		t.Error("ε should not match a non-empty path")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	cases := []struct {
+		p, q string
+		want bool
+	}{
+		{"a/b", "//b", true},
+		{"a/b", "//c", false},
+		{"//a", "//b", false},
+		{"//a//", "//b", true}, // e.g. a/b
+		{"a//c", "//b//", true},
+		{"ε", "//", true},
+		{"ε", "a", false},
+		{"a/b/c", "a/b/c", true},
+		{"a/b/c", "a/b", false},
+	}
+	for _, c := range cases {
+		p, q := MustParse(c.p), MustParse(c.q)
+		if got := p.Intersects(q); got != c.want {
+			t.Errorf("Intersects(%q, %q) = %v, want %v", c.p, c.q, got, c.want)
+		}
+		if got := q.Intersects(p); got != c.want {
+			t.Errorf("Intersects(%q, %q) = %v, want %v (symmetry)", c.q, c.p, got, c.want)
+		}
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	if !MustParse("////a").Equivalent(MustParse("//a")) {
+		t.Error("////a ≡ //a")
+	}
+	if MustParse("//a").Equivalent(MustParse("a")) {
+		t.Error("//a ≢ a")
+	}
+}
+
+// randomPath builds a random path expression with up to n steps.
+func randomPath(r *rand.Rand, n int) Path {
+	labels := []string{"a", "b", "c"}
+	var steps []Step
+	k := r.Intn(n + 1)
+	for i := 0; i < k; i++ {
+		if r.Intn(3) == 0 {
+			steps = append(steps, Step{Kind: DescendantOrSelf})
+		} else {
+			steps = append(steps, Step{Kind: Label, Name: labels[r.Intn(len(labels))]})
+		}
+	}
+	return Path{steps: steps}.Normalize()
+}
+
+// TestContainmentAgainstSampling cross-checks the containment DP against
+// direct membership of enumerated witnesses: if p ⊆ q, every sample of p
+// must match q; if p ⊄ q, some sample of p must fail to match q (complete
+// for this fragment because a violating witness needs gaps no longer than
+// |q|+1 fresh labels).
+func TestContainmentAgainstSampling(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		p, q := randomPath(r, 5), randomPath(r, 5)
+		got := p.ContainedIn(q)
+		samples := p.Samples(q.Len()+2, 4000, []string{"z", "w"})
+		sawViolation := false
+		for _, s := range samples {
+			if !q.Matches(s) {
+				sawViolation = true
+				if got {
+					t.Fatalf("p=%v q=%v: DP says contained but witness %v not in q", p, q, s)
+				}
+				break
+			}
+		}
+		if !got && !sawViolation {
+			t.Fatalf("p=%v q=%v: DP says not contained but no violating witness among %d samples", p, q, len(samples))
+		}
+	}
+}
+
+// TestContainmentReflexiveTransitive checks algebraic laws on random paths.
+func TestContainmentLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 3000; trial++ {
+		p, q, s := randomPath(r, 4), randomPath(r, 4), randomPath(r, 4)
+		if !p.ContainedIn(p) {
+			t.Fatalf("reflexivity failed for %v", p)
+		}
+		if p.ContainedIn(q) && q.ContainedIn(s) && !p.ContainedIn(s) {
+			t.Fatalf("transitivity failed: %v ⊆ %v ⊆ %v", p, q, s)
+		}
+		// Concatenation is monotone: p ⊆ q implies p/s ⊆ q/s and s/p ⊆ s/q.
+		if p.ContainedIn(q) {
+			if !p.Concat(s).ContainedIn(q.Concat(s)) {
+				t.Fatalf("right-monotonicity failed: %v ⊆ %v but %v ⊄ %v", p, q, p.Concat(s), q.Concat(s))
+			}
+			if !s.Concat(p).ContainedIn(s.Concat(q)) {
+				t.Fatalf("left-monotonicity failed: %v ⊆ %v", p, q)
+			}
+		}
+		// Everything is contained in // and contains nothing below ε except ε.
+		if !p.ContainedIn(Desc) {
+			t.Fatalf("%v ⊄ //", p)
+		}
+		if p.ContainedIn(Epsilon) && !p.IsEpsilon() {
+			t.Fatalf("%v ⊆ ε but p is not ε", p)
+		}
+	}
+}
+
+func TestIntersectsConsistentWithContainment(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 3000; trial++ {
+		p, q := randomPath(r, 4), randomPath(r, 4)
+		// Containment implies intersection (languages are never empty).
+		if p.ContainedIn(q) && !p.Intersects(q) {
+			t.Fatalf("%v ⊆ %v but languages do not intersect", p, q)
+		}
+	}
+}
+
+func TestQuickConcatAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		_ = r
+		a, b, c := randomPath(rr, 3), randomPath(rr, 3), randomPath(rr, 3)
+		return a.Concat(b).Concat(c).Equal(a.Concat(b.Concat(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplesAllMatch(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		p := randomPath(r, 5)
+		for _, s := range p.Samples(3, 200, []string{"q"}) {
+			if !p.Matches(s) {
+				t.Fatalf("sample %v of %v does not match its own pattern", s, p)
+			}
+		}
+	}
+}
+
+func TestStepString(t *testing.T) {
+	if got := (Step{Kind: DescendantOrSelf}).String(); got != "//" {
+		t.Errorf("desc step = %q", got)
+	}
+	if got := (Step{Kind: Label, Name: "book"}).String(); got != "book" {
+		t.Errorf("label step = %q", got)
+	}
+	if !(Step{Kind: Label, Name: "@isbn"}).IsAttribute() {
+		t.Error("@isbn should be an attribute step")
+	}
+	if (Step{Kind: DescendantOrSelf}).IsAttribute() {
+		t.Error("// is not an attribute step")
+	}
+}
+
+func TestAttrHelper(t *testing.T) {
+	if got := Attr("isbn").String(); got != "@isbn" {
+		t.Errorf("Attr(isbn) = %q", got)
+	}
+	if got := Attr("@isbn").String(); got != "@isbn" {
+		t.Errorf("Attr(@isbn) = %q", got)
+	}
+	if got := Elem("book").Concat(Attr("isbn")).String(); got != "book/@isbn" {
+		t.Errorf("book/@isbn = %q", got)
+	}
+}
+
+func TestStringUsesSlashSeparators(t *testing.T) {
+	p := MustParse("a//b/c")
+	if got := p.String(); got != "a//b/c" {
+		t.Errorf("String = %q", got)
+	}
+	if strings.Contains(MustParse("//a").String(), "///") {
+		t.Error("no triple slashes expected")
+	}
+}

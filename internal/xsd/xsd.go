@@ -1,0 +1,241 @@
+// Package xsd imports XML Schema identity constraints (xs:key, xs:unique)
+// into the paper's key class K̄. The paper (§1, §2) notes that the keys it
+// studies are a subset of XML Schema's; this package makes that connection
+// executable for the schema fragment whose constraints fall inside K̄:
+//
+//   - selectors that are chains of child steps, optionally rooted with
+//     ".//" (descendant-or-self) — the path language P of the paper;
+//   - fields that are single attribute steps ("@a"), the key-path
+//     restriction of K̄.
+//
+// Constraints using element fields, wildcards, unions ('|') or predicates
+// are outside K̄ and are reported as errors naming the constraint.
+//
+// Context derivation: an identity constraint declared on an element
+// declaration E holds within every E element. For a constraint on the
+// schema's top-level element the context is ε (an absolute key); for a
+// constraint on a nested declaration the context is "//" followed by the
+// label path of the declaration chain (e.g. a key on the chapter
+// declaration inside book becomes context //book/chapter — exactly the
+// form of the paper's φ2/φ6). The "//" prefix assumes documents are
+// schema-valid: in a valid document the declared elements occur only on
+// their declared paths, so the liberal context selects the same nodes
+// while composing with descendant-based table rules.
+//
+// xs:unique differs from xs:key in XML Schema by not requiring fields to
+// exist. The strict K̄ semantics (Definition 2.1) requires existence, so
+// importing an xs:unique as a K̄ key strengthens it; Import records a
+// warning for each such constraint instead of silently changing meaning.
+package xsd
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"xkprop/internal/xmlkey"
+	"xkprop/internal/xpath"
+)
+
+// Result is the outcome of importing a schema.
+type Result struct {
+	// Keys are the imported K̄ keys, in declaration order.
+	Keys []xmlkey.Key
+	// Warnings notes semantic strengthenings (e.g. xs:unique treated as
+	// existence-requiring).
+	Warnings []string
+}
+
+// xsdSchema mirrors the fragment of XML Schema we read.
+type xsdSchema struct {
+	XMLName  xml.Name     `xml:"schema"`
+	Elements []xsdElement `xml:"element"`
+}
+
+type xsdElement struct {
+	Name        string          `xml:"name,attr"`
+	MaxOccurs   string          `xml:"maxOccurs,attr"`
+	Keys        []xsdConstraint `xml:"key"`
+	Uniques     []xsdConstraint `xml:"unique"`
+	ComplexType *xsdComplexType `xml:"complexType"`
+}
+
+// atMostOnce reports whether the declaration admits at most one occurrence
+// per parent (XML Schema's default maxOccurs is 1).
+func (e xsdElement) atMostOnce() bool {
+	return e.MaxOccurs == "" || e.MaxOccurs == "0" || e.MaxOccurs == "1"
+}
+
+type xsdComplexType struct {
+	Sequence *xsdSequence `xml:"sequence"`
+}
+
+type xsdSequence struct {
+	Elements []xsdElement `xml:"element"`
+}
+
+type xsdConstraint struct {
+	Name     string     `xml:"name,attr"`
+	Selector xsdXPath   `xml:"selector"`
+	Fields   []xsdXPath `xml:"field"`
+}
+
+type xsdXPath struct {
+	XPath string `xml:"xpath,attr"`
+}
+
+// Import reads an XML Schema document and extracts its identity
+// constraints as K̄ keys.
+func Import(r io.Reader) (*Result, error) {
+	var s xsdSchema
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("xsd: parse schema: %w", err)
+	}
+	if len(s.Elements) == 0 {
+		return nil, fmt.Errorf("xsd: schema declares no elements")
+	}
+	res := &Result{}
+	for _, el := range s.Elements {
+		// The top-level declaration is the document root: its constraints
+		// are absolute (context ε); the root element label itself is not
+		// part of paths in the paper's model (paths start below the root).
+		if err := walk(el, xpath.Epsilon, true, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ImportString is Import over a string.
+func ImportString(s string) (*Result, error) { return Import(strings.NewReader(s)) }
+
+func walk(el xsdElement, ctx xpath.Path, isRoot bool, res *Result) error {
+	elCtx := ctx
+	if !isRoot {
+		if ctx.IsEpsilon() {
+			// First nested level: liberalize to a descendant context (see
+			// the package comment on schema-validity).
+			elCtx = xpath.Desc.Concat(xpath.Elem(el.Name))
+		} else {
+			elCtx = ctx.Concat(xpath.Elem(el.Name))
+		}
+	}
+	for _, c := range el.Keys {
+		k, err := convert(c, elCtx)
+		if err != nil {
+			return err
+		}
+		res.Keys = append(res.Keys, k)
+	}
+	for _, c := range el.Uniques {
+		k, err := convert(c, elCtx)
+		if err != nil {
+			return err
+		}
+		res.Keys = append(res.Keys, k)
+		res.Warnings = append(res.Warnings,
+			fmt.Sprintf("xs:unique %q imported as a K̄ key: fields become required on every selected node (Definition 2.1 is strict)", c.Name))
+	}
+	if el.ComplexType != nil && el.ComplexType.Sequence != nil {
+		for _, child := range el.ComplexType.Sequence.Elements {
+			// Occurrence-derived uniqueness: a child declared with
+			// maxOccurs <= 1 yields the K̄ key (ctx, (child, {})) — "at
+			// most one child per parent" — sound for schema-valid
+			// documents. This is the structural-constraint derivation in
+			// the spirit of CPI [Lee & Chu, ER'00], which the paper cites
+			// as complementary to identity-constraint propagation.
+			if child.atMostOnce() {
+				res.Keys = append(res.Keys, xmlkey.New(
+					child.Name+"_once", elCtx, xpath.Elem(child.Name)))
+			}
+			if err := walk(child, elCtx, false, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func convert(c xsdConstraint, ctx xpath.Path) (xmlkey.Key, error) {
+	target, err := parseSelector(c.Selector.XPath)
+	if err != nil {
+		return xmlkey.Key{}, fmt.Errorf("xsd: constraint %q: %w", c.Name, err)
+	}
+	if len(c.Fields) == 0 {
+		return xmlkey.Key{}, fmt.Errorf("xsd: constraint %q: no fields", c.Name)
+	}
+	var attrs []string
+	for _, f := range c.Fields {
+		a, err := parseField(f.XPath)
+		if err != nil {
+			return xmlkey.Key{}, fmt.Errorf("xsd: constraint %q: %w", c.Name, err)
+		}
+		attrs = append(attrs, a)
+	}
+	return xmlkey.New(c.Name, ctx, target, attrs...), nil
+}
+
+// parseSelector converts an XML Schema selector xpath into a K̄ target
+// path. Accepted forms: chains of child steps ("a/b"), optionally rooted
+// with ".//" (descendant-or-self), with "./" prefixes tolerated.
+func parseSelector(s string) (xpath.Path, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return xpath.Path{}, fmt.Errorf("empty selector")
+	}
+	if strings.Contains(s, "|") {
+		return xpath.Path{}, fmt.Errorf("selector %q: unions ('|') are outside K̄", s)
+	}
+	if strings.ContainsAny(s, "[]") {
+		return xpath.Path{}, fmt.Errorf("selector %q: predicates are outside K̄", s)
+	}
+	p := xpath.Epsilon
+	rest := s
+	if strings.HasPrefix(rest, ".//") {
+		p = xpath.Desc
+		rest = rest[3:]
+	} else {
+		rest = strings.TrimPrefix(rest, "./")
+	}
+	if rest == "" || rest == "." {
+		return xpath.Path{}, fmt.Errorf("selector %q selects the context node itself; K̄ targets must be element paths", s)
+	}
+	for _, step := range strings.Split(rest, "/") {
+		step = strings.TrimSpace(step)
+		switch {
+		case step == "":
+			return xpath.Path{}, fmt.Errorf("selector %q: internal '//' steps are not in the XML Schema selector grammar", s)
+		case step == "*":
+			return xpath.Path{}, fmt.Errorf("selector %q: wildcards are outside K̄", s)
+		case strings.HasPrefix(step, "@"):
+			return xpath.Path{}, fmt.Errorf("selector %q: attribute steps belong in fields", s)
+		case strings.Contains(step, ":"):
+			// Strip namespace prefixes: the paper's model is namespace-free.
+			step = step[strings.Index(step, ":")+1:]
+			fallthrough
+		default:
+			p = p.Concat(xpath.Elem(step))
+		}
+	}
+	return p, nil
+}
+
+// parseField converts a field xpath, which must denote a single attribute
+// ("@a" or "./@a"), into the attribute name.
+func parseField(s string) (string, error) {
+	f := strings.TrimSpace(s)
+	f = strings.TrimPrefix(f, "./")
+	if !strings.HasPrefix(f, "@") {
+		return "", fmt.Errorf("field %q: K̄ key paths are attributes (@name); element fields are outside K̄ (Theorem 3.2 motivates the restriction)", s)
+	}
+	name := strings.TrimPrefix(f, "@")
+	if name == "" || strings.ContainsAny(name, "/@*|[] ") {
+		return "", fmt.Errorf("field %q: malformed attribute name", s)
+	}
+	if i := strings.Index(name, ":"); i >= 0 {
+		name = name[i+1:]
+	}
+	return name, nil
+}

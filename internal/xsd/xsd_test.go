@@ -1,0 +1,263 @@
+package xsd
+
+import (
+	"strings"
+	"testing"
+
+	"xkprop/internal/xmlkey"
+	"xkprop/internal/xmltree"
+)
+
+// paperSchema expresses Example 2.1's constraints in XML Schema syntax.
+const paperSchema = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="r">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="book" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="chapter" maxOccurs="unbounded">
+                <xs:key name="sectionKey">
+                  <xs:selector xpath="section"/>
+                  <xs:field xpath="@number"/>
+                </xs:key>
+              </xs:element>
+            </xs:sequence>
+          </xs:complexType>
+          <xs:key name="chapterKey">
+            <xs:selector xpath="chapter"/>
+            <xs:field xpath="@number"/>
+          </xs:key>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+    <xs:key name="bookKey">
+      <xs:selector xpath=".//book"/>
+      <xs:field xpath="@isbn"/>
+    </xs:key>
+  </xs:element>
+</xs:schema>`
+
+func TestImportPaperConstraints(t *testing.T) {
+	res, err := ImportString(paperSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Keys) != 3 {
+		t.Fatalf("imported %d keys, want 3: %v", len(res.Keys), res.Keys)
+	}
+	byName := map[string]string{}
+	for _, k := range res.Keys {
+		byName[k.Name] = k.String()
+	}
+	want := map[string]string{
+		"bookKey":    "bookKey = (ε, (//book, {@isbn}))",
+		"chapterKey": "chapterKey = (//book, (chapter, {@number}))",
+		"sectionKey": "sectionKey = (//book/chapter, (section, {@number}))",
+	}
+	for name, w := range want {
+		if byName[name] != w {
+			t.Errorf("%s = %q, want %q", name, byName[name], w)
+		}
+	}
+	if len(res.Warnings) != 0 {
+		t.Errorf("unexpected warnings: %v", res.Warnings)
+	}
+}
+
+// TestImportedKeysBehaveLikeHandWritten: imported keys drive the same
+// satisfaction verdicts as the paper's hand-written keys on Fig 1 data.
+func TestImportedKeysBehaveLikeHandWritten(t *testing.T) {
+	res, err := ImportString(paperSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmltree.MustParseString(`
+		<r>
+		  <book isbn="123"><chapter number="1"><section number="1"/><section number="2"/></chapter></book>
+		  <book isbn="234"><chapter number="1"/></book>
+		</r>`)
+	if !xmlkey.SatisfiesAll(doc, res.Keys) {
+		t.Fatalf("conforming document rejected: %v", xmlkey.ValidateAll(doc, res.Keys))
+	}
+	bad := xmltree.MustParseString(`
+		<r><book isbn="1"/><book isbn="1"/></r>`)
+	if xmlkey.SatisfiesAll(bad, res.Keys) {
+		t.Error("duplicate isbn must violate the imported bookKey")
+	}
+	// Imported relative keys are correctly scoped: same chapter number in
+	// different books is fine.
+	twoBooks := xmltree.MustParseString(`
+		<r><book isbn="1"><chapter number="1"/></book><book isbn="2"><chapter number="1"/></book></r>`)
+	if !xmlkey.SatisfiesAll(twoBooks, res.Keys) {
+		t.Error("relative chapter key must scope per book")
+	}
+}
+
+func TestImportUniqueWarns(t *testing.T) {
+	res, err := ImportString(`
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="r">
+    <xs:unique name="titleUnique">
+      <xs:selector xpath=".//book"/>
+      <xs:field xpath="@title"/>
+    </xs:unique>
+  </xs:element>
+</xs:schema>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Keys) != 1 || len(res.Warnings) != 1 {
+		t.Fatalf("keys=%d warnings=%d", len(res.Keys), len(res.Warnings))
+	}
+	if !strings.Contains(res.Warnings[0], "titleUnique") {
+		t.Errorf("warning should name the constraint: %s", res.Warnings[0])
+	}
+}
+
+func TestImportMultiFieldKey(t *testing.T) {
+	res, err := ImportString(`
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="grid">
+    <xs:key name="cellKey">
+      <xs:selector xpath=".//cell"/>
+      <xs:field xpath="@x"/>
+      <xs:field xpath="./@y"/>
+    </xs:key>
+  </xs:element>
+</xs:schema>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Keys[0].String(); got != "cellKey = (ε, (//cell, {@x, @y}))" {
+		t.Errorf("key = %q", got)
+	}
+}
+
+func TestImportNamespacePrefixesStripped(t *testing.T) {
+	res, err := ImportString(`
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="r">
+    <xs:key name="k">
+      <xs:selector xpath=".//bib:book/bib:edition"/>
+      <xs:field xpath="@bib:isbn"/>
+    </xs:key>
+  </xs:element>
+</xs:schema>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Keys[0].String(); got != "k = (ε, (//book/edition, {@isbn}))" {
+		t.Errorf("key = %q", got)
+	}
+}
+
+func TestImportRejectsOutsideKbar(t *testing.T) {
+	cases := []struct{ name, selector, field string }{
+		{"element field", ".//book", "title"},
+		{"wildcard selector", ".//*", "@id"},
+		{"union selector", "a|b", "@id"},
+		{"predicate selector", "a[1]", "@id"},
+		{"self selector", ".", "@id"},
+		{"empty selector", "", "@id"},
+		{"double slash inside", "a//b", "@id"},
+		{"attr in selector", "a/@b", "@id"},
+		{"malformed field", ".//a", "@x/y"},
+		{"empty field name", ".//a", "@"},
+	}
+	for _, c := range cases {
+		src := `
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="r">
+    <xs:key name="k">
+      <xs:selector xpath="` + c.selector + `"/>
+      <xs:field xpath="` + c.field + `"/>
+    </xs:key>
+  </xs:element>
+</xs:schema>`
+		if _, err := ImportString(src); err == nil {
+			t.Errorf("%s: expected an import error", c.name)
+		}
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	if _, err := ImportString("not xml at all <<<"); err == nil {
+		t.Error("malformed schema should error")
+	}
+	if _, err := ImportString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>`); err == nil {
+		t.Error("schema without elements should error")
+	}
+	if _, err := ImportString(`
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="r">
+    <xs:key name="k"><xs:selector xpath=".//a"/></xs:key>
+  </xs:element>
+</xs:schema>`); err == nil {
+		t.Error("key without fields should error")
+	}
+}
+
+// TestOccurrenceDerivedKeys: child declarations with default maxOccurs=1
+// yield "at most one" uniqueness keys; unbounded ones do not.
+func TestOccurrenceDerivedKeys(t *testing.T) {
+	res, err := ImportString(`
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="r">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="book" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="title"/>
+              <xs:element name="chapter" maxOccurs="unbounded"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Keys) != 1 {
+		t.Fatalf("keys = %v", res.Keys)
+	}
+	if got := res.Keys[0].String(); got != "title_once = (//book, (title, {}))" {
+		t.Errorf("derived key = %q", got)
+	}
+	// The derived key enforces at-most-one title per book.
+	two := xmltree.MustParseString(`<r><book><title/><title/></book></r>`)
+	if xmlkey.SatisfiesAll(two, res.Keys) {
+		t.Error("two titles must violate the derived key")
+	}
+	one := xmltree.MustParseString(`<r><book><title/><chapter/><chapter/></book></r>`)
+	if !xmlkey.SatisfiesAll(one, res.Keys) {
+		t.Error("repeated chapters are allowed (maxOccurs=unbounded)")
+	}
+}
+
+// TestOccurrenceDerivationExplicitMaxOccursOne covers maxOccurs="1".
+func TestOccurrenceDerivationExplicitMaxOccursOne(t *testing.T) {
+	res, err := ImportString(`
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="r">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="meta" maxOccurs="1"/>
+        <xs:element name="row" maxOccurs="5"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// meta derives a key; row (maxOccurs=5 > 1) does not — bounded
+	// repetition above one is not a uniqueness constraint.
+	if len(res.Keys) != 1 || res.Keys[0].Name != "meta_once" {
+		t.Fatalf("keys = %v", res.Keys)
+	}
+}

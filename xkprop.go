@@ -1,0 +1,205 @@
+// Package xkprop is the public API of the xkprop library, a from-scratch
+// implementation of "Propagating XML Constraints to Relations" (Davidson,
+// Fan, Hara, Qin — ICDE 2003).
+//
+// The library answers two questions about relational storage of XML data:
+//
+//  1. Given XML keys Σ and a transformation σ from XML to relations, is a
+//     relational functional dependency guaranteed to hold on every
+//     generated instance? (Propagates — Algorithm propagation)
+//  2. Given a universal relation defined by one table rule, what is a
+//     minimum cover of all FDs propagated from Σ? (MinimumCover —
+//     Algorithm minimumCover), from which BCNF/3NF refinements follow.
+//
+// The package re-exports the building blocks: the path language (Path),
+// XML trees (Tree), XML keys of class K̄ (Key), table rules and
+// transformations (Rule, Transformation), relational schemas, FDs and
+// instances (Schema, FD, Relation), and the propagation engine (Engine).
+//
+// # Quick start
+//
+//	doc, _ := xkprop.ParseDocument(strings.NewReader(xmlData))
+//	sigma, _ := xkprop.ParseKeys(strings.NewReader(`
+//		(ε, (//book, {@isbn}))
+//		(//book, (chapter, {@number}))`))
+//	tr, _ := xkprop.ParseTransformation(strings.NewReader(`
+//		rule chapter(inBook: y1, number: y2, name: y3) {
+//		  ya := root / //book
+//		  y1 := ya / @isbn
+//		  yc := ya / chapter
+//		  y2 := yc / @number
+//		  y3 := yc / name
+//		}`))
+//	rule := tr.Rule("chapter")
+//	fd, _ := xkprop.ParseFD(rule.Schema, "inBook, number -> name")
+//	ok := xkprop.Propagates(sigma, rule, fd) // true
+//
+// See the examples/ directory for complete programs.
+package xkprop
+
+import (
+	"io"
+
+	"xkprop/internal/core"
+	"xkprop/internal/rel"
+	"xkprop/internal/transform"
+	"xkprop/internal/xmlkey"
+	"xkprop/internal/xmltree"
+	"xkprop/internal/xpath"
+)
+
+// Core types, re-exported as aliases so values flow freely between the
+// public API and the internal packages.
+type (
+	// Path is a path expression of the language P ::= ε | l | P/P | //.
+	Path = xpath.Path
+	// Key is an XML key (Q, (Q', {@a1..@ak})) of class K̄.
+	Key = xmlkey.Key
+	// Violation reports how a document fails a key.
+	Violation = xmlkey.Violation
+	// Tree is an XML tree; Node is one of its nodes.
+	Tree = xmltree.Tree
+	// Node is a node of an XML tree.
+	Node = xmltree.Node
+	// Schema is a relation schema.
+	Schema = rel.Schema
+	// AttrSet is a set of schema attribute positions.
+	AttrSet = rel.AttrSet
+	// FD is a functional dependency X → Y.
+	FD = rel.FD
+	// FDViolation reports how an instance fails an FD.
+	FDViolation = rel.FDViolation
+	// Relation is a relation instance with nulls.
+	Relation = rel.Relation
+	// Tuple is one row of a relation instance.
+	Tuple = rel.Tuple
+	// Value is a field value (string or NULL).
+	Value = rel.Value
+	// Fragment is one relation of a normalization decomposition.
+	Fragment = rel.Fragment
+	// Rule is a table rule; its tree form is the paper's table tree.
+	Rule = transform.Rule
+	// FieldRule is a field rule f: value(x).
+	FieldRule = transform.FieldRule
+	// VarMapping is a variable mapping x ⇐ y/P.
+	VarMapping = transform.VarMapping
+	// Transformation is a set of table rules.
+	Transformation = transform.Transformation
+	// Engine runs the propagation and cover algorithms over one (Σ, rule)
+	// pair, reusing implication caches across queries.
+	Engine = core.Engine
+)
+
+// ParsePath parses a path expression, e.g. "//book/chapter/@number".
+func ParsePath(s string) (Path, error) { return xpath.Parse(s) }
+
+// MustParsePath is ParsePath but panics on error.
+func MustParsePath(s string) Path { return xpath.MustParse(s) }
+
+// ParseKey parses one key, e.g. "(ε, (//book, {@isbn}))".
+func ParseKey(s string) (Key, error) { return xmlkey.Parse(s) }
+
+// MustParseKey is ParseKey but panics on error.
+func MustParseKey(s string) Key { return xmlkey.MustParse(s) }
+
+// ParseKeys reads a key set, one key per line ('#' comments allowed).
+func ParseKeys(r io.Reader) ([]Key, error) { return xmlkey.ParseSet(r) }
+
+// ParseDocument reads an XML document into a Tree.
+func ParseDocument(r io.Reader) (*Tree, error) { return xmltree.Parse(r) }
+
+// ParseDocumentString is ParseDocument over a string.
+func ParseDocumentString(s string) (*Tree, error) { return xmltree.ParseString(s) }
+
+// ParseTransformation reads a transformation in the table-rule DSL.
+func ParseTransformation(r io.Reader) (*Transformation, error) { return transform.Parse(r) }
+
+// ParseTransformationString is ParseTransformation over a string.
+func ParseTransformationString(s string) (*Transformation, error) {
+	return transform.ParseString(s)
+}
+
+// ParseFD parses "a, b -> c" against a schema.
+func ParseFD(s *Schema, text string) (FD, error) { return rel.ParseFD(s, text) }
+
+// NewSchema builds a relation schema.
+func NewSchema(name string, attrs ...string) (*Schema, error) { return rel.NewSchema(name, attrs...) }
+
+// NewEngine builds a propagation engine for a key set and a table rule.
+func NewEngine(sigma []Key, rule *Rule) *Engine { return core.NewEngine(sigma, rule) }
+
+// Propagates reports whether the FD is propagated from sigma via the rule
+// (Algorithm propagation, §4 of the paper). For repeated queries over the
+// same inputs, build an Engine once and call its Propagates method.
+func Propagates(sigma []Key, rule *Rule, fd FD) bool {
+	return core.Propagates(sigma, rule, fd)
+}
+
+// MinimumCover computes a minimum cover of all FDs on the rule's
+// (universal) relation propagated from sigma (Algorithm minimumCover, §5).
+func MinimumCover(sigma []Key, rule *Rule) []FD {
+	return core.NewEngine(sigma, rule).MinimumCover()
+}
+
+// NaiveCover computes the same cover with the exponential baseline
+// (Algorithm naive, §5). It refuses schemas with more than 24 fields.
+func NaiveCover(sigma []Key, rule *Rule) []FD {
+	return core.NewEngine(sigma, rule).NaiveCover()
+}
+
+// ValidateKeys checks a document against a key set and returns all
+// violations (Definition 2.1's satisfaction semantics).
+func ValidateKeys(t *Tree, sigma []Key) []Violation {
+	return xmlkey.ValidateAll(t, sigma)
+}
+
+// SatisfiesKeys reports whether the document satisfies every key.
+func SatisfiesKeys(t *Tree, sigma []Key) bool { return xmlkey.SatisfiesAll(t, sigma) }
+
+// ImpliesKey reports whether sigma implies phi (Σ ⊨ φ, §4).
+func ImpliesKey(sigma []Key, phi Key) bool { return xmlkey.Implies(sigma, phi) }
+
+// IsTransitiveKeySet reports whether sigma is a transitive set (§4).
+func IsTransitiveKeySet(sigma []Key) bool { return xmlkey.IsTransitive(sigma) }
+
+// MinimizeFDs computes a non-redundant cover with singleton right-hand
+// sides and no extraneous attributes (the paper's minimize()).
+func MinimizeFDs(fds []FD) []FD { return rel.Minimize(fds) }
+
+// ImpliesFD reports whether the FDs imply f under Armstrong's axioms.
+func ImpliesFD(fds []FD, f FD) bool { return rel.Implies(fds, f) }
+
+// EquivalentCovers reports whether two FD sets have the same closure.
+func EquivalentCovers(f, g []FD) bool { return rel.EquivalentCovers(f, g) }
+
+// BCNF decomposes the attribute set into Boyce–Codd normal form under the
+// FDs (the refinement step of Examples 1.2/3.1).
+func BCNF(fds []FD, attrs AttrSet) []Fragment { return rel.BCNF(fds, attrs) }
+
+// ThreeNF synthesizes a lossless, dependency-preserving 3NF decomposition.
+func ThreeNF(fds []FD, attrs AttrSet) []Fragment { return rel.ThreeNF(fds, attrs) }
+
+// LosslessJoin tests a decomposition for the lossless-join property.
+func LosslessJoin(fds []FD, attrs AttrSet, frags []Fragment) bool {
+	return rel.LosslessJoin(fds, attrs, frags)
+}
+
+// PreservesDependencies tests a decomposition for dependency preservation.
+func PreservesDependencies(fds []FD, frags []Fragment) bool {
+	return rel.PreservesDependencies(fds, frags)
+}
+
+// CandidateKey returns one minimal key of attrs under the FDs.
+func CandidateKey(fds []FD, attrs AttrSet) AttrSet { return rel.CandidateKey(fds, attrs) }
+
+// FormatFDs renders FDs with attribute names, one per line, sorted.
+func FormatFDs(s *Schema, fds []FD) string { return rel.FormatFDs(s, fds) }
+
+// FormatFragments renders a decomposition with attribute names.
+func FormatFragments(s *Schema, frags []Fragment) string { return rel.FormatFragments(s, frags) }
+
+// NullValue is the relational NULL.
+var NullValue = rel.NullValue
+
+// V builds a non-null value.
+func V(s string) Value { return rel.V(s) }

@@ -1,0 +1,117 @@
+package xkprop_test
+
+import (
+	"strings"
+	"testing"
+
+	"xkprop"
+	"xkprop/internal/paperdata"
+)
+
+// TestFacadeEndToEnd drives the whole public API through the paper's
+// running example: parse the document, keys and transformation; validate;
+// evaluate; check propagation; compute the cover; normalize.
+func TestFacadeEndToEnd(t *testing.T) {
+	doc, err := xkprop.ParseDocumentString(paperdata.Fig1XML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := xkprop.ParseKeys(strings.NewReader(paperdata.KeysText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xkprop.SatisfiesKeys(doc, sigma) {
+		t.Fatalf("Fig 1 must satisfy Σ: %v", xkprop.ValidateKeys(doc, sigma))
+	}
+	tr, err := xkprop.ParseTransformationString(paperdata.TransformText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chapter := tr.Rule("chapter")
+	fd, err := xkprop.ParseFD(chapter.Schema, "inBook, number -> name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xkprop.Propagates(sigma, chapter, fd) {
+		t.Error("chapter key must be propagated")
+	}
+
+	// Cover + BCNF on the universal relation.
+	u := paperdata.UniversalRule()
+	cover := xkprop.MinimumCover(sigma, u)
+	if len(cover) != 4 {
+		t.Fatalf("cover size = %d, want 4:\n%s", len(cover), xkprop.FormatFDs(u.Schema, cover))
+	}
+	naive := xkprop.NaiveCover(sigma, u)
+	if !xkprop.EquivalentCovers(cover, naive) {
+		t.Error("naive and minimumCover must agree")
+	}
+	frags := xkprop.BCNF(cover, u.Schema.All())
+	if !xkprop.LosslessJoin(cover, u.Schema.All(), frags) {
+		t.Error("BCNF must be lossless")
+	}
+	three := xkprop.ThreeNF(cover, u.Schema.All())
+	if !xkprop.PreservesDependencies(cover, three) {
+		t.Error("3NF must preserve dependencies")
+	}
+
+	// Instance-level checks.
+	inst := chapter.Eval(doc)
+	if !inst.SatisfiesFD(fd) {
+		t.Errorf("propagated FD must hold on the instance:\n%s", inst)
+	}
+}
+
+func TestFacadeKeyUtilities(t *testing.T) {
+	sigma, _ := xkprop.ParseKeys(strings.NewReader(paperdata.KeysText))
+	if !xkprop.IsTransitiveKeySet(sigma) {
+		t.Error("paper key set is transitive")
+	}
+	phi := xkprop.MustParseKey("(book, (chapter, {@number}))")
+	if !xkprop.ImpliesKey(sigma, phi) {
+		t.Error("context-contained key must be implied")
+	}
+	p := xkprop.MustParsePath("//book/@isbn")
+	if p.String() != "//book/@isbn" {
+		t.Errorf("path = %s", p)
+	}
+	if _, err := xkprop.ParsePath("@x/bad"); err == nil {
+		t.Error("bad path should error")
+	}
+	if _, err := xkprop.ParseKey("nope"); err == nil {
+		t.Error("bad key should error")
+	}
+}
+
+func TestFacadeRelationalUtilities(t *testing.T) {
+	s, err := xkprop.NewSchema("r", "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := xkprop.ParseFD(s, "a -> b")
+	f2, _ := xkprop.ParseFD(s, "b -> c")
+	f3, _ := xkprop.ParseFD(s, "a -> c")
+	min := xkprop.MinimizeFDs([]xkprop.FD{f1, f2, f3})
+	if len(min) != 2 {
+		t.Errorf("minimized = %s", xkprop.FormatFDs(s, min))
+	}
+	if !xkprop.ImpliesFD(min, f3) {
+		t.Error("transitivity lost")
+	}
+	key := xkprop.CandidateKey(min, s.All())
+	if got := s.FormatSet(key); got != "{a}" {
+		t.Errorf("candidate key = %s", got)
+	}
+	frags := xkprop.BCNF(min, s.All())
+	if got := xkprop.FormatFragments(s, frags); !strings.Contains(got, "key") {
+		t.Errorf("FormatFragments = %q", got)
+	}
+	if xkprop.V("x").Null || !xkprop.NullValue.Null {
+		t.Error("value constructors wrong")
+	}
+	eng := xkprop.NewEngine(nil, paperdata.Fig2bRule())
+	fd, _ := xkprop.ParseFD(paperdata.Fig2bRule().Schema, "isbn -> chapterName")
+	if eng.Propagates(fd) {
+		t.Error("nothing propagates from an empty key set except ε-derived facts")
+	}
+}
