@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race run uses -short: the §6 grid sweeps and the stress rounds are
+# trimmed to representative points so the race detector stays fast on
+# small machines (see internal/core/parallel_test.go).
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Tier-1 verification (ROADMAP.md).
+verify: build vet test race

@@ -183,6 +183,30 @@ func TestXkcoverDemo(t *testing.T) {
 	}
 }
 
+// TestParallelFlag runs each engine-backed tool with -parallel and checks
+// the verdicts and covers are unchanged from the sequential runs.
+func TestParallelFlag(t *testing.T) {
+	keys, rules, universal, _ := fixtures(t)
+	code, out, _ := runTool(t, propF, "-parallel", "4",
+		"-keys", keys, "-transform", rules, "-relation", "chapter",
+		"-fd", "inBook, number -> name")
+	if code != 0 || !strings.Contains(out, "PROPAGATED") {
+		t.Fatalf("xkprop -parallel: code=%d out=%s", code, out)
+	}
+	code, out, _ = runTool(t, coverF, "-parallel", "4", "-naive",
+		"-keys", keys, "-transform", universal)
+	if code != 0 || !strings.Contains(out, "minimum cover (4 FDs):") ||
+		!strings.Contains(out, "covers are equivalent ✓") {
+		t.Fatalf("xkcover -parallel: code=%d out=%s", code, out)
+	}
+	if !testing.Short() { // the fields=500 grid points are too heavy for -race -short
+		code, out, _ = runTool(t, benchF, "-fig", "parallel", "-reps", "1", "-parallel", "2")
+		if code != 0 || !strings.Contains(out, "speedup") || strings.Contains(out, "WARNING") {
+			t.Fatalf("xkbench -fig parallel: code=%d out=%s", code, out)
+		}
+	}
+}
+
 func TestXkcoverFilesAnd3NF(t *testing.T) {
 	keys, _, universal, _ := fixtures(t)
 	code, out, _ := runTool(t, coverF, "-keys", keys, "-transform", universal, "-normalize", "3nf")

@@ -22,6 +22,7 @@ func RunXkcover(args []string, stdout, stderr io.Writer) int {
 	why := fs.Bool("why", false, "annotate each cover FD with the Σ keys that justify it")
 	derive := fs.String("derive", "", `print an Armstrong derivation of this FD from the cover, e.g. "a, b -> c"`)
 	demo := fs.Bool("demo", false, "use the paper's Example 3.1 universal relation and keys")
+	parallel := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -64,12 +65,12 @@ func RunXkcover(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "universal relation %s(%d fields), %d XML keys\n",
 		rule.Schema.Name, rule.Schema.Len(), len(sigma))
-	cover := xkprop.MinimumCover(sigma, rule)
+	eng := xkprop.NewEngine(sigma, rule).SetWorkers(*parallel)
+	cover := eng.MinimumCover()
 	fmt.Fprintf(stdout, "minimum cover (%d FDs):\n", len(cover))
 	io.WriteString(stdout, indent(xkprop.FormatFDs(rule.Schema, cover)))
 
 	if *why {
-		eng := xkprop.NewEngine(sigma, rule)
 		fmt.Fprintln(stdout, "provenance:")
 		for _, a := range eng.AnnotatedCover() {
 			io.WriteString(stdout, indent(a.Format(rule.Schema)))
@@ -77,7 +78,7 @@ func RunXkcover(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *naive {
-		n := xkprop.NaiveCover(sigma, rule)
+		n := xkprop.NewEngine(sigma, rule).SetWorkers(*parallel).NaiveCover()
 		fmt.Fprintf(stdout, "naive cover (%d FDs):\n", len(n))
 		io.WriteString(stdout, indent(xkprop.FormatFDs(rule.Schema, n)))
 		if xkprop.EquivalentCovers(cover, n) {

@@ -22,6 +22,7 @@ func RunXkprop(args []string, stdout, stderr io.Writer) int {
 	witnessFlag := fs.Bool("witness", false, "on NOT PROPAGATED, search for a counterexample document")
 	explain := fs.Bool("explain", false, "narrate the keyed-ancestor walk step by step")
 	demo := fs.Bool("demo", false, "run the paper's Example 4.2 checks")
+	parallel := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -53,7 +54,7 @@ func RunXkprop(args []string, stdout, stderr io.Writer) int {
 		return fail(stderr, "xkprop", err)
 	}
 	if *explain {
-		eng := xkprop.NewEngine(sigma, rule)
+		eng := xkprop.NewEngine(sigma, rule).SetWorkers(*parallel)
 		code := 0
 		for _, ex := range eng.Explain(fd) {
 			io.WriteString(stdout, ex.String())
@@ -63,7 +64,7 @@ func RunXkprop(args []string, stdout, stderr io.Writer) int {
 		}
 		return code
 	}
-	code := xkpropReport(stdout, sigma, rule, fd, *check)
+	code := xkpropReport(stdout, sigma, rule, fd, *check, *parallel)
 	if code == 1 && *witnessFlag {
 		doc, vs, ok := xkprop.FindFDCounterexample(sigma, rule, fd, xkprop.WitnessOptions{})
 		if !ok {
@@ -79,8 +80,8 @@ func RunXkprop(args []string, stdout, stderr io.Writer) int {
 	return code
 }
 
-func xkpropReport(stdout io.Writer, sigma []xkprop.Key, rule *xkprop.Rule, fd xkprop.FD, check string) int {
-	e := xkprop.NewEngine(sigma, rule)
+func xkpropReport(stdout io.Writer, sigma []xkprop.Key, rule *xkprop.Rule, fd xkprop.FD, check string, workers int) int {
+	e := xkprop.NewEngine(sigma, rule).SetWorkers(workers)
 	var ok bool
 	switch check {
 	case "gmin":
@@ -104,10 +105,10 @@ func xkpropDemo(stdout io.Writer) int {
 	fmt.Fprintln(stdout, "Example 4.2 of the paper:")
 	book := tr.Rule("book")
 	fd1, _ := xkprop.ParseFD(book.Schema, "isbn -> contact")
-	code1 := xkpropReport(stdout, sigma, book, fd1, "propagation")
+	code1 := xkpropReport(stdout, sigma, book, fd1, "propagation", 0)
 	section := tr.Rule("section")
 	fd2, _ := xkprop.ParseFD(section.Schema, "inChapt, number -> name")
-	code2 := xkpropReport(stdout, sigma, section, fd2, "propagation")
+	code2 := xkpropReport(stdout, sigma, section, fd2, "propagation", 0)
 	if code1 == 0 && code2 == 1 {
 		fmt.Fprintln(stdout, "demo results match the paper")
 		return 0

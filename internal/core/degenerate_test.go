@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"xkprop/internal/rel"
+	"xkprop/internal/xmlkey"
+)
+
+// TestPropagatesDegenerateFDs pins the semantics of Algorithm propagation
+// on degenerate FD shapes (referenced from the Propagates doc comment):
+//
+//   - an empty right-hand side is vacuously propagated: X → ∅ constrains
+//     nothing, whatever X contains;
+//   - an empty left-hand side ∅ → A holds exactly when A's variable is
+//     unique in every document satisfying Σ (all tuples must agree on A;
+//     the Ycheck bookkeeping is empty, so condition 1 is vacuous);
+//   - a trivial FD (A ∈ X) still needs every X field existence-guaranteed:
+//     under §3's null semantics even reflexivity is not unrestricted.
+//
+// Every verdict is cross-checked against GPropagates — the two checkers
+// must agree on degenerate shapes too (the §6 equivalence).
+func TestPropagatesDegenerateFDs(t *testing.T) {
+	rule := mustRule(t, `
+rule t(rid: r, name: n, note: m) {
+  r := root / @rid
+  b := root / //book
+  n := b / @name
+  m := b / note
+}`)
+	sigma := xmlkey.MustParseSet("(ε, (//book, {@name}))")
+	e := NewEngine(sigma, rule)
+
+	attr := func(fields ...string) rel.AttrSet {
+		var s rel.AttrSet
+		for _, f := range fields {
+			i := rule.Schema.Index(f)
+			if i < 0 {
+				t.Fatalf("no field %q", f)
+			}
+			s = s.With(i)
+		}
+		return s
+	}
+
+	cases := []struct {
+		name string
+		fd   rel.FD
+		want bool
+	}{
+		{"empty -> empty", rel.NewFD(rel.AttrSet{}, rel.AttrSet{}), true},
+		{"rid -> empty", rel.NewFD(attr("rid"), rel.AttrSet{}), true},
+		{"name,note -> empty (nullable LHS)", rel.NewFD(attr("name", "note"), rel.AttrSet{}), true},
+		{"empty -> rid (root attribute)", rel.NewFD(rel.AttrSet{}, attr("rid")), true},
+		{"empty -> name (repeatable element)", rel.NewFD(rel.AttrSet{}, attr("name")), false},
+		{"empty -> note (repeatable element)", rel.NewFD(rel.AttrSet{}, attr("note")), false},
+		{"name -> name (trivial, existence-guaranteed)", rel.NewFD(attr("name"), attr("name")), true},
+		{"rid -> rid (trivial, no existence guarantee)", rel.NewFD(attr("rid"), attr("rid")), false},
+		{"note -> note (trivial, element-populated)", rel.NewFD(attr("note"), attr("note")), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := e.Propagates(c.fd); got != c.want {
+				t.Errorf("Propagates(%s) = %v, want %v", c.fd.Format(rule.Schema), got, c.want)
+			}
+			if got := e.GPropagates(c.fd); got != c.want {
+				t.Errorf("GPropagates(%s) = %v, want %v (diverges from Propagates)",
+					c.fd.Format(rule.Schema), got, c.want)
+			}
+		})
+	}
+}

@@ -144,6 +144,66 @@ rule t(a: x) {
 	}
 }
 
+// TestPathBetweenGuardNonAncestor is the regression test for the discarded
+// PathBetween ok-flag in the propagation walk: for variables NOT in
+// ancestor relation (sibling branches) PathBetween fails with a zero-value
+// path, and that zero value reads as ε — a key with an ε target is implied
+// by ANY Σ, so feeding it to Implies unchecked silently proves a bogus
+// uniqueness fact. Every Implies call sites now checks the flag.
+func TestPathBetweenGuardNonAncestor(t *testing.T) {
+	rule := mustRule(t, `
+rule t(a: x, b: y) {
+  p := root / left
+  x := p / @a
+  q := root / right
+  y := q / @b
+}`)
+	// left and right are sibling branches: no path between them.
+	zero, ok := rule.PathBetween("p", "q")
+	if ok {
+		t.Fatal("PathBetween must report ok=false for sibling variables")
+	}
+	// The hazard itself: the zero-value path is ε, and an ε-target key is
+	// trivially implied even by an empty Σ.
+	if !xmlkey.Implies(nil, xmlkey.New("", rule.PathFromRoot("p"), zero)) {
+		t.Fatal("zero-value path should read as ε (trivially implied) — the hazard being guarded")
+	}
+	// End-to-end: with existence-only keys and no uniqueness, nothing may
+	// propagate across the sibling branches in either direction, and the
+	// cover must stay empty.
+	sigma := xmlkey.MustParseSet(`
+		(ε, (//left, {@a}))
+		(ε, (//right, {@b}))
+	`)
+	e := NewEngine(sigma, rule)
+	if e.Propagates(rel.MustParseFD(rule.Schema, "a -> b")) {
+		t.Error("a → b must not propagate: right nodes are not determined by left keys")
+	}
+	if e.Propagates(rel.MustParseFD(rule.Schema, "b -> a")) {
+		t.Error("b → a must not propagate")
+	}
+	for _, ann := range e.AnnotatedCover() {
+		if ann.FD.Rhs.Card() != 0 {
+			// Covers here may only relate each branch to its own key.
+			lhsVar, _ := rule.VarOf(rule.Schema.Attrs[firstAttr(ann.FD.Lhs)])
+			rhsVar, _ := rule.VarOf(rule.Schema.Attrs[firstAttr(ann.FD.Rhs)])
+			if lhsVar != rhsVar {
+				t.Errorf("cover crosses sibling branches: %s", ann.FD.Format(rule.Schema))
+			}
+		}
+	}
+}
+
+func firstAttr(s rel.AttrSet) int {
+	first := -1
+	s.ForEach(func(i int) {
+		if first < 0 {
+			first = i
+		}
+	})
+	return first
+}
+
 // TestMinimumCoverSigmaWithIrrelevantKeys: keys over labels absent from
 // the table tree must not perturb the cover.
 func TestMinimumCoverSigmaWithIrrelevantKeys(t *testing.T) {

@@ -141,14 +141,16 @@ func (e *Engine) explainOne(lhs rel.AttrSet, rhsAttr int) *Explanation {
 		attrs, covered := rule.AttrsOfVarForFields(target, lhsFields)
 		if !keyFound {
 			ctxPath := e.pathFromRoot(context)
-			relPath, _ := rule.PathBetween(context, target)
+			// Mirror propagatesOne: a failed path lookup (zero-value path,
+			// would read as ε) must fail the step, not prove it.
+			relPath, okPath := rule.PathBetween(context, target)
 			q := xmlkey.New("", ctxPath, relPath, attrs...)
-			if e.dec.Implies(q) {
+			if okPath && e.dec.Implies(q) {
 				ex.Steps = append(ex.Steps, Step{Kind: StepKeyed, Target: target, Query: q.String()})
 				context = target
-				uniq, _ := rule.PathBetween(context, x)
+				uniq, okUniq := rule.PathBetween(context, x)
 				uq := xmlkey.New("", e.pathFromRoot(context), uniq)
-				if e.dec.Implies(uq) {
+				if okUniq && e.dec.Implies(uq) {
 					ex.Steps = append(ex.Steps, Step{Kind: StepUnique, Target: target, Query: uq.String()})
 					keyFound = true
 				} else {

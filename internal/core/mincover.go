@@ -43,31 +43,92 @@ type keyedNode struct {
 }
 
 // MinimumCover implements Algorithm minimumCover: a minimum cover of all
-// FDs on the rule's (universal) relation propagated from Σ.
+// FDs on the rule's (universal) relation propagated from Σ. With
+// SetWorkers(n > 1) the implication queries behind the candidate search
+// fan out across the engine's worker pool; the result is bit-identical to
+// the sequential run because candidates are merged in the sequential
+// loop's order regardless of which worker decided them.
 func (e *Engine) MinimumCover() []rel.FD {
 	return rel.Minimize(e.coverCandidates())
+}
+
+// keyStep stages one candidate extension of a variable's transitive keys:
+// either uniqueness inheritance from ancestor c (sig < 0) or a relative
+// key drawn from Σ[sig] whose attributes populate the fields set. The
+// decision (an implication query) is filled in by the worker pool.
+type keyStep struct {
+	c      string
+	sig    int
+	fields rel.AttrSet
+	ok     bool
+}
+
+// emitStep stages one K → A emission candidate: field index fr under keyed
+// node v; ok records whether fr's variable is unique under v.
+type emitStep struct {
+	v  string
+	fr int
+	ok bool
 }
 
 // coverCandidates generates the pre-minimization FD set F.
 func (e *Engine) coverCandidates() []rel.FD {
 	rule := e.rule
 	schema := rule.Schema
-
-	// allFields marks every U field, so AttrsOfVarForFields reports all
-	// attribute-populated fields of a node.
-	allFields := make(map[string]bool, schema.Len())
-	for _, a := range schema.Attrs {
-		allFields[a] = true
-	}
+	sigma := e.Sigma()
+	workers := e.queryWorkers()
 
 	keysOf := map[string][]rel.AttrSet{transform.RootVar: {{}}}
 	order := []string{transform.RootVar}
 
-	vars := rule.Vars()
-	for _, v := range vars {
+	for _, v := range rule.Vars() {
 		if v == transform.RootVar {
 			continue
 		}
+		// Stage the candidate steps for every keyed ancestor of v (nearest
+		// last; the root is always first). Decisions depend only on (Σ,
+		// rule), not on the keys merged so far, so they can run in any
+		// order — only the merge below is order-sensitive.
+		var steps []keyStep
+		for _, c := range rule.Ancestors(v) {
+			if len(keysOf[c]) == 0 {
+				continue
+			}
+			if _, ok := rule.PathBetween(c, v); !ok {
+				continue // defensive: see propagatesOne on zero-value paths
+			}
+			// Uniqueness inheritance: v unique under c keeps c's keys.
+			steps = append(steps, keyStep{c: c, sig: -1})
+			// Relative keys drawn from Σ (the paper's search reduction).
+			for i, sig := range sigma {
+				if len(sig.Attrs) == 0 {
+					continue // uniqueness keys are handled above
+				}
+				fields, ok := e.fieldsForAttrs(v, sig.Attrs)
+				if !ok {
+					continue
+				}
+				steps = append(steps, keyStep{c: c, sig: i, fields: fields})
+			}
+		}
+		runIndexed(len(steps), workers, func(i int) {
+			st := &steps[i]
+			ctxPath := e.pathFromRoot(st.c)
+			relPath, ok := rule.PathBetween(st.c, v)
+			if !ok {
+				return
+			}
+			if st.sig < 0 {
+				st.ok = e.dec.Implies(xmlkey.New("", ctxPath, relPath))
+				return
+			}
+			sig := sigma[st.sig]
+			// Null safety: the key attributes must exist on v's nodes.
+			st.ok = e.dec.Implies(xmlkey.New("", ctxPath, relPath, sig.Attrs...)) &&
+				e.dec.ExistsAll(e.pathFromRoot(v), sig.Attrs)
+		})
+		// Merge in staging order — exactly the sequential algorithm's
+		// order, so parallel runs produce the same key sets.
 		var vKeys []rel.AttrSet
 		add := func(k rel.AttrSet) {
 			for _, have := range vKeys {
@@ -77,41 +138,15 @@ func (e *Engine) coverCandidates() []rel.FD {
 			}
 			vKeys = append(vKeys, k)
 		}
-		// Ancestors of v, nearest last; the root is always first.
-		ancs := rule.Ancestors(v)
-		for _, c := range ancs {
-			cKeys := keysOf[c]
-			if len(cKeys) == 0 {
+		for _, st := range steps {
+			if !st.ok {
 				continue
 			}
-			ctxPath := e.pathFromRoot(c)
-			relPath, _ := rule.PathBetween(c, v)
-
-			// Uniqueness inheritance: v unique under c keeps c's keys.
-			if e.dec.Implies(xmlkey.New("", ctxPath, relPath)) {
-				for _, k := range cKeys {
+			for _, k := range keysOf[st.c] {
+				if st.sig < 0 {
 					add(k)
-				}
-			}
-
-			// Relative keys drawn from Σ (the paper's search reduction).
-			for _, sig := range e.Sigma() {
-				if len(sig.Attrs) == 0 {
-					continue // uniqueness keys are handled above
-				}
-				fields, ok := e.fieldsForAttrs(v, sig.Attrs)
-				if !ok {
-					continue
-				}
-				if !e.dec.Implies(xmlkey.New("", ctxPath, relPath, sig.Attrs...)) {
-					continue
-				}
-				// Null safety: the key attributes must exist on v's nodes.
-				if !e.dec.ExistsAll(e.pathFromRoot(v), sig.Attrs) {
-					continue
-				}
-				for _, k := range cKeys {
-					add(k.Union(fields))
+				} else {
+					add(k.Union(st.fields))
 				}
 			}
 		}
@@ -123,28 +158,40 @@ func (e *Engine) coverCandidates() []rel.FD {
 
 	// Emit K → A for each keyed node v, each transitive key K of v, and
 	// each field A populated by a variable u unique under v whose LHS
-	// existence conditions hold (they do by construction of K).
-	var out []rel.FD
+	// existence conditions hold (they do by construction of K). The
+	// uniqueness queries fan out; emission order again follows staging
+	// order.
+	var emits []emitStep
 	for _, v := range order {
-		vPath := e.pathFromRoot(v)
-		for _, fr := range rule.Fields {
+		for i, fr := range rule.Fields {
 			u := fr.Var
 			if u != v && !rule.IsDescendant(u, v) {
 				continue
 			}
-			uniq, ok := rule.PathBetween(v, u)
-			if !ok {
+			if _, ok := rule.PathBetween(v, u); !ok {
 				continue
 			}
-			if !e.dec.Implies(xmlkey.New("", vPath, uniq)) {
-				continue
-			}
-			a := schema.Index(fr.Field)
-			for _, k := range keysOf[v] {
-				fd := rel.NewFD(k, rel.AttrSet{}.With(a))
-				if !fd.IsTrivial() {
-					out = append(out, fd)
-				}
+			emits = append(emits, emitStep{v: v, fr: i})
+		}
+	}
+	runIndexed(len(emits), workers, func(i int) {
+		st := &emits[i]
+		uniq, ok := rule.PathBetween(st.v, rule.Fields[st.fr].Var)
+		if !ok {
+			return
+		}
+		st.ok = e.dec.Implies(xmlkey.New("", e.pathFromRoot(st.v), uniq))
+	})
+	var out []rel.FD
+	for _, st := range emits {
+		if !st.ok {
+			continue
+		}
+		a := schema.Index(rule.Fields[st.fr].Field)
+		for _, k := range keysOf[st.v] {
+			fd := rel.NewFD(k, rel.AttrSet{}.With(a))
+			if !fd.IsTrivial() {
+				out = append(out, fd)
 			}
 		}
 	}
@@ -184,9 +231,7 @@ func (e *Engine) fieldsForAttrs(v string, attrs []string) (rel.AttrSet, bool) {
 // implication plus the null-safety condition that every X field is
 // guaranteed non-null whenever the corresponding Y field is non-null.
 func (e *Engine) GPropagates(fd rel.FD) bool {
-	if e.cover == nil {
-		e.cover = e.MinimumCover()
-	}
+	e.coverOnce.Do(func() { e.cover = e.MinimumCover() })
 	if !rel.Implies(e.cover, fd) {
 		return false
 	}

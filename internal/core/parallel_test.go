@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xkprop/internal/rel"
+	"xkprop/internal/workload"
+)
+
+// sameFDs reports whether two FD slices are identical element by element —
+// the bit-identical guarantee the parallel paths make, stronger than cover
+// equivalence.
+func sameFDs(a, b []rel.FD) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Lhs.Equal(b[i].Lhs) || !a[i].Rhs.Equal(b[i].Rhs) {
+			return false
+		}
+	}
+	return true
+}
+
+// grid returns the §6 configuration grid, trimmed in -short mode (the race
+// verify runs with -short) to a handful of representative points so the run
+// stays fast under the race detector on small machines.
+func grid(t *testing.T) []workload.Config {
+	t.Helper()
+	if testing.Short() {
+		return []workload.Config{
+			{Fields: 15, Depth: 5, Keys: 10},
+			{Fields: 50, Depth: 5, Keys: 10},
+			{Fields: 15, Depth: 10, Keys: 10},
+			{Fields: 15, Depth: 5, Keys: 50},
+		}
+	}
+	return workload.Sec6Grid(0)
+}
+
+// probeFDs builds a deterministic mix of FDs over the workload's schema:
+// the designed true/false probes plus synthetic candidates that exercise
+// both verdicts and degenerate shapes.
+func probeFDs(w *workload.Workload) []rel.FD {
+	n := w.Rule.Schema.Len()
+	fds := []rel.FD{w.ProbeTrue, w.ProbeFalse}
+	for i := 0; i < 8; i++ {
+		lhs := rel.AttrSet{}.With(i % n).With((i * 7) % n)
+		rhs := rel.AttrSet{}.With((i * 3) % n)
+		fds = append(fds, rel.NewFD(lhs, rhs))
+	}
+	fds = append(fds, rel.NewFD(w.ProbeTrue.Lhs, rel.AttrSet{})) // X → ∅
+	return fds
+}
+
+// TestParallelCoversBitIdenticalGrid checks the headline determinism
+// guarantee over the §6 grid: MinimumCover with a parallel worker pool is
+// element-by-element identical to the sequential run, and PropagatesAll
+// agrees with per-FD sequential Propagates.
+func TestParallelCoversBitIdenticalGrid(t *testing.T) {
+	for _, cfg := range grid(t) {
+		cfg := cfg
+		t.Run(fmt.Sprintf("fields=%d/depth=%d/keys=%d", cfg.Fields, cfg.Depth, cfg.Keys), func(t *testing.T) {
+			w := workload.Generate(cfg)
+
+			seq := NewEngine(w.Sigma, w.Rule).SetWorkers(1)
+			seqCover := seq.MinimumCover()
+
+			par := NewEngine(w.Sigma, w.Rule).SetWorkers(4)
+			parCover := par.MinimumCover()
+			if !sameFDs(seqCover, parCover) {
+				t.Fatalf("parallel cover differs from sequential:\nseq: %v\npar: %v",
+					seq.CoverAsStrings(seqCover), par.CoverAsStrings(parCover))
+			}
+
+			fds := probeFDs(w)
+			got := par.PropagatesAll(fds)
+			for i, fd := range fds {
+				if want := seq.Propagates(fd); got[i] != want {
+					t.Errorf("PropagatesAll[%d] = %v, sequential Propagates = %v (fd %s)",
+						i, got[i], want, fd.Format(w.Rule.Schema))
+				}
+			}
+		})
+	}
+}
+
+// TestParallelNaiveCoverBitIdentical cross-checks the parallel naive
+// candidate filter against the sequential enumeration on a workload small
+// enough for the exponential baseline.
+func TestParallelNaiveCoverBitIdentical(t *testing.T) {
+	w := workload.Generate(workload.Config{Fields: 10, Depth: 5, Keys: 10})
+	seq := NewEngine(w.Sigma, w.Rule).SetWorkers(1).NaiveCover()
+	par := NewEngine(w.Sigma, w.Rule).SetWorkers(4).NaiveCover()
+	if !sameFDs(seq, par) {
+		t.Fatalf("parallel naive cover differs from sequential:\nseq: %v\npar: %v", seq, par)
+	}
+	if !sameFDs(seq, NewEngine(w.Sigma, w.Rule).MinimumCover()) {
+		// Not required to be element-identical with minimumCover in
+		// general, but on this workload it is — a free sanity anchor.
+		if !rel.EquivalentCovers(seq, NewEngine(w.Sigma, w.Rule).MinimumCover()) {
+			t.Fatal("naive cover not equivalent to minimum cover")
+		}
+	}
+}
+
+// TestEngineConcurrentStress is the -race stress test of the issue: many
+// goroutines run PropagatesAll, parallel MinimumCover, GPropagates and
+// plain Propagates over ONE shared engine (hence one shared decider memo),
+// and every answer is cross-checked against a sequential engine computed
+// up front. Run with -race this is the proof the memo sharing is safe.
+func TestEngineConcurrentStress(t *testing.T) {
+	cfgs := []workload.Config{
+		{Fields: 15, Depth: 5, Keys: 10},
+		{Fields: 50, Depth: 5, Keys: 20},
+		{Fields: 60, Depth: 10, Keys: 10},
+	}
+	if testing.Short() {
+		cfgs = cfgs[:1]
+	}
+	for _, cfg := range cfgs {
+		cfg := cfg
+		t.Run(fmt.Sprintf("fields=%d/depth=%d/keys=%d", cfg.Fields, cfg.Depth, cfg.Keys), func(t *testing.T) {
+			w := workload.Generate(cfg)
+			fds := probeFDs(w)
+
+			seq := NewEngine(w.Sigma, w.Rule).SetWorkers(1)
+			wantCover := seq.MinimumCover()
+			wantVerdicts := make([]bool, len(fds))
+			for i, fd := range fds {
+				wantVerdicts[i] = seq.Propagates(fd)
+			}
+			wantG := seq.GPropagates(w.ProbeTrue)
+
+			shared := NewEngine(w.Sigma, w.Rule).SetWorkers(2)
+			const goroutines = 6
+			rounds := 4
+			if testing.Short() {
+				rounds = 2
+			}
+			var wg sync.WaitGroup
+			errc := make(chan string, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						switch (g + r) % 3 {
+						case 0:
+							if got := shared.PropagatesAll(fds); !boolsEqual(got, wantVerdicts) {
+								errc <- "PropagatesAll diverged"
+								return
+							}
+						case 1:
+							if got := shared.MinimumCover(); !sameFDs(got, wantCover) {
+								errc <- "MinimumCover diverged"
+								return
+							}
+						default:
+							if shared.GPropagates(w.ProbeTrue) != wantG {
+								errc <- "GPropagates diverged"
+								return
+							}
+							for i := range fds {
+								if shared.Propagates(fds[i]) != wantVerdicts[i] {
+									errc <- "Propagates diverged"
+									return
+								}
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errc)
+			for msg := range errc {
+				t.Error(msg)
+			}
+		})
+	}
+}
+
+func boolsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

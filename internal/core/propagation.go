@@ -13,6 +13,8 @@
 package core
 
 import (
+	"sync"
+
 	"xkprop/internal/rel"
 	"xkprop/internal/transform"
 	"xkprop/internal/xmlkey"
@@ -21,16 +23,30 @@ import (
 
 // Engine bundles a key set Σ and a table rule, reusing the implication
 // decider's memo table across the many related queries the algorithms
-// issue. Engines are not safe for concurrent use.
+// issue.
+//
+// An Engine is safe for concurrent use: the decider shares proved sub-goals
+// across goroutines, the root-path cache is lock-guarded, and the lazily
+// computed cover behind GPropagates is built exactly once. SetWorkers
+// configures the worker pool used by the batch entry points
+// (PropagatesAll) and by the candidate filters inside MinimumCover and
+// NaiveCover; it must be called before the engine is shared.
 type Engine struct {
 	dec  *xmlkey.Decider
 	rule *transform.Rule
 
-	// rootPath caches P(v_r, x) per variable.
+	// workers sizes the worker pool of the parallel entry points:
+	// 0 = default (sequential for the single-query algorithms,
+	// GOMAXPROCS for the batch API), n >= 1 = exactly n workers.
+	workers int
+
+	// rootPath caches P(v_r, x) per variable; read-mostly after warm-up.
+	rootMu   sync.RWMutex
 	rootPath map[string]xpath.Path
 
-	// cover caches MinimumCover for GPropagates.
-	cover []rel.FD
+	// cover caches MinimumCover for GPropagates, built once.
+	coverOnce sync.Once
+	cover     []rel.FD
 }
 
 // NewEngine builds an engine for Σ and the rule.
@@ -49,11 +65,16 @@ func (e *Engine) Rule() *transform.Rule { return e.rule }
 func (e *Engine) Sigma() []xmlkey.Key { return e.dec.Sigma() }
 
 func (e *Engine) pathFromRoot(x string) xpath.Path {
-	if p, ok := e.rootPath[x]; ok {
+	e.rootMu.RLock()
+	p, ok := e.rootPath[x]
+	e.rootMu.RUnlock()
+	if ok {
 		return p
 	}
-	p := e.rule.PathFromRoot(x)
+	p = e.rule.PathFromRoot(x)
+	e.rootMu.Lock()
 	e.rootPath[x] = p
+	e.rootMu.Unlock()
 	return p
 }
 
@@ -61,6 +82,13 @@ func (e *Engine) pathFromRoot(x string) xpath.Path {
 // Σ ⊨_σ (X → Y) — the FD holds on the rule's relation for every XML tree
 // satisfying Σ, under the null-aware FD semantics of §3. A compound
 // right-hand side is checked attribute by attribute.
+//
+// Degenerate FDs follow directly from §3's semantics and are pinned by
+// tests in degenerate_test.go: an empty right-hand side is vacuously
+// propagated (X → ∅ constrains nothing), and an empty left-hand side
+// ∅ → A requires A's variable to be unique in every document (all tuples
+// must then agree on A; the Ycheck bookkeeping is empty, matching the
+// null-aware reading that condition 1 is vacuous without X fields).
 func (e *Engine) Propagates(fd rel.FD) bool {
 	ok := true
 	fd.Rhs.ForEach(func(i int) {
@@ -100,15 +128,18 @@ func (e *Engine) propagatesOne(lhs rel.AttrSet, rhsAttr int) bool {
 		attrs, covered := rule.AttrsOfVarForFields(target, lhsFields)
 		if !keyFound {
 			ctxPath := e.pathFromRoot(context)
-			relPath, _ := rule.PathBetween(context, target)
-			if e.dec.Implies(xmlkey.New("", ctxPath, relPath, attrs...)) {
+			// A failed path lookup must skip the step: the zero-value path
+			// reads as ε, which would prove a bogus uniqueness key and
+			// silently mis-decide propagation.
+			relPath, ok := rule.PathBetween(context, target)
+			if ok && e.dec.Implies(xmlkey.New("", ctxPath, relPath, attrs...)) {
 				// target is keyed relative to context by attributes that
 				// populate X fields; advance the context (sound by the
 				// target-to-context rule).
 				context = target
 				// Is x unique under the new context?
-				uniq, _ := rule.PathBetween(context, x)
-				if e.dec.Implies(xmlkey.New("", e.pathFromRoot(context), uniq)) {
+				if uniq, ok := rule.PathBetween(context, x); ok &&
+					e.dec.Implies(xmlkey.New("", e.pathFromRoot(context), uniq)) {
 					keyFound = true
 				}
 			}

@@ -95,7 +95,10 @@ func (e *Engine) findProvenance(fd rel.FD) (node string, chain []string, unique 
 				continue
 			}
 			ctxPath := e.pathFromRoot(c)
-			relPath, _ := rule.PathBetween(c, v)
+			relPath, okPath := rule.PathBetween(c, v)
+			if !okPath {
+				continue // defensive: see propagatesOne on zero-value paths
+			}
 			if e.dec.Implies(xmlkey.New("", ctxPath, relPath)) {
 				for _, st := range cStates {
 					vStates = append(vStates, provState{

@@ -32,8 +32,8 @@ type Violation struct {
 	Kind xmlkey.ViolationKind
 	// Attr is the missing attribute for MissingAttribute violations.
 	Attr string
-	// Line is the decoder's input offset (byte position) where the
-	// offending target element started.
+	// Offset is the byte position in the input where the offending target
+	// element's start tag begins (the position of its '<').
 	Offset int64
 	// ContextPath and TargetPath are the concrete label paths from the
 	// document root, for diagnostics.
@@ -184,6 +184,13 @@ func (v *Validator) OK() bool { return len(v.violations) == 0 }
 func (v *Validator) Run(r io.Reader) error {
 	dec := xml.NewDecoder(r)
 	for {
+		// Capture the offset before consuming the token: InputOffset after
+		// Token() points past the start tag, but Violation.Offset is
+		// documented as where the offending element started. Before Token()
+		// the decoder sits exactly where the previous token ended, which for
+		// a StartElement is the byte of its '<' (CharData in between is its
+		// own token).
+		off := dec.InputOffset()
 		tok, err := dec.Token()
 		if err == io.EOF {
 			return nil
@@ -193,7 +200,7 @@ func (v *Validator) Run(r io.Reader) error {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
-			v.startElement(t, dec.InputOffset())
+			v.startElement(t, off)
 		case xml.EndElement:
 			v.endElement()
 		}

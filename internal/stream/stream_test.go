@@ -98,6 +98,43 @@ func TestStreamSelfTarget(t *testing.T) {
 	}
 }
 
+// TestStreamViolationOffset pins the documented Offset semantics: the byte
+// position of the '<' of the offending target element. Regression test for
+// the off-by-a-tag bug where the offset was read after the start-element
+// token had been consumed (pointing past the tag instead of at it).
+func TestStreamViolationOffset(t *testing.T) {
+	sigma := xmlkey.MustParseSet("(ε, (//book, {@isbn}))")
+
+	// Duplicate: the second <book> is the offender. Leading text and
+	// whitespace make sure CharData tokens don't shift the captured offset.
+	src := `<r>text<book isbn="1"/>  <book isbn="1"/></r>`
+	second := strings.LastIndex(src, "<book")
+	vs, err := ValidateString(src, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Kind != xmlkey.DuplicateKey {
+		t.Fatalf("want one DuplicateKey, got %v", vs)
+	}
+	if vs[0].Offset != int64(second) {
+		t.Errorf("duplicate offset = %d, want %d (index of second <book)", vs[0].Offset, second)
+	}
+
+	// Missing attribute: the bare <book> is the offender.
+	src = `<r><book isbn="1"/><book/></r>`
+	bare := strings.Index(src, "<book/>")
+	vs, err = ValidateString(src, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Kind != xmlkey.MissingAttribute {
+		t.Fatalf("want one MissingAttribute, got %v", vs)
+	}
+	if vs[0].Offset != int64(bare) {
+		t.Errorf("missing-attr offset = %d, want %d (index of bare <book/>)", vs[0].Offset, bare)
+	}
+}
+
 func TestStreamSyntaxError(t *testing.T) {
 	if _, err := ValidateString(`<r><unclosed>`, nil); err == nil {
 		t.Error("syntax error must be reported")

@@ -36,6 +36,37 @@ type Config struct {
 	Width int
 }
 
+// Sec6Grid returns the configuration grid of the paper's §6 experiments:
+// the Fig 7(a) field sweep (depth=5, keys=10), the Fig 7(b) depth sweep
+// (fields=15, keys=10) and the Fig 7(c) key sweep (fields=15, depth=5),
+// capped by maxFields (0 = no cap). The deepest/widest point of the grid
+// is fields=500/depth=10, the workload the parallel benchmarks target.
+func Sec6Grid(maxFields int) []Config {
+	var grid []Config
+	add := func(c Config) {
+		if maxFields > 0 && c.Fields > maxFields {
+			return
+		}
+		for _, have := range grid {
+			if have == c {
+				return
+			}
+		}
+		grid = append(grid, c)
+	}
+	for _, fields := range []int{10, 15, 20, 50, 100, 200, 500} {
+		add(Config{Fields: fields, Depth: 5, Keys: 10})
+	}
+	for depth := 2; depth <= 10; depth++ {
+		add(Config{Fields: 15, Depth: depth, Keys: 10})
+	}
+	for _, keys := range []int{10, 20, 30, 40, 50, 75, 100} {
+		add(Config{Fields: 15, Depth: 5, Keys: keys})
+	}
+	add(Config{Fields: 500, Depth: 10, Keys: 10})
+	return grid
+}
+
 // Workload is a generated experiment input.
 type Workload struct {
 	Config Config

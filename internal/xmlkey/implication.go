@@ -3,6 +3,7 @@ package xmlkey
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"xkprop/internal/xpath"
 )
@@ -40,15 +41,14 @@ import (
 
 // Implies reports whether Σ ⊨ φ.
 func Implies(sigma []Key, phi Key) bool {
-	d := &decider{sigma: sigma, memo: make(map[string]int8)}
-	return d.implies(phi.Context, phi.Target, phi.Attrs)
+	return NewDecider(sigma).Implies(phi)
 }
 
 // ImpliesAll reports whether Σ implies every key in phis.
 func ImpliesAll(sigma []Key, phis []Key) bool {
-	d := &decider{sigma: sigma, memo: make(map[string]int8)}
+	d := NewDecider(sigma)
 	for _, phi := range phis {
-		if !d.implies(phi.Context, phi.Target, phi.Attrs) {
+		if !d.Implies(phi) {
 			return false
 		}
 	}
@@ -58,41 +58,93 @@ func ImpliesAll(sigma []Key, phis []Key) bool {
 // Decider is a reusable implication context over a fixed Σ; it caches
 // sub-goals across queries, which matters inside the propagation and
 // minimum-cover algorithms that issue many related queries.
+//
+// A Decider is safe for concurrent use: the memo table holds only
+// definitive, query-order-independent results behind sharded read/write
+// locks, while the cycle-cutting bookkeeping of one in-flight query lives
+// in per-query state drawn from a pool. Concurrent queries may prove the
+// same sub-goal twice, but they always agree on the answer, so the shared
+// table stays consistent and warm sub-goals are served lock-read-only.
 type Decider struct {
-	d *decider
+	sigma  []Key
+	shards [memoShards]memoShard
+	pool   sync.Pool // *query, reused so warm calls allocate nothing
+}
+
+// memoShards spreads goal keys over independently locked maps so parallel
+// propagation checks do not serialize on one mutex.
+const memoShards = 16
+
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[string]bool // goal -> proved (true) / refuted (false)
+}
+
+func (s *memoShard) get(g string) (res, ok bool) {
+	s.mu.RLock()
+	res, ok = s.m[g]
+	s.mu.RUnlock()
+	return res, ok
+}
+
+func (s *memoShard) put(g string, res bool) {
+	s.mu.Lock()
+	s.m[g] = res
+	s.mu.Unlock()
 }
 
 // NewDecider returns a Decider for the key set sigma.
 func NewDecider(sigma []Key) *Decider {
-	return &Decider{d: &decider{sigma: sigma, memo: make(map[string]int8)}}
+	d := &Decider{sigma: sigma}
+	for i := range d.shards {
+		d.shards[i].m = make(map[string]bool)
+	}
+	d.pool.New = func() any {
+		return &query{d: d, local: make(map[string]int8)}
+	}
+	return d
 }
 
 // Implies reports whether Σ ⊨ φ.
 func (dc *Decider) Implies(phi Key) bool {
-	return dc.d.implies(phi.Context, phi.Target, phi.Attrs)
+	q := dc.pool.Get().(*query)
+	res, _ := q.impliesT(phi.Context, phi.Target, phi.Attrs)
+	// Cycle-cut refutations are valid only within the query that assumed
+	// them; dropping the whole local state keeps answers independent of
+	// query order (and of goroutine interleaving).
+	clear(q.local)
+	dc.pool.Put(q)
+	return res
 }
 
 // ExistsAll reports whether all attrs are guaranteed on nodes of p.
 func (dc *Decider) ExistsAll(p xpath.Path, attrs []string) bool {
-	return ExistsAll(dc.d.sigma, p, attrs)
+	return ExistsAll(dc.sigma, p, attrs)
 }
 
 // Sigma returns the key set the decider reasons over.
-func (dc *Decider) Sigma() []Key { return dc.d.sigma }
+func (dc *Decider) Sigma() []Key { return dc.sigma }
 
-type decider struct {
-	sigma []Key
-	// memo caches goals: 1 = proved, -2 = refuted, -3 = refuted under a
-	// cycle-cut assumption (valid only within the current top-level query),
-	// inProgress = on the current proof path (treated as refuted to cut
-	// cycles in the least-fixpoint search; a goal on its own proof path
-	// cannot support itself).
-	memo map[string]int8
-	// depth tracks recursion depth; tempNegs lists -3 entries to clear
-	// when the top-level query finishes, keeping answers independent of
-	// query order while still pruning within one query.
-	depth    int
-	tempNegs []string
+func (dc *Decider) shardFor(g string) *memoShard {
+	// FNV-1a, inlined to keep the hot path dependency-free.
+	h := uint32(2166136261)
+	for i := 0; i < len(g); i++ {
+		h ^= uint32(g[i])
+		h *= 16777619
+	}
+	return &dc.shards[h%memoShards]
+}
+
+// query is the state of one top-level implication query. The local map
+// carries the two memo states that are NOT order-independent and therefore
+// must never leak into the shared table: inProgress marks goals on the
+// current proof path (treated as refuted to cut cycles in the
+// least-fixpoint search; a goal on its own proof path cannot support
+// itself), tempNeg marks goals refuted under such a cycle-cut assumption
+// (valid only within this query).
+type query struct {
+	d     *Decider
+	local map[string]int8
 }
 
 const (
@@ -110,17 +162,12 @@ func goalKey(q, t xpath.Path, attrs []string) string {
 	return b.String()
 }
 
-func (d *decider) implies(q, t xpath.Path, attrs []string) bool {
-	res, _ := d.impliesT(q, t, attrs)
-	return res
-}
-
 // impliesT decides the goal and additionally reports whether the result was
 // tainted by an in-progress (cyclic) sub-goal. Tainted negative results are
-// not memoized — a different proof path might still establish them — which
+// not shared — a different proof path might still establish them — which
 // keeps the procedure deterministic regardless of query order. Positive
 // results are never tainted: a successful proof uses only genuine sub-proofs.
-func (d *decider) impliesT(q, t xpath.Path, attrs []string) (bool, bool) {
+func (qr *query) impliesT(q, t xpath.Path, attrs []string) (bool, bool) {
 	attrs = normalizeAttrs(attrs)
 	q = q.Normalize()
 	t = t.Normalize()
@@ -139,45 +186,33 @@ func (d *decider) impliesT(q, t xpath.Path, attrs []string) (bool, bool) {
 	}
 
 	g := goalKey(q, t, attrs)
-	if v, ok := d.memo[g]; ok {
-		switch v {
-		case inProgress:
-			// Cycle: a goal on its own proof path cannot support itself.
-			return false, true
-		case tempNeg:
-			// Refuted earlier in this top-level query under a cycle-cut
-			// assumption; still refuted here, still tainted.
-			return false, true
-		}
-		return v == 1, false
+	if _, ok := qr.local[g]; ok {
+		// inProgress: a cycle — the goal cannot support itself; tempNeg:
+		// refuted earlier in this query under a cycle-cut assumption.
+		// Either way: refuted here, tainted.
+		return false, true
 	}
-	d.memo[g] = inProgress
-	d.depth++
-	res, tainted := d.prove(q, t, attrs)
-	d.depth--
+	shard := qr.d.shardFor(g)
+	if res, ok := shard.get(g); ok {
+		return res, false
+	}
+	qr.local[g] = inProgress
+	res, tainted := qr.prove(q, t, attrs)
 	switch {
 	case res:
-		d.memo[g] = 1
+		shard.put(g, true)
+		delete(qr.local, g)
 	case tainted:
-		// Valid within this top-level query only: a different query
-		// context might still prove it, so clear these on the way out.
-		d.memo[g] = tempNeg
-		d.tempNegs = append(d.tempNegs, g)
+		qr.local[g] = tempNeg
 	default:
-		d.memo[g] = -2
-	}
-	if d.depth == 0 && len(d.tempNegs) > 0 {
-		for _, k := range d.tempNegs {
-			if d.memo[k] == tempNeg {
-				delete(d.memo, k)
-			}
-		}
-		d.tempNegs = d.tempNegs[:0]
+		shard.put(g, false)
+		delete(qr.local, g)
 	}
 	return res, tainted
 }
 
-func (d *decider) prove(q, t xpath.Path, attrs []string) (bool, bool) {
+func (qr *query) prove(q, t xpath.Path, attrs []string) (bool, bool) {
+	d := qr.d
 	// epsilon rule.
 	if t.IsEpsilon() && len(attrs) == 0 {
 		return true, false
@@ -187,7 +222,7 @@ func (d *decider) prove(q, t xpath.Path, attrs []string) (bool, bool) {
 	// unique-target weakening: if the target is unique per context, only
 	// the existence of attrs remains to be discharged.
 	if len(attrs) > 0 && ExistsAll(d.sigma, q.Concat(t), attrs) {
-		res, tnt := d.impliesT(q, t, nil)
+		res, tnt := qr.impliesT(q, t, nil)
 		if res {
 			return true, false
 		}
@@ -208,7 +243,7 @@ func (d *decider) prove(q, t xpath.Path, attrs []string) (bool, bool) {
 		if len(extra) > 0 && !ExistsAll(d.sigma, qt, extra) {
 			continue
 		}
-		if d.directCovers(sig, q, t) {
+		if directCovers(sig, q, t) {
 			return true, false
 		}
 	}
@@ -219,12 +254,12 @@ func (d *decider) prove(q, t xpath.Path, attrs []string) (bool, bool) {
 	// recursion terminates.
 	for _, sp := range splits(t) {
 		t1, t2 := sp.prefix, sp.suffix
-		ok1, tnt1 := d.impliesT(q, t1, nil)
+		ok1, tnt1 := qr.impliesT(q, t1, nil)
 		tainted = tainted || tnt1
 		if !ok1 {
 			continue
 		}
-		ok2, tnt2 := d.impliesT(q.Concat(t1), t2, attrs)
+		ok2, tnt2 := qr.impliesT(q.Concat(t1), t2, attrs)
 		tainted = tainted || tnt2
 		if ok2 {
 			return true, false
@@ -236,7 +271,7 @@ func (d *decider) prove(q, t xpath.Path, attrs []string) (bool, bool) {
 // directCovers reports whether σ implies the (Q, Q') pair by the
 // target-to-context rule plus containment weakenings: for some split
 // Q'σ ≡ P1/P2, Q ⊆ Qσ/P1 and Q' ⊆ P2.
-func (d *decider) directCovers(sig Key, q, t xpath.Path) bool {
+func directCovers(sig Key, q, t xpath.Path) bool {
 	for _, sp := range splitsAll(sig.Target) {
 		if q.ContainedIn(sig.Context.Concat(sp.prefix)) && t.ContainedIn(sp.suffix) {
 			return true

@@ -1,0 +1,79 @@
+package xmlkey
+
+import (
+	"sync"
+	"testing"
+
+	"xkprop/internal/xpath"
+)
+
+// raceProbeGoals builds a mixed bag of implication goals over sigma: the
+// keys themselves, weakenings, compositions, and refutable variants — so a
+// shared Decider exercises proofs, refutations, and cycle cuts at once.
+func raceProbeGoals() (sigma []Key, goals []Key) {
+	sigma = MustParseSet(`
+		(ε, (//book, {@isbn}))
+		(//book, (chapter, {@number}))
+		(//book/chapter, (section, {@number}))
+		(//book, (title, {}))
+		(ε, (//publisher, {@id, @country}))
+	`)
+	goals = append(goals, sigma...)
+	extra := []string{
+		"(ε, (//book/chapter, {@isbn, @number}))",
+		"(ε, (//book/chapter/section, {@isbn, @number}))",
+		"(ε, (//book/title, {}))",
+		"(//book, (chapter/section, {@number}))",
+		"(ε, (//chapter, {@number}))",
+		"(ε, (//publisher, {@id}))",
+		"(//publisher, (ε, {}))",
+		"(ε, (//section, {@number}))",
+		"(//book/chapter, (section, {}))",
+	}
+	for _, s := range extra {
+		goals = append(goals, MustParse(s))
+	}
+	goals = append(goals, New("", xpath.Epsilon, xpath.Desc.Concat(xpath.Elem("book")), "isbn", "missing"))
+	return sigma, goals
+}
+
+// TestDeciderConcurrentMatchesSequential hammers one shared Decider from
+// many goroutines and cross-checks every answer against a fresh
+// single-query decision. Run under -race this doubles as the memo-sharing
+// safety test.
+func TestDeciderConcurrentMatchesSequential(t *testing.T) {
+	sigma, goals := raceProbeGoals()
+
+	want := make([]bool, len(goals))
+	for i, g := range goals {
+		want[i] = Implies(sigma, g)
+	}
+
+	shared := NewDecider(sigma)
+	const goroutines = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Each goroutine walks the goals at a different stride so
+				// the shared memo warms up in many different orders.
+				for off := 0; off < len(goals); off++ {
+					i := (off*(w+1) + r) % len(goals)
+					if got := shared.Implies(goals[i]); got != want[i] {
+						errs <- goals[i].String()
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for g := range errs {
+		t.Errorf("shared decider disagrees with fresh decider on %s", g)
+	}
+}
