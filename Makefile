@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_JSON ?= BENCH_pathkernel.json
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench bench-json verify
 
 build:
 	$(GO) build ./...
@@ -17,8 +18,17 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
+# bench runs the testing.B suite with allocation counters and then
+# regenerates the machine-readable minimum-cover trajectory (§6 grid,
+# sequential and parallel) via xkbench -json.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(MAKE) bench-json
 
-# Tier-1 verification (ROADMAP.md).
+bench-json:
+	$(GO) run ./cmd/xkbench -json $(BENCH_JSON)
+
+# Tier-1 verification (ROADMAP.md). If a committed bench trajectory is
+# present, smoke-check that it is well-formed pathkernel JSON.
 verify: build vet test race
+	@if [ -f $(BENCH_JSON) ]; then $(GO) run ./cmd/xkbench -check-json $(BENCH_JSON); fi

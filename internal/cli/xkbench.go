@@ -4,7 +4,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"xkprop/internal/core"
@@ -19,9 +21,56 @@ func RunXkbench(args []string, stdout, stderr io.Writer) int {
 	fig := fs.String("fig", "all", "which figure to regenerate: 7a, 7b, 7c, extremes, parallel, all")
 	reps := fs.Int("reps", 3, "repetitions per data point (min time reported)")
 	naiveMax := fs.Int("naive-max", 15, "largest field count for the naive baseline")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	jsonOut := fs.String("json", "", "run the minimum-cover grid via testing.Benchmark and write a pathkernel JSON report to this file (skips -fig)")
+	checkJSON := fs.String("check-json", "", "validate a pathkernel JSON report and exit (smoke check)")
+	maxFields := fs.Int("max-fields", 100, "cap on grid field counts in -json mode (0 = no cap)")
 	parallel := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *checkJSON != "" {
+		if err := checkBenchJSON(*checkJSON); err != nil {
+			fmt.Fprintf(stderr, "xkbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "xkbench: %s OK\n", *checkJSON)
+		return 0
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(stderr, "xkbench", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(stderr, "xkbench", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "xkbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "xkbench: %v\n", err)
+			}
+		}()
+	}
+
+	if *jsonOut != "" {
+		if err := benchJSON(stdout, *jsonOut, *maxFields, *parallel); err != nil {
+			return fail(stderr, "xkbench", err)
+		}
+		return 0
 	}
 
 	switch *fig {

@@ -1,0 +1,151 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"xkprop/internal/core"
+	"xkprop/internal/rel"
+	"xkprop/internal/workload"
+)
+
+// This file implements xkbench's machine-readable mode: -json writes a
+// BENCH_pathkernel.json trajectory (ns/op, allocs/op, B/op for minimum
+// cover over the §6 grid, sequential and parallel), -check-json validates
+// such a file, and -cpuprofile/-memprofile hook runtime/pprof into any
+// run. The numbers come from testing.Benchmark, so iteration counts are
+// calibrated the same way as the go test bench suite.
+
+// benchResult is one (config, mode) measurement.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Fields      int     `json:"fields"`
+	Depth       int     `json:"depth"`
+	Keys        int     `json:"keys"`
+	Mode        string  `json:"mode"` // "seq" or "par"
+	Workers     int     `json:"workers"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	CoverSize   int     `json:"cover_size"`
+	// ParMatchesSeq is set on "par" results: the parallel cover rendered
+	// identically to the sequential one (the engine's determinism contract).
+	ParMatchesSeq *bool `json:"par_matches_seq,omitempty"`
+}
+
+// benchReport is the top-level JSON document.
+type benchReport struct {
+	Suite      string        `json:"suite"`
+	GoVersion  string        `json:"go"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	MaxFields  int           `json:"max_fields"`
+	Results    []benchResult `json:"results"`
+}
+
+// benchJSON measures minimum cover over the §6 grid (capped at maxFields)
+// in sequential and parallel mode and writes the report to path.
+func benchJSON(stdout io.Writer, path string, maxFields, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := benchReport{
+		Suite:      "pathkernel",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		MaxFields:  maxFields,
+	}
+	for _, cfg := range workload.Sec6Grid(maxFields) {
+		wl := workload.Generate(workload.Config{
+			Fields: cfg.Fields, Depth: cfg.Depth, Keys: cfg.Keys, Width: cfg.Width,
+		})
+		var seqCover, parCover []rel.FD
+		seq := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				seqCover = core.NewEngine(wl.Sigma, wl.Rule).SetWorkers(1).MinimumCover()
+			}
+		})
+		par := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				parCover = core.NewEngine(wl.Sigma, wl.Rule).SetWorkers(workers).MinimumCover()
+			}
+		})
+		// Determinism contract: the parallel cover must render identically,
+		// not just be equivalent under implication.
+		same := rel.FormatFDs(wl.Rule.Schema, seqCover) == rel.FormatFDs(wl.Rule.Schema, parCover)
+		name := fmt.Sprintf("MinimumCover/fields=%d/depth=%d/keys=%d", cfg.Fields, cfg.Depth, cfg.Keys)
+		rep.Results = append(rep.Results,
+			benchResult{
+				Name: name + "/seq", Fields: cfg.Fields, Depth: cfg.Depth, Keys: cfg.Keys,
+				Mode: "seq", Workers: 1,
+				Iterations: seq.N, NsPerOp: float64(seq.T.Nanoseconds()) / float64(seq.N),
+				AllocsPerOp: seq.AllocsPerOp(), BytesPerOp: seq.AllocedBytesPerOp(),
+				CoverSize: len(seqCover),
+			},
+			benchResult{
+				Name: name + "/par", Fields: cfg.Fields, Depth: cfg.Depth, Keys: cfg.Keys,
+				Mode: "par", Workers: workers,
+				Iterations: par.N, NsPerOp: float64(par.T.Nanoseconds()) / float64(par.N),
+				AllocsPerOp: par.AllocsPerOp(), BytesPerOp: par.AllocedBytesPerOp(),
+				CoverSize: len(parCover), ParMatchesSeq: &same,
+			})
+		fmt.Fprintf(stdout, "%-40s  %10.0f ns/op  %8d B/op  %6d allocs/op\n",
+			name+"/seq", rep.Results[len(rep.Results)-2].NsPerOp, seq.AllocedBytesPerOp(), seq.AllocsPerOp())
+		fmt.Fprintf(stdout, "%-40s  %10.0f ns/op  %8d B/op  %6d allocs/op\n",
+			name+"/par", rep.Results[len(rep.Results)-1].NsPerOp, par.AllocedBytesPerOp(), par.AllocsPerOp())
+		if !same {
+			fmt.Fprintf(stdout, "  WARNING: parallel cover differs from sequential at %s\n", name)
+		}
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// checkBenchJSON validates a report written by benchJSON: well-formed
+// JSON, the pathkernel suite marker, and sane per-result numbers. It is
+// the smoke check `make verify` runs against a committed trajectory.
+func checkBenchJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Suite != "pathkernel" {
+		return fmt.Errorf("%s: suite is %q, want \"pathkernel\"", path, rep.Suite)
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("%s: no results", path)
+	}
+	for _, r := range rep.Results {
+		if r.Name == "" {
+			return fmt.Errorf("%s: result with empty name", path)
+		}
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			return fmt.Errorf("%s: %s: non-positive timing (%g ns/op over %d iterations)",
+				path, r.Name, r.NsPerOp, r.Iterations)
+		}
+		if r.AllocsPerOp < 0 || r.BytesPerOp < 0 {
+			return fmt.Errorf("%s: %s: negative allocation counters", path, r.Name)
+		}
+		if r.Mode != "seq" && r.Mode != "par" {
+			return fmt.Errorf("%s: %s: unknown mode %q", path, r.Name, r.Mode)
+		}
+		if r.ParMatchesSeq != nil && !*r.ParMatchesSeq {
+			return fmt.Errorf("%s: %s: parallel cover differed from sequential", path, r.Name)
+		}
+	}
+	return nil
+}

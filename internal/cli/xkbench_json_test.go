@@ -1,0 +1,94 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestXkbenchJSONRoundTrip runs the -json mode on the smallest grid point
+// and validates the report with -check-json.
+func TestXkbenchJSONRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs testing.Benchmark; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	var stdout, stderr bytes.Buffer
+	if code := RunXkbench([]string{"-json", out, "-max-fields", "10"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("xkbench -json exited %d: %s", code, stderr.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Suite != "pathkernel" {
+		t.Fatalf("suite = %q, want pathkernel", rep.Suite)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results for the fields=10 grid, want 2 (seq+par)", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			t.Errorf("%s: bad timing %g ns/op over %d iterations", r.Name, r.NsPerOp, r.Iterations)
+		}
+		if r.CoverSize == 0 {
+			t.Errorf("%s: empty cover", r.Name)
+		}
+	}
+	par := rep.Results[1]
+	if par.Mode != "par" || par.ParMatchesSeq == nil || !*par.ParMatchesSeq {
+		t.Errorf("parallel result must record par_matches_seq=true, got %+v", par)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := RunXkbench([]string{"-check-json", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("xkbench -check-json exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "OK") {
+		t.Fatalf("check output %q lacks OK", stdout.String())
+	}
+}
+
+// TestXkbenchCheckJSONRejects covers the failure modes of the smoke check.
+func TestXkbenchCheckJSONRejects(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, body, want string
+	}{
+		{"malformed", "{", "unexpected end"},
+		{"wrong-suite", `{"suite":"other","results":[{"name":"x","mode":"seq","iterations":1,"ns_per_op":1}]}`, "suite"},
+		{"empty", `{"suite":"pathkernel","results":[]}`, "no results"},
+		{"bad-timing", `{"suite":"pathkernel","results":[{"name":"x","mode":"seq","iterations":0,"ns_per_op":0}]}`, "non-positive timing"},
+		{"bad-mode", `{"suite":"pathkernel","results":[{"name":"x","mode":"weird","iterations":1,"ns_per_op":1}]}`, "unknown mode"},
+		{"par-mismatch", `{"suite":"pathkernel","results":[{"name":"x","mode":"par","iterations":1,"ns_per_op":1,"par_matches_seq":false}]}`, "differed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(dir, tc.name+".json")
+			if err := os.WriteFile(p, []byte(tc.body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var stdout, stderr bytes.Buffer
+			if code := RunXkbench([]string{"-check-json", p}, &stdout, &stderr); code != 1 {
+				t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("stderr %q lacks %q", stderr.String(), tc.want)
+			}
+		})
+	}
+	var stdout, stderr bytes.Buffer
+	if code := RunXkbench([]string{"-check-json", filepath.Join(dir, "missing.json")}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing file: exit code = %d, want 1", code)
+	}
+}

@@ -5,7 +5,6 @@ import (
 
 	"xkprop/internal/rel"
 	"xkprop/internal/transform"
-	"xkprop/internal/xmlkey"
 )
 
 // This file implements Algorithm minimumCover (§5): given a universal
@@ -119,13 +118,13 @@ func (e *Engine) coverCandidates() []rel.FD {
 				return
 			}
 			if st.sig < 0 {
-				st.ok = e.dec.Implies(xmlkey.New("", ctxPath, relPath))
+				st.ok = e.dec.ImpliesCT(ctxPath, relPath, nil)
 				return
 			}
 			sig := sigma[st.sig]
 			// Null safety: the key attributes must exist on v's nodes.
-			st.ok = e.dec.Implies(xmlkey.New("", ctxPath, relPath, sig.Attrs...)) &&
-				e.dec.ExistsAll(e.pathFromRoot(v), sig.Attrs)
+			st.ok = e.dec.ImpliesCT(ctxPath, relPath, sig.Attrs) &&
+				e.dec.ExistsAllID(e.rootEntryOf(v).id, sig.Attrs)
 		})
 		// Merge in staging order — exactly the sequential algorithm's
 		// order, so parallel runs produce the same key sets.
@@ -180,7 +179,7 @@ func (e *Engine) coverCandidates() []rel.FD {
 		if !ok {
 			return
 		}
-		st.ok = e.dec.Implies(xmlkey.New("", e.pathFromRoot(st.v), uniq))
+		st.ok = e.dec.ImpliesCT(e.pathFromRoot(st.v), uniq, nil)
 	})
 	var out []rel.FD
 	for _, st := range emits {
@@ -264,7 +263,7 @@ func (e *Engine) lhsExistenceCovered(lhs rel.AttrSet, rhsAttr int) bool {
 		if len(attrs) == 0 {
 			continue
 		}
-		if e.dec.ExistsAll(e.pathFromRoot(target), attrs) {
+		if e.dec.ExistsAllID(e.rootEntryOf(target).id, attrs) {
 			for _, f := range covered {
 				if lhsFields[f] {
 					delete(lhsFields, f)

@@ -40,13 +40,21 @@ type Engine struct {
 	// GOMAXPROCS for the batch API), n >= 1 = exactly n workers.
 	workers int
 
-	// rootPath caches P(v_r, x) per variable; read-mostly after warm-up.
+	// rootPath caches P(v_r, x) per variable together with its interned ID
+	// in the decider's path universe; read-mostly after warm-up.
 	rootMu   sync.RWMutex
-	rootPath map[string]xpath.Path
+	rootPath map[string]rootEntry
 
 	// cover caches MinimumCover for GPropagates, built once.
 	coverOnce sync.Once
 	cover     []rel.FD
+}
+
+// rootEntry pairs a root path with its interned ID, so the existence
+// closure can run ID-keyed against the compiled kernel.
+type rootEntry struct {
+	path xpath.Path
+	id   xpath.ID
 }
 
 // NewEngine builds an engine for Σ and the rule.
@@ -54,7 +62,7 @@ func NewEngine(sigma []xmlkey.Key, rule *transform.Rule) *Engine {
 	return &Engine{
 		dec:      xmlkey.NewDecider(sigma),
 		rule:     rule,
-		rootPath: make(map[string]xpath.Path),
+		rootPath: make(map[string]rootEntry),
 	}
 }
 
@@ -64,19 +72,22 @@ func (e *Engine) Rule() *transform.Rule { return e.rule }
 // Sigma returns the engine's key set.
 func (e *Engine) Sigma() []xmlkey.Key { return e.dec.Sigma() }
 
-func (e *Engine) pathFromRoot(x string) xpath.Path {
+func (e *Engine) rootEntryOf(x string) rootEntry {
 	e.rootMu.RLock()
-	p, ok := e.rootPath[x]
+	ent, ok := e.rootPath[x]
 	e.rootMu.RUnlock()
 	if ok {
-		return p
+		return ent
 	}
-	p = e.rule.PathFromRoot(x)
+	p := e.rule.PathFromRoot(x)
+	ent = rootEntry{path: p, id: e.dec.InternPath(p)}
 	e.rootMu.Lock()
-	e.rootPath[x] = p
+	e.rootPath[x] = ent
 	e.rootMu.Unlock()
-	return p
+	return ent
 }
+
+func (e *Engine) pathFromRoot(x string) xpath.Path { return e.rootEntryOf(x).path }
 
 // Propagates implements Algorithm propagation (Fig 5): it reports whether
 // Σ ⊨_σ (X → Y) — the FD holds on the rule's relation for every XML tree
@@ -132,21 +143,21 @@ func (e *Engine) propagatesOne(lhs rel.AttrSet, rhsAttr int) bool {
 			// reads as ε, which would prove a bogus uniqueness key and
 			// silently mis-decide propagation.
 			relPath, ok := rule.PathBetween(context, target)
-			if ok && e.dec.Implies(xmlkey.New("", ctxPath, relPath, attrs...)) {
+			if ok && e.dec.ImpliesCT(ctxPath, relPath, attrs) {
 				// target is keyed relative to context by attributes that
 				// populate X fields; advance the context (sound by the
 				// target-to-context rule).
 				context = target
 				// Is x unique under the new context?
 				if uniq, ok := rule.PathBetween(context, x); ok &&
-					e.dec.Implies(xmlkey.New("", e.pathFromRoot(context), uniq)) {
+					e.dec.ImpliesCT(e.pathFromRoot(context), uniq, nil) {
 					keyFound = true
 				}
 			}
 		}
 		// exist() (Fig 5 lines 19–21): discharge X fields whose attributes
 		// are guaranteed to exist on every target node.
-		if len(attrs) > 0 && e.dec.ExistsAll(e.pathFromRoot(target), attrs) {
+		if len(attrs) > 0 && e.dec.ExistsAllID(e.rootEntryOf(target).id, attrs) {
 			for _, f := range covered {
 				delete(ycheck, f)
 			}

@@ -99,7 +99,7 @@ func (e *Engine) findProvenance(fd rel.FD) (node string, chain []string, unique 
 			if !okPath {
 				continue // defensive: see propagatesOne on zero-value paths
 			}
-			if e.dec.Implies(xmlkey.New("", ctxPath, relPath)) {
+			if e.dec.ImpliesCT(ctxPath, relPath, nil) {
 				for _, st := range cStates {
 					vStates = append(vStates, provState{
 						key:   st.key,
@@ -121,7 +121,7 @@ func (e *Engine) findProvenance(fd rel.FD) (node string, chain []string, unique 
 				if !xmlkey.Implies([]xmlkey.Key{sig}, xmlkey.New("", ctxPath, relPath, sig.Attrs...)) {
 					continue
 				}
-				if !e.dec.ExistsAll(e.pathFromRoot(v), sig.Attrs) {
+				if !e.dec.ExistsAllID(e.rootEntryOf(v).id, sig.Attrs) {
 					continue
 				}
 				for _, st := range cStates {

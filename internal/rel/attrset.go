@@ -248,12 +248,40 @@ func (a AttrSet) Positions() []int {
 	return out
 }
 
-// key returns a map-key representation.
+// key returns a map-key representation: the trimmed words encoded
+// big-endian, so that lexicographic order on keys matches cmpWords.
 func (a AttrSet) key() string {
 	t := a.trim()
-	var b strings.Builder
+	b := make([]byte, 0, len(t.words)*8)
 	for _, w := range t.words {
-		fmt.Fprintf(&b, "%016x", w)
+		b = append(b,
+			byte(w>>56), byte(w>>48), byte(w>>40), byte(w>>32),
+			byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
 	}
-	return b.String()
+	return string(b)
+}
+
+// cmpWords orders two trimmed word slices exactly as the lexicographic
+// order of their key() encodings: word-by-word numerically, a strict
+// prefix ordering first. Used by SortFDs to avoid materializing keys.
+func cmpWords(a, b []uint64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
 }

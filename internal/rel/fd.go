@@ -69,20 +69,47 @@ func MustParseFD(s *Schema, text string) FD {
 
 // Closure computes the attribute closure X⁺ of x under the FDs, using the
 // classic fixpoint (linear passes over the FD list; the input sizes in this
-// system make the textbook algorithm the right trade-off).
+// system make the textbook algorithm the right trade-off). The accumulator
+// is a single mutable word slice: the minimize() inner loops call Closure
+// quadratically often, and an immutable Union per fixpoint step used to
+// dominate the allocation profile of BenchmarkMinimumCover.
 func Closure(fds []FD, x AttrSet) AttrSet {
-	closure := x
+	n := len(x.words)
+	for _, f := range fds {
+		if len(f.Rhs.words) > n {
+			n = len(f.Rhs.words)
+		}
+	}
+	acc := make([]uint64, n)
+	copy(acc, x.words)
 	changed := true
 	for changed {
 		changed = false
 		for _, f := range fds {
-			if f.Lhs.SubsetOf(closure) && !f.Rhs.SubsetOf(closure) {
-				closure = closure.Union(f.Rhs)
+			if subsetWords(f.Lhs.words, acc) && !subsetWords(f.Rhs.words, acc) {
+				for i, w := range f.Rhs.words {
+					acc[i] |= w
+				}
 				changed = true
 			}
 		}
 	}
-	return closure
+	return AttrSet{words: acc}.trim()
+}
+
+// subsetWords reports whether the set with words a is a subset of the set
+// with words b.
+func subsetWords(a, b []uint64) bool {
+	for i, w := range a {
+		var bw uint64
+		if i < len(b) {
+			bw = b[i]
+		}
+		if w&^bw != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Implies reports whether the FDs imply f under Armstrong's axioms:
@@ -123,15 +150,34 @@ func SplitRhs(fds []FD) []FD {
 func Dedup(fds []FD) []FD {
 	seen := make(map[string]bool, len(fds))
 	var out []FD
+	var buf []byte
 	for _, f := range fds {
-		k := f.Lhs.key() + "|" + f.Rhs.key()
-		if seen[k] {
+		buf = appendFDKey(buf[:0], f)
+		if seen[string(buf)] {
 			continue
 		}
-		seen[k] = true
+		seen[string(buf)] = true
 		out = append(out, f)
 	}
 	return out
+}
+
+// appendFDKey encodes (Lhs, Rhs) unambiguously into buf: the trimmed LHS
+// word count, then the LHS words, then the RHS words, all big-endian.
+func appendFDKey(buf []byte, f FD) []byte {
+	lhs, rhs := f.Lhs.trim(), f.Rhs.trim()
+	buf = append(buf, byte(len(lhs.words)))
+	for _, w := range lhs.words {
+		buf = append(buf,
+			byte(w>>56), byte(w>>48), byte(w>>40), byte(w>>32),
+			byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+	}
+	for _, w := range rhs.words {
+		buf = append(buf,
+			byte(w>>56), byte(w>>48), byte(w>>40), byte(w>>32),
+			byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+	}
+	return buf
 }
 
 // Minimize computes a minimum cover of the input FDs: singleton right-hand
@@ -199,10 +245,10 @@ func SortFDs(fds []FD) {
 		if ak, bk := a.Lhs.Card(), b.Lhs.Card(); ak != bk {
 			return ak < bk
 		}
-		if ak, bk := a.Lhs.key(), b.Lhs.key(); ak != bk {
-			return ak < bk
+		if c := cmpWords(a.Lhs.trim().words, b.Lhs.trim().words); c != 0 {
+			return c < 0
 		}
-		return a.Rhs.key() < b.Rhs.key()
+		return cmpWords(a.Rhs.trim().words, b.Rhs.trim().words) < 0
 	})
 }
 

@@ -59,6 +59,9 @@ func (v Violation) String() string {
 // Validator validates a fixed key set over one streamed document.
 type Validator struct {
 	keys []compiledKey
+	// in is the path universe the key paths were compiled against; element
+	// labels are translated to its integer codes once per start tag.
+	in *xpath.Interner
 	// stack of open elements.
 	stack []*frame
 	// violations collected so far.
@@ -74,10 +77,17 @@ type compiledKey struct {
 	target  nfa
 }
 
+// unknownLabel marks an element label the interner has never seen: no
+// compiled step can equal it (label codes are >= 1 and it is not DescCode),
+// so only "//" positions survive such an element.
+const unknownLabel = ^uint32(0)
+
 // nfa is a compiled path expression: matching tracks a set of positions
-// into steps; position i with a "//" step can absorb any label and stay.
+// into the code sequence; position i with a DescCode step can absorb any
+// label and stay. Steps are the interner's compiled codes, so advancing
+// the set costs integer compares only.
 type nfa struct {
-	steps []xpath.Step
+	codes []uint32
 }
 
 // start returns the initial position set (ε-closure of position 0).
@@ -95,7 +105,7 @@ func (n nfa) closure(pos []int) []int {
 		}
 		seen[p] = true
 		out = append(out, p)
-		if p < len(n.steps) && n.steps[p].Kind == xpath.DescendantOrSelf {
+		if p < len(n.codes) && n.codes[p] == xpath.DescCode {
 			add(p + 1)
 		}
 	}
@@ -105,18 +115,17 @@ func (n nfa) closure(pos []int) []int {
 	return out
 }
 
-// step advances the position set over one element label.
-func (n nfa) step(pos []int, label string) []int {
+// step advances the position set over one element label code.
+func (n nfa) step(pos []int, code uint32) []int {
 	var next []int
 	for _, p := range pos {
-		if p >= len(n.steps) {
+		if p >= len(n.codes) {
 			continue
 		}
-		s := n.steps[p]
-		switch {
-		case s.Kind == xpath.DescendantOrSelf:
+		switch s := n.codes[p]; {
+		case s == xpath.DescCode:
 			next = append(next, p) // absorb the label, stay
-		case s.Name == label:
+		case s == code:
 			next = append(next, p+1)
 		}
 	}
@@ -126,7 +135,7 @@ func (n nfa) step(pos []int, label string) []int {
 // accepted reports whether the position set contains the final position.
 func (n nfa) accepted(pos []int) bool {
 	for _, p := range pos {
-		if p == len(n.steps) {
+		if p == len(n.codes) {
 			return true
 		}
 	}
@@ -158,12 +167,12 @@ type contextInstance struct {
 // NewValidator compiles the key set. Keys must be of class K̄ (attribute
 // key paths), which the xmlkey type guarantees.
 func NewValidator(sigma []xmlkey.Key) *Validator {
-	v := &Validator{}
+	v := &Validator{in: xpath.NewInterner()}
 	for _, k := range sigma {
 		v.keys = append(v.keys, compiledKey{
 			key:     k,
-			context: nfa{steps: k.Context.Normalize().Steps()},
-			target:  nfa{steps: k.Target.Normalize().Steps()},
+			context: nfa{codes: v.in.Codes(v.in.Intern(k.Context))},
+			target:  nfa{codes: v.in.Codes(v.in.Intern(k.Target))},
 		})
 	}
 	return v
@@ -221,6 +230,12 @@ func (v *Validator) path() string {
 
 func (v *Validator) startElement(t xml.StartElement, offset int64) {
 	label := t.Name.Local
+	// One map lookup per start tag; labels absent from every key path get
+	// the unknownLabel sentinel, which only "//" steps can absorb.
+	code, known := v.in.LabelCode(label)
+	if !known {
+		code = unknownLabel
+	}
 	isRoot := len(v.stack) == 0
 
 	f := &frame{
@@ -236,7 +251,7 @@ func (v *Validator) startElement(t xml.StartElement, offset int64) {
 			f.ctxPos[i] = ck.context.start()
 		} else {
 			parent := v.stack[len(v.stack)-1]
-			f.ctxPos[i] = ck.context.step(parent.ctxPos[i], label)
+			f.ctxPos[i] = ck.context.step(parent.ctxPos[i], code)
 		}
 
 		// Advance target NFAs of every active context of key i, and seed
@@ -245,7 +260,7 @@ func (v *Validator) startElement(t xml.StartElement, offset int64) {
 		if !isRoot {
 			parent := v.stack[len(v.stack)-1]
 			for ci, pos := range parent.tgtPos[i] {
-				f.tgtPos[i][ci] = ck.target.step(pos, label)
+				f.tgtPos[i][ci] = ck.target.step(pos, code)
 			}
 		}
 		if ck.context.accepted(f.ctxPos[i]) {

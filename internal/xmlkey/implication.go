@@ -1,7 +1,6 @@
 package xmlkey
 
 import (
-	"sort"
 	"strings"
 	"sync"
 
@@ -38,6 +37,13 @@ import (
 // not claim completeness for arbitrary K̄ — the paper defers the full
 // axiomatization to DBPL'01 — but the procedure decides every implication
 // exercised by the paper's examples and experiments.
+//
+// Performance: all path reasoning runs over an interned path universe
+// (xpath.Interner). Sub-goals are identified by (ctxID, tgtID, attrsID)
+// integer triples rather than rendered strings; containment queries go
+// through the interner's compiled kernel and its pairwise verdict cache;
+// and each σ's split decompositions (with their Qσ/P1 concatenations) are
+// computed once per Decider instead of per prove call.
 
 // Implies reports whether Σ ⊨ φ.
 func Implies(sigma []Key, phi Key) bool {
@@ -67,8 +73,35 @@ func ImpliesAll(sigma []Key, phis []Key) bool {
 // table stays consistent and warm sub-goals are served lock-read-only.
 type Decider struct {
 	sigma  []Key
+	in     *xpath.Interner
+	attrs  attrTable
+	sigs   []sigCompiled
 	shards [memoShards]memoShard
 	pool   sync.Pool // *query, reused so warm calls allocate nothing
+}
+
+// sigCompiled is the per-σ data the direct rule and the existence closure
+// need, computed once per Decider: the sorted attribute list, the interned
+// Qσ/Q'σ root-target path, and the split decompositions Q'σ ≡ P1/P2 with
+// Qσ/P1 pre-concatenated and interned.
+type sigCompiled struct {
+	attrs   []string
+	rootTgt xpath.ID
+	splits  []sigSplit
+}
+
+// sigSplit is one decomposition of σ's target: ctxPre = intern(Qσ/P1),
+// suf = intern(P2).
+type sigSplit struct {
+	ctxPre, suf xpath.ID
+}
+
+// goal identifies one sub-goal (Q, (Q', S)) by interned integers. Using
+// the triple instead of a rendered string key makes memo hits a struct
+// hash away and keeps the hot path allocation-free.
+type goal struct {
+	ctx, tgt xpath.ID
+	attrs    uint32
 }
 
 // memoShards spreads goal keys over independently locked maps so parallel
@@ -77,38 +110,102 @@ const memoShards = 16
 
 type memoShard struct {
 	mu sync.RWMutex
-	m  map[string]bool // goal -> proved (true) / refuted (false)
+	m  map[goal]bool // goal -> proved (true) / refuted (false)
 }
 
-func (s *memoShard) get(g string) (res, ok bool) {
+func (s *memoShard) get(g goal) (res, ok bool) {
 	s.mu.RLock()
 	res, ok = s.m[g]
 	s.mu.RUnlock()
 	return res, ok
 }
 
-func (s *memoShard) put(g string, res bool) {
+func (s *memoShard) put(g goal, res bool) {
 	s.mu.Lock()
 	s.m[g] = res
 	s.mu.Unlock()
 }
 
+// attrTable interns normalized (sorted, deduplicated) attribute lists to
+// dense IDs. ID 0 is the empty list. Interning happens once per top-level
+// query — the per-goal strings.Join of the string-keyed design is gone.
+type attrTable struct {
+	mu sync.RWMutex
+	m  map[string]uint32
+}
+
+func (t *attrTable) intern(attrs []string) uint32 {
+	if len(attrs) == 0 {
+		return 0
+	}
+	key := strings.Join(attrs, "\x00")
+	t.mu.RLock()
+	id, ok := t.m[key]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.m[key]; ok {
+		return id
+	}
+	id = uint32(len(t.m) + 1)
+	t.m[key] = id
+	return id
+}
+
 // NewDecider returns a Decider for the key set sigma.
 func NewDecider(sigma []Key) *Decider {
-	d := &Decider{sigma: sigma}
+	d := &Decider{
+		sigma: sigma,
+		in:    xpath.NewInterner(),
+	}
+	d.attrs.m = make(map[string]uint32)
 	for i := range d.shards {
-		d.shards[i].m = make(map[string]bool)
+		d.shards[i].m = make(map[goal]bool)
+	}
+	d.sigs = make([]sigCompiled, 0, len(sigma))
+	for _, sig := range sigma {
+		ctx := sig.Context.Normalize()
+		tgt := sig.Target.Normalize()
+		sc := sigCompiled{
+			attrs:   normalizeAttrs(sig.Attrs),
+			rootTgt: d.in.Intern(ctx.Concat(tgt)),
+		}
+		seen := make(map[sigSplit]bool)
+		for _, sp := range splitsAll(tgt) {
+			s := sigSplit{
+				ctxPre: d.in.Intern(ctx.Concat(sp.prefix)),
+				suf:    d.in.Intern(sp.suffix),
+			}
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			sc.splits = append(sc.splits, s)
+		}
+		d.sigs = append(d.sigs, sc)
 	}
 	d.pool.New = func() any {
-		return &query{d: d, local: make(map[string]int8)}
+		return &query{d: d, local: make(map[goal]int8)}
 	}
 	return d
 }
 
 // Implies reports whether Σ ⊨ φ.
 func (dc *Decider) Implies(phi Key) bool {
+	return dc.ImpliesCT(phi.Context, phi.Target, phi.Attrs)
+}
+
+// ImpliesCT reports whether Σ implies the key (context, (target, attrs))
+// without requiring the caller to build a Key value; the propagation and
+// cover algorithms issue thousands of such queries per run.
+func (dc *Decider) ImpliesCT(context, target xpath.Path, attrs []string) bool {
+	attrs = normalizeAttrsIfNeeded(attrs)
+	attrsID := dc.attrs.intern(attrs)
 	q := dc.pool.Get().(*query)
-	res, _ := q.impliesT(phi.Context, phi.Target, phi.Attrs)
+	res, _ := q.impliesT(context.Normalize(), target.Normalize(), attrs, attrsID)
 	// Cycle-cut refutations are valid only within the query that assumed
 	// them; dropping the whole local state keeps answers independent of
 	// query order (and of goroutine interleaving).
@@ -117,21 +214,114 @@ func (dc *Decider) Implies(phi Key) bool {
 	return res
 }
 
+// InternPath interns p into the decider's path universe, for callers that
+// want to cache IDs across many ExistsAllID queries.
+func (dc *Decider) InternPath(p xpath.Path) xpath.ID { return dc.in.Intern(p) }
+
+// Interner exposes the decider's path universe (shared, concurrency-safe).
+func (dc *Decider) Interner() *xpath.Interner { return dc.in }
+
 // ExistsAll reports whether all attrs are guaranteed on nodes of p.
 func (dc *Decider) ExistsAll(p xpath.Path, attrs []string) bool {
-	return ExistsAll(dc.sigma, p, attrs)
+	return dc.ExistsAllID(dc.in.Intern(p), attrs)
+}
+
+// ExistsAllID is ExistsAll over an interned path ID (see InternPath). It
+// implements the paper's exist() closure against the compiled kernel: @a
+// is guaranteed on p-nodes if some σ ∈ Σ carries @a and p ⊆ Qσ/Q'σ.
+func (dc *Decider) ExistsAllID(pid xpath.ID, attrs []string) bool {
+	attrs = normalizeAttrsIfNeeded(attrs)
+	return dc.existsAllSorted(pid, attrs)
+}
+
+// existsAllSorted requires attrs sorted, deduplicated and without '@'.
+// Coverage is tracked in a bitmask over attrs positions; the containment
+// kernel is consulted lazily, only for σs that could still discharge an
+// uncovered attribute.
+func (dc *Decider) existsAllSorted(pid xpath.ID, attrs []string) bool {
+	n := len(attrs)
+	if n == 0 {
+		return true
+	}
+	if n > 64 {
+		return dc.existsAllBig(pid, attrs)
+	}
+	var covered uint64
+	got := 0
+	for i := range dc.sigs {
+		sc := &dc.sigs[i]
+		if len(sc.attrs) == 0 || !anyUncovered(sc.attrs, attrs, covered) {
+			continue
+		}
+		if !dc.in.ContainedIn(pid, sc.rootTgt) {
+			continue
+		}
+		for _, a := range sc.attrs {
+			if idx, ok := indexSorted(attrs, a); ok && covered&(1<<uint(idx)) == 0 {
+				covered |= 1 << uint(idx)
+				got++
+				if got == n {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// indexSorted finds a in the sorted list attrs (linear scan; the lists are
+// tiny in practice).
+func indexSorted(attrs []string, a string) (int, bool) {
+	for i, x := range attrs {
+		if x == a {
+			return i, true
+		}
+		if x > a {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// anyUncovered reports whether σ's attribute list carries some wanted
+// attribute whose coverage bit is still clear.
+func anyUncovered(sigAttrs, attrs []string, covered uint64) bool {
+	for _, a := range sigAttrs {
+		if idx, ok := indexSorted(attrs, a); ok && covered&(1<<uint(idx)) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// existsAllBig is the map-based fallback for absurdly wide attribute sets.
+func (dc *Decider) existsAllBig(pid xpath.ID, attrs []string) bool {
+	remaining := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		remaining[a] = true
+	}
+	for i := range dc.sigs {
+		sc := &dc.sigs[i]
+		if len(sc.attrs) == 0 {
+			continue
+		}
+		if dc.in.ContainedIn(pid, sc.rootTgt) {
+			for _, a := range sc.attrs {
+				delete(remaining, a)
+			}
+			if len(remaining) == 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Sigma returns the key set the decider reasons over.
 func (dc *Decider) Sigma() []Key { return dc.sigma }
 
-func (dc *Decider) shardFor(g string) *memoShard {
-	// FNV-1a, inlined to keep the hot path dependency-free.
-	h := uint32(2166136261)
-	for i := 0; i < len(g); i++ {
-		h ^= uint32(g[i])
-		h *= 16777619
-	}
+func (dc *Decider) shardFor(g goal) *memoShard {
+	h := uint32(g.ctx)*2654435761 ^ uint32(g.tgt)*2246822519 ^ g.attrs*3266489917
 	return &dc.shards[h%memoShards]
 }
 
@@ -143,8 +333,9 @@ func (dc *Decider) shardFor(g string) *memoShard {
 // itself), tempNeg marks goals refuted under such a cycle-cut assumption
 // (valid only within this query).
 type query struct {
-	d     *Decider
-	local map[string]int8
+	d       *Decider
+	local   map[goal]int8
+	scratch []string // reused by the sorted attribute difference
 }
 
 const (
@@ -152,26 +343,16 @@ const (
 	tempNeg    int8 = -3
 )
 
-func goalKey(q, t xpath.Path, attrs []string) string {
-	var b strings.Builder
-	b.WriteString(q.String())
-	b.WriteByte('\x01')
-	b.WriteString(t.String())
-	b.WriteByte('\x01')
-	b.WriteString(strings.Join(attrs, ","))
-	return b.String()
-}
-
 // impliesT decides the goal and additionally reports whether the result was
 // tainted by an in-progress (cyclic) sub-goal. Tainted negative results are
 // not shared — a different proof path might still establish them — which
 // keeps the procedure deterministic regardless of query order. Positive
 // results are never tainted: a successful proof uses only genuine sub-proofs.
-func (qr *query) impliesT(q, t xpath.Path, attrs []string) (bool, bool) {
-	attrs = normalizeAttrs(attrs)
-	q = q.Normalize()
-	t = t.Normalize()
-
+//
+// Invariants: q and t are normalized (top-level queries normalize once;
+// Concat and Split preserve normalization), attrs is normalized and
+// attrsID is its interned ID (0 for the empty list).
+func (qr *query) impliesT(q, t xpath.Path, attrs []string, attrsID uint32) (bool, bool) {
 	// attribute-step reduction: a trailing attribute step is unique per
 	// parent node, so (Q, (P/@a, ∅)) follows from (Q, (P, ∅)); key-path
 	// sets on attribute-final targets only make sense empty.
@@ -185,19 +366,20 @@ func (qr *query) impliesT(q, t xpath.Path, attrs []string) (bool, bool) {
 		return false, false
 	}
 
-	g := goalKey(q, t, attrs)
+	d := qr.d
+	g := goal{ctx: d.in.Intern(q), tgt: d.in.Intern(t), attrs: attrsID}
 	if _, ok := qr.local[g]; ok {
 		// inProgress: a cycle — the goal cannot support itself; tempNeg:
 		// refuted earlier in this query under a cycle-cut assumption.
 		// Either way: refuted here, tainted.
 		return false, true
 	}
-	shard := qr.d.shardFor(g)
+	shard := d.shardFor(g)
 	if res, ok := shard.get(g); ok {
 		return res, false
 	}
 	qr.local[g] = inProgress
-	res, tainted := qr.prove(q, t, attrs)
+	res, tainted := qr.prove(q, t, g, attrs, attrsID)
 	switch {
 	case res:
 		shard.put(g, true)
@@ -211,7 +393,7 @@ func (qr *query) impliesT(q, t xpath.Path, attrs []string) (bool, bool) {
 	return res, tainted
 }
 
-func (qr *query) prove(q, t xpath.Path, attrs []string) (bool, bool) {
+func (qr *query) prove(q, t xpath.Path, g goal, attrs []string, attrsID uint32) (bool, bool) {
 	d := qr.d
 	// epsilon rule.
 	if t.IsEpsilon() && len(attrs) == 0 {
@@ -219,31 +401,35 @@ func (qr *query) prove(q, t xpath.Path, attrs []string) (bool, bool) {
 	}
 	tainted := false
 
+	// Q/Q' interned at the ID level (no Path concatenation needed); only
+	// goals with attributes consult it.
+	var qtID xpath.ID
+	if len(attrs) > 0 {
+		qtID = d.in.ConcatIDs(g.ctx, g.tgt)
+	}
+
 	// unique-target weakening: if the target is unique per context, only
 	// the existence of attrs remains to be discharged.
-	if len(attrs) > 0 && ExistsAll(d.sigma, q.Concat(t), attrs) {
-		res, tnt := qr.impliesT(q, t, nil)
+	if len(attrs) > 0 && d.existsAllSorted(qtID, attrs) {
+		res, tnt := qr.impliesT(q, t, nil, 0)
 		if res {
 			return true, false
 		}
 		tainted = tainted || tnt
 	}
 
-	// direct rule.
-	attrSet := make(map[string]bool, len(attrs))
-	for _, a := range attrs {
-		attrSet[a] = true
-	}
-	qt := q.Concat(t)
-	for _, sig := range d.sigma {
-		if !sig.AttrsSubsetOf(attrSet) {
+	// direct rule, over the per-σ precompiled split decompositions.
+	for i := range d.sigs {
+		sc := &d.sigs[i]
+		if !subsetSorted(sc.attrs, attrs) {
 			continue
 		}
-		extra := diffAttrs(attrs, sig.Attrs)
-		if len(extra) > 0 && !ExistsAll(d.sigma, qt, extra) {
+		extra := diffSorted(attrs, sc.attrs, qr.scratch[:0])
+		qr.scratch = extra[:0]
+		if len(extra) > 0 && !d.existsAllSorted(qtID, extra) {
 			continue
 		}
-		if directCovers(sig, q, t) {
+		if d.coversDirect(sc, g.ctx, g.tgt) {
 			return true, false
 		}
 	}
@@ -254,12 +440,12 @@ func (qr *query) prove(q, t xpath.Path, attrs []string) (bool, bool) {
 	// recursion terminates.
 	for _, sp := range splits(t) {
 		t1, t2 := sp.prefix, sp.suffix
-		ok1, tnt1 := qr.impliesT(q, t1, nil)
+		ok1, tnt1 := qr.impliesT(q, t1, nil, 0)
 		tainted = tainted || tnt1
 		if !ok1 {
 			continue
 		}
-		ok2, tnt2 := qr.impliesT(q.Concat(t1), t2, attrs)
+		ok2, tnt2 := qr.impliesT(q.Concat(t1), t2, attrs, attrsID)
 		tainted = tainted || tnt2
 		if ok2 {
 			return true, false
@@ -268,12 +454,13 @@ func (qr *query) prove(q, t xpath.Path, attrs []string) (bool, bool) {
 	return false, tainted
 }
 
-// directCovers reports whether σ implies the (Q, Q') pair by the
+// coversDirect reports whether σ implies the (Q, Q') pair by the
 // target-to-context rule plus containment weakenings: for some split
-// Q'σ ≡ P1/P2, Q ⊆ Qσ/P1 and Q' ⊆ P2.
-func directCovers(sig Key, q, t xpath.Path) bool {
-	for _, sp := range splitsAll(sig.Target) {
-		if q.ContainedIn(sig.Context.Concat(sp.prefix)) && t.ContainedIn(sp.suffix) {
+// Q'σ ≡ P1/P2, Q ⊆ Qσ/P1 and Q' ⊆ P2. Both containments are integer-keyed
+// kernel queries over precompiled decompositions.
+func (d *Decider) coversDirect(sc *sigCompiled, qid, tid xpath.ID) bool {
+	for _, sp := range sc.splits {
+		if d.in.ContainedIn(qid, sp.ctxPre) && d.in.ContainedIn(tid, sp.suf) {
 			return true
 		}
 	}
@@ -318,17 +505,47 @@ func splits(p xpath.Path) []split {
 	return out
 }
 
-func diffAttrs(a, b []string) []string {
-	bs := make(map[string]bool, len(b))
-	for _, x := range b {
-		bs[x] = true
-	}
-	var out []string
-	for _, x := range a {
-		if !bs[x] {
-			out = append(out, x)
+// normalizeAttrsIfNeeded returns attrs when it is already normalized
+// (sorted, duplicate-free, '@'-less) — the common case for attribute lists
+// that came out of Key values or sorted rule lookups — and a normalized
+// copy otherwise. The zero-copy fast path keeps the per-query cost flat.
+func normalizeAttrsIfNeeded(attrs []string) []string {
+	for i, a := range attrs {
+		if strings.HasPrefix(a, "@") || a == "" || (i > 0 && attrs[i-1] >= a) {
+			return normalizeAttrs(attrs)
 		}
 	}
-	sort.Strings(out)
+	return attrs
+}
+
+// subsetSorted reports whether sub ⊆ super; both sorted and duplicate-free.
+func subsetSorted(sub, super []string) bool {
+	j := 0
+	for _, a := range sub {
+		for j < len(super) && super[j] < a {
+			j++
+		}
+		if j >= len(super) || super[j] != a {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// diffSorted appends a ∖ b to out and returns it; a and b sorted and
+// duplicate-free, and so is the result — no map, no re-sort.
+func diffSorted(a, b []string, out []string) []string {
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			j++
+			continue
+		}
+		out = append(out, x)
+	}
 	return out
 }

@@ -61,3 +61,73 @@ func BenchmarkIntersects(b *testing.B) {
 		p.Intersects(q)
 	}
 }
+
+// BenchmarkKernelContainment compares the retained recursive DP against
+// the compiled kernel, cold (bypassing the verdict cache) and warm (the
+// one-map-read fast path consumers actually hit).
+func BenchmarkKernelContainment(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		p := longPath(n, 0)
+		q := longPath(n, 4)
+		in := NewInterner()
+		ip, iq := in.Intern(p), in.Intern(q)
+		cp, cq := in.Codes(ip), in.Codes(iq)
+		b.Run(fmt.Sprintf("recursive/len=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !p.ContainedIn(q) {
+					b.Fatal("expected containment")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("compiled-cold/len=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !in.containCodes(cp, cq) {
+					b.Fatal("expected containment")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("compiled-warm/len=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !in.ContainedIn(ip, iq) {
+					b.Fatal("expected containment")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelMatches compares membership via the old containment-DP
+// route against the greedy scans (Path-level and compiled).
+func BenchmarkKernelMatches(b *testing.B) {
+	p := MustParse("a//b//c/d")
+	in := NewInterner()
+	id := in.Intern(p)
+	labels := []string{"a", "x", "y", "b", "z", "c", "d"}
+	b.Run("via-containment", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !p.matchesViaContainment(labels) {
+				b.Fatal("expected match")
+			}
+		}
+	})
+	b.Run("greedy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !p.Matches(labels) {
+				b.Fatal("expected match")
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !in.Matches(id, labels) {
+				b.Fatal("expected match")
+			}
+		}
+	})
+}

@@ -58,8 +58,43 @@ func (p Path) ContainedIn(q Path) bool {
 }
 
 // Matches reports whether the concrete label sequence labels is in L(p),
-// i.e. labels ∈ p in the paper's notation.
+// i.e. labels ∈ p in the paper's notation. It is a greedy linear scan:
+// literal steps must match in order, and on a mismatch the most recent "//"
+// gap absorbs one more label. This is the classic single-wildcard matching
+// algorithm; it allocates nothing, unlike the containment DP it replaces in
+// the validator hot loop (kept below as matchesViaContainment, the
+// reference oracle for the property tests).
 func (p Path) Matches(labels []string) bool {
+	steps := p.steps
+	i, j := 0, 0
+	star, mark := -1, 0
+	for i < len(labels) {
+		switch {
+		case j < len(steps) && steps[j].Kind == DescendantOrSelf:
+			star, mark = j, i
+			j++
+		case j < len(steps) && steps[j].Name == labels[i]:
+			i++
+			j++
+		case star >= 0:
+			mark++
+			i = mark
+			j = star + 1
+		default:
+			return false
+		}
+	}
+	for j < len(steps) && steps[j].Kind == DescendantOrSelf {
+		j++
+	}
+	return j == len(steps)
+}
+
+// matchesViaContainment is the original membership decision — build a
+// throwaway literal path and run the full containment DP. It is retained as
+// the reference oracle the property tests cross-check Matches (and the
+// compiled kernel's membership) against.
+func (p Path) matchesViaContainment(labels []string) bool {
 	steps := make([]Step, len(labels))
 	for i, l := range labels {
 		steps[i] = Step{Kind: Label, Name: l}
@@ -130,13 +165,20 @@ func (p Path) Samples(gapMax, limit int, fill []string) [][]string {
 			out = append(out, cp)
 			return
 		}
+		// Extend into a fresh backing array every time: append(acc, ...)
+		// may otherwise share acc's backing across sibling gap
+		// instantiations, letting a later recursion overwrite labels a
+		// concurrent branch still holds (see TestSamplesNoAliasing).
 		s := p.steps[i]
 		if s.Kind == Label {
-			rec(i+1, append(acc, s.Name))
+			ext := make([]string, len(acc), len(acc)+1)
+			copy(ext, acc)
+			rec(i+1, append(ext, s.Name))
 			return
 		}
 		for n := 0; n <= gapMax && len(out) < limit; n++ {
-			ext := acc
+			ext := make([]string, len(acc), len(acc)+n)
+			copy(ext, acc)
 			for k := 0; k < n; k++ {
 				ext = append(ext, fill[k%len(fill)])
 			}

@@ -1,0 +1,117 @@
+package xpath
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestSamplesNoAliasing is the regression test for the slice-aliasing
+// hazard in Samples: extending the accumulator with append could share one
+// backing array across sibling gap instantiations, so a later branch's
+// writes would retroactively corrupt labels held by an earlier emitted
+// sample. The multi-gap path below drives several siblings through the
+// same prefix; every emitted sample must stay exactly as first produced.
+func TestSamplesNoAliasing(t *testing.T) {
+	p := MustParse("a//b//c")
+	got := p.Samples(2, 1000, []string{"x", "y"})
+
+	// Snapshot deep copies, then force plenty of further appends by
+	// re-sampling with a different fill; the first result set must be
+	// unaffected (it must not share backing arrays with anything).
+	snap := make([][]string, len(got))
+	for i, s := range got {
+		snap[i] = append([]string(nil), s...)
+	}
+	_ = p.Samples(2, 1000, []string{"q", "r"})
+	for i := range got {
+		if !reflect.DeepEqual(got[i], snap[i]) {
+			t.Fatalf("sample %d mutated after later sampling: %v != %v", i, got[i], snap[i])
+		}
+	}
+
+	// Exact expected set: gaps of 0..2 fresh labels at each of the two //.
+	want := map[string]bool{}
+	gap := func(n int) []string { return []string{"x", "y"}[:n] }
+	for n1 := 0; n1 <= 2; n1++ {
+		for n2 := 0; n2 <= 2; n2++ {
+			var s []string
+			s = append(s, "a")
+			s = append(s, gap(n1)...)
+			s = append(s, "b")
+			s = append(s, gap(n2)...)
+			s = append(s, "c")
+			want[fmt.Sprint(s)] = true
+		}
+	}
+	var gotKeys, wantKeys []string
+	for _, s := range got {
+		gotKeys = append(gotKeys, fmt.Sprint(s))
+	}
+	for k := range want {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Strings(gotKeys)
+	sort.Strings(wantKeys)
+	if !reflect.DeepEqual(gotKeys, wantKeys) {
+		t.Fatalf("sample set wrong:\n got %v\nwant %v", gotKeys, wantKeys)
+	}
+
+	// Distinctness and membership: no corrupted duplicates, all in L(p).
+	seen := map[string]bool{}
+	for _, s := range got {
+		k := fmt.Sprint(s)
+		if seen[k] {
+			t.Fatalf("duplicate sample %v (aliasing corruption)", s)
+		}
+		seen[k] = true
+		if !p.Matches(s) {
+			t.Fatalf("sample %v not in L(%q)", s, p)
+		}
+	}
+}
+
+// TestMatchesGreedyTable pins the greedy matcher on the cases where naive
+// greedy algorithms go wrong: backtracking into the most recent gap,
+// trailing gaps, empty paths, and attribute labels.
+func TestMatchesGreedyTable(t *testing.T) {
+	cases := []struct {
+		path   string
+		labels []string
+		want   bool
+	}{
+		{"ε", nil, true},
+		{"ε", []string{"a"}, false},
+		{"//", nil, true},
+		{"//", []string{"a", "b"}, true},
+		{"a", []string{"a"}, true},
+		{"a", []string{"b"}, false},
+		{"a/b", []string{"a", "b"}, true},
+		{"a/b", []string{"a", "x", "b"}, false},
+		{"a//b", []string{"a", "b"}, true},
+		{"a//b", []string{"a", "x", "y", "b"}, true},
+		{"a//b", []string{"b", "a"}, false},
+		// Greedy trap: the first candidate "b" is not the right one.
+		{"//b/c", []string{"b", "b", "c"}, true},
+		{"//b/c", []string{"b", "c", "b"}, false},
+		{"//a//a/b", []string{"a", "a", "x", "a", "b"}, true},
+		// Trailing gap matches ε.
+		{"a//", []string{"a"}, true},
+		{"a//", []string{"a", "x", "y"}, true},
+		{"a//", []string{"b"}, false},
+		// Attribute steps are just labels starting with '@'.
+		{"a/@k", []string{"a", "@k"}, true},
+		{"a/@k", []string{"a", "k"}, false},
+	}
+	for _, tc := range cases {
+		p := MustParse(tc.path)
+		if got := p.Matches(tc.labels); got != tc.want {
+			t.Errorf("Matches(%q, %v) = %v, want %v", tc.path, tc.labels, got, tc.want)
+		}
+		if got := p.matchesViaContainment(tc.labels); got != tc.want {
+			t.Errorf("oracle disagrees with table: matchesViaContainment(%q, %v) = %v, want %v",
+				tc.path, tc.labels, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package xpath
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randPath builds a random path over a tiny alphabet: ~1/3 of steps are
+// "//" gaps, the rest labels. Small alphabets maximize collisions between
+// the two paths of a pair, which is where the kernels can go wrong.
+func randPath(rng *rand.Rand, maxSteps int) Path {
+	alphabet := []string{"a", "b", "c", "d"}
+	n := rng.Intn(maxSteps + 1)
+	var parts []Path
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			parts = append(parts, Desc)
+		} else {
+			parts = append(parts, Elem(alphabet[rng.Intn(len(alphabet))]))
+		}
+	}
+	p := Epsilon
+	for _, q := range parts {
+		p = p.Concat(q)
+	}
+	return p
+}
+
+func TestInternCanonicalIDs(t *testing.T) {
+	in := NewInterner()
+	cases := [][2]string{
+		{"a//b", "a////b"},
+		{"//", "////"},
+		{"ε", "ε"},
+		{"//a/b//", "//a/b////"},
+	}
+	for _, c := range cases {
+		p, q := MustParse(c[0]), MustParse(c[1])
+		if ip, iq := in.Intern(p), in.Intern(q); ip != iq {
+			t.Errorf("Intern(%q) = %d, Intern(%q) = %d; want equal IDs", c[0], ip, c[1], iq)
+		}
+	}
+	// Attribute labels must not collide with element labels of the same name.
+	if in.Intern(MustParse("x/@y")) == in.Intern(MustParse("x/y")) {
+		t.Error("x/@y and x/y interned to the same ID")
+	}
+	// PathOf round-trips to the normalized path.
+	for _, s := range []string{"ε", "a", "//", "a//b", "//a////b/c", "x/@y"} {
+		p := MustParse(s)
+		id := in.Intern(p)
+		if got := in.PathOf(id); !got.Equal(p.Normalize()) {
+			t.Errorf("PathOf(Intern(%q)) = %q, want %q", s, got, p.Normalize())
+		}
+		// Codes mirror the normalized steps: DescCode exactly at // steps.
+		codes := in.Codes(id)
+		norm := p.Normalize().Steps()
+		if len(codes) != len(norm) {
+			t.Fatalf("Codes(%q): %d codes for %d steps", s, len(codes), len(norm))
+		}
+		for i, st := range norm {
+			if (codes[i] == DescCode) != (st.Kind == DescendantOrSelf) {
+				t.Errorf("Codes(%q)[%d] = %d does not mirror step %v", s, i, codes[i], st)
+			}
+		}
+	}
+}
+
+// TestKernelAgainstOracle cross-checks the compiled containment and
+// intersection kernels against the recursive DPs in contain.go on
+// randomized path pairs.
+func TestKernelAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := NewInterner()
+	pairs := 4000
+	if testing.Short() {
+		pairs = 500
+	}
+	for i := 0; i < pairs; i++ {
+		p, q := randPath(rng, 8), randPath(rng, 8)
+		ip, iq := in.Intern(p), in.Intern(q)
+		if got, want := in.ContainedIn(ip, iq), p.ContainedIn(q); got != want {
+			t.Fatalf("ContainedIn(%q, %q): kernel %v, oracle %v", p, q, got, want)
+		}
+		if got, want := in.ContainedIn(iq, ip), q.ContainedIn(p); got != want {
+			t.Fatalf("ContainedIn(%q, %q): kernel %v, oracle %v", q, p, got, want)
+		}
+		if got, want := in.Intersects(ip, iq), p.Intersects(q); got != want {
+			t.Fatalf("Intersects(%q, %q): kernel %v, oracle %v", p, q, got, want)
+		}
+		if got, want := in.Equivalent(ip, iq), p.Equivalent(q); got != want {
+			t.Fatalf("Equivalent(%q, %q): kernel %v, oracle %v", p, q, got, want)
+		}
+	}
+}
+
+// TestKernelLongPaths forces the DP rows off the stack buffer and into the
+// sync.Pool fallback (width > 128), and checks the verdicts still agree
+// with the recursive oracle.
+func TestKernelLongPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := NewInterner()
+	for i := 0; i < 40; i++ {
+		p, q := randPath(rng, 200), randPath(rng, 200)
+		ip, iq := in.Intern(p), in.Intern(q)
+		if got, want := in.ContainedIn(ip, iq), p.ContainedIn(q); got != want {
+			t.Fatalf("long ContainedIn(%q, %q): kernel %v, oracle %v", p, q, got, want)
+		}
+		if got, want := in.Intersects(ip, iq), p.Intersects(q); got != want {
+			t.Fatalf("long Intersects(%q, %q): kernel %v, oracle %v", p, q, got, want)
+		}
+	}
+}
+
+// TestMatchesAgainstOracle cross-checks both membership implementations
+// (the greedy Path.Matches and the interner's compiled matcher) against
+// matchesViaContainment, on positives drawn from Samples and on random
+// (mostly negative) label sequences.
+func TestMatchesAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := NewInterner()
+	alphabet := []string{"a", "b", "c", "d", "zz"}
+	iters := 800
+	if testing.Short() {
+		iters = 150
+	}
+	for i := 0; i < iters; i++ {
+		p := randPath(rng, 6)
+		id := in.Intern(p)
+		check := func(labels []string) {
+			want := p.matchesViaContainment(labels)
+			if got := p.Matches(labels); got != want {
+				t.Fatalf("Path(%q).Matches(%v) = %v, oracle %v", p, labels, got, want)
+			}
+			if got := in.Matches(id, labels); got != want {
+				t.Fatalf("Interner.Matches(%q, %v) = %v, oracle %v", p, labels, got, want)
+			}
+		}
+		// Positives: every sample of p is in L(p).
+		for _, s := range p.Samples(2, 8, []string{"a", "zz"}) {
+			check(s)
+		}
+		// Random sequences, positive or not.
+		labels := make([]string, rng.Intn(7))
+		for k := range labels {
+			labels[k] = alphabet[rng.Intn(len(alphabet))]
+		}
+		check(labels)
+	}
+	// A label the interner never saw can only sit under a "//" gap.
+	p := MustParse("a//b")
+	id := in.Intern(p)
+	if !in.Matches(id, []string{"a", "never-interned", "b"}) {
+		t.Error("unseen label under // must match")
+	}
+	if in.Matches(id, []string{"never-interned", "b"}) {
+		t.Error("unseen label cannot match a literal step")
+	}
+}
+
+// TestConcatIDs checks the code-level concatenation against Path.Concat
+// followed by interning.
+func TestConcatIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := NewInterner()
+	for i := 0; i < 500; i++ {
+		pa, pb := randPath(rng, 6), randPath(rng, 6)
+		a, b := in.Intern(pa), in.Intern(pb)
+		got := in.ConcatIDs(a, b)
+		want := in.Intern(pa.Concat(pb))
+		if got != want {
+			t.Fatalf("ConcatIDs(%q, %q) = %d (%q), want %d (%q)",
+				pa, pb, got, in.PathOf(got), want, in.PathOf(want))
+		}
+	}
+	// ε is a two-sided identity without allocating new entries.
+	eps := in.Epsilon()
+	ab := in.Intern(MustParse("a/b"))
+	if in.ConcatIDs(eps, ab) != ab || in.ConcatIDs(ab, eps) != ab {
+		t.Error("ε must be an identity for ConcatIDs")
+	}
+	if !in.IsEpsilon(eps) || in.IsEpsilon(ab) {
+		t.Error("IsEpsilon misclassifies")
+	}
+}
+
+// TestVerdictCacheConcurrent hammers one shared interner from many
+// goroutines (interning included, so the arena grows concurrently with
+// kernel queries) and checks every verdict against the sequential oracle.
+// Run under -race this exercises the sharded cache and arena locking.
+func TestVerdictCacheConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 60
+	paths := make([]Path, n)
+	for i := range paths {
+		paths[i] = randPath(rng, 8)
+	}
+	// Sequential oracle truth tables.
+	contain := make([][]bool, n)
+	sect := make([][]bool, n)
+	for i := range paths {
+		contain[i] = make([]bool, n)
+		sect[i] = make([]bool, n)
+		for j := range paths {
+			contain[i][j] = paths[i].ContainedIn(paths[j])
+			sect[i][j] = paths[i].Intersects(paths[j])
+		}
+	}
+	in := NewInterner()
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for k := 0; k < 2000; k++ {
+				i, j := r.Intn(n), r.Intn(n)
+				ip, iq := in.Intern(paths[i]), in.Intern(paths[j])
+				if in.ContainedIn(ip, iq) != contain[i][j] {
+					select {
+					case errs <- fmt.Sprintf("ContainedIn(%q, %q) diverged", paths[i], paths[j]):
+					default:
+					}
+					return
+				}
+				if in.Intersects(ip, iq) != sect[i][j] {
+					select {
+					case errs <- fmt.Sprintf("Intersects(%q, %q) diverged", paths[i], paths[j]):
+					default:
+					}
+					return
+				}
+			}
+		}(int64(w + 100))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// FuzzInternKernel parses two fuzzed path strings and cross-checks every
+// kernel verdict against the recursive DPs, plus ID canonicality.
+func FuzzInternKernel(f *testing.F) {
+	f.Add("a/b", "//b")
+	f.Add("//", "ε")
+	f.Add("a//c", "a////c")
+	f.Add("//x/@y", "//@y")
+	f.Fuzz(func(t *testing.T, sa, sb string) {
+		a, err := Parse(sa)
+		if err != nil {
+			return
+		}
+		b, err := Parse(sb)
+		if err != nil {
+			return
+		}
+		in := NewInterner()
+		ia, ib := in.Intern(a), in.Intern(b)
+		if (ia == ib) != a.Normalize().Equal(b.Normalize()) {
+			t.Fatalf("ID equality diverged from normalized equality for %q, %q", a, b)
+		}
+		if in.ContainedIn(ia, ib) != a.ContainedIn(b) {
+			t.Fatalf("ContainedIn diverged for %q, %q", a, b)
+		}
+		if in.Intersects(ia, ib) != a.Intersects(b) {
+			t.Fatalf("Intersects diverged for %q, %q", a, b)
+		}
+	})
+}
