@@ -1,7 +1,8 @@
 GO ?= go
 BENCH_JSON ?= BENCH_pathkernel.json
+FUZZTIME ?= 30s
 
-.PHONY: build test vet race bench bench-json verify
+.PHONY: build test vet race stress fuzz-smoke bench bench-json verify help
 
 build:
 	$(GO) build ./...
@@ -18,6 +19,20 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
+# stress runs the fault-injection suites (countdown cancellation, budget
+# exhaustion, concurrent abort consistency) under the race detector. They
+# are a subset of 'race' but named here so a focused run is one command.
+stress:
+	$(GO) test -race -short -run 'Abort|Budget|Countdown|Cancel|Fault|Stress|Consistency|Poisoned' ./internal/core/ ./internal/xmlkey/ ./internal/stream/ ./internal/faultinject/ .
+
+# fuzz-smoke gives each fuzz target a $(FUZZTIME) budget over the checked-in
+# corpora (testdata/fuzz/). Go allows one -fuzz target per run, hence the
+# three invocations.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseKey -fuzztime=$(FUZZTIME) ./internal/xmlkey/
+	$(GO) test -run='^$$' -fuzz=FuzzParseTransformation -fuzztime=$(FUZZTIME) ./internal/transform/
+	$(GO) test -run='^$$' -fuzz=FuzzStreamValidator -fuzztime=$(FUZZTIME) ./internal/stream/
+
 # bench runs the testing.B suite with allocation counters and then
 # regenerates the machine-readable minimum-cover trajectory (§6 grid,
 # sequential and parallel) via xkbench -json.
@@ -28,7 +43,21 @@ bench:
 bench-json:
 	$(GO) run ./cmd/xkbench -json $(BENCH_JSON)
 
-# Tier-1 verification (ROADMAP.md). If a committed bench trajectory is
-# present, smoke-check that it is well-formed pathkernel JSON.
-verify: build vet test race
+# Tier-1 verification (ROADMAP.md): build, vet, tests, the race run (which
+# includes the fault-injection stress suites), and the focused stress pass.
+# If a committed bench trajectory is present, smoke-check that it is
+# well-formed pathkernel JSON.
+verify: build vet test race stress
 	@if [ -f $(BENCH_JSON) ]; then $(GO) run ./cmd/xkbench -check-json $(BENCH_JSON); fi
+
+help:
+	@echo "Targets:"
+	@echo "  build       go build ./..."
+	@echo "  test        go test ./..."
+	@echo "  vet         go vet ./..."
+	@echo "  race        full test suite under -race -short"
+	@echo "  stress      fault-injection suites only, under -race -short"
+	@echo "  fuzz-smoke  run each fuzz target for FUZZTIME (default 30s)"
+	@echo "  bench       testing.B suite + xkbench -json trajectory"
+	@echo "  bench-json  regenerate $(BENCH_JSON) only"
+	@echo "  verify      build + vet + test + race + stress + bench JSON check"

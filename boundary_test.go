@@ -1,0 +1,268 @@
+package xkprop_test
+
+// Acceptance tests for the bounded API: every long-running entry point
+// must honor a 50 ms deadline on real workloads (the §6 grid, adversarial
+// deep-// key sets), fail with ctx.Err() or a typed *BudgetError, and
+// never return a partial cover as if it were complete. The panic guard at
+// the boundary is pinned too: internal invariant violations surface as
+// *PanicError, not a crash.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"xkprop"
+	"xkprop/internal/faultinject"
+	"xkprop/internal/paperdata"
+	"xkprop/internal/rel"
+	"xkprop/internal/transform"
+	"xkprop/internal/workload"
+	"xkprop/internal/xmlkey"
+)
+
+// TestDeadlineOnSec6Grid runs MinimumCoverCtx over the paper's §6 grid up
+// to fields=100 under one shared 50 ms deadline. The grid's total work is
+// far beyond 50 ms on any machine, so the deadline must fire mid-grid —
+// and when it does, the cover must be nil, never partial.
+func TestDeadlineOnSec6Grid(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+
+	sawDeadline := false
+	for round := 0; round < 100 && !sawDeadline; round++ {
+		for _, cfg := range workload.Sec6Grid(100) {
+			w := workload.Generate(cfg)
+			cover, err := xkprop.MinimumCoverCtx(ctx, w.Sigma, w.Rule)
+			if err == nil {
+				continue
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("fields=%d: err = %v, want context.DeadlineExceeded", cfg.Fields, err)
+			}
+			if cover != nil {
+				t.Fatalf("fields=%d: aborted MinimumCoverCtx returned a partial cover", cfg.Fields)
+			}
+			sawDeadline = true
+			break
+		}
+	}
+	if !sawDeadline {
+		t.Fatal("50 ms deadline never fired across the §6 grid")
+	}
+}
+
+// deepSigma builds an adversarial key set over long //-laced paths; the
+// implication decider's search space blows up on the prefix splits.
+func deepSigma(n int) []xkprop.Key {
+	var sigma []xkprop.Key
+	for i := 0; i < n; i++ {
+		sigma = append(sigma, xkprop.MustParseKey(fmt.Sprintf(
+			"(//a%d//b//c%d, (//d//e%d//f, {@k%d}))", i, i, i%3, i%2)))
+	}
+	return sigma
+}
+
+// TestDeadlineOnDeepImplication hammers ImpliesKeyCtx with the adversarial
+// deep-// set under one 50 ms deadline: the eventual failure must be the
+// deadline itself or a typed *BudgetError, nothing else.
+func TestDeadlineOnDeepImplication(t *testing.T) {
+	sigma := deepSigma(12)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+
+	for i := 0; i < 1_000_000; i++ {
+		phi := xkprop.MustParseKey(fmt.Sprintf(
+			"(//a%d//b//c%d, (//d//e%d//f//g//h, {@k%d}))", i%12, i%12, i%3, i%2))
+		_, err := xkprop.ImpliesKeyCtx(ctx, sigma, phi)
+		if err == nil {
+			continue
+		}
+		var be *xkprop.BudgetError
+		if !errors.Is(err, context.DeadlineExceeded) && !errors.As(err, &be) {
+			t.Fatalf("iteration %d: err = %v, want deadline or *BudgetError", i, err)
+		}
+		return
+	}
+	t.Fatal("50 ms deadline never fired on the deep-// key set")
+}
+
+// TestBudgetErrorOnDeepImplication pins the typed budget path: a one-entry
+// intern cap trips deterministically on the first deep query.
+func TestBudgetErrorOnDeepImplication(t *testing.T) {
+	sigma := deepSigma(8)
+	ctx := xkprop.WithBudget(context.Background(), xkprop.Budget{MaxInternEntries: 1})
+	phi := xkprop.MustParseKey("(//a0//b//c0, (//d//e0//f//g//h, {@k0}))")
+	_, err := xkprop.ImpliesKeyCtx(ctx, sigma, phi)
+	var be *xkprop.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+}
+
+// TestNoPartialCoverUnderCountdown aborts MinimumCoverCtx at a sweep of
+// deterministic cancellation points; an aborted call must never return a
+// non-nil cover.
+func TestNoPartialCoverUnderCountdown(t *testing.T) {
+	w := workload.Generate(workload.Config{Fields: 20, Depth: 4, Keys: 6})
+	for _, k := range []int64{1, 3, 10, 40} {
+		ctx := faultinject.CountdownContext(context.Background(), k)
+		cover, err := xkprop.MinimumCoverCtx(ctx, w.Sigma, w.Rule)
+		if err != nil && cover != nil {
+			t.Fatalf("k=%d: aborted call returned a partial cover of %d FDs", k, len(cover))
+		}
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("k=%d: err = %v, want context.Canceled", k, err)
+		}
+	}
+}
+
+// TestAllCtxEntryPointsHonorCancellation sweeps every public ...Ctx entry
+// point with a pre-cancelled context: each must fail with ctx.Err() (or,
+// for the partial-result APIs, report it alongside whatever was found).
+func TestAllCtxEntryPointsHonorCancellation(t *testing.T) {
+	w := workload.Generate(workload.Config{Fields: 12, Depth: 3, Keys: 4})
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := xkprop.PropagatesCtx(cancelled, w.Sigma, w.Rule, w.ProbeTrue); !errors.Is(err, context.Canceled) {
+		t.Errorf("PropagatesCtx: err = %v", err)
+	}
+	if cover, err := xkprop.MinimumCoverCtx(cancelled, w.Sigma, w.Rule); !errors.Is(err, context.Canceled) || cover != nil {
+		t.Errorf("MinimumCoverCtx: (%v, %v)", cover, err)
+	}
+	if cover, err := xkprop.NaiveCoverCtx(cancelled, w.Sigma, w.Rule); !errors.Is(err, context.Canceled) || cover != nil {
+		t.Errorf("NaiveCoverCtx: (%v, %v)", cover, err)
+	}
+	// A deep phi outside sigma: membership and structural refutation both
+	// short-circuit before any cancellation check, so force a real search.
+	phi := xkprop.MustParseKey("(//a0//b//c0, (//d//e0//f//g//h, {@k0}))")
+	if _, err := xkprop.ImpliesKeyCtx(cancelled, deepSigma(4), phi); !errors.Is(err, context.Canceled) {
+		t.Errorf("ImpliesKeyCtx: err = %v", err)
+	}
+	fds := xkprop.MinimumCover(w.Sigma, w.Rule)
+	attrs := xkprop.AttrSet{}
+	for i := range w.Rule.Schema.Attrs {
+		attrs = attrs.With(i)
+	}
+	if _, err := xkprop.CandidateKeysCtx(cancelled, fds, attrs, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("CandidateKeysCtx: err = %v", err)
+	}
+	if _, err := xkprop.StreamValidateCtx(cancelled, strings.NewReader("<r/>"), paperdata.Keys()); !errors.Is(err, context.Canceled) {
+		t.Errorf("StreamValidateCtx: err = %v", err)
+	}
+}
+
+// TestCtxEntryPointsMatchLegacy pins that under a background context every
+// ...Ctx variant agrees with its legacy counterpart.
+func TestCtxEntryPointsMatchLegacy(t *testing.T) {
+	w := workload.Generate(workload.Config{Fields: 12, Depth: 3, Keys: 4})
+	ctx := context.Background()
+
+	for _, fd := range []xkprop.FD{w.ProbeTrue, w.ProbeFalse} {
+		want := xkprop.Propagates(w.Sigma, w.Rule, fd)
+		got, err := xkprop.PropagatesCtx(ctx, w.Sigma, w.Rule, fd)
+		if err != nil || got != want {
+			t.Fatalf("PropagatesCtx = (%v, %v), want (%v, nil)", got, err, want)
+		}
+	}
+	want := xkprop.MinimumCover(w.Sigma, w.Rule)
+	got, err := xkprop.MinimumCoverCtx(ctx, w.Sigma, w.Rule)
+	if err != nil || !xkprop.EquivalentCovers(got, want) {
+		t.Fatalf("MinimumCoverCtx disagrees with MinimumCover: %v", err)
+	}
+	naive, err := xkprop.NaiveCoverCtx(ctx, w.Sigma, w.Rule)
+	if err != nil || !xkprop.EquivalentCovers(naive, want) {
+		t.Fatalf("NaiveCoverCtx disagrees with MinimumCover: %v", err)
+	}
+
+	attrs := xkprop.AttrSet{}
+	for i := range w.Rule.Schema.Attrs {
+		attrs = attrs.With(i)
+	}
+	keys := xkprop.CandidateKeys(want, attrs, 0)
+	keysCtx, err := xkprop.CandidateKeysCtx(ctx, want, attrs, 0)
+	if err != nil || len(keys) != len(keysCtx) {
+		t.Fatalf("CandidateKeysCtx = %d keys (%v), legacy = %d", len(keysCtx), err, len(keys))
+	}
+	for i := range keys {
+		if !keys[i].Equal(keysCtx[i]) {
+			t.Fatalf("candidate key %d differs between legacy and ctx paths", i)
+		}
+	}
+}
+
+// TestPanicGuardAtBoundary pins that an internal invariant violation (here
+// a nil rule dereference) surfaces as a *PanicError, not a crash.
+func TestPanicGuardAtBoundary(t *testing.T) {
+	sigma := deepSigma(2)
+	_, err := xkprop.MinimumCoverCtx(context.Background(), sigma, nil)
+	var pe *xkprop.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PanicError", err, err)
+	}
+	if pe.Value == nil {
+		t.Fatal("PanicError.Value must carry the recovered value")
+	}
+}
+
+// TestParseErrorsNotPanics pins the satellite contract: exported parse
+// APIs return typed errors with position info; only Must* wrappers panic.
+func TestParseErrorsNotPanics(t *testing.T) {
+	_, err := xkprop.ParseKey("(//a, (//b, {@x)")
+	var ke *xmlkey.ParseError
+	if !errors.As(err, &ke) {
+		t.Fatalf("ParseKey: err = %T %v, want *xmlkey.ParseError", err, err)
+	}
+	if ke.Pos < 0 || ke.Pos > len(ke.Input) {
+		t.Fatalf("ParseError.Pos = %d out of range for %q", ke.Pos, ke.Input)
+	}
+
+	_, err = xkprop.ParseTransformationString("rule t(f: x) {\n  x := root / @a\n  x := root / @b\n}")
+	var te *transform.ParseError
+	if !errors.As(err, &te) {
+		t.Fatalf("ParseTransformationString: err = %T %v, want *transform.ParseError", err, err)
+	}
+
+	// Document and path parsing likewise return errors, never panic.
+	if _, err := xkprop.ParseDocumentString("<unclosed>"); err == nil {
+		t.Error("ParseDocumentString on truncated XML must return an error")
+	}
+	if _, err := xkprop.ParsePath("a/@b/c"); err == nil {
+		t.Error("ParsePath with a non-final attribute step must return an error")
+	}
+
+	// The rel parse APIs return errors naming the offending input; the
+	// panicking forms are Must* wrappers only.
+	s := rel.MustSchema("r", "a", "b")
+	if _, err := rel.ParseFD(s, "a, b"); err == nil || !strings.Contains(err.Error(), "missing ->") {
+		t.Errorf("ParseFD without arrow: err = %v", err)
+	}
+	if _, err := rel.ParseFD(s, "a -> zz"); err == nil || !strings.Contains(err.Error(), `"zz"`) {
+		t.Errorf("ParseFD unknown attr: err = %v", err)
+	}
+	if _, err := s.Set("zz"); err == nil {
+		t.Error("Schema.Set on unknown attribute must return an error")
+	}
+	if _, err := rel.NewSchema("r", "a", "a"); err == nil {
+		t.Error("NewSchema with duplicate attribute must return an error")
+	}
+
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic on malformed input", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("MustParseKey", func() { xkprop.MustParseKey("(") })
+	mustPanic("MustParsePath", func() { xkprop.MustParsePath("a/@b/c") })
+	mustPanic("transform.MustParseString", func() { transform.MustParseString("rule {") })
+	mustPanic("rel.MustParseFD", func() { rel.MustParseFD(s, "a, b") })
+	mustPanic("rel.MustSchema", func() { rel.MustSchema("r", "a", "a") })
+	mustPanic("Schema.MustSet", func() { s.MustSet("zz") })
+}

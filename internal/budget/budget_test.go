@@ -1,0 +1,53 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestWithFrom(t *testing.T) {
+	if From(nil) != nil {
+		t.Error("From(nil) must be nil")
+	}
+	if From(context.Background()) != nil {
+		t.Error("From(Background) must be nil")
+	}
+	ctx := With(context.Background(), Budget{MaxMemoEntries: 7})
+	b := From(ctx)
+	if b == nil || b.MaxMemoEntries != 7 {
+		t.Fatalf("From = %+v, want MaxMemoEntries 7", b)
+	}
+	// With on a nil ctx builds a budget-only context.
+	if got := From(With(nil, Budget{MaxStreamDepth: 3})); got == nil || got.MaxStreamDepth != 3 {
+		t.Fatalf("With(nil, ...) lost the budget: %+v", got)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var nilB *Budget
+	if !nilB.IsZero() {
+		t.Error("nil budget must be zero")
+	}
+	if !(&Budget{}).IsZero() {
+		t.Error("empty budget must be zero")
+	}
+	if (&Budget{MaxViolations: 1}).IsZero() {
+		t.Error("non-empty budget must not be zero")
+	}
+}
+
+func TestErrorTyping(t *testing.T) {
+	err := error(Exceeded("minimum cover", MemoEntries, 100))
+	var be *Error
+	if !errors.As(err, &be) {
+		t.Fatal("Exceeded must be errors.As-able to *Error")
+	}
+	if be.Op != "minimum cover" || be.Resource != MemoEntries || be.Limit != 100 {
+		t.Fatalf("fields lost: %+v", be)
+	}
+	want := "budget: minimum cover: memo entries limit 100 exhausted"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}

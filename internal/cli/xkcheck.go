@@ -1,11 +1,13 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"xkprop"
 	"xkprop/internal/paperdata"
@@ -22,8 +24,16 @@ func RunXkcheck(args []string, stdout, stderr io.Writer) int {
 	streaming := fs.Bool("stream", false, "validate in one streaming pass (large documents)")
 	demo := fs.Bool("demo", false, "use the paper's Fig 1 document and Example 2.1 keys")
 	quiet := fs.Bool("q", false, "suppress per-violation output")
+	timeout := timeoutFlag(fs)
+	maxDepth := fs.Int("max-depth", 0,
+		"streaming: reject documents nesting deeper than this many elements (0 = no cap)")
+	maxViolations := fs.Int("max-violations", 0,
+		"streaming: stop with an error after this many violations (0 = no cap)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if !*streaming && (*maxDepth > 0 || *maxViolations > 0) {
+		return usage(stderr, "xkcheck: -max-depth and -max-violations require -stream")
 	}
 
 	var docPath string
@@ -63,7 +73,8 @@ func RunXkcheck(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *streaming {
-		return xkcheckStream(stdout, stderr, sigma, docPath, *demo, *quiet)
+		return xkcheckStream(stdout, stderr, sigma, docPath, *demo, *quiet,
+			*timeout, *maxDepth, *maxViolations)
 	}
 
 	var doc *xkprop.Tree
@@ -91,7 +102,8 @@ func RunXkcheck(args []string, stdout, stderr io.Writer) int {
 	return 1
 }
 
-func xkcheckStream(stdout, stderr io.Writer, sigma []xkprop.Key, docPath string, demo, quiet bool) int {
+func xkcheckStream(stdout, stderr io.Writer, sigma []xkprop.Key, docPath string, demo, quiet bool,
+	timeout time.Duration, maxDepth, maxViolations int) int {
 	var r io.Reader
 	if demo {
 		r = strings.NewReader(paperdata.Fig1XML)
@@ -104,7 +116,18 @@ func xkcheckStream(stdout, stderr io.Writer, sigma []xkprop.Key, docPath string,
 		r = f
 	}
 	fmt.Fprintf(stdout, "streaming %d keys\n", len(sigma))
-	vs, err := xkprop.StreamValidate(r, sigma)
+	ctx, cancel := toolContext(timeout)
+	defer cancel()
+	if maxDepth > 0 || maxViolations > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx = xkprop.WithBudget(ctx, xkprop.Budget{
+			MaxStreamDepth: maxDepth,
+			MaxViolations:  maxViolations,
+		})
+	}
+	vs, err := xkprop.StreamValidateCtx(ctx, r, sigma)
 	if err != nil {
 		return fail(stderr, "xkcheck", err)
 	}

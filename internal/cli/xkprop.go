@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ func RunXkprop(args []string, stdout, stderr io.Writer) int {
 	explain := fs.Bool("explain", false, "narrate the keyed-ancestor walk step by step")
 	demo := fs.Bool("demo", false, "run the paper's Example 4.2 checks")
 	parallel := parallelFlag(fs)
+	timeout := timeoutFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -64,7 +66,9 @@ func RunXkprop(args []string, stdout, stderr io.Writer) int {
 		}
 		return code
 	}
-	code := xkpropReport(stdout, sigma, rule, fd, *check, *parallel)
+	ctx, cancel := toolContext(*timeout)
+	defer cancel()
+	code := xkpropReportCtx(ctx, stdout, stderr, sigma, rule, fd, *check, *parallel)
 	if code == 1 && *witnessFlag {
 		doc, vs, ok := xkprop.FindFDCounterexample(sigma, rule, fd, xkprop.WitnessOptions{})
 		if !ok {
@@ -81,13 +85,21 @@ func RunXkprop(args []string, stdout, stderr io.Writer) int {
 }
 
 func xkpropReport(stdout io.Writer, sigma []xkprop.Key, rule *xkprop.Rule, fd xkprop.FD, check string, workers int) int {
+	return xkpropReportCtx(nil, stdout, io.Discard, sigma, rule, fd, check, workers)
+}
+
+func xkpropReportCtx(ctx context.Context, stdout, stderr io.Writer, sigma []xkprop.Key, rule *xkprop.Rule, fd xkprop.FD, check string, workers int) int {
 	e := xkprop.NewEngine(sigma, rule).SetWorkers(workers)
 	var ok bool
+	var err error
 	switch check {
 	case "gmin":
-		ok = e.GPropagates(fd)
+		ok, err = e.GPropagatesCtx(ctx, fd)
 	default:
-		ok = e.Propagates(fd)
+		ok, err = e.PropagatesCtx(ctx, fd)
+	}
+	if err != nil {
+		return fail(stderr, "xkprop", err)
 	}
 	verdict := "NOT PROPAGATED"
 	code := 1

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"xkprop/internal/rel"
@@ -48,7 +49,20 @@ type keyedNode struct {
 // the sequential run because candidates are merged in the sequential
 // loop's order regardless of which worker decided them.
 func (e *Engine) MinimumCover() []rel.FD {
-	return rel.Minimize(e.coverCandidates())
+	cands, _ := e.coverCandidates(nil)
+	return rel.Minimize(cands)
+}
+
+// MinimumCoverCtx is MinimumCover under a context: the candidate search
+// aborts as soon as ctx is cancelled or an attached budget runs out,
+// returning (nil, err). A partially searched cover is never returned as if
+// complete — the only non-nil cover is a fully decided one.
+func (e *Engine) MinimumCoverCtx(ctx context.Context) ([]rel.FD, error) {
+	cands, err := e.coverCandidates(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return rel.Minimize(cands), nil
 }
 
 // keyStep stages one candidate extension of a variable's transitive keys:
@@ -70,8 +84,9 @@ type emitStep struct {
 	ok bool
 }
 
-// coverCandidates generates the pre-minimization FD set F.
-func (e *Engine) coverCandidates() []rel.FD {
+// coverCandidates generates the pre-minimization FD set F. A nil ctx is
+// the legacy unbudgeted path.
+func (e *Engine) coverCandidates(ctx context.Context) ([]rel.FD, error) {
 	rule := e.rule
 	schema := rule.Schema
 	sigma := e.Sigma()
@@ -110,22 +125,35 @@ func (e *Engine) coverCandidates() []rel.FD {
 				steps = append(steps, keyStep{c: c, sig: i, fields: fields})
 			}
 		}
-		runIndexed(len(steps), workers, func(i int) {
+		err := runIndexedErr(len(steps), workers, func(i int) error {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			st := &steps[i]
 			ctxPath := e.pathFromRoot(st.c)
 			relPath, ok := rule.PathBetween(st.c, v)
 			if !ok {
-				return
+				return nil
 			}
 			if st.sig < 0 {
-				st.ok = e.dec.ImpliesCT(ctxPath, relPath, nil)
-				return
+				ok, err := e.dec.ImpliesCTCtx(ctx, ctxPath, relPath, nil)
+				st.ok = ok
+				return err
 			}
 			sig := sigma[st.sig]
+			keyed, err := e.dec.ImpliesCTCtx(ctx, ctxPath, relPath, sig.Attrs)
+			if err != nil {
+				return err
+			}
 			// Null safety: the key attributes must exist on v's nodes.
-			st.ok = e.dec.ImpliesCT(ctxPath, relPath, sig.Attrs) &&
-				e.dec.ExistsAllID(e.rootEntryOf(v).id, sig.Attrs)
+			st.ok = keyed && e.dec.ExistsAllID(e.rootEntryOf(v).id, sig.Attrs)
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 		// Merge in staging order — exactly the sequential algorithm's
 		// order, so parallel runs produce the same key sets.
 		var vKeys []rel.AttrSet
@@ -173,14 +201,24 @@ func (e *Engine) coverCandidates() []rel.FD {
 			emits = append(emits, emitStep{v: v, fr: i})
 		}
 	}
-	runIndexed(len(emits), workers, func(i int) {
+	err := runIndexedErr(len(emits), workers, func(i int) error {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		st := &emits[i]
 		uniq, ok := rule.PathBetween(st.v, rule.Fields[st.fr].Var)
 		if !ok {
-			return
+			return nil
 		}
-		st.ok = e.dec.ImpliesCT(e.pathFromRoot(st.v), uniq, nil)
+		u, err := e.dec.ImpliesCTCtx(ctx, e.pathFromRoot(st.v), uniq, nil)
+		st.ok = u
+		return err
 	})
+	if err != nil {
+		return nil, err
+	}
 	var out []rel.FD
 	for _, st := range emits {
 		if !st.ok {
@@ -194,7 +232,7 @@ func (e *Engine) coverCandidates() []rel.FD {
 			}
 		}
 	}
-	return rel.Dedup(out)
+	return rel.Dedup(out), nil
 }
 
 // fieldsForAttrs maps key attributes to the U fields populated by v's
@@ -230,9 +268,40 @@ func (e *Engine) fieldsForAttrs(v string, attrs []string) (rel.AttrSet, bool) {
 // implication plus the null-safety condition that every X field is
 // guaranteed non-null whenever the corresponding Y field is non-null.
 func (e *Engine) GPropagates(fd rel.FD) bool {
-	e.coverOnce.Do(func() { e.cover = e.MinimumCover() })
-	if !rel.Implies(e.cover, fd) {
-		return false
+	ok, _ := e.gPropagates(nil, fd)
+	return ok
+}
+
+// GPropagatesCtx is GPropagates under a context. A cover build aborted by
+// cancellation or budget exhaustion is not cached, so a later call with a
+// live context still builds it.
+func (e *Engine) GPropagatesCtx(ctx context.Context, fd rel.FD) (bool, error) {
+	return e.gPropagates(ctx, fd)
+}
+
+// minCoverCached returns the lazily built cover, building it at most once
+// successfully; failed builds leave the cache empty.
+func (e *Engine) minCoverCached(ctx context.Context) ([]rel.FD, error) {
+	e.coverMu.Lock()
+	defer e.coverMu.Unlock()
+	if e.coverBuilt {
+		return e.cover, nil
+	}
+	cover, err := e.MinimumCoverCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	e.cover, e.coverBuilt = cover, true
+	return cover, nil
+}
+
+func (e *Engine) gPropagates(ctx context.Context, fd rel.FD) (bool, error) {
+	cover, err := e.minCoverCached(ctx)
+	if err != nil {
+		return false, err
+	}
+	if !rel.Implies(cover, fd) {
+		return false, nil
 	}
 	ok := true
 	fd.Rhs.ForEach(func(a int) {
@@ -240,7 +309,7 @@ func (e *Engine) GPropagates(fd rel.FD) bool {
 			ok = false
 		}
 	})
-	return ok
+	return ok, nil
 }
 
 // lhsExistenceCovered checks the Ycheck condition of Fig 5 in isolation:

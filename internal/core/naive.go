@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+
+	"xkprop/internal/budget"
 	"xkprop/internal/rel"
 )
 
@@ -15,14 +18,42 @@ import (
 // across the worker pool in fixed-size chunks; accepted candidates are
 // collected in enumeration order, so the result is bit-identical to the
 // sequential run (and the candidate space is never materialized at once).
+//
+// NaiveCover panics on schemas over budget.DefaultEnumFields fields; use
+// NaiveCoverCtx with budget.Budget.MaxEnumFields to raise (or lower) the
+// cap and get a typed error instead.
 func (e *Engine) NaiveCover() []rel.FD {
-	schema := e.rule.Schema
-	n := schema.Len()
-	if n > 24 {
+	cover, err := e.NaiveCoverCtx(nil)
+	if err != nil {
 		panic("core: NaiveCover is exponential; refusing schemas over 24 fields")
 	}
+	return cover
+}
+
+// naiveHardCap bounds MaxEnumFields itself: above it the candidate count
+// n * 2^(n-1) overflows any practical time budget and, past 57, int64.
+const naiveHardCap = 30
+
+// NaiveCoverCtx is NaiveCover under a context and budget. The enumeration
+// refuses schemas wider than the field cap (MaxEnumFields if set, else
+// budget.DefaultEnumFields) with a *budget.Error instead of a panic, and
+// aborts mid-enumeration on cancellation or budget exhaustion with
+// (nil, err) — a partially filtered cover is never returned as complete.
+func (e *Engine) NaiveCoverCtx(ctx context.Context) ([]rel.FD, error) {
+	schema := e.rule.Schema
+	n := schema.Len()
+	fieldCap := budget.DefaultEnumFields
+	if b := budget.From(ctx); b != nil && b.MaxEnumFields > 0 {
+		fieldCap = b.MaxEnumFields
+	}
+	if fieldCap > naiveHardCap {
+		fieldCap = naiveHardCap
+	}
+	if n > fieldCap {
+		return nil, budget.Exceeded("naive cover", budget.EnumFields, fieldCap)
+	}
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
 	// Candidate idx encodes (a, mask): RHS attribute a = idx / perRhs and
 	// LHS subset mask = idx % perRhs over the other n-1 fields, matching
@@ -50,15 +81,25 @@ func (e *Engine) NaiveCover() []rel.FD {
 	var found []rel.FD
 	buf := make([]bool, min(chunk, total))
 	for base := 0; base < total; base += chunk {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		m := min(chunk, total-base)
-		runIndexed(m, workers, func(i int) {
-			buf[i] = e.Propagates(candidate(base + i))
+		err := runIndexedErr(m, workers, func(i int) error {
+			ok, err := e.propagates(ctx, candidate(base+i))
+			buf[i] = ok
+			return err
 		})
+		if err != nil {
+			return nil, err
+		}
 		for i := 0; i < m; i++ {
 			if buf[i] {
 				found = append(found, candidate(base+i))
 			}
 		}
 	}
-	return rel.Minimize(found)
+	return rel.Minimize(found), nil
 }

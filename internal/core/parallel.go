@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -84,6 +85,53 @@ func runIndexed(n, workers int, f func(int)) {
 	wg.Wait()
 }
 
+// runIndexedErr is runIndexed for fallible work: the first non-nil error
+// raises a stop flag that drains the remaining indices without running
+// them, and is returned after all workers settle. Which error wins under
+// concurrency is unspecified, but callers only ever see an error produced
+// by f, and out-slots for skipped indices keep their zero values.
+func runIndexedErr(n, workers int, f func(int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				if err := f(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // PropagatesAll decides Σ ⊨_σ fd for every FD in fds, fanning the checks
 // across the engine's worker pool (GOMAXPROCS workers unless SetWorkers
 // pinned the pool). out[i] is the verdict for fds[i]; the result is
@@ -94,4 +142,20 @@ func (e *Engine) PropagatesAll(fds []rel.FD) []bool {
 		out[i] = e.Propagates(fds[i])
 	})
 	return out
+}
+
+// PropagatesAllCtx is PropagatesAll under a context. On cancellation or
+// budget exhaustion it returns (nil, err): a partial verdict slice is never
+// handed back as if complete.
+func (e *Engine) PropagatesAllCtx(ctx context.Context, fds []rel.FD) ([]bool, error) {
+	out := make([]bool, len(fds))
+	err := runIndexedErr(len(fds), e.batchWorkers(), func(i int) error {
+		ok, err := e.propagates(ctx, fds[i])
+		out[i] = ok
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"xkprop/internal/rel"
@@ -45,9 +46,12 @@ type Engine struct {
 	rootMu   sync.RWMutex
 	rootPath map[string]rootEntry
 
-	// cover caches MinimumCover for GPropagates, built once.
-	coverOnce sync.Once
-	cover     []rel.FD
+	// cover caches MinimumCover for GPropagates. Unlike a sync.Once, the
+	// mutex+flag pair lets a cancelled build fail without poisoning the
+	// cache: a later call with a live context can still build the cover.
+	coverMu    sync.Mutex
+	coverBuilt bool
+	cover      []rel.FD
 }
 
 // rootEntry pairs a root path with its interned ID, so the existence
@@ -101,23 +105,43 @@ func (e *Engine) pathFromRoot(x string) xpath.Path { return e.rootEntryOf(x).pat
 // must then agree on A; the Ycheck bookkeeping is empty, matching the
 // null-aware reading that condition 1 is vacuous without X fields).
 func (e *Engine) Propagates(fd rel.FD) bool {
-	ok := true
-	fd.Rhs.ForEach(func(i int) {
-		if ok && !e.propagatesOne(fd.Lhs, i) {
-			ok = false
-		}
-	})
+	ok, _ := e.propagates(nil, fd)
 	return ok
 }
 
+// PropagatesCtx is Propagates under a context: the check aborts as soon as
+// ctx is cancelled or a budget attached via budget.With is exhausted,
+// returning false together with ctx.Err() or a *budget.Error. A nil error
+// means the boolean is the genuine verdict.
+func (e *Engine) PropagatesCtx(ctx context.Context, fd rel.FD) (bool, error) {
+	return e.propagates(ctx, fd)
+}
+
+// propagates checks every attribute on the right-hand side; a nil ctx is
+// the legacy unbudgeted path with zero overhead.
+func (e *Engine) propagates(ctx context.Context, fd rel.FD) (bool, error) {
+	attrs := make([]int, 0, fd.Rhs.Card())
+	fd.Rhs.ForEach(func(i int) { attrs = append(attrs, i) })
+	for _, i := range attrs {
+		ok, err := e.propagatesOne(ctx, fd.Lhs, i)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
 // propagatesOne checks X → A for a single attribute position.
-func (e *Engine) propagatesOne(lhs rel.AttrSet, rhsAttr int) bool {
+func (e *Engine) propagatesOne(ctx context.Context, lhs rel.AttrSet, rhsAttr int) (bool, error) {
 	rule := e.rule
 	schema := rule.Schema
 	field := schema.Attrs[rhsAttr]
 	x, ok := rule.VarOf(field)
 	if !ok {
-		return false
+		return false, nil
 	}
 
 	// Fields of X, by name, plus the bookkeeping set Ycheck of fields whose
@@ -133,25 +157,41 @@ func (e *Engine) propagatesOne(lhs rel.AttrSet, rhsAttr int) bool {
 	// immediate; only the existence bookkeeping below remains.
 	keyFound := lhsFields[field]
 
-	context := transform.RootVar
+	cur := transform.RootVar
 	for _, target := range rule.Ancestors(x) {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+		}
 		// ß (Fig 5 line 13): attributes of target that populate X fields.
 		attrs, covered := rule.AttrsOfVarForFields(target, lhsFields)
 		if !keyFound {
-			ctxPath := e.pathFromRoot(context)
+			ctxPath := e.pathFromRoot(cur)
 			// A failed path lookup must skip the step: the zero-value path
 			// reads as ε, which would prove a bogus uniqueness key and
 			// silently mis-decide propagation.
-			relPath, ok := rule.PathBetween(context, target)
-			if ok && e.dec.ImpliesCT(ctxPath, relPath, attrs) {
-				// target is keyed relative to context by attributes that
-				// populate X fields; advance the context (sound by the
-				// target-to-context rule).
-				context = target
-				// Is x unique under the new context?
-				if uniq, ok := rule.PathBetween(context, x); ok &&
-					e.dec.ImpliesCT(e.pathFromRoot(context), uniq, nil) {
-					keyFound = true
+			relPath, ok := rule.PathBetween(cur, target)
+			if ok {
+				keyed, err := e.dec.ImpliesCTCtx(ctx, ctxPath, relPath, attrs)
+				if err != nil {
+					return false, err
+				}
+				if keyed {
+					// target is keyed relative to the context variable by
+					// attributes that populate X fields; advance the context
+					// (sound by the target-to-context rule).
+					cur = target
+					// Is x unique under the new context?
+					if uniq, ok := rule.PathBetween(cur, x); ok {
+						u, err := e.dec.ImpliesCTCtx(ctx, e.pathFromRoot(cur), uniq, nil)
+						if err != nil {
+							return false, err
+						}
+						if u {
+							keyFound = true
+						}
+					}
 				}
 			}
 		}
@@ -163,11 +203,16 @@ func (e *Engine) propagatesOne(lhs rel.AttrSet, rhsAttr int) bool {
 			}
 		}
 	}
-	return keyFound && len(ycheck) == 0
+	return keyFound && len(ycheck) == 0, nil
 }
 
 // Propagates is the convenience entry point: Algorithm propagation with a
 // fresh engine.
 func Propagates(sigma []xmlkey.Key, rule *transform.Rule, fd rel.FD) bool {
 	return NewEngine(sigma, rule).Propagates(fd)
+}
+
+// PropagatesCtx is the budgeted convenience entry point.
+func PropagatesCtx(ctx context.Context, sigma []xmlkey.Key, rule *transform.Rule, fd rel.FD) (bool, error) {
+	return NewEngine(sigma, rule).PropagatesCtx(ctx, fd)
 }

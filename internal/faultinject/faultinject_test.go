@@ -1,0 +1,124 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestInjectorFiresExactlyOnce(t *testing.T) {
+	in := New(1)
+	in.Arm("p", 3)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if in.Hit("p") {
+			fired++
+			if in.Hits("p") != 3 {
+				t.Fatalf("fired on hit %d, want 3", in.Hits("p"))
+			}
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times, want exactly once", fired)
+	}
+	if err := in.Err("q"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	in.Arm("q", 2) // the probe above consumed hit 1
+	if err := in.Err("q"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed point did not fire with ErrInjected: %v", err)
+	}
+}
+
+func TestRollDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	if a.Roll("decider", 100) != b.Roll("decider", 100) {
+		t.Error("same seed+point must roll the same hit")
+	}
+	if k := a.Roll("other", 100); k < 1 || k > 100 {
+		t.Errorf("roll %d out of [1,100]", k)
+	}
+	c := New(43)
+	// Not a hard guarantee, but these particular values must differ or the
+	// mixer is broken.
+	if a.Roll("p0", 1<<40) == c.Roll("p0", 1<<40) {
+		t.Error("different seeds rolled identically over a huge span")
+	}
+}
+
+func TestInjectorConcurrent(t *testing.T) {
+	in := New(7)
+	in.Arm("p", 500)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				if in.Hit("p") {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 1 {
+		t.Fatalf("fired %d times under concurrency, want 1", fired)
+	}
+}
+
+func TestFailingReader(t *testing.T) {
+	src := strings.Repeat("x", 100)
+	fr := &FailingReader{R: strings.NewReader(src), FailAt: 37}
+	got, err := io.ReadAll(fr)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if len(got) != 37 {
+		t.Fatalf("delivered %d bytes before failing, want 37", len(got))
+	}
+
+	custom := errors.New("boom")
+	fr = &FailingReader{R: strings.NewReader(src), FailAt: 0, Err: custom}
+	if _, err := fr.Read(make([]byte, 8)); !errors.Is(err, custom) {
+		t.Fatalf("custom error lost: %v", err)
+	}
+}
+
+func TestCountdownContext(t *testing.T) {
+	ctx := CountdownContext(context.Background(), 3)
+	if ctx.Err() != nil || ctx.Err() != nil {
+		t.Fatal("countdown tripped early")
+	}
+	if err := ctx.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("3rd check must cancel, got %v", err)
+	}
+	// Stays cancelled, and Done is closed.
+	if ctx.Err() == nil {
+		t.Fatal("must stay cancelled")
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("Done must be closed after the countdown trips")
+	}
+}
+
+func TestCountdownContextParent(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx := CountdownContext(parent, 1000)
+	if ctx.Err() != nil {
+		t.Fatal("fresh countdown must not be cancelled")
+	}
+	cancel()
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatal("parent cancellation must propagate")
+	}
+}

@@ -1,0 +1,108 @@
+package rel
+
+// Tests for the bounded candidate-key search: the limit must gate the
+// search loop itself (not just truncate the output), the MaxCandidateKeys
+// budget must cap explored candidates with a typed error, and cancellation
+// must surface ctx.Err() with the sound partial result kept.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"xkprop/internal/budget"
+)
+
+// manyKeySchema builds R(a0..a{n-1}, t) with ai → aj for all i, j: every
+// {ai, t} is a key, so the enumeration has n minimal keys and a frontier
+// that grows fast — ideal for observing how much work the limit permits.
+func manyKeySchema(n int) (*Schema, []FD) {
+	attrs := make([]string, n+1)
+	for i := 0; i < n; i++ {
+		attrs[i] = fmt.Sprintf("a%d", i)
+	}
+	attrs[n] = "t"
+	s := MustSchema("r", attrs...)
+	var fds []FD
+	for i := 0; i < n; i++ {
+		fds = append(fds, MustParseFD(s, fmt.Sprintf("a%d -> a%d", i, (i+1)%n)))
+	}
+	return s, fds
+}
+
+// countingContext counts how many times the search consults it — one
+// consultation per dequeued candidate, i.e. per unit of search work.
+type countingContext struct {
+	context.Context
+	calls int
+}
+
+func (c *countingContext) Err() error {
+	c.calls++
+	return c.Context.Err()
+}
+
+func TestCandidateKeysLimitBoundsWork(t *testing.T) {
+	s, fds := manyKeySchema(12)
+
+	all, err := CandidateKeysCtx(nil, fds, s.All(), 0)
+	if err != nil || len(all) != 12 {
+		t.Fatalf("unbounded enumeration: %d keys (%v), want 12", len(all), err)
+	}
+
+	unbounded := &countingContext{Context: context.Background()}
+	if _, err := CandidateKeysCtx(unbounded, fds, s.All(), 0); err != nil {
+		t.Fatal(err)
+	}
+	limited := &countingContext{Context: context.Background()}
+	keys, err := CandidateKeysCtx(limited, fds, s.All(), 2)
+	if err != nil || len(keys) != 2 {
+		t.Fatalf("limit 2: got %d keys, err %v", len(keys), err)
+	}
+	// The limit must stop the search, not merely trim the result: with
+	// limit 2 the loop may touch barely more than two candidates, a small
+	// fraction of the full enumeration's work.
+	if limited.calls*3 >= unbounded.calls {
+		t.Fatalf("limit 2 explored %d candidates vs %d unbounded — limit trims output, not work",
+			limited.calls, unbounded.calls)
+	}
+	for _, k := range keys {
+		for _, i := range k.Positions() {
+			if IsSuperkey(fds, k.Without(i), s.All()) {
+				t.Fatalf("partial result contains non-minimal key %v", s.Names(k))
+			}
+		}
+	}
+}
+
+func TestCandidateKeysBudget(t *testing.T) {
+	s, fds := manyKeySchema(12)
+	ctx := budget.With(context.Background(), budget.Budget{MaxCandidateKeys: 3})
+	keys, err := CandidateKeysCtx(ctx, fds, s.All(), 0)
+	var be *budget.Error
+	if !errors.As(err, &be) || be.Resource != budget.CandidateKeys || be.Limit != 3 {
+		t.Fatalf("err = %v, want candidate-keys budget error with limit 3", err)
+	}
+	// The partial keys found within budget are each genuinely minimal.
+	for _, k := range keys {
+		for _, i := range k.Positions() {
+			if IsSuperkey(fds, k.Without(i), s.All()) {
+				t.Fatalf("budget partial contains non-minimal key %v", s.Names(k))
+			}
+		}
+	}
+}
+
+func TestCandidateKeysCancelled(t *testing.T) {
+	s, fds := manyKeySchema(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	keys, err := CandidateKeysCtx(ctx, fds, s.All(), 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("pre-cancelled search still produced %d keys", len(keys))
+	}
+}

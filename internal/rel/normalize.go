@@ -1,8 +1,11 @@
 package rel
 
 import (
+	"context"
 	"fmt"
 	"sort"
+
+	"xkprop/internal/budget"
 )
 
 // This file implements the schema-refinement side of the paper's workflow
@@ -34,7 +37,20 @@ func CandidateKey(fds []FD, attrs AttrSet) AttrSet {
 // keys returned (0 means no cap). Intended for the small schemas that occur
 // in design refinement.
 func CandidateKeys(fds []FD, attrs AttrSet, limit int) []AttrSet {
+	keys, _ := CandidateKeysCtx(nil, fds, attrs, limit)
+	return keys
+}
+
+// CandidateKeysCtx is CandidateKeys under a context and budget: the BFS
+// checks ctx once per dequeued candidate, and a budget.MaxCandidateKeys
+// attached via budget.With caps the number of candidate superkeys
+// *explored* (not just keys returned), bounding the exponential search
+// itself. On abort it returns the minimal keys found so far together with
+// ctx.Err() or a *budget.Error — err == nil is the only guarantee that the
+// enumeration is exhaustive (up to limit).
+func CandidateKeysCtx(ctx context.Context, fds []FD, attrs AttrSet, limit int) ([]AttrSet, error) {
 	var keys []AttrSet
+	var retErr error
 	isMinimal := func(x AttrSet) bool {
 		for _, i := range x.Positions() {
 			if IsSuperkey(fds, x.Without(i), attrs) {
@@ -43,13 +59,35 @@ func CandidateKeys(fds []FD, attrs AttrSet, limit int) []AttrSet {
 		}
 		return true
 	}
+	var maxExplored int
+	if b := budget.From(ctx); b != nil {
+		maxExplored = b.MaxCandidateKeys
+	}
 	seen := map[string]bool{}
 	// BFS over candidate superkeys starting from one key, replacing
 	// attributes with determinants (Lucchesi–Osborn style).
 	first := CandidateKey(fds, attrs)
 	queue := []AttrSet{first}
 	seen[first.key()] = true
+	explored := 0
 	for len(queue) > 0 {
+		// The limit gates the loop head: once enough keys are collected no
+		// further candidate is minimality-checked or expanded, so limit
+		// bounds the work done, not just the slice returned.
+		if limit > 0 && len(keys) >= limit {
+			break
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				retErr = err
+				break
+			}
+		}
+		if maxExplored > 0 && explored >= maxExplored {
+			retErr = budget.Exceeded("candidate keys", budget.CandidateKeys, maxExplored)
+			break
+		}
+		explored++
 		k := queue[0]
 		queue = queue[1:]
 		if isMinimal(k) {
@@ -79,7 +117,7 @@ func CandidateKeys(fds []FD, attrs AttrSet, limit int) []AttrSet {
 		}
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i].key() < keys[j].key() })
-	return keys
+	return keys, retErr
 }
 
 // maxProjectionAttrs bounds exact FD projection; beyond it, ProjectFDs

@@ -1,0 +1,47 @@
+package stream_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xkprop/internal/budget"
+	"xkprop/internal/paperdata"
+	"xkprop/internal/stream"
+)
+
+// FuzzStreamValidator runs the streaming validator over arbitrary byte
+// soup with the paper's key set: it must never panic, and every failure
+// must surface as a typed *DecodeError or *budget.Error.
+func FuzzStreamValidator(f *testing.F) {
+	for _, seed := range []string{
+		paperdata.Fig1XML,
+		`<r><book isbn="1"/><book isbn="1"/></r>`,
+		`<r><book/></r>`,
+		`<r><unclosed>`,
+		`<r><a><b><c/></b></a></r>`,
+		`not xml at all`,
+		``,
+		`<r>` + strings.Repeat("<d>", 40) + strings.Repeat("</d>", 40) + `</r>`,
+	} {
+		f.Add(seed)
+	}
+	sigma := paperdata.Keys()
+	f.Fuzz(func(t *testing.T, in string) {
+		v := stream.NewValidator(sigma)
+		v.SetLimit(8)
+		v.SetMaxDepth(64)
+		err := v.Run(strings.NewReader(in))
+		if err != nil {
+			var de *stream.DecodeError
+			var be *budget.Error
+			if !errors.As(err, &de) && !errors.As(err, &be) {
+				t.Fatalf("untyped error from Run(%q): %T %v", in, err, err)
+			}
+		}
+		// Violations must stay within the configured limit.
+		if n := len(v.Violations()); n > 8 {
+			t.Fatalf("limit 8 exceeded: %d violations", n)
+		}
+	})
+}

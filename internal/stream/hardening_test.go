@@ -1,0 +1,211 @@
+package stream
+
+// Hardening tests: depth caps, typed errors on broken streams, the
+// Violation.Offset regression across non-element tokens, and the whitebox
+// guarantee that a saturated violation limit stops matching work.
+
+import (
+	"context"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"xkprop/internal/budget"
+	"xkprop/internal/faultinject"
+	"xkprop/internal/xmlkey"
+)
+
+func isbnSigma(t *testing.T) []xmlkey.Key {
+	t.Helper()
+	k, err := xmlkey.Parse("(ε, (//book, {@isbn}))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []xmlkey.Key{k}
+}
+
+func TestStreamMaxDepth(t *testing.T) {
+	sigma := isbnSigma(t)
+	deep := "<r>" + strings.Repeat("<d>", 10) + strings.Repeat("</d>", 10) + "</r>"
+
+	v := NewValidator(sigma)
+	v.SetMaxDepth(5)
+	err := v.Run(strings.NewReader(deep))
+	var be *budget.Error
+	if !errors.As(err, &be) || be.Resource != budget.StreamDepth || be.Limit != 5 {
+		t.Fatalf("err = %v, want stream-depth budget error with limit 5", err)
+	}
+
+	// At or under the cap the document passes.
+	v = NewValidator(sigma)
+	v.SetMaxDepth(11)
+	if err := v.Run(strings.NewReader(deep)); err != nil {
+		t.Fatalf("depth 11 under cap 11 must pass: %v", err)
+	}
+}
+
+func TestStreamBudgetDepthAndViolations(t *testing.T) {
+	sigma := isbnSigma(t)
+
+	// Budget depth caps like SetMaxDepth, taking the tighter of the two.
+	v := NewValidator(sigma)
+	v.SetMaxDepth(100)
+	ctx := budget.With(context.Background(), budget.Budget{MaxStreamDepth: 3})
+	deep := "<r><a><b><c/></b></a></r>"
+	err := v.RunCtx(ctx, strings.NewReader(deep))
+	var be *budget.Error
+	if !errors.As(err, &be) || be.Resource != budget.StreamDepth || be.Limit != 3 {
+		t.Fatalf("err = %v, want stream-depth budget error with limit 3", err)
+	}
+
+	// MaxViolations aborts with an error — unlike SetLimit's quiet
+	// saturation — and keeps the violations found so far.
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 10; i++ {
+		sb.WriteString(`<book isbn="dup"/>`)
+	}
+	sb.WriteString("</r>")
+	v = NewValidator(sigma)
+	ctx = budget.With(context.Background(), budget.Budget{MaxViolations: 4})
+	err = v.RunCtx(ctx, strings.NewReader(sb.String()))
+	if !errors.As(err, &be) || be.Resource != budget.Violations || be.Limit != 4 {
+		t.Fatalf("err = %v, want violations budget error with limit 4", err)
+	}
+	if len(v.Violations()) != 4 {
+		t.Fatalf("violations kept = %d, want 4", len(v.Violations()))
+	}
+}
+
+func TestStreamRunCtxCancelled(t *testing.T) {
+	sigma := isbnSigma(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	v := NewValidator(sigma)
+	if err := v.RunCtx(ctx, strings.NewReader("<r/>")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestStreamTruncatedDocumentTypedError(t *testing.T) {
+	sigma := isbnSigma(t)
+	v := NewValidator(sigma)
+	err := v.Run(strings.NewReader(`<r><book isbn="1"><unclosed>`))
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %T %v, want *DecodeError", err, err)
+	}
+	if de.Offset <= 0 {
+		t.Fatalf("DecodeError.Offset = %d, want > 0", de.Offset)
+	}
+	var se *xml.SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("DecodeError must unwrap to the decoder's *xml.SyntaxError, got %v", de.Err)
+	}
+}
+
+func TestStreamReaderFailureMidDocument(t *testing.T) {
+	sigma := isbnSigma(t)
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 50; i++ {
+		sb.WriteString(`<book isbn="dup"/>`)
+	}
+	sb.WriteString("</r>")
+	src := sb.String()
+
+	fr := &faultinject.FailingReader{R: strings.NewReader(src), FailAt: int64(len(src)) / 2}
+	v := NewValidator(sigma)
+	err := v.Run(fr)
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %T %v, want *DecodeError", err, err)
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("DecodeError must unwrap to the reader's error, got %v", de.Err)
+	}
+	// Violations found before the connection dropped are retained.
+	if len(v.Violations()) == 0 {
+		t.Fatal("violations found before the failure must be retained")
+	}
+	for _, viol := range v.Violations() {
+		if viol.Offset >= int64(len(src))/2+1024 {
+			t.Fatalf("violation offset %d lies beyond the delivered bytes", viol.Offset)
+		}
+	}
+}
+
+// TestStreamOffsetAcrossNonElementTokens pins that Violation.Offset points
+// at the '<' of the offending start tag even when comments, processing
+// instructions, CDATA and character data precede it — the decoder offset
+// is captured before Token(), and every non-element token must leave that
+// bookkeeping intact.
+func TestStreamOffsetAcrossNonElementTokens(t *testing.T) {
+	sigma := isbnSigma(t)
+	prefix := `<r><!-- c1 --><?pi data?><book isbn="1"/>text<![CDATA[ <fake> ]]><!-- c2 -->`
+	second := `<book isbn="1"/>`
+	src := prefix + second + `</r>`
+	v := NewValidator(sigma)
+	if err := v.Run(strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+	vs := v.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1", len(vs))
+	}
+	if want := int64(len(prefix)); vs[0].Offset != want {
+		t.Fatalf("Offset = %d, want %d (the '<' of the duplicate book)", vs[0].Offset, want)
+	}
+}
+
+// TestStreamLimitStopsWork is the whitebox check that a saturated limit
+// stops matching: elements opened after saturation must not allocate
+// frames (skipDepth bookkeeping only), and closing them must not pop real
+// frames.
+func TestStreamLimitStopsWork(t *testing.T) {
+	sigma := isbnSigma(t)
+	v := NewValidator(sigma)
+	v.SetLimit(1)
+
+	var sb strings.Builder
+	sb.WriteString(`<r><book isbn="1"/><book isbn="1"/>`)
+	for i := 0; i < 100; i++ {
+		sb.WriteString(fmt.Sprintf(`<book isbn="%d"><x><y/></x></book>`, i))
+	}
+	sb.WriteString("</r>")
+
+	dec := xml.NewDecoder(strings.NewReader(sb.String()))
+	sawSkip := false
+	for {
+		off := dec.InputOffset()
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch tk := tok.(type) {
+		case xml.StartElement:
+			wasSaturated := v.saturated()
+			before := len(v.stack)
+			v.startElement(tk, off)
+			if wasSaturated && len(v.stack) != before {
+				t.Fatal("frame pushed after the violation limit saturated")
+			}
+			if v.skipDepth > 0 {
+				sawSkip = true
+			}
+		case xml.EndElement:
+			v.endElement()
+		}
+	}
+	if len(v.Violations()) != 1 {
+		t.Fatalf("violations = %d, want exactly the limit (1)", len(v.Violations()))
+	}
+	if !sawSkip {
+		t.Fatal("saturation never engaged the skip path")
+	}
+	if v.skipDepth != 0 || len(v.stack) != 0 {
+		t.Fatalf("unbalanced shutdown: skipDepth=%d stack=%d", v.skipDepth, len(v.stack))
+	}
+}

@@ -15,15 +15,32 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
 	"encoding/xml"
 
+	"xkprop/internal/budget"
 	"xkprop/internal/xmlkey"
 	"xkprop/internal/xpath"
 )
+
+// DecodeError reports the stream breaking mid-document — malformed or
+// truncated XML, or the underlying io.Reader failing. Offset is the byte
+// position the decoder had reached; Err (via Unwrap) is the decoder's or
+// reader's error, so errors.Is sees io.ErrUnexpectedEOF and friends.
+type DecodeError struct {
+	Offset int64
+	Err    error
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("stream: decode error at offset %d: %v", e.Offset, e.Err)
+}
+
+func (e *DecodeError) Unwrap() error { return e.Err }
 
 // Violation is a key violation detected mid-stream.
 type Violation struct {
@@ -68,6 +85,12 @@ type Validator struct {
 	violations []Violation
 	// limit stops collecting after this many violations (0 = no limit).
 	limit int
+	// maxDepth rejects documents nesting deeper than this many open
+	// elements (0 = no cap).
+	maxDepth int
+	// skipDepth counts open elements entered after the violation limit
+	// saturated; they are tracked for stack balance only, with no NFA work.
+	skipDepth int
 }
 
 // compiledKey precompiles a key's paths.
@@ -178,9 +201,22 @@ func NewValidator(sigma []xmlkey.Key) *Validator {
 	return v
 }
 
-// SetLimit stops collecting after n violations (the stream is still fully
-// consumed by Run unless the caller aborts).
+// SetLimit stops collecting after n violations (0 = no limit). Once the
+// cap is hit the validator also stops matching work — subsequent elements
+// are tracked for stack balance only, no NFA stepping or frame allocation —
+// and Run merely drains the rest of the stream for well-formedness.
 func (v *Validator) SetLimit(n int) { v.limit = n }
+
+// SetMaxDepth caps element nesting: Run fails with a *budget.Error
+// (resource "stream depth") on the first element opening deeper than n
+// (0 = no cap). A cap turns adversarially deep documents from a stack of
+// per-element NFA frames into an early, typed refusal.
+func (v *Validator) SetMaxDepth(n int) { v.maxDepth = n }
+
+// saturated reports whether the violation limit has been reached.
+func (v *Validator) saturated() bool {
+	return v.limit > 0 && len(v.violations) >= v.limit
+}
 
 // Violations returns the violations collected so far.
 func (v *Validator) Violations() []Violation { return v.violations }
@@ -188,11 +224,36 @@ func (v *Validator) Violations() []Violation { return v.violations }
 // OK reports whether no violations have been found.
 func (v *Validator) OK() bool { return len(v.violations) == 0 }
 
-// Run consumes the whole document from r. It returns the first XML
-// syntax error; key violations are collected, not returned as errors.
+// Run consumes the whole document from r. It returns a *DecodeError on the
+// first XML syntax or reader error and a *budget.Error if a SetMaxDepth
+// cap is exceeded; key violations are collected, not returned as errors.
 func (v *Validator) Run(r io.Reader) error {
+	return v.RunCtx(nil, r)
+}
+
+// RunCtx is Run under a context: cancellation is checked once per token,
+// and a budget attached via budget.With adds to the validator's own
+// configuration — MaxStreamDepth tightens SetMaxDepth, and MaxViolations
+// aborts the run with a *budget.Error once that many violations have been
+// collected (unlike SetLimit, which saturates quietly and keeps draining).
+// On any error the violations collected so far remain available from
+// Violations(); the error is what marks them as possibly incomplete.
+func (v *Validator) RunCtx(ctx context.Context, r io.Reader) error {
+	maxDepth := v.maxDepth
+	maxViol := 0
+	if b := budget.From(ctx); b != nil {
+		if b.MaxStreamDepth > 0 && (maxDepth == 0 || b.MaxStreamDepth < maxDepth) {
+			maxDepth = b.MaxStreamDepth
+		}
+		maxViol = b.MaxViolations
+	}
 	dec := xml.NewDecoder(r)
 	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		// Capture the offset before consuming the token: InputOffset after
 		// Token() points past the start tag, but Violation.Offset is
 		// documented as where the offending element started. Before Token()
@@ -205,11 +266,17 @@ func (v *Validator) Run(r io.Reader) error {
 			return nil
 		}
 		if err != nil {
-			return fmt.Errorf("stream: %w", err)
+			return &DecodeError{Offset: dec.InputOffset(), Err: err}
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			if maxDepth > 0 && len(v.stack)+v.skipDepth >= maxDepth {
+				return budget.Exceeded("stream validation", budget.StreamDepth, maxDepth)
+			}
 			v.startElement(t, off)
+			if maxViol > 0 && len(v.violations) >= maxViol {
+				return budget.Exceeded("stream validation", budget.Violations, maxViol)
+			}
 		case xml.EndElement:
 			v.endElement()
 		}
@@ -229,6 +296,13 @@ func (v *Validator) path() string {
 }
 
 func (v *Validator) startElement(t xml.StartElement, offset int64) {
+	// Past the violation limit no element can contribute anything: skip all
+	// NFA and bookkeeping work, tracking depth only so endElement stays
+	// balanced with the real frames beneath.
+	if v.saturated() {
+		v.skipDepth++
+		return
+	}
 	label := t.Name.Local
 	// One map lookup per start tag; labels absent from every key path get
 	// the unknownLabel sentinel, which only "//" steps can absorb.
@@ -322,6 +396,10 @@ func (v *Validator) checkTarget(ck compiledKey, ci *contextInstance, t xml.Start
 }
 
 func (v *Validator) endElement() {
+	if v.skipDepth > 0 {
+		v.skipDepth--
+		return
+	}
 	if len(v.stack) == 0 {
 		return
 	}

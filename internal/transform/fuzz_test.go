@@ -1,0 +1,45 @@
+package transform_test
+
+import (
+	"errors"
+	"testing"
+
+	"xkprop/internal/paperdata"
+	"xkprop/internal/transform"
+)
+
+// FuzzParseTransformation checks the DSL parser never panics, always
+// reports malformed input as a *ParseError, and that accepted
+// transformations survive re-validation of their rules.
+func FuzzParseTransformation(f *testing.F) {
+	for _, seed := range []string{
+		paperdata.TransformText,
+		"rule r(a: x) {\n  x := root / a / @a\n}\n",
+		"rule r(a: x) {\n  x := root / //b\n}\n",
+		"rule r() {}\n",
+		"}\n",
+		"rule r(a: x) {\n",
+		"x := y / p\n",
+		"rule r(a: x) {\n  x := root / @\n}\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := transform.ParseString(in)
+		if err != nil {
+			var pe *transform.ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("non-ParseError from ParseString(%q): %T %v", in, err, err)
+			}
+			return
+		}
+		for _, r := range tr.Rules {
+			// Every variable of an accepted rule must be connected: these
+			// are the invariants validate() promised, exercised through the
+			// panicking accessor.
+			for _, v := range r.Vars() {
+				_ = r.PathFromRoot(v)
+			}
+		}
+	})
+}

@@ -10,6 +10,27 @@ import (
 	"xkprop/internal/xpath"
 )
 
+// ParseError reports a malformed transformation, carrying the 1-based
+// input line the problem was found on (0 for whole-input problems such as
+// an unterminated rule). Err, exposed via Unwrap, is the underlying cause.
+type ParseError struct {
+	Line int
+	Err  error
+}
+
+func (e *ParseError) Error() string {
+	msg := e.Err.Error()
+	if e.Line > 0 {
+		return fmt.Sprintf("transform: line %d: %s", e.Line, msg)
+	}
+	if strings.HasPrefix(msg, "transform: ") {
+		return msg // the cause already carries the package prefix
+	}
+	return "transform: " + msg
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
 // Parse reads a transformation in a small textual DSL mirroring the
 // paper's notation. Each table rule is written
 //
@@ -41,44 +62,48 @@ func Parse(r io.Reader) (*Transformation, error) {
 		switch {
 		case strings.HasPrefix(line, "rule "):
 			if cur != nil {
-				return nil, fmt.Errorf("transform: line %d: nested rule", lineno)
+				return nil, &ParseError{Line: lineno, Err: fmt.Errorf("nested rule")}
 			}
 			d, err := parseRuleHeader(line)
 			if err != nil {
-				return nil, fmt.Errorf("transform: line %d: %w", lineno, err)
+				return nil, &ParseError{Line: lineno, Err: err}
 			}
 			cur = d
 		case line == "}":
 			if cur == nil {
-				return nil, fmt.Errorf("transform: line %d: unmatched }", lineno)
+				return nil, &ParseError{Line: lineno, Err: fmt.Errorf("unmatched }")}
 			}
 			rule, err := cur.build()
 			if err != nil {
-				return nil, fmt.Errorf("transform: line %d: %w", lineno, err)
+				return nil, &ParseError{Line: lineno, Err: err}
 			}
 			rules = append(rules, rule)
 			cur = nil
 		default:
 			if cur == nil {
-				return nil, fmt.Errorf("transform: line %d: mapping outside rule: %q", lineno, line)
+				return nil, &ParseError{Line: lineno, Err: fmt.Errorf("mapping outside rule: %q", line)}
 			}
 			m, err := parseMapping(line)
 			if err != nil {
-				return nil, fmt.Errorf("transform: line %d: %w", lineno, err)
+				return nil, &ParseError{Line: lineno, Err: err}
 			}
 			cur.mappings = append(cur.mappings, m)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("transform: read: %w", err)
+		return nil, &ParseError{Err: fmt.Errorf("read: %w", err)}
 	}
 	if cur != nil {
-		return nil, fmt.Errorf("transform: unterminated rule %s", cur.name)
+		return nil, &ParseError{Err: fmt.Errorf("unterminated rule %s", cur.name)}
 	}
 	if len(rules) == 0 {
-		return nil, fmt.Errorf("transform: no rules found")
+		return nil, &ParseError{Err: fmt.Errorf("no rules found")}
 	}
-	return NewTransformation(rules...)
+	t, err := NewTransformation(rules...)
+	if err != nil {
+		return nil, &ParseError{Err: err}
+	}
+	return t, nil
 }
 
 // ParseString is Parse over a string.

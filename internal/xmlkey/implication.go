@@ -1,9 +1,12 @@
 package xmlkey
 
 import (
+	"context"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"xkprop/internal/budget"
 	"xkprop/internal/xpath"
 )
 
@@ -50,6 +53,12 @@ func Implies(sigma []Key, phi Key) bool {
 	return NewDecider(sigma).Implies(phi)
 }
 
+// ImpliesCtx reports whether Σ ⊨ φ under a context carrying cancellation
+// and an optional budget.Budget; see Decider.ImpliesCtx.
+func ImpliesCtx(ctx context.Context, sigma []Key, phi Key) (bool, error) {
+	return NewDecider(sigma).ImpliesCtx(ctx, phi)
+}
+
 // ImpliesAll reports whether Σ implies every key in phis.
 func ImpliesAll(sigma []Key, phis []Key) bool {
 	d := NewDecider(sigma)
@@ -78,6 +87,11 @@ type Decider struct {
 	sigs   []sigCompiled
 	shards [memoShards]memoShard
 	pool   sync.Pool // *query, reused so warm calls allocate nothing
+
+	// memoCount approximates the shared memo's size (entries ever
+	// published; concurrent provers of the same goal may double-count,
+	// which only makes the budget check conservative).
+	memoCount atomic.Int64
 }
 
 // sigCompiled is the per-σ data the direct rule and the existence closure
@@ -201,18 +215,53 @@ func (dc *Decider) Implies(phi Key) bool {
 // ImpliesCT reports whether Σ implies the key (context, (target, attrs))
 // without requiring the caller to build a Key value; the propagation and
 // cover algorithms issue thousands of such queries per run.
-func (dc *Decider) ImpliesCT(context, target xpath.Path, attrs []string) bool {
+func (dc *Decider) ImpliesCT(c, t xpath.Path, attrs []string) bool {
+	res, _ := dc.impliesCT(nil, c, t, attrs)
+	return res
+}
+
+// ImpliesCtx is Implies under a context: cancellation (and any
+// budget.Budget carried by ctx) is checked at proof-step granularity, so
+// the call returns promptly with ctx.Err() or a typed *budget.Error even
+// on adversarial goals. A nil ctx behaves exactly like Implies.
+func (dc *Decider) ImpliesCtx(ctx context.Context, phi Key) (bool, error) {
+	return dc.impliesCT(ctx, phi.Context, phi.Target, phi.Attrs)
+}
+
+// ImpliesCTCtx is ImpliesCT under a context; see ImpliesCtx.
+func (dc *Decider) ImpliesCTCtx(ctx context.Context, c, t xpath.Path, attrs []string) (bool, error) {
+	return dc.impliesCT(ctx, c, t, attrs)
+}
+
+// impliesCT runs one top-level query. With a nil ctx no abort checks run
+// and the error is always nil — the legacy entry points keep their exact
+// cost. On abort the verdict is false and must be discarded: nothing
+// derived from an aborted search is published to the shared memo.
+func (dc *Decider) impliesCT(ctx context.Context, c, t xpath.Path, attrs []string) (bool, error) {
 	attrs = normalizeAttrsIfNeeded(attrs)
 	attrsID := dc.attrs.intern(attrs)
 	q := dc.pool.Get().(*query)
-	res, _ := q.impliesT(context.Normalize(), target.Normalize(), attrs, attrsID)
+	q.ctx = ctx
+	if ctx != nil {
+		q.bud = budget.From(ctx)
+	}
+	res, _ := q.impliesT(c.Normalize(), t.Normalize(), attrs, attrsID)
+	err := q.err
 	// Cycle-cut refutations are valid only within the query that assumed
 	// them; dropping the whole local state keeps answers independent of
-	// query order (and of goroutine interleaving).
+	// query order (and of goroutine interleaving). The abort state is
+	// per-query too.
 	clear(q.local)
+	q.ctx, q.bud, q.err, q.steps = nil, nil, nil, 0
 	dc.pool.Put(q)
-	return res
+	if err != nil {
+		return false, err
+	}
+	return res, nil
 }
+
+// MemoSize reports the approximate number of published memo entries.
+func (dc *Decider) MemoSize() int { return int(dc.memoCount.Load()) }
 
 // InternPath interns p into the decider's path universe, for callers that
 // want to cache IDs across many ExistsAllID queries.
@@ -336,6 +385,54 @@ type query struct {
 	d       *Decider
 	local   map[goal]int8
 	scratch []string // reused by the sorted attribute difference
+
+	// Abort plumbing (nil/zero for legacy unbudgeted queries): ctx and bud
+	// are checked every abortCheckStride goal expansions; the first
+	// failure latches into err and every further impliesT call returns
+	// immediately as a tainted refutation, so nothing an aborted search
+	// "decided" can reach the shared memo.
+	ctx   context.Context
+	bud   *budget.Budget
+	steps int
+	err   error
+}
+
+// abortCheckStride is how many goal expansions a budgeted query runs
+// between cancellation/budget checks. Goals are small units of work
+// (a handful of map and kernel operations), so a stride of 32 keeps the
+// abort latency bounded by a few microseconds while keeping ctx.Err()
+// off the per-goal path.
+const abortCheckStride = 32
+
+// aborted reports (and latches) whether the query must stop. Called at
+// every goal entry; the expensive checks run every abortCheckStride calls.
+func (qr *query) aborted() bool {
+	if qr.err != nil {
+		return true
+	}
+	if qr.ctx == nil {
+		return false
+	}
+	qr.steps++
+	if qr.steps%abortCheckStride != 0 {
+		return false
+	}
+	if err := qr.ctx.Err(); err != nil {
+		qr.err = err
+		return true
+	}
+	if b := qr.bud; b != nil {
+		d := qr.d
+		if b.MaxMemoEntries > 0 && d.memoCount.Load() >= int64(b.MaxMemoEntries) {
+			qr.err = budget.Exceeded("key implication", budget.MemoEntries, b.MaxMemoEntries)
+			return true
+		}
+		if b.MaxInternEntries > 0 && d.in.Size() >= b.MaxInternEntries {
+			qr.err = budget.Exceeded("key implication", budget.InternEntries, b.MaxInternEntries)
+			return true
+		}
+	}
+	return false
 }
 
 const (
@@ -365,6 +462,11 @@ func (qr *query) impliesT(q, t xpath.Path, attrs []string, attrsID uint32) (bool
 	if q.HasAttribute() {
 		return false, false
 	}
+	// Cancellation / budget exhaustion reads as a tainted refutation: it
+	// is never cached, and the latched error surfaces from impliesCT.
+	if qr.aborted() {
+		return false, true
+	}
 
 	d := qr.d
 	g := goal{ctx: d.in.Intern(q), tgt: d.in.Intern(t), attrs: attrsID}
@@ -383,11 +485,13 @@ func (qr *query) impliesT(q, t xpath.Path, attrs []string, attrsID uint32) (bool
 	switch {
 	case res:
 		shard.put(g, true)
+		d.memoCount.Add(1)
 		delete(qr.local, g)
 	case tainted:
 		qr.local[g] = tempNeg
 	default:
 		shard.put(g, false)
+		d.memoCount.Add(1)
 		delete(qr.local, g)
 	}
 	return res, tainted

@@ -9,6 +9,19 @@ import (
 	"xkprop/internal/xpath"
 )
 
+// ParseError reports a malformed key expression. Pos is the best-effort
+// byte offset in Input of the fragment that failed to parse (0 when the
+// whole expression is malformed).
+type ParseError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xmlkey: parse %q: at byte %d: %s", e.Input, e.Pos, e.Msg)
+}
+
 // Parse parses one key in the paper's surface syntax:
 //
 //	key  ::= [ NAME "=" ] "(" path "," "(" path "," "{" attrs "}" ")" ")"
@@ -19,6 +32,9 @@ import (
 //	φ1 = (ε, (//book, {@isbn}))
 //	(//book, (chapter, {@number}))
 //	(//book, (title, {}))
+//
+// Errors are always *ParseError values; Parse never panics, however
+// malformed the input (the fuzz corpus under testdata/fuzz pins this).
 func Parse(s string) (Key, error) {
 	orig := s
 	s = strings.TrimSpace(s)
@@ -27,9 +43,18 @@ func Parse(s string) (Key, error) {
 		name = strings.TrimSpace(s[:i])
 		s = strings.TrimSpace(s[i+1:])
 	}
-	fail := func(msg string) (Key, error) {
-		return Key{}, fmt.Errorf("xmlkey: parse %q: %s", orig, msg)
+	// failAt reports msg at the position of fragment within the original
+	// input; fail reports it at the expression's start.
+	failAt := func(fragment, msg string) (Key, error) {
+		pos := 0
+		if fragment != "" {
+			if i := strings.Index(orig, fragment); i >= 0 {
+				pos = i
+			}
+		}
+		return Key{}, &ParseError{Input: orig, Pos: pos, Msg: msg}
 	}
+	fail := func(msg string) (Key, error) { return failAt("", msg) }
 	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
 		return fail("expected (Q, (Q', {@a, ...}))")
 	}
@@ -62,31 +87,31 @@ func Parse(s string) (Key, error) {
 
 	ctx, err := xpath.Parse(ctxPart)
 	if err != nil {
-		return fail(fmt.Sprintf("context path: %v", err))
+		return failAt(ctxPart, fmt.Sprintf("context path: %v", err))
 	}
 	tgt, err := xpath.Parse(tgtPart)
 	if err != nil {
-		return fail(fmt.Sprintf("target path: %v", err))
+		return failAt(tgtPart, fmt.Sprintf("target path: %v", err))
 	}
 	if ctx.HasAttribute() {
-		return fail("context path must not end in an attribute")
+		return failAt(ctxPart, "context path must not end in an attribute")
 	}
 	if tgt.HasAttribute() {
-		return fail("target path must not end in an attribute (attributes go in the key-path set)")
+		return failAt(tgtPart, "target path must not end in an attribute (attributes go in the key-path set)")
 	}
 	var attrs []string
 	if attrPart != "" {
 		for _, a := range strings.Split(attrPart, ",") {
 			a = strings.TrimSpace(a)
 			if !strings.HasPrefix(a, "@") {
-				return fail(fmt.Sprintf("key path %q must be an attribute (@name)", a))
+				return failAt(a, fmt.Sprintf("key path %q must be an attribute (@name)", a))
 			}
 			name := a[1:]
 			if name == "" {
-				return fail("empty attribute name")
+				return failAt(a, "empty attribute name")
 			}
 			if strings.ContainsAny(name, "@/(){}, \t") {
-				return fail(fmt.Sprintf("invalid attribute name %q", a))
+				return failAt(a, fmt.Sprintf("invalid attribute name %q", a))
 			}
 			attrs = append(attrs, a)
 		}
