@@ -2,7 +2,7 @@ GO ?= go
 BENCH_JSON ?= BENCH_pathkernel.json
 FUZZTIME ?= 30s
 
-.PHONY: build test vet race stress fuzz-smoke bench bench-json verify help
+.PHONY: build test vet race stress fuzz-smoke bench bench-json serve-smoke verify help
 
 build:
 	$(GO) build ./...
@@ -43,11 +43,19 @@ bench:
 bench-json:
 	$(GO) run ./cmd/xkbench -json $(BENCH_JSON)
 
+# serve-smoke boots a real xkserve on an ephemeral port and drives every
+# endpoint over TCP: second identical propagation request must be a
+# registry hit (no recompilation), ?timeout=1ns must be a typed 504 with
+# no partial cover, /debug/vars must expose per-endpoint latency
+# histograms. See internal/cli/servesmoke.go.
+serve-smoke:
+	$(GO) run ./cmd/xkserve -smoke
+
 # Tier-1 verification (ROADMAP.md): build, vet, tests, the race run (which
-# includes the fault-injection stress suites), and the focused stress pass.
-# If a committed bench trajectory is present, smoke-check that it is
-# well-formed pathkernel JSON.
-verify: build vet test race stress
+# includes the fault-injection stress suites), the focused stress pass,
+# and the xkserve end-to-end smoke. If a committed bench trajectory is
+# present, smoke-check that it is well-formed pathkernel JSON.
+verify: build vet test race stress serve-smoke
 	@if [ -f $(BENCH_JSON) ]; then $(GO) run ./cmd/xkbench -check-json $(BENCH_JSON); fi
 
 help:
@@ -60,4 +68,5 @@ help:
 	@echo "  fuzz-smoke  run each fuzz target for FUZZTIME (default 30s)"
 	@echo "  bench       testing.B suite + xkbench -json trajectory"
 	@echo "  bench-json  regenerate $(BENCH_JSON) only"
-	@echo "  verify      build + vet + test + race + stress + bench JSON check"
+	@echo "  serve-smoke boot xkserve on an ephemeral port and drive every endpoint"
+	@echo "  verify      build + vet + test + race + stress + serve-smoke + bench JSON check"

@@ -17,6 +17,7 @@ import (
 
 	"xkprop/internal/budget"
 	"xkprop/internal/core"
+	"xkprop/internal/registry"
 	"xkprop/internal/rel"
 	"xkprop/internal/stream"
 	"xkprop/internal/xmlkey"
@@ -96,6 +97,41 @@ func CandidateKeys(fds []FD, attrs AttrSet, limit int) []AttrSet {
 func CandidateKeysCtx(ctx context.Context, fds []FD, attrs AttrSet, limit int) (keys []AttrSet, err error) {
 	defer guard(&err)
 	return rel.CandidateKeysCtx(ctx, fds, attrs, limit)
+}
+
+// CompiledSchema is a schema compiled once and reused across requests: the
+// parsed key set, the parsed transformation, the shared implication decider
+// with its interned path universe, and lazily built per-rule engines. See
+// SchemaRegistry for the cached, deduplicated way to obtain one.
+type CompiledSchema = registry.Artifact
+
+// SchemaRegistry is a content-hash-keyed cache of compiled schemas: each
+// distinct (keys, transformation) source pair is parsed and compiled once,
+// concurrent first requests are deduplicated singleflight-style, and
+// residency is LRU-bounded. This is the serving-path entry point (see
+// cmd/xkserve) — repeated analyses over one schema skip parsing, decider
+// construction and cover builds entirely.
+type SchemaRegistry = registry.Registry
+
+// NewSchemaRegistry builds a registry holding at most maxEntries compiled
+// schemas (0 = unbounded); Budget.MaxRegistryEntries is the same knob for
+// budget-driven callers.
+func NewSchemaRegistry(maxEntries int) *SchemaRegistry { return registry.New(maxEntries) }
+
+// CompileSchema parses and compiles one schema outside any registry. The
+// keys text is required; the transformation text may be empty for purely
+// key-level work (implication, streaming validation).
+func CompileSchema(keysText, transformText string) (cs *CompiledSchema, err error) {
+	defer guard(&err)
+	return registry.Compile(keysText, transformText)
+}
+
+// NewEngineSharing builds an engine for the rule that shares another
+// engine's implication decider — its memo table, interned path universe and
+// compiled containment kernel — so related rules (the tables of one
+// transformation) warm each other's analyses.
+func NewEngineSharing(e *Engine, rule *Rule) *Engine {
+	return core.NewEngineWithDecider(e.Decider(), rule)
 }
 
 // StreamDecodeError is the typed error for a stream breaking mid-document:

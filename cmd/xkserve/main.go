@@ -1,0 +1,16 @@
+// Command xkserve is the long-running constraint-propagation service: an
+// HTTP/JSON API over a compiled-schema registry, serving key implication,
+// FD propagation, minimum covers, candidate keys, DDL generation and
+// streaming document validation. Run with -h for flags, or -smoke for the
+// self-test; see internal/server and internal/cli for the implementation.
+package main
+
+import (
+	"os"
+
+	"xkprop/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunXkserve(os.Args[1:], os.Stdout, os.Stderr))
+}

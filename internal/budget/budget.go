@@ -45,6 +45,11 @@ const (
 	// candidate space is 2^(fields-1)·fields, so this is the knob that
 	// keeps the exponential baseline from being a denial of service.
 	EnumFields Resource = "enumeration fields"
+	// RegistryEntries caps the compiled-schema registry of the serving
+	// subsystem: how many (keys, transformation) artifacts — each holding
+	// a decider memo, an interned path universe and lazily built covers —
+	// may be resident before the LRU evicts.
+	RegistryEntries Resource = "registry entries"
 )
 
 // Error reports that a call stopped because a resource budget was
@@ -95,6 +100,10 @@ type Budget struct {
 	// MaxEnumFields caps the schema width of Algorithm naive
 	// (0 = the package default of DefaultEnumFields).
 	MaxEnumFields int
+	// MaxRegistryEntries caps the resident artifacts of a compiled-schema
+	// registry (registry.New); unlike the other caps it bounds a cache, so
+	// exceeding it evicts rather than errors.
+	MaxRegistryEntries int
 }
 
 // DefaultEnumFields is the schema-width cap Algorithm naive applies when

@@ -6,13 +6,11 @@
 package cli
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
-	"time"
 
 	"xkprop"
 )
@@ -26,24 +24,6 @@ import (
 func parallelFlag(fs *flag.FlagSet) *int {
 	return fs.Int("parallel", 0,
 		"engine worker-pool size (0 = default, 1 = sequential, n = n workers)")
-}
-
-// timeoutFlag registers the -timeout flag shared by the tools that run the
-// potentially long algorithms: a wall-clock budget for the whole check.
-// When it expires the tool stops with an error (exit 2) instead of
-// printing a result computed from a partial search.
-func timeoutFlag(fs *flag.FlagSet) *time.Duration {
-	return fs.Duration("timeout", 0,
-		"wall-clock budget for the check, e.g. 500ms or 10s (0 = none)")
-}
-
-// toolContext turns a -timeout value into a context. A zero timeout yields
-// a nil context — the engines' unbudgeted fast path.
-func toolContext(timeout time.Duration) (context.Context, context.CancelFunc) {
-	if timeout <= 0 {
-		return nil, func() {}
-	}
-	return context.WithTimeout(context.Background(), timeout)
 }
 
 // loadKeys reads and parses a key file.

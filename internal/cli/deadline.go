@@ -1,0 +1,78 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"xkprop/internal/budget"
+)
+
+// Deadline bundles the wall-clock-budget flag shared by every tool that
+// runs the potentially long algorithms (xkprop, xkcover, xkcheck, and
+// xkserve's request deadline): one registration helper, one context
+// constructor, and one exit-2-on-abort reporter, so the tools cannot
+// drift apart in how a timeout is spelled, wired, or reported.
+type Deadline struct {
+	d *time.Duration
+}
+
+// DeadlineFlag registers the standard -timeout flag: a wall-clock budget
+// for the whole check. When it expires the tool stops with an error (exit
+// 2) instead of printing a result computed from a partial search.
+func DeadlineFlag(fs *flag.FlagSet) Deadline {
+	return NamedDeadlineFlag(fs, "timeout",
+		"wall-clock budget for the check, e.g. 500ms or 10s (0 = none)", 0)
+}
+
+// NamedDeadlineFlag registers a deadline flag under a non-standard name —
+// xkserve calls its per-request deadline -request-timeout — with the same
+// semantics as DeadlineFlag.
+func NamedDeadlineFlag(fs *flag.FlagSet, name, usage string, def time.Duration) Deadline {
+	return Deadline{d: fs.Duration(name, def, usage)}
+}
+
+// Value returns the parsed duration (0 = no deadline).
+func (dl Deadline) Value() time.Duration {
+	if dl.d == nil {
+		return 0
+	}
+	return *dl.d
+}
+
+// Context turns the flag into a context. A zero deadline yields a nil
+// context — the engines' unbudgeted zero-overhead path. The cancel
+// function is always non-nil.
+func (dl Deadline) Context() (context.Context, context.CancelFunc) {
+	d := dl.Value()
+	if d <= 0 {
+		return nil, func() {}
+	}
+	return context.WithTimeout(context.Background(), d)
+}
+
+// IsAbort reports whether err is an abort — a cancelled or expired
+// context, or an exhausted resource budget — rather than an input or I/O
+// failure. Aborts share the all-or-nothing contract: no partial result
+// was printed, so exit 2 (not a negative verdict's exit 1) is the only
+// correct exit code.
+func IsAbort(err error) bool {
+	var be *budget.Error
+	return errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.As(err, &be)
+}
+
+// failOrAbort reports an error and returns exit code 2, labeling aborts
+// so a scripted caller (and a human) can tell "the check was stopped"
+// from "the input was bad".
+func failOrAbort(stderr io.Writer, tool string, err error) int {
+	if IsAbort(err) {
+		fmt.Fprintf(stderr, "%s: aborted: %v\n", tool, err)
+		return 2
+	}
+	return fail(stderr, tool, err)
+}

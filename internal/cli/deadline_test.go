@@ -1,0 +1,149 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xkprop/internal/budget"
+)
+
+func TestDeadlineZeroMeansNoContext(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	dl := DeadlineFlag(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := dl.Context()
+	if ctx != nil {
+		t.Fatal("zero deadline must yield a nil context (the unbudgeted path)")
+	}
+	cancel() // must be callable
+}
+
+func TestDeadlineParsedFlag(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	dl := DeadlineFlag(fs)
+	if err := fs.Parse([]string{"-timeout", "50ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if dl.Value() != 50*time.Millisecond {
+		t.Fatalf("Value = %v, want 50ms", dl.Value())
+	}
+	ctx, cancel := dl.Context()
+	defer cancel()
+	if ctx == nil {
+		t.Fatal("non-zero deadline must yield a context")
+	}
+	d, ok := ctx.Deadline()
+	if !ok || time.Until(d) > 50*time.Millisecond {
+		t.Fatalf("deadline %v (ok=%v) not within 50ms", d, ok)
+	}
+}
+
+func TestNamedDeadlineFlagDefault(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	dl := NamedDeadlineFlag(fs, "request-timeout", "per-request budget", 10*time.Second)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if dl.Value() != 10*time.Second {
+		t.Fatalf("default = %v, want 10s", dl.Value())
+	}
+	if (Deadline{}).Value() != 0 {
+		t.Fatal("zero Deadline must read as no deadline")
+	}
+}
+
+func TestIsAbortClassification(t *testing.T) {
+	for _, err := range []error{
+		context.DeadlineExceeded,
+		context.Canceled,
+		error(budget.Exceeded("op", budget.MemoEntries, 1)),
+	} {
+		if !IsAbort(err) {
+			t.Errorf("IsAbort(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{io.EOF, errors.New("bad input"), nil} {
+		if IsAbort(err) {
+			t.Errorf("IsAbort(%v) = true, want false", err)
+		}
+	}
+}
+
+func TestFailOrAbortLabelsAborts(t *testing.T) {
+	var buf bytes.Buffer
+	if code := failOrAbort(&buf, "tool", context.DeadlineExceeded); code != 2 {
+		t.Fatalf("abort exit = %d, want 2", code)
+	}
+	if !strings.Contains(buf.String(), "tool: aborted:") {
+		t.Fatalf("abort not labeled: %q", buf.String())
+	}
+	buf.Reset()
+	if code := failOrAbort(&buf, "tool", errors.New("boom")); code != 2 {
+		t.Fatalf("plain failure exit = %d, want 2", code)
+	}
+	if strings.Contains(buf.String(), "aborted") {
+		t.Fatalf("plain failure mislabeled as abort: %q", buf.String())
+	}
+}
+
+// TestWriteFileAtomic pins the xkbench -json durability fix: the write
+// replaces the destination atomically and leaves no temp files behind.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := writeFileAtomic(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileAtomic(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "second" {
+		t.Fatalf("content = %q, want %q", data, "second")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("stray files after atomic writes: %v", names)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Fatalf("mode = %v, want 0644", info.Mode().Perm())
+	}
+}
+
+// TestServeSmoke runs the full xkserve self-test in-process so the
+// acceptance assertions (registry hit on the second identical request,
+// typed 504 on ?timeout=1ns, per-endpoint latency histograms) are also
+// covered by `go test -race`.
+func TestServeSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := RunXkserve([]string{"-smoke"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("xkserve -smoke exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "serve-smoke: PASS") {
+		t.Fatalf("no PASS line in %q", stdout.String())
+	}
+}

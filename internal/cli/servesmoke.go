@@ -1,0 +1,271 @@
+package cli
+
+// The serve-smoke self-test behind `xkserve -smoke` (and `make
+// serve-smoke`): boot a real xkserve on an ephemeral port, drive one
+// request per endpoint over TCP, scrape /debug/vars, and assert the
+// serving contract end to end — the second identical propagation request
+// is a registry hit with no recompilation, an impossible ?timeout=1ns
+// deadline yields HTTP 504 with a typed abort body and no partial cover,
+// and the per-endpoint request counters and latency histograms move.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"xkprop/internal/server"
+)
+
+// The paper's running example (the package documentation's book feed):
+// books keyed by @isbn, chapters keyed by @number within their book,
+// chapter names and book titles unique under their parents.
+const smokeKeys = `(ε, (//book, {@isbn}))
+(//book, (chapter, {@number}))
+(//book/chapter, (name, {}))
+(//book, (title, {}))
+`
+
+const smokeTransform = `rule chapter(inBook: y1, number: y2, name: y3) {
+  ya := root / //book
+  y1 := ya / @isbn
+  yc := ya / chapter
+  y2 := yc / @number
+  y3 := yc / name
+}`
+
+// smokeBadDoc violates the book key: two books share @isbn.
+const smokeBadDoc = `<db><book isbn="1"><chapter number="1"><name>A</name></chapter></book><book isbn="1"/></db>`
+
+type smokeClient struct {
+	base   string
+	client *http.Client
+	stderr io.Writer
+	failed bool
+}
+
+func (c *smokeClient) errorf(format string, args ...any) {
+	fmt.Fprintf(c.stderr, "serve-smoke: FAIL: "+format+"\n", args...)
+	c.failed = true
+}
+
+// post sends a JSON request and decodes the JSON response, asserting the
+// status code.
+func (c *smokeClient) post(path string, body any, wantStatus int) map[string]any {
+	data, err := json.Marshal(body)
+	if err != nil {
+		c.errorf("%s: marshal: %v", path, err)
+		return nil
+	}
+	resp, err := c.client.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		c.errorf("%s: %v", path, err)
+		return nil
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	raw, _ := io.ReadAll(resp.Body)
+	if err := json.Unmarshal(raw, &out); err != nil {
+		c.errorf("%s: response is not JSON: %v (%.200s)", path, err, raw)
+		return nil
+	}
+	if resp.StatusCode != wantStatus {
+		c.errorf("%s: status %d, want %d (%.200s)", path, resp.StatusCode, wantStatus, raw)
+		return nil
+	}
+	return out
+}
+
+// vars scrapes /debug/vars.
+func (c *smokeClient) vars() map[string]json.RawMessage {
+	resp, err := c.client.Get(c.base + "/debug/vars")
+	if err != nil {
+		c.errorf("/debug/vars: %v", err)
+		return nil
+	}
+	defer resp.Body.Close()
+	out := map[string]json.RawMessage{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		c.errorf("/debug/vars: not JSON: %v", err)
+		return nil
+	}
+	return out
+}
+
+func (c *smokeClient) varInt(vars map[string]json.RawMessage, name string) int64 {
+	raw, ok := vars[name]
+	if !ok {
+		c.errorf("/debug/vars: missing %q", name)
+		return -1
+	}
+	var n int64
+	if err := json.Unmarshal(raw, &n); err != nil {
+		c.errorf("/debug/vars: %q is not an integer: %s", name, raw)
+		return -1
+	}
+	return n
+}
+
+// histCount extracts the observation count of a published latency
+// histogram.
+func (c *smokeClient) histCount(vars map[string]json.RawMessage, name string) int64 {
+	raw, ok := vars[name]
+	if !ok {
+		c.errorf("/debug/vars: missing latency histogram %q", name)
+		return -1
+	}
+	var h struct {
+		Count   int64            `json:"count"`
+		Buckets map[string]int64 `json:"buckets"`
+	}
+	if err := json.Unmarshal(raw, &h); err != nil {
+		c.errorf("/debug/vars: %q is not a histogram: %s", name, raw)
+		return -1
+	}
+	if len(h.Buckets) == 0 {
+		c.errorf("/debug/vars: histogram %q has no buckets", name)
+	}
+	return h.Count
+}
+
+// runServeSmoke boots a server with cfg (its budget and limiter flags
+// intact) on an ephemeral port and exercises every endpoint. Returns 0 on
+// PASS, 1 on any failed assertion.
+func runServeSmoke(stdout, stderr io.Writer, cfg server.Config) int {
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(stderr, "xkserve", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	c := &smokeClient{
+		base:   "http://" + ln.Addr().String(),
+		client: &http.Client{Timeout: 30 * time.Second},
+		stderr: stderr,
+	}
+	fmt.Fprintf(stdout, "serve-smoke: driving %s\n", c.base)
+
+	// Liveness and readiness.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := c.client.Get(c.base + path)
+		if err != nil {
+			c.errorf("%s: %v", path, err)
+		} else {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				c.errorf("%s: status %d, want 200", path, resp.StatusCode)
+			}
+		}
+	}
+
+	// Implication: Σ trivially implies one of its own keys.
+	if out := c.post("/v1/implies", map[string]any{
+		"keys": smokeKeys, "key": "(ε, (//book, {@isbn}))",
+	}, 200); out != nil && out["implied"] != true {
+		c.errorf("/v1/implies: got %v, want implied=true", out)
+	}
+
+	// Propagation, twice with byte-identical inputs: the first compiles,
+	// the second must be a registry hit with no recompilation.
+	propagate := map[string]any{
+		"keys": smokeKeys, "transform": smokeTransform,
+		"rule": "chapter", "fd": "inBook, number -> name",
+	}
+	if out := c.post("/v1/propagate", propagate, 200); out != nil && out["propagated"] != true {
+		c.errorf("/v1/propagate: got %v, want propagated=true", out)
+	}
+	before := c.vars()
+	if out := c.post("/v1/propagate", propagate, 200); out != nil && out["propagated"] != true {
+		c.errorf("/v1/propagate (repeat): got %v, want propagated=true", out)
+	}
+	after := c.vars()
+	if before != nil && after != nil {
+		if d := c.varInt(after, "registry.hits") - c.varInt(before, "registry.hits"); d != 1 {
+			c.errorf("second identical propagate moved registry.hits by %d, want 1", d)
+		}
+		if d := c.varInt(after, "registry.compiles") - c.varInt(before, "registry.compiles"); d != 0 {
+			c.errorf("second identical propagate recompiled (%d compiles), want 0", d)
+		}
+	}
+
+	// Cover, candidate keys, DDL.
+	schemaReq := map[string]any{"keys": smokeKeys, "transform": smokeTransform, "rule": "chapter"}
+	if out := c.post("/v1/cover", schemaReq, 200); out != nil {
+		if n, ok := out["size"].(float64); !ok || n < 1 {
+			c.errorf("/v1/cover: got %v, want a non-empty cover", out)
+		}
+	}
+	if out := c.post("/v1/candidates", schemaReq, 200); out != nil {
+		if n, ok := out["count"].(float64); !ok || n < 1 {
+			c.errorf("/v1/candidates: got %v, want at least one candidate key", out)
+		}
+	}
+	if out := c.post("/v1/ddl", schemaReq, 200); out != nil {
+		if ddl, _ := out["ddl"].(string); !strings.Contains(ddl, "CREATE TABLE") {
+			c.errorf("/v1/ddl: no CREATE TABLE in %v", out)
+		}
+	}
+
+	// Streaming validation of a key-violating document.
+	if out := c.post("/v1/validate", map[string]any{
+		"keys": smokeKeys, "document": smokeBadDoc,
+	}, 200); out != nil {
+		if out["ok"] != false {
+			c.errorf("/v1/validate: got %v, want ok=false for a duplicate @isbn", out)
+		}
+	}
+
+	// An impossible deadline must be a typed 504 abort with no partial
+	// cover. Fresh source text so nothing is served from a warm cache.
+	if out := c.post("/v1/cover?timeout=1ns", map[string]any{
+		"keys": smokeKeys + "# deadline-abort probe\n", "transform": smokeTransform, "rule": "chapter",
+	}, http.StatusGatewayTimeout); out != nil {
+		errObj, _ := out["error"].(map[string]any)
+		if errObj == nil || errObj["kind"] != "deadline" {
+			c.errorf("cover?timeout=1ns: got %v, want error.kind=deadline", out)
+		}
+		if _, leaked := out["cover"]; leaked {
+			c.errorf("cover?timeout=1ns: abort body leaked a partial cover: %v", out)
+		}
+	}
+
+	// Final metrics sweep: counters moved, histograms observed.
+	vars := c.vars()
+	if vars != nil {
+		if n := c.varInt(vars, "requests.propagate.ok"); n != 2 {
+			c.errorf("requests.propagate.ok = %d, want 2", n)
+		}
+		for _, endpoint := range []string{"implies", "propagate", "cover", "candidates", "ddl", "validate"} {
+			if n := c.histCount(vars, "latency."+endpoint); n < 1 {
+				c.errorf("latency.%s observed %d samples, want >= 1", endpoint, n)
+			}
+		}
+		if n := c.varInt(vars, "aborts.deadline"); n < 1 {
+			c.errorf("aborts.deadline = %d, want >= 1", n)
+		}
+	}
+
+	// Drain flips readiness off.
+	srv.StartDraining()
+	if resp, err := c.client.Get(c.base + "/readyz"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			c.errorf("/readyz while draining: status %d, want 503", resp.StatusCode)
+		}
+	} else {
+		c.errorf("/readyz while draining: %v", err)
+	}
+
+	if c.failed {
+		return 1
+	}
+	fmt.Fprintln(stdout, "serve-smoke: PASS")
+	return 0
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -108,7 +109,43 @@ func benchJSON(stdout io.Writer, path string, maxFields, workers int) error {
 		return err
 	}
 	data = append(data, '\n')
-	return os.WriteFile(path, data, 0o644)
+	return writeFileAtomic(path, data)
+}
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory, fsync and rename, so an interrupted run (ctrl-C mid-write,
+// OOM kill, power loss) can never leave a truncated BENCH_*.json for
+// `make verify`'s check-json step to mis-report. The directory is synced
+// best-effort so the rename itself is durable.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // durability of the rename; some filesystems reject dir fsync
+		d.Close()
+	}
+	return nil
 }
 
 // checkBenchJSON validates a report written by benchJSON: well-formed

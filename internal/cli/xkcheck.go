@@ -7,7 +7,6 @@ import (
 	"io"
 	"os"
 	"strings"
-	"time"
 
 	"xkprop"
 	"xkprop/internal/paperdata"
@@ -24,7 +23,7 @@ func RunXkcheck(args []string, stdout, stderr io.Writer) int {
 	streaming := fs.Bool("stream", false, "validate in one streaming pass (large documents)")
 	demo := fs.Bool("demo", false, "use the paper's Fig 1 document and Example 2.1 keys")
 	quiet := fs.Bool("q", false, "suppress per-violation output")
-	timeout := timeoutFlag(fs)
+	deadline := DeadlineFlag(fs)
 	maxDepth := fs.Int("max-depth", 0,
 		"streaming: reject documents nesting deeper than this many elements (0 = no cap)")
 	maxViolations := fs.Int("max-violations", 0,
@@ -74,7 +73,7 @@ func RunXkcheck(args []string, stdout, stderr io.Writer) int {
 
 	if *streaming {
 		return xkcheckStream(stdout, stderr, sigma, docPath, *demo, *quiet,
-			*timeout, *maxDepth, *maxViolations)
+			deadline, *maxDepth, *maxViolations)
 	}
 
 	var doc *xkprop.Tree
@@ -103,7 +102,7 @@ func RunXkcheck(args []string, stdout, stderr io.Writer) int {
 }
 
 func xkcheckStream(stdout, stderr io.Writer, sigma []xkprop.Key, docPath string, demo, quiet bool,
-	timeout time.Duration, maxDepth, maxViolations int) int {
+	deadline Deadline, maxDepth, maxViolations int) int {
 	var r io.Reader
 	if demo {
 		r = strings.NewReader(paperdata.Fig1XML)
@@ -116,7 +115,7 @@ func xkcheckStream(stdout, stderr io.Writer, sigma []xkprop.Key, docPath string,
 		r = f
 	}
 	fmt.Fprintf(stdout, "streaming %d keys\n", len(sigma))
-	ctx, cancel := toolContext(timeout)
+	ctx, cancel := deadline.Context()
 	defer cancel()
 	if maxDepth > 0 || maxViolations > 0 {
 		if ctx == nil {
@@ -129,7 +128,7 @@ func xkcheckStream(stdout, stderr io.Writer, sigma []xkprop.Key, docPath string,
 	}
 	vs, err := xkprop.StreamValidateCtx(ctx, r, sigma)
 	if err != nil {
-		return fail(stderr, "xkcheck", err)
+		return failOrAbort(stderr, "xkcheck", err)
 	}
 	if len(vs) == 0 {
 		fmt.Fprintln(stdout, "OK: document satisfies all keys")

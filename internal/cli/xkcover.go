@@ -23,7 +23,7 @@ func RunXkcover(args []string, stdout, stderr io.Writer) int {
 	derive := fs.String("derive", "", `print an Armstrong derivation of this FD from the cover, e.g. "a, b -> c"`)
 	demo := fs.Bool("demo", false, "use the paper's Example 3.1 universal relation and keys")
 	parallel := parallelFlag(fs)
-	timeout := timeoutFlag(fs)
+	deadline := DeadlineFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -66,12 +66,12 @@ func RunXkcover(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "universal relation %s(%d fields), %d XML keys\n",
 		rule.Schema.Name, rule.Schema.Len(), len(sigma))
-	ctx, cancel := toolContext(*timeout)
+	ctx, cancel := deadline.Context()
 	defer cancel()
 	eng := xkprop.NewEngine(sigma, rule).SetWorkers(*parallel)
 	cover, err := eng.MinimumCoverCtx(ctx)
 	if err != nil {
-		return fail(stderr, "xkcover", err)
+		return failOrAbort(stderr, "xkcover", err)
 	}
 	fmt.Fprintf(stdout, "minimum cover (%d FDs):\n", len(cover))
 	io.WriteString(stdout, indent(xkprop.FormatFDs(rule.Schema, cover)))
@@ -86,7 +86,7 @@ func RunXkcover(args []string, stdout, stderr io.Writer) int {
 	if *naive {
 		n, err := xkprop.NewEngine(sigma, rule).SetWorkers(*parallel).NaiveCoverCtx(ctx)
 		if err != nil {
-			return fail(stderr, "xkcover", err)
+			return failOrAbort(stderr, "xkcover", err)
 		}
 		fmt.Fprintf(stdout, "naive cover (%d FDs):\n", len(n))
 		io.WriteString(stdout, indent(xkprop.FormatFDs(rule.Schema, n)))

@@ -24,7 +24,7 @@ func RunXkprop(args []string, stdout, stderr io.Writer) int {
 	explain := fs.Bool("explain", false, "narrate the keyed-ancestor walk step by step")
 	demo := fs.Bool("demo", false, "run the paper's Example 4.2 checks")
 	parallel := parallelFlag(fs)
-	timeout := timeoutFlag(fs)
+	deadline := DeadlineFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -66,7 +66,7 @@ func RunXkprop(args []string, stdout, stderr io.Writer) int {
 		}
 		return code
 	}
-	ctx, cancel := toolContext(*timeout)
+	ctx, cancel := deadline.Context()
 	defer cancel()
 	code := xkpropReportCtx(ctx, stdout, stderr, sigma, rule, fd, *check, *parallel)
 	if code == 1 && *witnessFlag {
@@ -99,7 +99,7 @@ func xkpropReportCtx(ctx context.Context, stdout, stderr io.Writer, sigma []xkpr
 		ok, err = e.PropagatesCtx(ctx, fd)
 	}
 	if err != nil {
-		return fail(stderr, "xkprop", err)
+		return failOrAbort(stderr, "xkprop", err)
 	}
 	verdict := "NOT PROPAGATED"
 	code := 1

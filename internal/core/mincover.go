@@ -279,6 +279,15 @@ func (e *Engine) GPropagatesCtx(ctx context.Context, fd rel.FD) (bool, error) {
 	return e.gPropagates(ctx, fd)
 }
 
+// CachedCoverCtx returns the engine's minimum cover, building it on first
+// use and serving every later call from the cache — the request/response
+// entry point, where many callers share one compiled engine and only the
+// first pays for the build. An aborted build (cancellation, budget) leaves
+// the cache empty, so a later call with a live context still succeeds.
+func (e *Engine) CachedCoverCtx(ctx context.Context) ([]rel.FD, error) {
+	return e.minCoverCached(ctx)
+}
+
 // minCoverCached returns the lazily built cover, building it at most once
 // successfully; failed builds leave the cache empty.
 func (e *Engine) minCoverCached(ctx context.Context) ([]rel.FD, error) {

@@ -63,12 +63,27 @@ type rootEntry struct {
 
 // NewEngine builds an engine for Σ and the rule.
 func NewEngine(sigma []xmlkey.Key, rule *transform.Rule) *Engine {
+	return NewEngineWithDecider(xmlkey.NewDecider(sigma), rule)
+}
+
+// NewEngineWithDecider builds an engine over an existing implication
+// decider, sharing its memo table, interned path universe and compiled
+// containment kernel. This is the registry path: one compiled Σ serves
+// every table rule of a transformation, so sub-goals proved while
+// analyzing one rule warm the analyses of all the others. The decider's
+// Σ is the engine's Σ.
+func NewEngineWithDecider(dec *xmlkey.Decider, rule *transform.Rule) *Engine {
 	return &Engine{
-		dec:      xmlkey.NewDecider(sigma),
+		dec:      dec,
 		rule:     rule,
 		rootPath: make(map[string]rootEntry),
 	}
 }
+
+// Decider returns the engine's implication decider — shared state when the
+// engine was built with NewEngineWithDecider. Callers use it for metrics
+// (MemoSize, Interner().Size) and to build sibling engines over the same Σ.
+func (e *Engine) Decider() *xmlkey.Decider { return e.dec }
 
 // Rule returns the engine's table rule.
 func (e *Engine) Rule() *transform.Rule { return e.rule }

@@ -1,0 +1,163 @@
+// Package metrics implements the observability surface of the serving
+// subsystem: expvar-backed counters, gauges and latency histograms grouped
+// in a Set that renders as one JSON document on /debug/vars.
+//
+// The package deliberately avoids the process-global expvar registry
+// (expvar.Publish panics on duplicate names, which would forbid two
+// servers — e.g. the production one and an httptest instance — in one
+// process). A Set owns a private expvar.Map instead; every vended variable
+// is a standard expvar.Var, so the rendered document is exactly what
+// expvar's own handler would produce for the same tree.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Set is an isolated collection of named metrics. All methods are safe for
+// concurrent use; Counter/Gauge/Histogram/Func are get-or-create, so
+// handlers may call them on the hot path without pre-registration.
+type Set struct {
+	mu sync.Mutex
+	m  *expvar.Map
+}
+
+// NewSet builds an empty metric set.
+func NewSet() *Set {
+	return &Set{m: new(expvar.Map).Init()}
+}
+
+// Counter returns the monotonically increasing counter with the given
+// name, creating it on first use.
+func (s *Set) Counter(name string) *expvar.Int {
+	return s.intVar(name)
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+// A gauge is an expvar.Int the caller Sets/Adds in both directions
+// (in-flight requests, cache sizes).
+func (s *Set) Gauge(name string) *expvar.Int {
+	return s.intVar(name)
+}
+
+func (s *Set) intVar(name string) *expvar.Int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.m.Get(name).(*expvar.Int); ok {
+		return v
+	}
+	v := new(expvar.Int)
+	s.m.Set(name, v)
+	return v
+}
+
+// Func publishes a variable computed on demand — the idiom for values
+// owned elsewhere (registry hit counts, decider memo sizes). The function's
+// result must marshal to JSON.
+func (s *Set) Func(name string, f func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.Set(name, expvar.Func(f))
+}
+
+// Histogram returns the latency histogram with the given name, creating it
+// on first use.
+func (s *Set) Histogram(name string) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.m.Get(name).(*Histogram); ok {
+		return v
+	}
+	v := NewHistogram()
+	s.m.Set(name, v)
+	return v
+}
+
+// String renders the whole set as one JSON object (it is an expvar.Var
+// itself, so sets nest).
+func (s *Set) String() string { return s.m.String() }
+
+// Do calls f for each metric in lexicographic name order.
+func (s *Set) Do(f func(expvar.KeyValue)) { s.m.Do(f) }
+
+// Handler serves the set in /debug/vars format: a single JSON document
+// with one top-level key per metric.
+func (s *Set) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintln(w, s.String())
+	})
+}
+
+// Histogram is a fixed-bucket latency histogram: decade buckets from 1µs
+// to 10s plus an overflow bucket, a total count and a nanosecond sum.
+// Observations are lock-free atomic increments; rendering is a consistent-
+// enough snapshot for monitoring (buckets may lag count by in-flight
+// observations, never by more).
+type Histogram struct {
+	count  atomic.Int64
+	sumNs  atomic.Int64
+	bucket [len(histogramBounds) + 1]atomic.Int64
+}
+
+// histogramBounds are the inclusive upper bounds of the finite buckets.
+var histogramBounds = [...]time.Duration{
+	time.Microsecond,
+	10 * time.Microsecond,
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// histogramLabels renders each bucket's bound for the JSON document; the
+// last label is the overflow bucket.
+var histogramLabels = [...]string{
+	"le_1us", "le_10us", "le_100us", "le_1ms",
+	"le_10ms", "le_100ms", "le_1s", "le_10s", "inf",
+}
+
+// NewHistogram builds an empty histogram. Most callers want Set.Histogram
+// instead, which also names and publishes it.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < len(histogramBounds) && d > histogramBounds[i] {
+		i++
+	}
+	h.bucket[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// String renders the histogram as a JSON object with the observation
+// count, the cumulative sum in milliseconds, and per-bucket counts.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"count":%d,"sum_ms":%.3f,"buckets":{`,
+		h.count.Load(), float64(h.sumNs.Load())/1e6)
+	for i, label := range histogramLabels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `"%s":%d`, label, h.bucket[i].Load())
+	}
+	b.WriteString("}}")
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(500 * time.Nanosecond) // le_1us
+	h.Observe(5 * time.Millisecond)  // le_10ms
+	h.Observe(2 * time.Minute)       // inf
+	h.Observe(-time.Second)          // clamped to 0 → le_1us
+
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	var got struct {
+		Count   int64            `json:"count"`
+		SumMs   float64          `json:"sum_ms"`
+		Buckets map[string]int64 `json:"buckets"`
+	}
+	if err := json.Unmarshal([]byte(h.String()), &got); err != nil {
+		t.Fatalf("histogram String is not JSON: %v\n%s", err, h.String())
+	}
+	if got.Buckets["le_1us"] != 2 || got.Buckets["le_10ms"] != 1 || got.Buckets["inf"] != 1 {
+		t.Errorf("bucket placement wrong: %+v", got.Buckets)
+	}
+	if len(got.Buckets) != len(histogramLabels) {
+		t.Errorf("got %d buckets, want %d", len(got.Buckets), len(histogramLabels))
+	}
+	if got.SumMs <= 0 {
+		t.Errorf("sum_ms = %v, want > 0", got.SumMs)
+	}
+}
+
+func TestSetRendersAsOneJSONDocument(t *testing.T) {
+	s := NewSet()
+	s.Counter("requests.cover.ok").Add(3)
+	s.Gauge("inflight").Set(1)
+	s.Func("registry.hits", func() any { return int64(7) })
+	s.Histogram("latency.cover").Observe(time.Millisecond)
+
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(s.String()), &doc); err != nil {
+		t.Fatalf("set String is not JSON: %v\n%s", err, s.String())
+	}
+	for _, k := range []string{"requests.cover.ok", "inflight", "registry.hits", "latency.cover"} {
+		if _, ok := doc[k]; !ok {
+			t.Errorf("missing key %q in %s", k, s.String())
+		}
+	}
+
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/vars", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("handler body is not JSON: %v", err)
+	}
+}
+
+// TestSetGetOrCreate pins that repeated lookups return the same variable —
+// the property that lets handlers call Counter on the hot path.
+func TestSetGetOrCreate(t *testing.T) {
+	s := NewSet()
+	a, b := s.Counter("x"), s.Counter("x")
+	if a != b {
+		t.Fatal("Counter(x) returned two distinct vars")
+	}
+	h1, h2 := s.Histogram("h"), s.Histogram("h")
+	if h1 != h2 {
+		t.Fatal("Histogram(h) returned two distinct vars")
+	}
+}
+
+// TestSetConcurrent exercises create/observe/render races under -race.
+func TestSetConcurrent(t *testing.T) {
+	s := NewSet()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Counter("c").Add(1)
+				s.Histogram("h").Observe(time.Duration(i) * time.Microsecond)
+				_ = s.String()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Counter("c").Value(); got != 8*200 {
+		t.Fatalf("counter = %d, want %d", got, 8*200)
+	}
+	if got := s.Histogram("h").Count(); got != 8*200 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*200)
+	}
+}

@@ -1,0 +1,276 @@
+// Package registry implements the compiled-schema registry of the serving
+// subsystem: a content-hash-keyed cache that parses a (key set,
+// transformation) pair once, compiles the shared implication decider with
+// its interned path universe, and serves every subsequent request from the
+// cached artifact.
+//
+// The paper's analyses — implication, propagation, minimum cover — are
+// meant to run repeatedly over one schema during design and refinement
+// (Examples 1.2/3.1). One-shot entry points re-pay parsing, decider
+// construction and cover builds on every call; the registry amortizes all
+// three across requests and across concurrent callers:
+//
+//   - Keying is by content hash (SHA-256 of the two source texts), so a
+//     byte-identical schema submitted by any client maps to the same
+//     artifact no matter how it was delivered.
+//   - Concurrent first requests for the same key are deduplicated
+//     singleflight-style: one goroutine compiles, the rest wait for its
+//     result (or give up when their context expires — the compile itself
+//     keeps running and still populates the cache).
+//   - Residency is LRU-bounded (budget.RegistryEntries). Eviction is safe
+//     by construction: an Artifact is immutable after compilation and
+//     self-contained, so requests holding a reference are unaffected when
+//     it leaves the map — they just stop sharing with future requests.
+package registry
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"xkprop/internal/core"
+	"xkprop/internal/transform"
+	"xkprop/internal/xmlkey"
+)
+
+// Artifact is one compiled schema: the parsed key set, the parsed
+// transformation (nil when the request carried none), the shared decider,
+// and per-rule engines built lazily on first use. All fields are
+// effectively immutable after Compile; the engine map and the engines'
+// internal caches (decider memo, lazily built covers) are internally
+// synchronized, so one Artifact serves any number of concurrent requests.
+type Artifact struct {
+	// Hash is the hex content hash the artifact is registered under.
+	Hash string
+	// Sigma is the parsed key set Σ.
+	Sigma []xmlkey.Key
+	// Transform is the parsed transformation, nil if none was supplied.
+	Transform *transform.Transformation
+
+	dec *xmlkey.Decider
+
+	mu      sync.Mutex
+	engines map[string]*core.Engine
+}
+
+// Decider returns the artifact's shared implication decider.
+func (a *Artifact) Decider() *xmlkey.Decider { return a.dec }
+
+// Engine returns the propagation engine for the named rule, building it on
+// first use. All of an artifact's engines share the decider, so implication
+// sub-goals proved for one rule warm every other. With name == "" and
+// exactly one rule, that rule is used (the CLI tools' convention).
+func (a *Artifact) Engine(name string) (*core.Engine, error) {
+	if a.Transform == nil {
+		return nil, fmt.Errorf("registry: no transformation in artifact %.12s", a.Hash)
+	}
+	rule, err := a.ruleByName(name)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if e, ok := a.engines[rule.Schema.Name]; ok {
+		return e, nil
+	}
+	e := core.NewEngineWithDecider(a.dec, rule)
+	a.engines[rule.Schema.Name] = e
+	return e, nil
+}
+
+func (a *Artifact) ruleByName(name string) (*transform.Rule, error) {
+	if name == "" {
+		if len(a.Transform.Rules) == 1 {
+			return a.Transform.Rules[0], nil
+		}
+		return nil, fmt.Errorf("registry: transformation has %d rules; name one of %s",
+			len(a.Transform.Rules), strings.Join(a.ruleNames(), ", "))
+	}
+	if r := a.Transform.Rule(name); r != nil {
+		return r, nil
+	}
+	return nil, fmt.Errorf("registry: no rule %q; have %s", name, strings.Join(a.ruleNames(), ", "))
+}
+
+func (a *Artifact) ruleNames() []string {
+	names := make([]string, len(a.Transform.Rules))
+	for i, r := range a.Transform.Rules {
+		names[i] = r.Schema.Name
+	}
+	return names
+}
+
+// MemoSize reports the shared decider's memo-table size.
+func (a *Artifact) MemoSize() int { return a.dec.MemoSize() }
+
+// InternSize reports the interned path universe's size.
+func (a *Artifact) InternSize() int { return a.dec.Interner().Size() }
+
+// Key computes the registry key for a (keys, transformation) source pair:
+// the hex SHA-256 of both texts with a separator that keeps the pair
+// unambiguous.
+func Key(keysText, transformText string) string {
+	h := sha256.New()
+	h.Write([]byte(keysText))
+	h.Write([]byte{0})
+	h.Write([]byte(transformText))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Compile parses and compiles one schema outside any registry — the
+// one-shot path, also used by the registry itself under singleflight.
+// Parse failures carry the typed position errors of the underlying parsers
+// (xmlkey.ParseError, transform.ParseError).
+func Compile(keysText, transformText string) (*Artifact, error) {
+	sigma, err := xmlkey.ParseSet(strings.NewReader(keysText))
+	if err != nil {
+		return nil, err
+	}
+	a := &Artifact{
+		Hash:    Key(keysText, transformText),
+		Sigma:   sigma,
+		dec:     xmlkey.NewDecider(sigma),
+		engines: make(map[string]*core.Engine),
+	}
+	if strings.TrimSpace(transformText) != "" {
+		tr, err := transform.ParseString(transformText)
+		if err != nil {
+			return nil, err
+		}
+		a.Transform = tr
+	}
+	return a, nil
+}
+
+// flight is one in-progress compilation shared by concurrent requesters.
+type flight struct {
+	done chan struct{}
+	art  *Artifact
+	err  error
+}
+
+// Registry is the content-hash-keyed artifact cache. The zero value is not
+// usable; call New.
+type Registry struct {
+	max int // resident-artifact cap; 0 = unbounded
+
+	mu       sync.Mutex
+	entries  map[string]*list.Element // key → element whose Value is *Artifact
+	lru      *list.List               // front = most recently used
+	inflight map[string]*flight
+
+	hits, misses, evictions, compiles atomic.Int64
+}
+
+// New builds a registry holding at most maxEntries compiled artifacts
+// (budget.Budget.MaxRegistryEntries; 0 = unbounded).
+func New(maxEntries int) *Registry {
+	return &Registry{
+		max:      maxEntries,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Get returns the compiled artifact for the source pair, compiling it at
+// most once per cache generation. On a hit the artifact is refreshed in
+// the LRU. On a miss with a compile already in flight for the same key,
+// Get waits for that compile rather than duplicating it; if ctx expires
+// first, Get returns ctx.Err() while the compile continues and still
+// populates the cache for later callers. Compile errors are returned to
+// every waiter and are not cached — schema authors fix and resubmit.
+func (r *Registry) Get(ctx context.Context, keysText, transformText string) (*Artifact, error) {
+	key := Key(keysText, transformText)
+	r.mu.Lock()
+	if el, ok := r.entries[key]; ok {
+		r.lru.MoveToFront(el)
+		r.hits.Add(1)
+		r.mu.Unlock()
+		return el.Value.(*Artifact), nil
+	}
+	r.misses.Add(1)
+	if fl, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		return waitFlight(ctx, fl)
+	}
+	fl := &flight{done: make(chan struct{})}
+	r.inflight[key] = fl
+	r.mu.Unlock()
+
+	r.compiles.Add(1)
+	fl.art, fl.err = Compile(keysText, transformText)
+
+	r.mu.Lock()
+	delete(r.inflight, key)
+	if fl.err == nil {
+		r.insertLocked(key, fl.art)
+	}
+	r.mu.Unlock()
+	close(fl.done)
+	return waitFlight(ctx, fl)
+}
+
+func waitFlight(ctx context.Context, fl *flight) (*Artifact, error) {
+	if ctx != nil {
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	} else {
+		<-fl.done
+	}
+	return fl.art, fl.err
+}
+
+// insertLocked adds a freshly compiled artifact and evicts from the LRU
+// tail past the cap. r.mu must be held.
+func (r *Registry) insertLocked(key string, a *Artifact) {
+	r.entries[key] = r.lru.PushFront(a)
+	for r.max > 0 && r.lru.Len() > r.max {
+		oldest := r.lru.Back()
+		r.lru.Remove(oldest)
+		delete(r.entries, oldest.Value.(*Artifact).Hash)
+		r.evictions.Add(1)
+	}
+}
+
+// Len reports the number of resident artifacts.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lru.Len()
+}
+
+// Hits reports cache hits since construction.
+func (r *Registry) Hits() int64 { return r.hits.Load() }
+
+// Misses reports cache misses (including waits on an in-flight compile).
+func (r *Registry) Misses() int64 { return r.misses.Load() }
+
+// Evictions reports LRU evictions.
+func (r *Registry) Evictions() int64 { return r.evictions.Load() }
+
+// Compiles reports actual compilations — misses minus singleflight
+// dedup minus errors cached nowhere.
+func (r *Registry) Compiles() int64 { return r.compiles.Load() }
+
+// Sizes sums the decider footprints of the resident artifacts: memo-table
+// entries and interned paths. It is a metrics read, priced accordingly
+// (a walk of at most max entries under the registry lock).
+func (r *Registry) Sizes() (memoEntries, internEntries int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		a := el.Value.(*Artifact)
+		memoEntries += a.MemoSize()
+		internEntries += a.InternSize()
+	}
+	return memoEntries, internEntries
+}

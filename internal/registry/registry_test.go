@@ -1,0 +1,306 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"xkprop/internal/rel"
+	"xkprop/internal/xmlkey"
+)
+
+const testKeys = `(ε, (//book, {@isbn}))
+(//book, (chapter, {@number}))
+(//book/chapter, (name, {}))
+(//book, (title, {}))
+`
+
+const testTransform = `rule chapter(inBook: y1, number: y2, name: y3) {
+  ya := root / //book
+  y1 := ya / @isbn
+  yc := ya / chapter
+  y2 := yc / @number
+  y3 := yc / name
+}`
+
+func TestCompile(t *testing.T) {
+	a, err := Compile(testKeys, testTransform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sigma) != 4 {
+		t.Fatalf("got %d keys, want 4", len(a.Sigma))
+	}
+	if a.Transform == nil || len(a.Transform.Rules) != 1 {
+		t.Fatalf("transformation not compiled: %+v", a.Transform)
+	}
+	if a.Hash != Key(testKeys, testTransform) {
+		t.Fatalf("hash mismatch")
+	}
+
+	// Keys-only artifacts compile without a transformation...
+	ko, err := Compile(testKeys, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ko.Transform != nil {
+		t.Fatal("empty transform text produced a transformation")
+	}
+	// ...and refuse to build engines.
+	if _, err := ko.Engine(""); err == nil {
+		t.Fatal("Engine on a keys-only artifact must fail")
+	}
+
+	// Typed parse errors surface with positions.
+	_, err = Compile("(ε, (//book", "")
+	var kpe *xmlkey.ParseError
+	if !errors.As(err, &kpe) {
+		t.Fatalf("bad keys gave %v, want *xmlkey.ParseError", err)
+	}
+}
+
+func TestKeyUnambiguous(t *testing.T) {
+	// The separator keeps (ab, c) and (a, bc) distinct.
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Fatal("content hash is ambiguous across the keys/transform boundary")
+	}
+}
+
+func TestArtifactEngines(t *testing.T) {
+	a, err := Compile(testKeys, testTransform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-rule default, named lookup, and engine caching.
+	e1, err := a.Engine("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := a.Engine("chapter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatal("Engine is not cached per rule")
+	}
+	if e1.Decider() != a.Decider() {
+		t.Fatal("engine does not share the artifact's decider")
+	}
+	if _, err := a.Engine("nosuch"); err == nil {
+		t.Fatal("unknown rule must fail")
+	}
+
+	fd, err := rel.ParseFD(e1.Rule().Schema, "inBook, number -> name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e1.Propagates(fd) {
+		t.Fatal("example FD must propagate")
+	}
+	if a.MemoSize() == 0 || a.InternSize() == 0 {
+		t.Fatalf("decider footprint not visible: memo=%d intern=%d", a.MemoSize(), a.InternSize())
+	}
+}
+
+func TestRegistryHitMissEviction(t *testing.T) {
+	r := New(2)
+	ctx := context.Background()
+
+	a1, err := r.Get(ctx, testKeys, testTransform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hits() != 0 || r.Misses() != 1 || r.Compiles() != 1 {
+		t.Fatalf("after first Get: hits=%d misses=%d compiles=%d", r.Hits(), r.Misses(), r.Compiles())
+	}
+
+	a2, err := r.Get(ctx, testKeys, testTransform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a1 {
+		t.Fatal("second Get compiled a new artifact")
+	}
+	if r.Hits() != 1 || r.Compiles() != 1 {
+		t.Fatalf("after second Get: hits=%d compiles=%d", r.Hits(), r.Compiles())
+	}
+
+	// Fill the second slot, then a third schema evicts the least recently
+	// used artifact — a1, which has not been touched since the keys-only
+	// artifact arrived.
+	ko, err := r.Get(ctx, testKeys, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(ctx, testKeys+"# v2\n", testTransform); err != nil {
+		t.Fatal(err)
+	}
+	if r.Evictions() != 1 || r.Len() != 2 {
+		t.Fatalf("evictions=%d len=%d, want 1 and 2", r.Evictions(), r.Len())
+	}
+	// The keys-only artifact was used more recently than a1: resident.
+	if got, _ := r.Get(ctx, testKeys, ""); got != ko {
+		t.Fatal("LRU evicted the recently used artifact")
+	}
+	// The evicted a1 still answers queries for goroutines holding it, and
+	// a new request for its schema recompiles.
+	if len(a1.Sigma) != 4 {
+		t.Fatal("evicted artifact lost its state")
+	}
+	a1b, err := r.Get(ctx, testKeys, testTransform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1b == a1 {
+		t.Fatal("evicted artifact was still resident")
+	}
+	if r.Compiles() != 4 {
+		t.Fatalf("compiles=%d, want 4 (three schemas + one recompile)", r.Compiles())
+	}
+}
+
+func TestRegistrySingleflight(t *testing.T) {
+	r := New(0)
+	const n = 16
+	var wg sync.WaitGroup
+	arts := make([]*Artifact, n)
+	errs := make([]error, n)
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			arts[i], errs[i] = r.Get(context.Background(), testKeys, testTransform)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if arts[i] != arts[0] {
+			t.Fatal("concurrent Gets returned distinct artifacts")
+		}
+	}
+	// The flight is registered under the same lock hold that misses, so a
+	// successful compile happens exactly once no matter the interleaving.
+	if r.Compiles() != 1 {
+		t.Fatalf("compiles=%d, want 1", r.Compiles())
+	}
+}
+
+func TestRegistryErrorsNotCached(t *testing.T) {
+	r := New(0)
+	for i := 1; i <= 2; i++ {
+		_, err := r.Get(context.Background(), "(ε, (//book", "")
+		var kpe *xmlkey.ParseError
+		if !errors.As(err, &kpe) {
+			t.Fatalf("got %v, want *xmlkey.ParseError", err)
+		}
+		if r.Compiles() != int64(i) {
+			t.Fatalf("attempt %d: compiles=%d — error was cached", i, r.Compiles())
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatal("failed compile left a resident entry")
+	}
+}
+
+func TestRegistryGetContextExpiredWaiter(t *testing.T) {
+	r := New(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// An already-cancelled waiter may still win the race against its own
+	// compile; both outcomes are legal, but an error must be ctx.Err().
+	a, err := r.Get(ctx, testKeys, "")
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want nil or context.Canceled", err)
+	}
+	if err == nil && a == nil {
+		t.Fatal("nil artifact without error")
+	}
+	// The compile completed regardless: a live context now hits the cache.
+	if _, err := r.Get(context.Background(), testKeys, ""); err != nil {
+		t.Fatal(err)
+	}
+	if r.Compiles() != 1 {
+		t.Fatalf("compiles=%d, want 1 — the abandoned compile must still populate", r.Compiles())
+	}
+}
+
+// TestRegistryStressEviction is the -race suite: N goroutines hammer one
+// registry entry (recompiling it whenever eviction drops it) and run real
+// propagation queries on its shared decider, while an eviction goroutine
+// cycles cold schemas through a 2-slot LRU. Success: no race reports, no
+// errors, every artifact hash is right.
+func TestRegistryStressEviction(t *testing.T) {
+	r := New(2)
+	hot := Key(testKeys, testTransform)
+	rounds := 40
+	if testing.Short() {
+		rounds = 10
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				a, err := r.Get(context.Background(), testKeys, testTransform)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if a.Hash != hot {
+					errCh <- fmt.Errorf("hash %.12s, want %.12s", a.Hash, hot)
+					return
+				}
+				eng, err := a.Engine("chapter")
+				if err != nil {
+					errCh <- err
+					return
+				}
+				fd, _ := rel.ParseFD(eng.Rule().Schema, "inBook, number -> name")
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				ok, err := eng.PropagatesCtx(ctx, fd)
+				cancel()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !ok {
+					errCh <- fmt.Errorf("round %d: FD stopped propagating", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			cold := fmt.Sprintf("%s# cold %d\n", testKeys, i)
+			if _, err := r.Get(context.Background(), cold, ""); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if r.Evictions() == 0 {
+		t.Fatal("stress never evicted; the test is not exercising eviction")
+	}
+	if r.Len() > 2 {
+		t.Fatalf("len=%d exceeds the cap", r.Len())
+	}
+}

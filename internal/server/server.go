@@ -1,0 +1,336 @@
+// Package server implements xkserve's HTTP/JSON API: request/response
+// access to the paper's analyses — key implication, FD propagation,
+// minimum cover, candidate keys, DDL generation and streaming document
+// validation — over a compiled-schema registry, with per-request deadlines
+// and resource budgets, a concurrency limiter, and expvar-backed metrics
+// on /debug/vars.
+//
+// Every analysis endpoint shares one request discipline (see instrument):
+// the handler runs under a context carrying the server's default deadline
+// (overridable per request with ?timeout=) and the server's budget; its
+// error return is classified into a typed JSON error body and a metrics
+// outcome. The all-or-nothing contract of the ...Ctx entry points carries
+// over to the wire: a 504 or 503 abort body never accompanies a partial
+// result.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"xkprop/internal/budget"
+	"xkprop/internal/metrics"
+	"xkprop/internal/registry"
+	"xkprop/internal/stream"
+	"xkprop/internal/transform"
+	"xkprop/internal/xmlkey"
+)
+
+// Config tunes one Server.
+type Config struct {
+	// RequestTimeout is the default per-request deadline; 0 = none. A
+	// request overrides it with ?timeout=DURATION (for shorter or longer,
+	// within MaxTimeout).
+	RequestTimeout time.Duration
+	// MaxTimeout caps the ?timeout= override; 0 = uncapped.
+	MaxTimeout time.Duration
+	// Budget is attached to every request context; its
+	// MaxRegistryEntries field sizes the artifact LRU.
+	Budget budget.Budget
+	// MaxInFlight caps concurrently executing analysis requests; excess
+	// requests wait until a slot frees or their deadline expires. 0 = no
+	// limit.
+	MaxInFlight int
+	// MaxBodyBytes caps request bodies; 0 = the 16 MiB default.
+	MaxBodyBytes int64
+}
+
+const defaultMaxBody = 16 << 20
+
+// Server is the serving subsystem: registry + metrics + HTTP mux.
+type Server struct {
+	cfg Config
+	reg *registry.Registry
+	set *metrics.Set
+	sem chan struct{}
+	mux *http.ServeMux
+
+	draining chan struct{} // closed once; readyz turns 503
+	start    time.Time
+}
+
+// New builds a server. The registry is sized by cfg.Budget.MaxRegistryEntries.
+func New(cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBody
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      registry.New(cfg.Budget.MaxRegistryEntries),
+		set:      metrics.NewSet(),
+		mux:      http.NewServeMux(),
+		draining: make(chan struct{}),
+		start:    time.Now(),
+	}
+	if cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	s.publishMetrics()
+	s.routes()
+	return s
+}
+
+// Registry exposes the compiled-schema registry (tests, smoke checks).
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// Metrics exposes the metric set.
+func (s *Server) Metrics() *metrics.Set { return s.set }
+
+// Handler returns the root handler: /v1/* analysis endpoints, /healthz,
+// /readyz and /debug/vars.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartDraining flips readiness off ahead of a graceful shutdown: load
+// balancers watching /readyz stop routing new work while in-flight
+// requests finish. Safe to call more than once.
+func (s *Server) StartDraining() {
+	select {
+	case <-s.draining:
+	default:
+		close(s.draining)
+	}
+}
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) routes() {
+	s.mux.Handle("/v1/implies", s.instrument("implies", s.handleImplies))
+	s.mux.Handle("/v1/propagate", s.instrument("propagate", s.handlePropagate))
+	s.mux.Handle("/v1/cover", s.instrument("cover", s.handleCover))
+	s.mux.Handle("/v1/candidates", s.instrument("candidates", s.handleCandidates))
+	s.mux.Handle("/v1/ddl", s.instrument("ddl", s.handleDDL))
+	s.mux.Handle("/v1/validate", s.instrument("validate", s.handleValidate))
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.isDraining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	s.mux.Handle("/debug/vars", s.set.Handler())
+}
+
+func (s *Server) publishMetrics() {
+	s.set.Func("registry.hits", func() any { return s.reg.Hits() })
+	s.set.Func("registry.misses", func() any { return s.reg.Misses() })
+	s.set.Func("registry.evictions", func() any { return s.reg.Evictions() })
+	s.set.Func("registry.compiles", func() any { return s.reg.Compiles() })
+	s.set.Func("registry.size", func() any { return s.reg.Len() })
+	s.set.Func("decider.memo_entries", func() any {
+		memo, _ := s.reg.Sizes()
+		return memo
+	})
+	s.set.Func("decider.intern_entries", func() any {
+		_, intern := s.reg.Sizes()
+		return intern
+	})
+	s.set.Func("uptime_seconds", func() any { return int64(time.Since(s.start).Seconds()) })
+	s.set.Func("goroutines", func() any { return runtime.NumGoroutine() })
+}
+
+// apiError is a typed, wire-renderable request failure. The kind strings
+// are the stable vocabulary of the API (and of the per-outcome metrics):
+// parse, input, deadline, budget, busy, internal.
+type apiError struct {
+	Status  int            `json:"-"`
+	Kind    string         `json:"kind"`
+	Message string         `json:"message"`
+	Extra   map[string]any `json:"-"`
+}
+
+func (e *apiError) Error() string { return e.Message }
+
+func inputErr(format string, args ...any) *apiError {
+	return &apiError{Status: http.StatusBadRequest, Kind: "input", Message: fmt.Sprintf(format, args...)}
+}
+
+// classify maps a handler error to its apiError: typed parse errors keep
+// their positions, aborts keep their cause.
+func classify(err error) *apiError {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	var kpe *xmlkey.ParseError
+	if errors.As(err, &kpe) {
+		return &apiError{
+			Status: http.StatusBadRequest, Kind: "parse", Message: kpe.Error(),
+			Extra: map[string]any{"pos": kpe.Pos, "input": kpe.Input},
+		}
+	}
+	var tpe *transform.ParseError
+	if errors.As(err, &tpe) {
+		return &apiError{
+			Status: http.StatusBadRequest, Kind: "parse", Message: tpe.Error(),
+			Extra: map[string]any{"line": tpe.Line},
+		}
+	}
+	var be *budget.Error
+	if errors.As(err, &be) {
+		return &apiError{
+			Status: http.StatusServiceUnavailable, Kind: "budget", Message: be.Error(),
+			Extra: map[string]any{"op": be.Op, "resource": string(be.Resource), "limit": be.Limit},
+		}
+	}
+	// Deadline before DecodeError: a reader failing because the request
+	// context expired mid-stream is an abort, not a malformed document.
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return &apiError{Status: http.StatusGatewayTimeout, Kind: "deadline", Message: err.Error()}
+	}
+	var de *stream.DecodeError
+	if errors.As(err, &de) {
+		return &apiError{
+			Status: http.StatusBadRequest, Kind: "parse", Message: de.Error(),
+			Extra: map[string]any{"offset": de.Offset},
+		}
+	}
+	return &apiError{Status: http.StatusInternalServerError, Kind: "internal", Message: err.Error()}
+}
+
+// handlerFunc is one analysis endpoint: it returns the success payload or
+// an error that classify turns into a typed body.
+type handlerFunc func(ctx context.Context, r *http.Request) (any, error)
+
+// instrument wraps an endpoint with the shared request discipline:
+// method check, concurrency limiting, deadline and budget construction,
+// panic containment, error classification, and per-endpoint metrics
+// (request counters by outcome, a latency histogram, the in-flight gauge,
+// abort counters).
+func (s *Server) instrument(name string, h handlerFunc) http.Handler {
+	hist := s.set.Histogram("latency." + name)
+	inflight := s.set.Gauge("inflight")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			s.writeError(w, name, &apiError{
+				Status: http.StatusMethodNotAllowed, Kind: "input",
+				Message: "use POST"})
+			return
+		}
+		begin := time.Now()
+		inflight.Add(1)
+		defer func() {
+			inflight.Add(-1)
+			hist.Observe(time.Since(begin))
+		}()
+
+		ctx, cancel, aerr := s.requestContext(r)
+		if aerr != nil {
+			s.writeError(w, name, aerr)
+			return
+		}
+		defer cancel()
+
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				select {
+				case s.sem <- struct{}{}:
+					defer func() { <-s.sem }()
+				case <-ctx.Done():
+					s.writeError(w, name, &apiError{
+						Status: http.StatusServiceUnavailable, Kind: "busy",
+						Message: "server at capacity and request deadline expired while queued"})
+					return
+				}
+			}
+		}
+
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		payload, err := s.runGuarded(ctx, r, h)
+		if err != nil {
+			s.writeError(w, name, classify(err))
+			return
+		}
+		s.set.Counter("requests." + name + ".ok").Add(1)
+		writeJSON(w, http.StatusOK, payload)
+	})
+}
+
+// runGuarded calls the handler with panics converted to errors, mirroring
+// the public boundary's recover guard: an internal invariant violation is
+// a bug report, not a crashed serving process.
+func (s *Server) runGuarded(ctx context.Context, r *http.Request, h handlerFunc) (payload any, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("internal panic: %v", rec)
+		}
+	}()
+	return h(ctx, r)
+}
+
+// requestContext builds the per-request context: the server deadline or
+// the ?timeout= override (clamped to MaxTimeout), plus the server budget.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, *apiError) {
+	timeout := s.cfg.RequestTimeout
+	if qs := r.URL.Query().Get("timeout"); qs != "" {
+		d, err := time.ParseDuration(qs)
+		if err != nil || d <= 0 {
+			return nil, nil, inputErr("bad timeout %q: want a positive Go duration like 500ms", qs)
+		}
+		timeout = d
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx := r.Context()
+	if !s.cfg.Budget.IsZero() {
+		ctx = budget.With(ctx, s.cfg.Budget)
+	}
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(ctx, timeout)
+		return ctx, cancel, nil
+	}
+	return ctx, func() {}, nil
+}
+
+func (s *Server) writeError(w http.ResponseWriter, endpoint string, ae *apiError) {
+	outcome := ae.Kind
+	s.set.Counter("requests." + endpoint + "." + outcome).Add(1)
+	switch ae.Kind {
+	case "deadline":
+		s.set.Counter("aborts.deadline").Add(1)
+	case "budget":
+		s.set.Counter("aborts.budget").Add(1)
+	}
+	body := map[string]any{"kind": ae.Kind, "message": ae.Message}
+	for k, v := range ae.Extra {
+		body[k] = v
+	}
+	writeJSON(w, ae.Status, map[string]any{"error": body})
+}
+
+func writeJSON(w http.ResponseWriter, status int, payload any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(payload)
+}

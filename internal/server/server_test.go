@@ -1,0 +1,406 @@
+package server
+
+// Golden request/response coverage for every endpoint: success, parse
+// error with position, deadline abort, budget trip — plus the registry
+// serving contract (second identical request is a hit, no recompilation)
+// and /debug/vars shape. The stress suite against an in-process listener
+// lives in stress_test.go.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xkprop/internal/budget"
+)
+
+const testKeys = `(ε, (//book, {@isbn}))
+(//book, (chapter, {@number}))
+(//book/chapter, (name, {}))
+(//book, (title, {}))
+`
+
+const testTransform = `rule chapter(inBook: y1, number: y2, name: y3) {
+  ya := root / //book
+  y1 := ya / @isbn
+  yc := ya / chapter
+  y2 := yc / @number
+  y3 := yc / name
+}`
+
+const goodDoc = `<db><book isbn="1"><title>T</title><chapter number="1"><name>A</name></chapter></book></db>`
+const dupDoc = `<db><book isbn="1"/><book isbn="1"/></db>`
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	return New(cfg)
+}
+
+// do posts a JSON body and returns the status and decoded response.
+func do(t *testing.T, s *Server, path string, body string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, req)
+	out := map[string]any{}
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatalf("%s: response is not JSON: %v\n%s", path, err, rr.Body.String())
+	}
+	return rr.Code, out
+}
+
+// errObj digs the typed error body out of a response.
+func errObj(t *testing.T, out map[string]any) map[string]any {
+	t.Helper()
+	e, ok := out["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("no error object in %v", out)
+	}
+	return e
+}
+
+func marshal(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func schemaBody(t *testing.T, extra map[string]any) string {
+	t.Helper()
+	m := map[string]any{"keys": testKeys, "transform": testTransform, "rule": "chapter"}
+	for k, v := range extra {
+		m[k] = v
+	}
+	return marshal(t, m)
+}
+
+func TestImplies(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, out := do(t, s, "/v1/implies",
+		marshal(t, map[string]any{"keys": testKeys, "key": "(ε, (//book, {@isbn}))"}))
+	if code != 200 || out["implied"] != true {
+		t.Fatalf("got %d %v, want 200 implied=true", code, out)
+	}
+	code, out = do(t, s, "/v1/implies",
+		marshal(t, map[string]any{"keys": testKeys, "key": "(ε, (//chapter, {@number}))"}))
+	if code != 200 || out["implied"] != false {
+		t.Fatalf("got %d %v, want 200 implied=false", code, out)
+	}
+}
+
+func TestPropagateAndRegistryHit(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := schemaBody(t, map[string]any{"fd": "inBook, number -> name"})
+
+	code, out := do(t, s, "/v1/propagate", body)
+	if code != 200 || out["propagated"] != true {
+		t.Fatalf("got %d %v, want 200 propagated=true", code, out)
+	}
+	hits, compiles := s.Registry().Hits(), s.Registry().Compiles()
+
+	// The second byte-identical request must be served from the registry:
+	// hit counter moves, compile counter does not.
+	code, out = do(t, s, "/v1/propagate", body)
+	if code != 200 || out["propagated"] != true {
+		t.Fatalf("repeat: got %d %v", code, out)
+	}
+	if got := s.Registry().Hits(); got != hits+1 {
+		t.Errorf("hits = %d, want %d", got, hits+1)
+	}
+	if got := s.Registry().Compiles(); got != compiles {
+		t.Errorf("compiles moved %d → %d on an identical request", compiles, got)
+	}
+
+	// gmin agrees on the example.
+	code, out = do(t, s, "/v1/propagate",
+		schemaBody(t, map[string]any{"fd": "inBook, number -> name", "check": "gmin"}))
+	if code != 200 || out["propagated"] != true {
+		t.Fatalf("gmin: got %d %v", code, out)
+	}
+
+	// A non-propagated FD is a 200 with propagated=false, not an error.
+	code, out = do(t, s, "/v1/propagate", schemaBody(t, map[string]any{"fd": "number -> name"}))
+	if code != 200 || out["propagated"] != false {
+		t.Fatalf("negative verdict: got %d %v", code, out)
+	}
+}
+
+func TestCoverCandidatesDDL(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	code, out := do(t, s, "/v1/cover", schemaBody(t, nil))
+	if code != 200 {
+		t.Fatalf("cover: %d %v", code, out)
+	}
+	cover, _ := out["cover"].([]any)
+	if len(cover) == 0 || out["size"].(float64) != float64(len(cover)) {
+		t.Fatalf("cover: %v", out)
+	}
+
+	code, out = do(t, s, "/v1/candidates", schemaBody(t, nil))
+	if code != 200 || out["count"].(float64) < 1 {
+		t.Fatalf("candidates: %d %v", code, out)
+	}
+
+	code, out = do(t, s, "/v1/ddl", schemaBody(t, map[string]any{"normalize": "3nf"}))
+	if code != 200 || !strings.Contains(out["ddl"].(string), "CREATE TABLE") {
+		t.Fatalf("ddl: %d %v", code, out)
+	}
+	if out["normalize"] != "3nf" {
+		t.Fatalf("ddl echoed normalize=%v", out["normalize"])
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	code, out := do(t, s, "/v1/validate",
+		marshal(t, map[string]any{"keys": testKeys, "document": goodDoc}))
+	if code != 200 || out["ok"] != true {
+		t.Fatalf("good doc: %d %v", code, out)
+	}
+
+	code, out = do(t, s, "/v1/validate",
+		marshal(t, map[string]any{"keys": testKeys, "document": dupDoc}))
+	if code != 200 || out["ok"] != false || out["count"].(float64) < 1 {
+		t.Fatalf("dup doc: %d %v", code, out)
+	}
+	v := out["violations"].([]any)[0].(map[string]any)
+	if _, ok := v["offset"].(float64); !ok {
+		t.Fatalf("violation lacks offset: %v", v)
+	}
+
+	// Raw-stream mode: XML body, keys in the query string.
+	req := httptest.NewRequest(http.MethodPost, "/v1/validate?keys="+
+		strings.ReplaceAll(strings.ReplaceAll(testKeys, "\n", "%0A"), " ", "%20"),
+		strings.NewReader(dupDoc))
+	req.Header.Set("Content-Type", "application/xml")
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, req)
+	out = map[string]any{}
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatalf("raw mode: %v\n%s", err, rr.Body.String())
+	}
+	if rr.Code != 200 || out["ok"] != false {
+		t.Fatalf("raw mode: %d %v", rr.Code, out)
+	}
+}
+
+// TestParseErrorsCarryPositions is the parse-error golden: every parser's
+// typed position reaches the wire as a 400 with kind=parse.
+func TestParseErrorsCarryPositions(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	// Truncated key expression → xmlkey.ParseError with a byte position.
+	code, out := do(t, s, "/v1/implies",
+		marshal(t, map[string]any{"keys": "(ε, (//book", "key": "(ε, (//book, {@isbn}))"}))
+	e := errObj(t, out)
+	if code != 400 || e["kind"] != "parse" {
+		t.Fatalf("got %d %v, want 400 parse", code, out)
+	}
+	if _, ok := e["pos"].(float64); !ok {
+		t.Fatalf("key parse error lacks pos: %v", e)
+	}
+
+	// Malformed transformation → transform.ParseError with a line.
+	code, out = do(t, s, "/v1/cover",
+		marshal(t, map[string]any{"keys": testKeys, "transform": "rule chapter(x: y1) {\n  y1 := bogus\n}"}))
+	e = errObj(t, out)
+	if code != 400 || e["kind"] != "parse" {
+		t.Fatalf("got %d %v, want 400 parse", code, out)
+	}
+	if _, ok := e["line"].(float64); !ok {
+		t.Fatalf("transform parse error lacks line: %v", e)
+	}
+
+	// Malformed XML document → DecodeError with an offset.
+	code, out = do(t, s, "/v1/validate",
+		marshal(t, map[string]any{"keys": testKeys, "document": "<db><book></db>"}))
+	e = errObj(t, out)
+	if code != 400 || e["kind"] != "parse" {
+		t.Fatalf("got %d %v, want 400 parse", code, out)
+	}
+	if _, ok := e["offset"].(float64); !ok {
+		t.Fatalf("decode error lacks offset: %v", e)
+	}
+
+	// Bad FD text → 400 parse (no position: the FD grammar is one line).
+	code, out = do(t, s, "/v1/propagate", schemaBody(t, map[string]any{"fd": "no arrow"}))
+	if e := errObj(t, out); code != 400 || e["kind"] != "parse" {
+		t.Fatalf("got %d %v, want 400 parse", code, out)
+	}
+
+	// Unknown rule and bad request JSON are kind=input.
+	code, out = do(t, s, "/v1/cover", schemaBody(t, map[string]any{"rule": "nosuch"}))
+	if e := errObj(t, out); code != 400 || e["kind"] != "input" {
+		t.Fatalf("got %d %v, want 400 input", code, out)
+	}
+	code, out = do(t, s, "/v1/cover", "{not json")
+	if e := errObj(t, out); code != 400 || e["kind"] != "input" {
+		t.Fatalf("got %d %v, want 400 input", code, out)
+	}
+}
+
+// TestDeadlineAbort is the ?timeout=1ns golden: HTTP 504, kind=deadline,
+// and no partial cover alongside the error.
+func TestDeadlineAbort(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, out := do(t, s, "/v1/cover?timeout=1ns", schemaBody(t, nil))
+	e := errObj(t, out)
+	if code != http.StatusGatewayTimeout || e["kind"] != "deadline" {
+		t.Fatalf("got %d %v, want 504 deadline", code, out)
+	}
+	if _, leaked := out["cover"]; leaked {
+		t.Fatalf("abort body leaked a partial cover: %v", out)
+	}
+	if got := s.Metrics().Counter("aborts.deadline").Value(); got != 1 {
+		t.Errorf("aborts.deadline = %d, want 1", got)
+	}
+
+	// The aborted build did not poison the cache: the same request with a
+	// sane deadline succeeds.
+	code, out = do(t, s, "/v1/cover?timeout=30s", schemaBody(t, nil))
+	if code != 200 {
+		t.Fatalf("after abort: %d %v", code, out)
+	}
+
+	// Invalid ?timeout= is rejected as input, not silently ignored.
+	code, out = do(t, s, "/v1/cover?timeout=never", schemaBody(t, nil))
+	if e := errObj(t, out); code != 400 || e["kind"] != "input" {
+		t.Fatalf("got %d %v, want 400 input", code, out)
+	}
+}
+
+// TestBudgetTrip is the budget golden: a server whose resource budget
+// cannot fit the work returns 503 with the exhausted resource named and
+// no partial result. The stream-depth cap is enforced per element, so a
+// document nested deeper than the budget trips deterministically.
+func TestBudgetTrip(t *testing.T) {
+	s := newTestServer(t, Config{Budget: budget.Budget{MaxStreamDepth: 1}})
+	code, out := do(t, s, "/v1/validate",
+		marshal(t, map[string]any{"keys": testKeys, "document": goodDoc}))
+	e := errObj(t, out)
+	if code != http.StatusServiceUnavailable || e["kind"] != "budget" {
+		t.Fatalf("got %d %v, want 503 budget", code, out)
+	}
+	if e["resource"] != "stream depth" || e["limit"].(float64) != 1 {
+		t.Fatalf("budget body lacks resource/limit: %v", e)
+	}
+	if _, leaked := out["violations"]; leaked {
+		t.Fatalf("abort body leaked partial violations: %v", out)
+	}
+	if got := s.Metrics().Counter("aborts.budget").Value(); got != 1 {
+		t.Errorf("aborts.budget = %d, want 1", got)
+	}
+
+	// The violation cap is all-or-nothing too: the abort discards the
+	// violations found so far rather than returning a truncated list.
+	s2 := newTestServer(t, Config{Budget: budget.Budget{MaxViolations: 1}})
+	code, out = do(t, s2, "/v1/validate",
+		marshal(t, map[string]any{"keys": testKeys, "document": dupDoc}))
+	e = errObj(t, out)
+	if code != http.StatusServiceUnavailable || e["kind"] != "budget" {
+		t.Fatalf("validate cap: got %d %v, want 503 budget", code, out)
+	}
+	if _, leaked := out["violations"]; leaked {
+		t.Fatalf("abort body leaked partial violations: %v", out)
+	}
+}
+
+func TestMethodAndHealth(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/cover", nil)
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/cover: %d, want 405", rr.Code)
+	}
+
+	for path, want := range map[string]int{"/healthz": 200, "/readyz": 200} {
+		rr := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+		if rr.Code != want {
+			t.Fatalf("%s: %d, want %d", path, rr.Code, want)
+		}
+	}
+	s.StartDraining()
+	s.StartDraining() // idempotent
+	rr = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz draining: %d, want 503", rr.Code)
+	}
+}
+
+// TestDebugVars pins the metric inventory: per-endpoint request counters
+// and latency histograms, registry and decider gauges, abort counters.
+func TestDebugVars(t *testing.T) {
+	s := newTestServer(t, Config{})
+	do(t, s, "/v1/cover", schemaBody(t, nil))
+	do(t, s, "/v1/cover", schemaBody(t, nil))
+
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/vars", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/debug/vars: %d", rr.Code)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, rr.Body.String())
+	}
+	for _, k := range []string{
+		"requests.cover.ok", "latency.cover", "inflight",
+		"registry.hits", "registry.misses", "registry.evictions",
+		"registry.compiles", "registry.size",
+		"decider.memo_entries", "decider.intern_entries",
+		"uptime_seconds", "goroutines",
+	} {
+		if _, ok := doc[k]; !ok {
+			t.Errorf("missing %q in /debug/vars", k)
+		}
+	}
+	var hist struct {
+		Count   int64            `json:"count"`
+		Buckets map[string]int64 `json:"buckets"`
+	}
+	if err := json.Unmarshal(doc["latency.cover"], &hist); err != nil {
+		t.Fatalf("latency.cover is not a histogram: %s", doc["latency.cover"])
+	}
+	if hist.Count != 2 || len(hist.Buckets) == 0 {
+		t.Fatalf("latency.cover = %+v, want 2 observations with buckets", hist)
+	}
+	var memo int
+	if err := json.Unmarshal(doc["decider.memo_entries"], &memo); err != nil || memo <= 0 {
+		t.Fatalf("decider.memo_entries = %s, want > 0", doc["decider.memo_entries"])
+	}
+}
+
+// TestRequestTimeoutDefaultAndCap pins the deadline precedence: server
+// default applies without ?timeout=, the override wins, and MaxTimeout
+// clamps both.
+func TestRequestTimeoutDefaultAndCap(t *testing.T) {
+	s := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	code, out := do(t, s, "/v1/cover", schemaBody(t, nil))
+	if e := errObj(t, out); code != http.StatusGatewayTimeout || e["kind"] != "deadline" {
+		t.Fatalf("default deadline: got %d %v, want 504", code, out)
+	}
+	// Per-request override beats the impossible default.
+	code, out = do(t, s, "/v1/cover?timeout=30s", schemaBody(t, nil))
+	if code != 200 {
+		t.Fatalf("override: %d %v", code, out)
+	}
+
+	capped := newTestServer(t, Config{RequestTimeout: 30 * time.Second, MaxTimeout: time.Nanosecond})
+	code, out = do(t, capped, "/v1/cover?timeout=30s", schemaBody(t, nil))
+	if e := errObj(t, out); code != http.StatusGatewayTimeout || e["kind"] != "deadline" {
+		t.Fatalf("cap: got %d %v, want 504", code, out)
+	}
+}

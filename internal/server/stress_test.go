@@ -1,0 +1,114 @@
+package server
+
+// -race stress against a live in-process listener: N goroutines hammer
+// one registry entry over real TCP while a small LRU (two slots, set via
+// Budget.MaxRegistryEntries) keeps evicting it under cold-schema churn.
+// Success is no race reports, no non-2xx responses, and coherent verdicts
+// throughout.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"xkprop/internal/budget"
+)
+
+func TestStressRegistryUnderEviction(t *testing.T) {
+	s := New(Config{Budget: budget.Budget{MaxRegistryEntries: 2}})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	post := func(path string, body map[string]any) (int, map[string]any, error) {
+		data, _ := json.Marshal(body)
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		out := map[string]any{}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return resp.StatusCode, nil, fmt.Errorf("not JSON: %v (%.120s)", err, raw)
+		}
+		return resp.StatusCode, out, nil
+	}
+
+	rounds := 30
+	if testing.Short() {
+		rounds = 8
+	}
+	hot := map[string]any{
+		"keys": testKeys, "transform": testTransform,
+		"rule": "chapter", "fd": "inBook, number -> name",
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				code, out, err := post("/v1/propagate", hot)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if code != 200 || out["propagated"] != true {
+					errCh <- fmt.Errorf("worker %d round %d: %d %v", g, i, code, out)
+					return
+				}
+			}
+		}(g)
+	}
+	// The evictor cycles cold schemas through the 2-slot LRU so the hot
+	// artifact keeps getting dropped mid-flight and recompiled.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			cold := map[string]any{"keys": fmt.Sprintf("%s# cold %d\n", testKeys, i), "key": "(ε, (//book, {@isbn}))"}
+			code, out, err := post("/v1/implies", cold)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if code != 200 || out["implied"] != true {
+				errCh <- fmt.Errorf("evictor round %d: %d %v", i, code, out)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	if s.Registry().Evictions() == 0 {
+		t.Fatal("stress never evicted; the registry cap is not being exercised")
+	}
+	if n := s.Registry().Len(); n > 2 {
+		t.Fatalf("registry len=%d exceeds Budget.MaxRegistryEntries", n)
+	}
+	want := int64(8*rounds + rounds)
+	ok := s.Metrics().Counter("requests.propagate.ok").Value() +
+		s.Metrics().Counter("requests.implies.ok").Value()
+	if ok != want {
+		t.Fatalf("ok responses = %d, want %d", ok, want)
+	}
+}

@@ -1,0 +1,75 @@
+package xkprop_test
+
+// Boundary coverage for the registry-aware entry points exported for
+// xkserve and other embedders: CompileSchema's panic guard, registry
+// hit/dedup behaviour through the facade types, and decider sharing via
+// NewEngineSharing.
+
+import (
+	"context"
+	"testing"
+
+	"xkprop"
+	"xkprop/internal/paperdata"
+)
+
+func TestCompileSchemaFacade(t *testing.T) {
+	cs, err := xkprop.CompileSchema(paperdata.KeysText, paperdata.TransformText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Sigma) == 0 || cs.Transform == nil {
+		t.Fatalf("compiled schema incomplete: %d keys, transform=%v", len(cs.Sigma), cs.Transform)
+	}
+	eng, err := cs.Engine("chapter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Decider() != cs.Decider() {
+		t.Fatal("engine does not share the compiled schema's decider")
+	}
+
+	// Malformed inputs are errors with positions, never panics.
+	if _, err := xkprop.CompileSchema("(ε, (//book", ""); err == nil {
+		t.Fatal("truncated keys must fail")
+	}
+	if _, err := xkprop.CompileSchema(paperdata.KeysText, "rule {"); err == nil {
+		t.Fatal("malformed transformation must fail")
+	}
+}
+
+func TestSchemaRegistryFacade(t *testing.T) {
+	r := xkprop.NewSchemaRegistry(8)
+	ctx := context.Background()
+	a, err := r.Get(ctx, paperdata.KeysText, paperdata.TransformText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Get(ctx, paperdata.KeysText, paperdata.TransformText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || r.Hits() != 1 || r.Compiles() != 1 {
+		t.Fatalf("identical texts must dedup: hits=%d compiles=%d", r.Hits(), r.Compiles())
+	}
+}
+
+// TestNewEngineSharingMemo pins the point of sharing: an engine built via
+// NewEngineSharing reuses the donor's decider, so implication work done
+// through one engine is memoized for the other.
+func TestNewEngineSharingMemo(t *testing.T) {
+	rule := paperdata.Transform().Rules[0]
+	e1 := xkprop.NewEngine(paperdata.Keys(), rule)
+	cover := e1.MinimumCover()
+	if len(cover) == 0 {
+		t.Fatal("empty cover for the paper example")
+	}
+	e2 := xkprop.NewEngineSharing(e1, rule)
+	if e2.Decider() != e1.Decider() {
+		t.Fatal("NewEngineSharing did not share the decider")
+	}
+	cover2 := e2.MinimumCover()
+	if len(cover2) != len(cover) {
+		t.Fatalf("shared-decider engine computed a different cover: %d vs %d", len(cover2), len(cover))
+	}
+}
