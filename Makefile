@@ -2,7 +2,7 @@ GO ?= go
 BENCH_JSON ?= BENCH_pathkernel.json
 FUZZTIME ?= 30s
 
-.PHONY: build test vet race stress fuzz-smoke bench bench-json serve-smoke verify help
+.PHONY: build test vet race stress fuzz-smoke bench bench-json serve-smoke diff-smoke verify help
 
 build:
 	$(GO) build ./...
@@ -51,11 +51,21 @@ bench-json:
 serve-smoke:
 	$(GO) run ./cmd/xkserve -smoke
 
+# diff-smoke runs the differential cross-check harness on a pinned seed:
+# every redundant decision path (compiled kernel vs recursive oracle,
+# minimumCover vs naive, sequential vs parallel, in-process vs a live
+# xkserve over TCP, verdicts vs searched witnesses) must agree on the
+# smoke grid, time-budgeted so CI cannot hang. Exit 1 means a shrunk
+# disagreement was printed — replay it with the same -seed.
+diff-smoke:
+	$(GO) run ./cmd/xkdiff -seed 1 -cases 10 -timeout 5m
+
 # Tier-1 verification (ROADMAP.md): build, vet, tests, the race run (which
 # includes the fault-injection stress suites), the focused stress pass,
-# and the xkserve end-to-end smoke. If a committed bench trajectory is
-# present, smoke-check that it is well-formed pathkernel JSON.
-verify: build vet test race stress serve-smoke
+# the xkserve end-to-end smoke, and the differential cross-check smoke. If
+# a committed bench trajectory is present, smoke-check that it is
+# well-formed pathkernel JSON.
+verify: build vet test race stress serve-smoke diff-smoke
 	@if [ -f $(BENCH_JSON) ]; then $(GO) run ./cmd/xkbench -check-json $(BENCH_JSON); fi
 
 help:
@@ -69,4 +79,5 @@ help:
 	@echo "  bench       testing.B suite + xkbench -json trajectory"
 	@echo "  bench-json  regenerate $(BENCH_JSON) only"
 	@echo "  serve-smoke boot xkserve on an ephemeral port and drive every endpoint"
-	@echo "  verify      build + vet + test + race + stress + serve-smoke + bench JSON check"
+	@echo "  diff-smoke  cross-check every redundant decision path on a pinned seed"
+	@echo "  verify      build + vet + test + race + stress + serve-smoke + diff-smoke + bench JSON check"

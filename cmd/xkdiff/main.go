@@ -1,0 +1,14 @@
+// Command xkdiff cross-checks every redundant decision path of the
+// system on seeded workloads and reports (shrunk) disagreements.
+// Run with -h for usage; see internal/diffcheck for the harness.
+package main
+
+import (
+	"os"
+
+	"xkprop/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunXkdiff(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"xkprop"
 	"xkprop/internal/paperdata"
+	"xkprop/internal/sqlgen"
 )
 
 // RunXkddl runs the whole consumer-side pipeline to SQL: keys (from a key
@@ -21,7 +23,7 @@ func RunXkddl(args []string, stdout, stderr io.Writer) int {
 	trPath := fs.String("transform", "", "path to the transformation DSL file (the universal relation)")
 	ruleName := fs.String("rule", "", "name of the universal relation's rule (default: the only rule)")
 	normalize := fs.String("normalize", "bcnf", "decomposition: bcnf or 3nf")
-	dialect := fs.String("dialect", "standard", "SQL dialect: standard or sqlite")
+	dialect := fs.String("dialect", "standard", "SQL dialect: standard, sqlite or mysql")
 	prefix := fs.String("prefix", "", "table name prefix")
 	noFKs := fs.Bool("no-foreign-keys", false, "suppress foreign-key inference")
 	demo := fs.Bool("demo", false, "use the paper's Example 3.1 universal relation and keys")
@@ -31,8 +33,8 @@ func RunXkddl(args []string, stdout, stderr io.Writer) int {
 	if *normalize != "bcnf" && *normalize != "3nf" {
 		return usage(stderr, "xkddl: -normalize must be bcnf or 3nf")
 	}
-	if *dialect != "standard" && *dialect != "sqlite" {
-		return usage(stderr, "xkddl: -dialect must be standard or sqlite")
+	if !sqlgen.KnownDialect(*dialect) {
+		return usage(stderr, "xkddl: -dialect must be one of "+strings.Join(sqlgen.Dialects, ", "))
 	}
 
 	var sigma []xkprop.Key
@@ -65,7 +67,7 @@ func RunXkddl(args []string, stdout, stderr io.Writer) int {
 			}
 			sigma = keys
 		default:
-			return usage(stderr, "xkddl {-keys keys.txt | -xsd schema.xsd} -transform universal.dsl [-normalize bcnf|3nf] [-dialect standard|sqlite]")
+			return usage(stderr, "xkddl {-keys keys.txt | -xsd schema.xsd} -transform universal.dsl [-normalize bcnf|3nf] [-dialect standard|sqlite|mysql]")
 		}
 		if *trPath == "" {
 			return usage(stderr, "xkddl: -transform is required")

@@ -1,0 +1,54 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestXkdiffSmoke: a tiny all-lane run passes, prints a per-lane summary,
+// and writes a well-formed JSON report via the atomic writer.
+func TestXkdiffSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("xkdiff drives a live server; skip in -short")
+	}
+	path := filepath.Join(t.TempDir(), "diff.json")
+	var out, errb bytes.Buffer
+	code := RunXkdiff([]string{"-cases", "3", "-json", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Errorf("no PASS in output:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Seed  int64 `json:"seed"`
+		Cases int   `json:"cases"`
+		Lanes []struct {
+			Lane string `json:"lane"`
+		} `json:"lanes"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if rep.Seed != 1 || rep.Cases == 0 || len(rep.Lanes) != 5 {
+		t.Errorf("report seed=%d cases=%d lanes=%d, want seed 1, cases > 0, 5 lanes",
+			rep.Seed, rep.Cases, len(rep.Lanes))
+	}
+}
+
+// TestXkdiffBadLane: a typo'd lane is a usage error (exit 2), not a
+// silently empty run.
+func TestXkdiffBadLane(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := RunXkdiff([]string{"-lanes", "covfefe"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2; stderr:\n%s", code, errb.String())
+	}
+}

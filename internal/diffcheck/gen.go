@@ -1,0 +1,147 @@
+package diffcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xkprop/internal/rel"
+	"xkprop/internal/transform"
+	"xkprop/internal/witness"
+	"xkprop/internal/xmlkey"
+	"xkprop/internal/xpath"
+)
+
+// The generators draw from the same tiny vocabulary as the witness
+// package (labels a/b/c, attributes x/y): small alphabets maximize path
+// collisions, which is where the decision procedures can disagree. All
+// randomness flows from the injected generator — the determinism contract
+// of the whole harness.
+
+var (
+	genLabels = []string{"a", "b", "c"}
+	genAttrs  = []string{"x", "y"}
+)
+
+// randPath builds a random path of up to maxSteps label steps, with a
+// 1-in-4 chance of a "//" before each and a trailing-attribute option.
+func randPath(r *rand.Rand, maxSteps int, allowAttr bool) xpath.Path {
+	p := xpath.Epsilon
+	n := 1 + r.Intn(maxSteps)
+	for i := 0; i < n; i++ {
+		if r.Intn(4) == 0 {
+			p = p.Concat(xpath.Desc)
+		}
+		p = p.Concat(xpath.Elem(genLabels[r.Intn(len(genLabels))]))
+	}
+	if allowAttr && r.Intn(4) == 0 {
+		p = p.Concat(xpath.Attr(genAttrs[r.Intn(len(genAttrs))]))
+	}
+	return p
+}
+
+// randKeySet builds 1–4 random keys.
+func randKeySet(r *rand.Rand) []xmlkey.Key {
+	n := 1 + r.Intn(4)
+	sigma := make([]xmlkey.Key, 0, n)
+	for i := 0; i < n; i++ {
+		ctx := xpath.Epsilon
+		if r.Intn(2) == 0 {
+			ctx = randPath(r, 2, false)
+		}
+		tgt := randPath(r, 2, false)
+		var attrs []string
+		for _, a := range genAttrs {
+			if r.Intn(3) == 0 {
+				attrs = append(attrs, a)
+			}
+		}
+		sigma = append(sigma, xmlkey.New(fmt.Sprintf("k%d", i+1), ctx, tgt, attrs...))
+	}
+	return sigma
+}
+
+// implCase is one implication-lane case: does Σ imply the key φ?
+type implCase struct {
+	sigma []xmlkey.Key
+	phi   xmlkey.Key
+}
+
+func randImplCase(r *rand.Rand) implCase {
+	var attrs []string
+	for _, a := range genAttrs {
+		if r.Intn(2) == 0 {
+			attrs = append(attrs, a)
+		}
+	}
+	ctx := xpath.Epsilon
+	if r.Intn(2) == 0 {
+		ctx = randPath(r, 3, false)
+	}
+	return implCase{
+		sigma: randKeySet(r),
+		phi:   xmlkey.New("", ctx, randPath(r, 3, true), attrs...),
+	}
+}
+
+// randParseableKey builds a random key within the key syntax — element
+// target, attributes in the key-path set — so Key.String round-trips
+// through the parser. The server lane needs this: the internal ImpliesCT
+// query also accepts attribute-final targets, but those are not keys.
+func randParseableKey(r *rand.Rand) xmlkey.Key {
+	ctx := xpath.Epsilon
+	if r.Intn(2) == 0 {
+		ctx = randPath(r, 3, false)
+	}
+	var attrs []string
+	for _, a := range genAttrs {
+		if r.Intn(2) == 0 {
+			attrs = append(attrs, a)
+		}
+	}
+	return xmlkey.New("", ctx, randPath(r, 3, false), attrs...)
+}
+
+// fdCase is one propagation case: is ψ propagated from Σ under σ?
+type fdCase struct {
+	sigma []xmlkey.Key
+	rule  *transform.Rule
+	fd    rel.FD
+}
+
+// randFDCase draws a random workload from the witness generator plus a
+// random FD over its schema.
+func randFDCase(r *rand.Rand) fdCase {
+	sigma, rule := witness.RandomWorkload(r)
+	return fdCase{sigma: sigma, rule: rule, fd: randFD(r, rule.Schema)}
+}
+
+// randFD builds a random FD: 1–3 LHS attributes, one RHS attribute.
+func randFD(r *rand.Rand, schema *rel.Schema) rel.FD {
+	n := schema.Len()
+	var lhs rel.AttrSet
+	for k := 1 + r.Intn(3); k > 0; k-- {
+		lhs = lhs.With(r.Intn(n))
+	}
+	return rel.NewFD(lhs, rel.AttrSet{}.With(r.Intn(n)))
+}
+
+// keysText renders Σ as the one-key-per-line source text the tools and
+// the server parse.
+func keysText(sigma []xmlkey.Key) string {
+	var b strings.Builder
+	for _, k := range sigma {
+		b.WriteString(k.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// keyStrings renders Σ for a Disagreement record.
+func keyStrings(sigma []xmlkey.Key) []string {
+	out := make([]string, len(sigma))
+	for i, k := range sigma {
+		out[i] = k.String()
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package diffcheck
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"xkprop/internal/core"
+	"xkprop/internal/server"
+	"xkprop/internal/xmlkey"
+)
+
+// laneServer cross-checks in-process verdicts against a live xkserve
+// instance over real TCP. The server parses its own inputs, so the lane
+// also exercises the full wire round trip: Key.String back through the
+// key parser, Rule.DSL back through the transformation parser, and
+// FD.Format back through ParseFD. Any divergence — a different verdict, a
+// different cover, or a request the server rejects — is a disagreement.
+//
+// The comparison runs over the wire API's domain, which excludes Σ = ∅:
+// a JSON body cannot distinguish an empty "keys" string from a missing
+// field, so the server rejects both as input errors while the in-process
+// deciders accept an empty key set. The case generators always produce a
+// nonempty Σ, and the shrinkers never drop the last key in this lane.
+func (h *harness) laneServer(ctx context.Context, rng *rand.Rand) (LaneReport, error) {
+	lr := LaneReport{Lane: "server"}
+	cli, shutdown, err := bootServer()
+	if err != nil {
+		return lr, err
+	}
+	defer shutdown()
+
+	for _, c := range h.coverCases(rng, h.cfg.Cases/2+1) {
+		if err := checkCtx(ctx); err != nil {
+			return lr, err
+		}
+		// Implication: one member of Σ (implied by reflexivity) and one
+		// random key (usually not implied) — agreement matters, not the
+		// verdict's sign.
+		phis := []xmlkey.Key{c.sigma[0], randParseableKey(rng)}
+		for _, phi := range phis {
+			ic := implCase{sigma: c.sigma, phi: phi}
+			local, err := deciderVerdict(ctx, ic)
+			if err != nil {
+				return lr, err
+			}
+			remote, rerr := cli.implies(ic)
+			lr.Cases++
+			h.countCase(lr.Lane)
+			if rerr == nil && remote == local {
+				continue
+			}
+			bad := func(n implCase) bool {
+				if len(n.sigma) == 0 {
+					return false // Σ=∅ is outside the wire domain (see lane comment)
+				}
+				l, err := deciderVerdict(ctx, n)
+				if err != nil {
+					return false
+				}
+				r, rerr := cli.implies(n)
+				return rerr != nil || r != l
+			}
+			ic, steps := shrinkImpl(ic, bad, h.cfg.MaxShrinkSteps)
+			h.cfg.Metrics.Counter("diff.shrink_steps").Add(int64(steps))
+			d := Disagreement{
+				Lane: lr.Lane,
+				Keys: keyStrings(ic.sigma),
+				Key:  ic.phi.String(),
+			}
+			l, _ := deciderVerdict(ctx, ic)
+			d.Want = fmt.Sprintf("in-process: implied=%v", l)
+			if r, rerr := cli.implies(ic); rerr != nil {
+				d.Got = "server: " + rerr.Error()
+			} else {
+				d.Got = fmt.Sprintf("server: implied=%v", r)
+			}
+			lr.Disagreements = append(lr.Disagreements, d)
+			h.countDisagreement()
+		}
+
+		// Propagation: random FDs through /v1/propagate.
+		eng := core.NewEngine(c.sigma, c.rule)
+		for i := 0; i < 3; i++ {
+			fc := fdCase{sigma: c.sigma, rule: c.rule, fd: randFD(rng, c.rule.Schema)}
+			local, err := eng.PropagatesCtx(ctx, fc.fd)
+			if err != nil {
+				return lr, err
+			}
+			remote, rerr := cli.propagate(fc)
+			lr.Cases++
+			h.countCase(lr.Lane)
+			if rerr == nil && remote == local {
+				continue
+			}
+			bad := func(n fdCase) bool {
+				if len(n.sigma) == 0 {
+					return false
+				}
+				l, err := core.NewEngine(n.sigma, n.rule).PropagatesCtx(ctx, n.fd)
+				if err != nil {
+					return false
+				}
+				r, rerr := cli.propagate(n)
+				return rerr != nil || r != l
+			}
+			fc, steps := shrinkFDCase(fc, bad, h.cfg.MaxShrinkSteps)
+			h.cfg.Metrics.Counter("diff.shrink_steps").Add(int64(steps))
+			d := Disagreement{
+				Lane:      lr.Lane,
+				Keys:      keyStrings(fc.sigma),
+				Transform: fc.rule.DSL(),
+				FD:        fc.fd.Format(fc.rule.Schema),
+			}
+			l, _ := core.NewEngine(fc.sigma, fc.rule).PropagatesCtx(ctx, fc.fd)
+			d.Want = fmt.Sprintf("in-process: propagated=%v", l)
+			if r, rerr := cli.propagate(fc); rerr != nil {
+				d.Got = "server: " + rerr.Error()
+			} else {
+				d.Got = fmt.Sprintf("server: propagated=%v", r)
+			}
+			lr.Disagreements = append(lr.Disagreements, d)
+			h.countDisagreement()
+		}
+
+		// Cover: the sorted rendering must match string for string.
+		local, err := eng.CachedCoverCtx(ctx)
+		if err != nil {
+			return lr, err
+		}
+		want := eng.CoverAsStrings(local)
+		got, rerr := cli.cover(coverCase{sigma: c.sigma, rule: c.rule})
+		lr.Cases++
+		h.countCase(lr.Lane)
+		if rerr == nil && stringSlicesEqual(got, want) {
+			continue
+		}
+		bad := func(n coverCase) bool {
+			if len(n.sigma) == 0 {
+				return false
+			}
+			e := core.NewEngine(n.sigma, n.rule)
+			l, err := e.CachedCoverCtx(ctx)
+			if err != nil {
+				return false
+			}
+			r, rerr := cli.cover(n)
+			return rerr != nil || !stringSlicesEqual(r, e.CoverAsStrings(l))
+		}
+		cc, steps := shrinkCoverCase(coverCase{sigma: c.sigma, rule: c.rule}, bad, h.cfg.MaxShrinkSteps)
+		h.cfg.Metrics.Counter("diff.shrink_steps").Add(int64(steps))
+		d := Disagreement{
+			Lane:      lr.Lane,
+			Keys:      keyStrings(cc.sigma),
+			Transform: cc.rule.DSL(),
+		}
+		e := core.NewEngine(cc.sigma, cc.rule)
+		if l, err := e.CachedCoverCtx(ctx); err == nil {
+			d.Want = "in-process: " + strings.Join(e.CoverAsStrings(l), "; ")
+		}
+		if r, rerr := cli.cover(cc); rerr != nil {
+			d.Got = "server: " + rerr.Error()
+		} else {
+			d.Got = "server: " + strings.Join(r, "; ")
+		}
+		lr.Disagreements = append(lr.Disagreements, d)
+		h.countDisagreement()
+	}
+	return lr, nil
+}
+
+// serverClient drives the live instance.
+type serverClient struct {
+	base   string
+	client *http.Client
+}
+
+// bootServer starts a real xkserve on an ephemeral loopback port.
+func bootServer() (*serverClient, func(), error) {
+	srv := server.New(server.Config{RequestTimeout: 30 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	cli := &serverClient{
+		base:   "http://" + ln.Addr().String(),
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+	return cli, func() { httpSrv.Close() }, nil
+}
+
+// post sends one JSON request; a non-200 response or malformed body comes
+// back as an error (a lane disagreement, not a harness abort).
+func (c *serverClient) post(path string, body any) (map[string]any, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("%s: non-JSON response: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d: %v", path, resp.StatusCode, out["error"])
+	}
+	return out, nil
+}
+
+func (c *serverClient) implies(ic implCase) (bool, error) {
+	out, err := c.post("/v1/implies", map[string]any{
+		"keys": keysText(ic.sigma),
+		"key":  ic.phi.String(),
+	})
+	if err != nil {
+		return false, err
+	}
+	v, ok := out["implied"].(bool)
+	if !ok {
+		return false, fmt.Errorf("/v1/implies: no boolean %q in response", "implied")
+	}
+	return v, nil
+}
+
+func (c *serverClient) propagate(fc fdCase) (bool, error) {
+	out, err := c.post("/v1/propagate", map[string]any{
+		"keys":      keysText(fc.sigma),
+		"transform": fc.rule.DSL(),
+		"rule":      fc.rule.Schema.Name,
+		"fd":        fc.fd.Format(fc.rule.Schema),
+	})
+	if err != nil {
+		return false, err
+	}
+	v, ok := out["propagated"].(bool)
+	if !ok {
+		return false, fmt.Errorf("/v1/propagate: no boolean %q in response", "propagated")
+	}
+	return v, nil
+}
+
+func (c *serverClient) cover(cc coverCase) ([]string, error) {
+	out, err := c.post("/v1/cover", map[string]any{
+		"keys":      keysText(cc.sigma),
+		"transform": cc.rule.DSL(),
+		"rule":      cc.rule.Schema.Name,
+	})
+	if err != nil {
+		return nil, err
+	}
+	raw, ok := out["cover"].([]any)
+	if !ok {
+		return nil, fmt.Errorf("/v1/cover: no %q array in response", "cover")
+	}
+	cover := make([]string, len(raw))
+	for i, v := range raw {
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("/v1/cover: non-string cover entry %v", v)
+		}
+		cover[i] = s
+	}
+	return cover, nil
+}
+
+func stringSlicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

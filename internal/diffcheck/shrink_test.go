@@ -1,0 +1,129 @@
+package diffcheck
+
+import (
+	"math/rand"
+	"testing"
+
+	"xkprop/internal/rel"
+	"xkprop/internal/transform"
+	"xkprop/internal/xmlkey"
+)
+
+// TestShrinkImplMinimizes: under a predicate that only needs one specific
+// key, the shrinker drops every other key, every spare attribute, and
+// every removable path step.
+func TestShrinkImplMinimizes(t *testing.T) {
+	sigma := xmlkey.MustParseSet(`k1 = (a/b, (c, {@x, @y}))
+k2 = (ε, (//b, {@x}))
+k3 = (//a, (b/c, {}))
+k4 = (ε, (a, {@y}))`)
+	phi := xmlkey.New("", xmlkey.MustParseSet(`(a/b/c, (a, {}))`)[0].Context, sigma[2].Target, "x", "y")
+	// The "disagreement" holds as long as some key targets exactly "b".
+	bad := func(c implCase) bool {
+		for _, k := range c.sigma {
+			if k.Target.String() == "b" || k.Target.String() == "b/c" || k.Target.String() == "//b" {
+				return true
+			}
+		}
+		return false
+	}
+	c, steps := shrinkImpl(implCase{sigma: sigma, phi: phi}, bad, 1000)
+	if steps == 0 {
+		t.Fatal("shrinker spent no steps")
+	}
+	if !bad(c) {
+		t.Fatal("shrunk case no longer satisfies the predicate")
+	}
+	if len(c.sigma) != 1 {
+		t.Fatalf("shrunk Σ has %d keys, want 1: %v", len(c.sigma), keyStrings(c.sigma))
+	}
+	k := c.sigma[0]
+	if k.Target.String() != "b" {
+		t.Errorf("shrunk key target %s, want the minimal b", k.Target)
+	}
+	if len(k.Attrs) != 0 || !k.Context.IsEpsilon() {
+		t.Errorf("key not fully shrunk: %s", k)
+	}
+	// φ is irrelevant to the predicate, so it must shrink to the minimum
+	// the shrinker can reach: empty context, no attributes.
+	if len(c.phi.Attrs) != 0 || !c.phi.Context.IsEpsilon() {
+		t.Errorf("φ not fully shrunk: %s", c.phi)
+	}
+}
+
+// TestShrinkFDCasePrunesFields: field rules not mentioned by ψ are pruned
+// and ψ is remapped onto the narrowed schema by name.
+func TestShrinkFDCasePrunesFields(t *testing.T) {
+	tr, err := transform.ParseString(`rule U(f0: vx, f1: vy, f2: vz) {
+  v := root / a
+  vx := v / @x
+  vy := v / @y
+  vz := v / @z
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := tr.Rules[0]
+	sigma := xmlkey.MustParseSet(`k1 = (ε, (a, {@x}))
+k2 = (//a, (b, {@y}))`)
+	fd := rel.MustParseFD(rule.Schema, "f0 -> f2")
+	// The predicate needs f0, f2 and the key named k1 — nothing else.
+	bad := func(c fdCase) bool {
+		if !c.rule.Schema.Has("f0") || !c.rule.Schema.Has("f2") {
+			return false
+		}
+		for _, k := range c.sigma {
+			if k.Name == "k1" {
+				return true
+			}
+		}
+		return false
+	}
+	c, _ := shrinkFDCase(fdCase{sigma: sigma, rule: rule, fd: fd}, bad, 1000)
+	if !bad(c) {
+		t.Fatal("shrunk case no longer satisfies the predicate")
+	}
+	if len(c.sigma) != 1 || c.sigma[0].Name != "k1" {
+		t.Fatalf("shrunk Σ = %v, want just k1", keyStrings(c.sigma))
+	}
+	if c.rule.Schema.Len() != 2 {
+		t.Fatalf("shrunk schema has %d fields, want 2 (f0, f2): %v",
+			c.rule.Schema.Len(), c.rule.Schema.Attrs)
+	}
+	if got := c.fd.Format(c.rule.Schema); got != "f0 → f2" {
+		t.Errorf("ψ remapped to %q, want f0 → f2", got)
+	}
+}
+
+// TestRuleWithoutFieldRefusesLast: the schema never narrows to zero
+// fields.
+func TestRuleWithoutFieldRefusesLast(t *testing.T) {
+	tr, err := transform.ParseString(`rule U(f0: vx) {
+  v := root / a
+  vx := v / @x
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ruleWithoutField(tr.Rules[0], "f0"); ok {
+		t.Fatal("dropped the last field")
+	}
+}
+
+// TestRandParseableKeyRoundTrips pins the server-lane domain: every
+// generated φ must survive Key.String → Parse unchanged. (The first
+// harness runs caught the generator emitting attribute-final targets,
+// which the key syntax rejects.)
+func TestRandParseableKeyRoundTrips(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		k := randParseableKey(r)
+		back, err := xmlkey.Parse(k.String())
+		if err != nil {
+			t.Fatalf("draw %d: %s does not parse: %v", i, k, err)
+		}
+		if !back.Equal(k) {
+			t.Fatalf("draw %d: round trip changed %s to %s", i, k, back)
+		}
+	}
+}

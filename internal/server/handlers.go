@@ -16,8 +16,8 @@ import (
 	"strings"
 
 	"xkprop/internal/core"
-	"xkprop/internal/rel"
 	"xkprop/internal/registry"
+	"xkprop/internal/rel"
 	"xkprop/internal/sqlgen"
 	"xkprop/internal/stream"
 	"xkprop/internal/xmlkey"
@@ -215,6 +215,10 @@ func (s *Server) handleDDL(ctx context.Context, r *http.Request) (any, error) {
 	cover, err := eng.CachedCoverCtx(ctx)
 	if err != nil {
 		return nil, err
+	}
+	if !sqlgen.KnownDialect(req.Dialect) {
+		return nil, inputErr(`bad "dialect" %q: want one of %s`,
+			req.Dialect, strings.Join(sqlgen.Dialects, ", "))
 	}
 	schema := eng.Rule().Schema
 	var frags []rel.Fragment

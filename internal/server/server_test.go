@@ -404,3 +404,73 @@ func TestRequestTimeoutDefaultAndCap(t *testing.T) {
 		t.Fatalf("cap: got %d %v, want 504", code, out)
 	}
 }
+
+// TestRequestContextResolution pins the exact deadline the clamp resolves
+// for every precedence case, not just the observable abort behavior: the
+// override wins below the cap (even when shorter than the server default),
+// the cap wins above it and when no timeout is set at all, and a bad
+// ?timeout= is a 400, never a silently unclamped request.
+func TestRequestContextResolution(t *testing.T) {
+	deadline := func(t *testing.T, cfg Config, query string) (time.Duration, *apiError) {
+		t.Helper()
+		s := newTestServer(t, cfg)
+		req := httptest.NewRequest(http.MethodPost, "/v1/cover"+query, nil)
+		ctx, cancel, ae := s.requestContext(req)
+		if ae != nil {
+			return 0, ae
+		}
+		defer cancel()
+		d, ok := ctx.Deadline()
+		if !ok {
+			return 0, nil
+		}
+		return time.Until(d), nil
+	}
+	within := func(t *testing.T, name string, got, want time.Duration) {
+		t.Helper()
+		if got > want || got < want-time.Second {
+			t.Errorf("%s: resolved deadline %v, want ~%v", name, got, want)
+		}
+	}
+
+	// No override: the server default applies as-is.
+	got, ae := deadline(t, Config{RequestTimeout: 5 * time.Second}, "")
+	if ae != nil {
+		t.Fatalf("default: %v", ae)
+	}
+	within(t, "default", got, 5*time.Second)
+
+	// Nothing configured at all: the request runs without a deadline.
+	if got, ae = deadline(t, Config{}, ""); ae != nil || got != 0 {
+		t.Errorf("unbounded: deadline %v err %v, want none", got, ae)
+	}
+
+	// No per-request or default timeout, but a cap: the cap becomes the
+	// deadline — MaxTimeout is a ceiling for every request, configured or not.
+	got, ae = deadline(t, Config{MaxTimeout: 2 * time.Second}, "")
+	if ae != nil {
+		t.Fatalf("cap-as-default: %v", ae)
+	}
+	within(t, "cap-as-default", got, 2*time.Second)
+
+	// Sub-cap override wins, even when shorter than the server default.
+	got, ae = deadline(t, Config{RequestTimeout: 30 * time.Second, MaxTimeout: time.Minute}, "?timeout=3s")
+	if ae != nil {
+		t.Fatalf("short override: %v", ae)
+	}
+	within(t, "short override", got, 3*time.Second)
+
+	// Over-cap override is clamped to MaxTimeout, never extending past it.
+	got, ae = deadline(t, Config{RequestTimeout: time.Second, MaxTimeout: 4 * time.Second}, "?timeout=1h")
+	if ae != nil {
+		t.Fatalf("clamped override: %v", ae)
+	}
+	within(t, "clamped override", got, 4*time.Second)
+
+	// Unparseable, zero, and negative overrides are input errors.
+	for _, q := range []string{"?timeout=banana", "?timeout=0", "?timeout=-5s", "?timeout=10"} {
+		if _, ae := deadline(t, Config{RequestTimeout: time.Second}, q); ae == nil || ae.Kind != "input" {
+			t.Errorf("%s: error %v, want kind=input", q, ae)
+		}
+	}
+}

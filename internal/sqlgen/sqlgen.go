@@ -17,8 +17,8 @@ import (
 
 // Options controls DDL generation.
 type Options struct {
-	// Dialect selects quoting and type spelling; "standard" (default) or
-	// "sqlite".
+	// Dialect selects quoting and type spelling; "standard" (default),
+	// "sqlite" or "mysql". See Dialects.
 	Dialect string
 	// TablePrefix prefixes every generated table name.
 	TablePrefix string
@@ -208,6 +208,25 @@ func DDL(tables []Table, opts Options) string {
 	return b.String()
 }
 
+// Dialects lists the supported SQL dialects: "standard" and "sqlite"
+// quote identifiers with double quotes (embedded quotes doubled, per the
+// SQL standard), "mysql" with backticks (embedded backticks doubled).
+var Dialects = []string{"standard", "sqlite", "mysql"}
+
+// KnownDialect reports whether the tools should accept the dialect name
+// ("" selects standard).
+func KnownDialect(dialect string) bool {
+	if dialect == "" {
+		return true
+	}
+	for _, d := range Dialects {
+		if d == dialect {
+			return true
+		}
+	}
+	return false
+}
+
 func textType(dialect string) string {
 	switch dialect {
 	case "sqlite":
@@ -217,7 +236,14 @@ func textType(dialect string) string {
 	}
 }
 
+// quote renders an identifier for the dialect, escaping the dialect's own
+// quote character by doubling it — so reserved words, spaces, and even
+// embedded quote characters round-trip as exact identifiers rather than
+// breaking out of the quoted context.
 func quote(name, dialect string) string {
+	if dialect == "mysql" {
+		return "`" + strings.ReplaceAll(name, "`", "``") + "`"
+	}
 	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
 }
 

@@ -141,3 +141,68 @@ func TestSharedKeyFragmentsNoAmbiguousFKs(t *testing.T) {
 		}
 	}
 }
+
+// TestQuotePerDialect pins identifier quoting over every supported
+// dialect: the dialect's own quote character is doubled, the other
+// dialect's quote character passes through untouched, and reserved words
+// round-trip as exact identifiers.
+func TestQuotePerDialect(t *testing.T) {
+	cases := []struct {
+		dialect string
+		name    string
+		want    string
+	}{
+		// SQL-standard double quotes; embedded " doubled.
+		{"standard", "order", `"order"`},
+		{"standard", `odd"name`, `"odd""name"`},
+		{"standard", "back`tick", "\"back`tick\""},
+		{"sqlite", "select", `"select"`},
+		{"sqlite", `a"b"c`, `"a""b""c"`},
+		{"", "group", `"group"`}, // empty dialect = standard
+		// MySQL backticks; embedded ` doubled, " passes through.
+		{"mysql", "order", "`order`"},
+		{"mysql", "back`tick", "`back``tick`"},
+		{"mysql", `odd"name`, "`odd\"name`"},
+	}
+	for _, c := range cases {
+		if got := quote(c.name, c.dialect); got != c.want {
+			t.Errorf("quote(%q, %q) = %s, want %s", c.name, c.dialect, got, c.want)
+		}
+	}
+}
+
+// TestDDLReservedWordsAllDialects renders a schema made of reserved words
+// through the full DDL path for every dialect: every identifier must come
+// out quoted in the dialect's own style, including inside PRIMARY KEY.
+func TestDDLReservedWordsAllDialects(t *testing.T) {
+	s := rel.MustSchema("select", "order", "group", "table")
+	wants := map[string][]string{
+		"standard": {`CREATE TABLE "select"`, `"order" VARCHAR(1024) NOT NULL`, `PRIMARY KEY ("order")`},
+		"sqlite":   {`CREATE TABLE "select"`, `"order" TEXT NOT NULL`, `PRIMARY KEY ("order")`},
+		"mysql":    {"CREATE TABLE `select`", "`order` VARCHAR(1024) NOT NULL", "PRIMARY KEY (`order`)"},
+	}
+	for _, dialect := range Dialects {
+		opts := Options{Dialect: dialect}
+		ddl := DDL([]Table{FromSchema(s, s.MustSet("order"), opts)}, opts)
+		for _, want := range wants[dialect] {
+			if !strings.Contains(ddl, want) {
+				t.Errorf("%s: missing %q in:\n%s", dialect, want, ddl)
+			}
+		}
+	}
+}
+
+// TestKnownDialect: the tools' shared validation accepts exactly the
+// supported dialects (and the empty default).
+func TestKnownDialect(t *testing.T) {
+	for _, d := range append([]string{""}, Dialects...) {
+		if !KnownDialect(d) {
+			t.Errorf("KnownDialect(%q) = false", d)
+		}
+	}
+	for _, d := range []string{"postgres", "MYSQL", "Standard"} {
+		if KnownDialect(d) {
+			t.Errorf("KnownDialect(%q) = true", d)
+		}
+	}
+}

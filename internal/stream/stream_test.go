@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -293,5 +294,58 @@ func BenchmarkStreamValidate(b *testing.B) {
 		if err != nil || len(vs) != 0 {
 			b.Fatalf("err=%v violations=%d", err, len(vs))
 		}
+	}
+}
+
+// TestStreamOffsetCRLFAndUTF8 pins that Offset counts raw input bytes:
+// CRLF line endings (which the decoder normalizes to \n in CharData) and
+// multi-byte UTF-8 text ahead of the offender must not shift the reported
+// position. The offset must land exactly on the '<' of the target element.
+func TestStreamOffsetCRLFAndUTF8(t *testing.T) {
+	sigma := xmlkey.MustParseSet("(ε, (//book, {@isbn}))")
+
+	// CRLF before and between elements: byte offsets include the \r bytes.
+	src := "<r>\r\n  <book isbn=\"1\"/>\r\n  <book isbn=\"1\"/>\r\n</r>"
+	vs, err := ValidateString(src, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Kind != xmlkey.DuplicateKey {
+		t.Fatalf("crlf: want one DuplicateKey, got %v", vs)
+	}
+	if want := int64(strings.LastIndex(src, "<book")); vs[0].Offset != want {
+		t.Errorf("crlf: offset = %d, want %d", vs[0].Offset, want)
+	}
+	if src[vs[0].Offset] != '<' {
+		t.Errorf("crlf: byte at offset is %q, want '<'", src[vs[0].Offset])
+	}
+
+	// Multi-byte UTF-8 CharData (2-, 3- and 4-byte sequences) before the
+	// offender: offsets are bytes, not runes.
+	src = `<r>naïve — 文字 🎈<book isbn="1"/><book isbn="1"/></r>`
+	vs, err = ValidateString(src, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("utf8: want one violation, got %v", vs)
+	}
+	if want := int64(strings.LastIndex(src, "<book")); vs[0].Offset != want {
+		t.Errorf("utf8: offset = %d, want %d", vs[0].Offset, want)
+	}
+	if src[vs[0].Offset] != '<' {
+		t.Errorf("utf8: byte at offset is %q, want '<'", src[vs[0].Offset])
+	}
+
+	// DecodeError.Offset is byte-accurate too: the decoder trips on the
+	// malformed tag after multi-byte text, not before it.
+	src = "<r>\r\n文字🎈</unclosed>"
+	_, err = ValidateString(src, sigma)
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("want DecodeError, got %v", err)
+	}
+	if want := int64(strings.Index(src, "</unclosed>")); de.Offset < want {
+		t.Errorf("decode error offset = %d, want >= %d (start of bad tag)", de.Offset, want)
 	}
 }

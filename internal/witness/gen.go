@@ -1,0 +1,72 @@
+package witness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xkprop/internal/transform"
+	"xkprop/internal/xmlkey"
+)
+
+// RandomWorkload builds a random table rule and key set over a tiny
+// vocabulary (labels a/b/c, attributes x/y): small alphabets maximize
+// path collisions, which is where implication and propagation decisions
+// get interesting. It is the generator behind the package's soak tests
+// and xkdiff's randomized lanes. All randomness comes from r — never from
+// math/rand's global state — so equal (r state) means equal output and
+// concurrent callers with their own generators never race.
+func RandomWorkload(r *rand.Rand) ([]xmlkey.Key, *transform.Rule) {
+	labels := []string{"a", "b", "c"}
+	attrs := []string{"x", "y"}
+	n := 1 + r.Intn(3)
+	var body strings.Builder
+	var fields []string
+	names := []string{transform.RootVar}
+	fieldNo := 0
+	for i := 0; i < n; i++ {
+		parent := names[r.Intn(len(names))]
+		name := fmt.Sprintf("v%d", i)
+		path := labels[r.Intn(len(labels))]
+		if parent == transform.RootVar && r.Intn(2) == 0 {
+			path = "//" + path
+		}
+		fmt.Fprintf(&body, "  %s := %s / %s\n", name, parent, path)
+		names = append(names, name)
+		for _, a := range attrs {
+			if r.Intn(2) == 0 {
+				f := fmt.Sprintf("f%d", fieldNo)
+				fieldNo++
+				fmt.Fprintf(&body, "  %s_%s := %s / @%s\n", name, a, name, a)
+				fields = append(fields, fmt.Sprintf("%s: %s_%s", f, name, a))
+			}
+		}
+	}
+	if len(fields) == 0 {
+		fmt.Fprintf(&body, "  v0_x := v0 / @x\n")
+		fields = append(fields, "f0: v0_x")
+	}
+	src := fmt.Sprintf("rule U(%s) {\n%s}\n", strings.Join(fields, ", "), body.String())
+	tr, err := transform.ParseString(src)
+	if err != nil {
+		panic(err) // the generator only emits well-formed DSL
+	}
+	var sigma []xmlkey.Key
+	for i := 0; i < 1+r.Intn(3); i++ {
+		ctx := "ε"
+		if r.Intn(2) == 0 {
+			ctx = "//" + labels[r.Intn(len(labels))]
+		}
+		tgt := labels[r.Intn(len(labels))]
+		var ks []string
+		if r.Intn(3) != 0 {
+			ks = append(ks, "@"+attrs[r.Intn(len(attrs))])
+		}
+		k, err := xmlkey.Parse(fmt.Sprintf("(%s, (%s, {%s}))", ctx, tgt, strings.Join(ks, ", ")))
+		if err != nil {
+			continue
+		}
+		sigma = append(sigma, k)
+	}
+	return sigma, tr.Rules[0]
+}

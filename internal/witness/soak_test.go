@@ -1,74 +1,12 @@
 package witness
 
 import (
-	"fmt"
 	"math/rand"
-	"strings"
 	"testing"
 
 	"xkprop/internal/core"
 	"xkprop/internal/rel"
-	"xkprop/internal/transform"
-	"xkprop/internal/xmlkey"
 )
-
-// genSoakWorkload builds a random rule + key set over a tiny vocabulary
-// (mirrors core's property-test generator, duplicated here to keep the
-// packages independent).
-func genSoakWorkload(r *rand.Rand) ([]xmlkey.Key, *transform.Rule) {
-	labels := []string{"a", "b", "c"}
-	attrs := []string{"x", "y"}
-	n := 1 + r.Intn(3)
-	var body strings.Builder
-	var fields []string
-	names := []string{transform.RootVar}
-	fieldNo := 0
-	for i := 0; i < n; i++ {
-		parent := names[r.Intn(len(names))]
-		name := fmt.Sprintf("v%d", i)
-		path := labels[r.Intn(len(labels))]
-		if parent == transform.RootVar && r.Intn(2) == 0 {
-			path = "//" + path
-		}
-		fmt.Fprintf(&body, "  %s := %s / %s\n", name, parent, path)
-		names = append(names, name)
-		for _, a := range attrs {
-			if r.Intn(2) == 0 {
-				f := fmt.Sprintf("f%d", fieldNo)
-				fieldNo++
-				fmt.Fprintf(&body, "  %s_%s := %s / @%s\n", name, a, name, a)
-				fields = append(fields, fmt.Sprintf("%s: %s_%s", f, name, a))
-			}
-		}
-	}
-	if len(fields) == 0 {
-		fmt.Fprintf(&body, "  v0_x := v0 / @x\n")
-		fields = append(fields, "f0: v0_x")
-	}
-	src := fmt.Sprintf("rule U(%s) {\n%s}\n", strings.Join(fields, ", "), body.String())
-	tr, err := transform.ParseString(src)
-	if err != nil {
-		panic(err)
-	}
-	var sigma []xmlkey.Key
-	for i := 0; i < 1+r.Intn(3); i++ {
-		ctx := "ε"
-		if r.Intn(2) == 0 {
-			ctx = "//" + labels[r.Intn(len(labels))]
-		}
-		tgt := labels[r.Intn(len(labels))]
-		var ks []string
-		if r.Intn(3) != 0 {
-			ks = append(ks, "@"+attrs[r.Intn(len(attrs))])
-		}
-		k, err := xmlkey.Parse(fmt.Sprintf("(%s, (%s, {%s}))", ctx, tgt, strings.Join(ks, ", ")))
-		if err != nil {
-			continue
-		}
-		sigma = append(sigma, k)
-	}
-	return sigma, tr.Rules[0]
-}
 
 // TestSoakRefusalsConfirmedByWitnesses measures, over random workloads,
 // how many propagation refusals are confirmed by a concrete
@@ -83,7 +21,7 @@ func TestSoakRefusalsConfirmedByWitnesses(t *testing.T) {
 	r := rand.New(rand.NewSource(101))
 	refused, confirmed := 0, 0
 	for trial := 0; trial < 60 && refused < 40; trial++ {
-		sigma, rule := genSoakWorkload(r)
+		sigma, rule := RandomWorkload(r)
 		e := core.NewEngine(sigma, rule)
 		nf := rule.Schema.Len()
 		for q := 0; q < 6; q++ {
@@ -122,7 +60,7 @@ func TestSoakAcceptancesNeverRefuted(t *testing.T) {
 	r := rand.New(rand.NewSource(102))
 	checked := 0
 	for trial := 0; trial < 80; trial++ {
-		sigma, rule := genSoakWorkload(r)
+		sigma, rule := RandomWorkload(r)
 		e := core.NewEngine(sigma, rule)
 		for _, fd := range e.MinimumCover() {
 			checked++

@@ -32,13 +32,32 @@ type Options struct {
 	MaxTries int
 	// MaxFanout bounds sibling replication per variable (default 3).
 	MaxFanout int
-	// Seed seeds the search (default 1).
+	// Seed seeds the search (default 1; Seed 0 means "default", so a
+	// caller needing literal seed 0 must inject Rand).
 	Seed int64
+	// Rand, when non-nil, is the search's random source and takes
+	// precedence over Seed. The package draws randomness ONLY from this
+	// generator (never from math/rand's global state), so a caller that
+	// injects a seeded *rand.Rand gets byte-identical replays. A
+	// *rand.Rand is not goroutine-safe: concurrent searches must each
+	// inject their own (see TestSearchDeterministicUnderConcurrency).
+	Rand *rand.Rand
 	// AttrDomain is the value pool for attributes (default {"0", "1"}).
 	AttrDomain []string
 	// OmitProb is the probability of omitting an optional attribute or
 	// element, in percent (default 20).
 	OmitProb int
+}
+
+// rng returns the search's random generator: the injected Rand, or a
+// fresh generator seeded by Seed. Each call without an injected Rand
+// builds a new generator, so two searches with equal Options are
+// replays of each other.
+func (o Options) rng() *rand.Rand {
+	if o.Rand != nil {
+		return o.Rand
+	}
+	return rand.New(rand.NewSource(o.Seed))
 }
 
 func (o Options) withDefaults() Options {
@@ -65,7 +84,7 @@ func (o Options) withDefaults() Options {
 // condition.
 func FDCounterexample(sigma []xmlkey.Key, rule *transform.Rule, fd rel.FD, opts Options) (*xmltree.Tree, []rel.FDViolation, bool) {
 	opts = opts.withDefaults()
-	r := rand.New(rand.NewSource(opts.Seed))
+	r := opts.rng()
 	for try := 0; try < opts.MaxTries; try++ {
 		root := instantiate(rule, r, opts)
 		repairExistence(root, sigma, r, opts)
@@ -87,7 +106,7 @@ func FDCounterexample(sigma []xmlkey.Key, rule *transform.Rule, fd rel.FD, opts 
 // interleaved with purely random trees.
 func KeyCounterexample(sigma []xmlkey.Key, phi xmlkey.Key, opts Options) (*xmltree.Tree, bool) {
 	opts = opts.withDefaults()
-	r := rand.New(rand.NewSource(opts.Seed))
+	r := opts.rng()
 	labels, attrs := vocabulary(append(append([]xmlkey.Key{}, sigma...), phi))
 	for try := 0; try < opts.MaxTries; try++ {
 		var root *xmltree.Node

@@ -1,0 +1,103 @@
+package xmlkey
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xkprop/internal/xpath"
+)
+
+// randOraclePath builds a random element path over a tiny vocabulary
+// (small alphabet to provoke containment collisions).
+func randOraclePath(r *rand.Rand, maxSteps int) xpath.Path {
+	p := xpath.Epsilon
+	n := r.Intn(maxSteps + 1)
+	for i := 0; i < n; i++ {
+		if r.Intn(4) == 0 {
+			p = p.Concat(xpath.Desc)
+		} else {
+			p = p.Concat(xpath.Elem(string(rune('a' + r.Intn(3)))))
+		}
+	}
+	return p
+}
+
+func randOracleKeys(r *rand.Rand) []Key {
+	attrs := []string{"x", "y"}
+	n := 1 + r.Intn(3)
+	sigma := make([]Key, 0, n)
+	for i := 0; i < n; i++ {
+		tgt := randOraclePath(r, 2)
+		if tgt.IsEpsilon() {
+			tgt = xpath.Elem("a")
+		}
+		var ks []string
+		for _, a := range attrs {
+			if r.Intn(2) == 0 {
+				ks = append(ks, a)
+			}
+		}
+		sigma = append(sigma, New(fmt.Sprintf("k%d", i), randOraclePath(r, 2), tgt, ks...))
+	}
+	return sigma
+}
+
+// TestOracleAgreesWithDeciderPaper cross-checks the reference oracle
+// against the production decider on every goal the paper-example tests
+// exercise.
+func TestOracleAgreesWithDeciderPaper(t *testing.T) {
+	sigma := paperKeys()
+	dec := NewDecider(sigma)
+	goals := []string{
+		"(ε, (ε, {}))",
+		"(ε, (//book, {@isbn}))",
+		"(ε, (book, {@isbn}))",
+		"(//book, (chapter, {@number}))",
+		"(//book, (author/contact, {}))",
+		"(//book/chapter, (name, {}))",
+		"(ε, (//book/chapter, {@number}))",
+		"(//book, (chapter/section, {@number}))",
+		"(ε, (//chapter, {@number}))",
+	}
+	for _, s := range goals {
+		phi := MustParse(s)
+		got := dec.Implies(phi)
+		want := OracleImplies(sigma, phi)
+		if got != want {
+			t.Errorf("decider=%v oracle=%v for %s", got, want, s)
+		}
+	}
+}
+
+// TestOracleAgreesWithDeciderRandom sweeps randomized (Σ, φ) pairs — a
+// miniature of xkdiff lane 1, kept in-package so `go test ./internal/xmlkey`
+// alone catches a kernel/oracle divergence.
+func TestOracleAgreesWithDeciderRandom(t *testing.T) {
+	rounds := 400
+	if testing.Short() {
+		rounds = 80
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < rounds; i++ {
+		sigma := randOracleKeys(r)
+		dec := NewDecider(sigma)
+		for j := 0; j < 8; j++ {
+			c := randOraclePath(r, 3)
+			tgt := randOraclePath(r, 3)
+			var attrs []string
+			if r.Intn(2) == 0 {
+				attrs = append(attrs, "x")
+			}
+			if r.Intn(3) == 0 {
+				attrs = append(attrs, "y")
+			}
+			got := dec.ImpliesCT(c, tgt, attrs)
+			want := OracleImpliesCT(sigma, c, tgt, attrs)
+			if got != want {
+				t.Fatalf("round %d: decider=%v oracle=%v\nΣ=%v\ngoal=(%s, (%s, %v))",
+					i, got, want, sigma, c, tgt, attrs)
+			}
+		}
+	}
+}

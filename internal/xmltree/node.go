@@ -259,8 +259,45 @@ func Eval(n *Node, p xpath.Path) []*Node {
 	for m := range frontier {
 		out = append(out, m)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sortDocumentOrder(n, out)
 	return out
+}
+
+// sortDocumentOrder sorts nodes from root's subtree into document order.
+// On a finalized tree the pre-order IDs give the order directly; before
+// Finalize every ID is -1 and sorting by it would leave the result in map
+// iteration order — nondeterministic run to run. The fallback computes
+// structural pre-order ranks with one walk so Eval's document-order
+// contract holds on unfinalized trees too (the witness search evaluates
+// paths on documents it is still mutating).
+func sortDocumentOrder(root *Node, out []*Node) {
+	finalized := true
+	for _, m := range out {
+		if m.ID < 0 {
+			finalized = false
+			break
+		}
+	}
+	if finalized {
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		return
+	}
+	rank := make(map[*Node]int)
+	idx := 0
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		rank[m] = idx
+		idx++
+		for _, a := range m.Attrs {
+			rank[a] = idx
+			idx++
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	sort.Slice(out, func(i, j int) bool { return rank[out[i]] < rank[out[j]] })
 }
 
 func collectDescendantsOrSelf(n *Node, into map[*Node]bool) {

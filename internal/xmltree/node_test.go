@@ -1,6 +1,7 @@
 package xmltree
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"testing"
@@ -385,5 +386,44 @@ func TestKindString(t *testing.T) {
 	}
 	if Kind(9).String() != "Kind(9)" {
 		t.Error("unknown kind formatting")
+	}
+}
+
+// TestEvalUnfinalizedDocumentOrder: Eval promises document order even
+// before Finalize assigns IDs. Regression test for the witness-search
+// nondeterminism where Eval on an unfinalized tree (all IDs -1) returned
+// map iteration order: the search's RNG consumption then depended on it,
+// so equal seeds produced different counterexample documents.
+func TestEvalUnfinalizedDocumentOrder(t *testing.T) {
+	build := func() *Node {
+		root := NewElement("r")
+		for i := 0; i < 6; i++ {
+			b := root.Elem("b")
+			b.SetAttr("i", fmt.Sprint(i))
+			b.Elem("a")
+		}
+		return root
+	}
+	for trial := 0; trial < 50; trial++ {
+		root := build()
+		bs := Eval(root, xpath.MustParse("b"))
+		if len(bs) != 6 {
+			t.Fatalf("want 6 b nodes, got %d", len(bs))
+		}
+		for i, n := range bs {
+			if got, _ := n.AttrValue("i"); got != fmt.Sprint(i) {
+				t.Fatalf("trial %d: position %d holds b[i=%s]; unfinalized Eval is out of document order", trial, i, got)
+			}
+		}
+		// Descendant steps exercise the map-heavy path.
+		as := Eval(root, xpath.MustParse("//a"))
+		if len(as) != 6 {
+			t.Fatalf("want 6 a nodes, got %d", len(as))
+		}
+		for i, n := range as {
+			if got, _ := n.Parent.AttrValue("i"); got != fmt.Sprint(i) {
+				t.Fatalf("trial %d: //a position %d under b[i=%s]", trial, i, got)
+			}
+		}
 	}
 }

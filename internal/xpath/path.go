@@ -171,6 +171,22 @@ func (p Path) Normalize() Path {
 	return Path{steps: out}
 }
 
+// WithoutStep returns the path with step i removed, normalized (so
+// adjacent "//" steps left behind by the removal collapse). It panics if
+// i is out of range. Shrinkers use it to minimize failing paths one step
+// at a time: every removal yields a strictly shorter, still-well-formed
+// path (an attribute step can only occupy the final position, and
+// removals preserve relative order).
+func (p Path) WithoutStep(i int) Path {
+	if i < 0 || i >= len(p.steps) {
+		panic(fmt.Sprintf("xpath: WithoutStep(%d) on a %d-step path", i, len(p.steps)))
+	}
+	steps := make([]Step, 0, len(p.steps)-1)
+	steps = append(steps, p.steps[:i]...)
+	steps = append(steps, p.steps[i+1:]...)
+	return Path{steps: steps}.Normalize()
+}
+
 // Split returns the prefix p[0:i] and suffix p[i:] as two paths.
 // i ranges over 0..Len(). Splitting never copies step data it does not own.
 func (p Path) Split(i int) (prefix, suffix Path) {

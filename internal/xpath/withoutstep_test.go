@@ -1,0 +1,44 @@
+package xpath
+
+import "testing"
+
+func TestWithoutStep(t *testing.T) {
+	cases := []struct {
+		in   string
+		i    int
+		want string
+	}{
+		{"a/b/c", 1, "a/c"},
+		{"a/b/c", 0, "b/c"},
+		{"a/b/c", 2, "a/b"},
+		{"//a//b", 1, "//b"}, // dropping 'a' merges the two gaps
+		{"//a//b", 3, "//a//"},
+		{"a//b", 0, "//b"},
+		{"a//b", 1, "a/b"}, // dropping the gap makes the path stricter
+		{"a/@x", 1, "a"},
+		{"a/@x", 0, "@x"},
+	}
+	for _, c := range cases {
+		p := MustParse(c.in)
+		got := p.WithoutStep(c.i)
+		if got.String() != MustParse(c.want).String() {
+			t.Errorf("WithoutStep(%q, %d) = %s, want %s", c.in, c.i, got, c.want)
+		}
+		if got.Len() >= p.Len() {
+			t.Errorf("WithoutStep(%q, %d) did not shrink: %d -> %d steps", c.in, c.i, p.Len(), got.Len())
+		}
+	}
+	// The receiver is untouched (immutability convention).
+	p := MustParse("a/b/c")
+	_ = p.WithoutStep(1)
+	if p.String() != "a/b/c" {
+		t.Errorf("receiver mutated: %s", p)
+	}
+	// Out-of-range panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("WithoutStep out of range did not panic")
+		}
+	}()
+	MustParse("a").WithoutStep(1)
+}
