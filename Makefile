@@ -1,8 +1,9 @@
 GO ?= go
 BENCH_JSON ?= BENCH_pathkernel.json
+BENCH_FDCLOSURE_JSON ?= BENCH_fdclosure.json
 FUZZTIME ?= 30s
 
-.PHONY: build test vet race stress fuzz-smoke bench bench-json serve-smoke diff-smoke verify help
+.PHONY: build test vet race stress fuzz-smoke bench bench-json bench-fdclosure bench-check serve-smoke diff-smoke verify help
 
 build:
 	$(GO) build ./...
@@ -27,21 +28,35 @@ stress:
 
 # fuzz-smoke gives each fuzz target a $(FUZZTIME) budget over the checked-in
 # corpora (testdata/fuzz/). Go allows one -fuzz target per run, hence the
-# three invocations.
+# four invocations.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseKey -fuzztime=$(FUZZTIME) ./internal/xmlkey/
 	$(GO) test -run='^$$' -fuzz=FuzzParseTransformation -fuzztime=$(FUZZTIME) ./internal/transform/
 	$(GO) test -run='^$$' -fuzz=FuzzStreamValidator -fuzztime=$(FUZZTIME) ./internal/stream/
+	$(GO) test -run='^$$' -fuzz=FuzzLinClosure -fuzztime=$(FUZZTIME) ./internal/rel/
 
 # bench runs the testing.B suite with allocation counters and then
-# regenerates the machine-readable minimum-cover trajectory (§6 grid,
-# sequential and parallel) via xkbench -json.
+# regenerates both machine-readable trajectories: the minimum-cover §6
+# grid (xkbench -json) and the FD-closure micro-grid (-suite fdclosure).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(MAKE) bench-json
+	$(MAKE) bench-fdclosure
 
 bench-json:
 	$(GO) run ./cmd/xkbench -json $(BENCH_JSON)
+
+bench-fdclosure:
+	$(GO) run ./cmd/xkbench -suite fdclosure -json $(BENCH_FDCLOSURE_JSON)
+
+# bench-check re-runs the fdclosure suite on the current build and fails
+# if any point is more than 25% slower (ns/op) than the committed
+# baseline. ns/op is machine-dependent, so this is a manual target for
+# the machine that produced the baseline — it is deliberately NOT part
+# of `make verify`. Pass BENCH_FDCLOSURE_JSON=... to check another file
+# (a pathkernel baseline works too: the suite marker is dispatched).
+bench-check:
+	$(GO) run ./cmd/xkbench -check-against $(BENCH_FDCLOSURE_JSON)
 
 # serve-smoke boots a real xkserve on an ephemeral port and drives every
 # endpoint over TCP: second identical propagation request must be a
@@ -67,17 +82,22 @@ diff-smoke:
 # well-formed pathkernel JSON.
 verify: build vet test race stress serve-smoke diff-smoke
 	@if [ -f $(BENCH_JSON) ]; then $(GO) run ./cmd/xkbench -check-json $(BENCH_JSON); fi
+	@if [ -f $(BENCH_FDCLOSURE_JSON) ]; then $(GO) run ./cmd/xkbench -check-json $(BENCH_FDCLOSURE_JSON); fi
 
 help:
 	@echo "Targets:"
-	@echo "  build       go build ./..."
-	@echo "  test        go test ./..."
-	@echo "  vet         go vet ./..."
-	@echo "  race        full test suite under -race -short"
-	@echo "  stress      fault-injection suites only, under -race -short"
-	@echo "  fuzz-smoke  run each fuzz target for FUZZTIME (default 30s)"
-	@echo "  bench       testing.B suite + xkbench -json trajectory"
-	@echo "  bench-json  regenerate $(BENCH_JSON) only"
-	@echo "  serve-smoke boot xkserve on an ephemeral port and drive every endpoint"
-	@echo "  diff-smoke  cross-check every redundant decision path on a pinned seed"
-	@echo "  verify      build + vet + test + race + stress + serve-smoke + diff-smoke + bench JSON check"
+	@echo "  build           go build ./..."
+	@echo "  test            go test ./..."
+	@echo "  vet             go vet ./..."
+	@echo "  race            full test suite under -race -short"
+	@echo "  stress          fault-injection suites only, under -race -short"
+	@echo "  fuzz-smoke      run each fuzz target for FUZZTIME (default 30s)"
+	@echo "  bench           testing.B suite + both xkbench JSON trajectories"
+	@echo "  bench-json      regenerate $(BENCH_JSON) only"
+	@echo "  bench-fdclosure regenerate $(BENCH_FDCLOSURE_JSON) only (FD-closure micro-grid)"
+	@echo "  bench-check     re-run the fdclosure suite and fail on >25% ns/op regression"
+	@echo "                  vs the committed $(BENCH_FDCLOSURE_JSON); same-machine baselines"
+	@echo "                  only, so it is manual and not part of verify"
+	@echo "  serve-smoke     boot xkserve on an ephemeral port and drive every endpoint"
+	@echo "  diff-smoke      cross-check every redundant decision path on a pinned seed"
+	@echo "  verify          build + vet + test + race + stress + serve-smoke + diff-smoke + bench JSON checks"

@@ -50,6 +50,10 @@ const (
 	// a decider memo, an interned path universe and lazily built covers —
 	// may be resident before the LRU evicts.
 	RegistryEntries Resource = "registry entries"
+	// ClosureEntries caps the closure-set cache of a compiled FD index
+	// (rel.FDIndex.EnableCache). Like RegistryEntries it bounds a cache:
+	// exceeding it evicts rather than errors.
+	ClosureEntries Resource = "closure-cache entries"
 )
 
 // Error reports that a call stopped because a resource budget was
@@ -104,6 +108,10 @@ type Budget struct {
 	// registry (registry.New); unlike the other caps it bounds a cache, so
 	// exceeding it evicts rather than errors.
 	MaxRegistryEntries int
+	// MaxClosureEntries caps the closure-set cache each engine layers over
+	// its compiled FD index (0 = rel.DefaultClosureEntries). It bounds a
+	// cache, so exceeding it evicts rather than errors.
+	MaxClosureEntries int
 }
 
 // DefaultEnumFields is the schema-width cap Algorithm naive applies when

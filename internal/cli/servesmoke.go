@@ -202,6 +202,25 @@ func runServeSmoke(stdout, stderr io.Writer, cfg server.Config) int {
 			c.errorf("/v1/cover: got %v, want a non-empty cover", out)
 		}
 	}
+	// Repeat the cover request on the now-warm schema: it must recompile
+	// neither the schema (registry.compiles) nor the cover's FD index
+	// (fdindex.compiles) — the artifact serves the cached cover and its
+	// precompiled closure index.
+	before = c.vars()
+	if out := c.post("/v1/cover", schemaReq, 200); out != nil {
+		if n, ok := out["size"].(float64); !ok || n < 1 {
+			c.errorf("/v1/cover (repeat): got %v, want a non-empty cover", out)
+		}
+	}
+	after = c.vars()
+	if before != nil && after != nil {
+		if d := c.varInt(after, "registry.compiles") - c.varInt(before, "registry.compiles"); d != 0 {
+			c.errorf("warm /v1/cover recompiled the schema (%d compiles), want 0", d)
+		}
+		if d := c.varInt(after, "fdindex.compiles") - c.varInt(before, "fdindex.compiles"); d != 0 {
+			c.errorf("warm /v1/cover recompiled the FD index (%d compiles), want 0", d)
+		}
+	}
 	if out := c.post("/v1/candidates", schemaReq, 200); out != nil {
 		if n, ok := out["count"].(float64); !ok || n < 1 {
 			c.errorf("/v1/candidates: got %v, want at least one candidate key", out)

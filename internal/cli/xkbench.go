@@ -23,8 +23,10 @@ func RunXkbench(args []string, stdout, stderr io.Writer) int {
 	naiveMax := fs.Int("naive-max", 15, "largest field count for the naive baseline")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
-	jsonOut := fs.String("json", "", "run the minimum-cover grid via testing.Benchmark and write a pathkernel JSON report to this file (skips -fig)")
-	checkJSON := fs.String("check-json", "", "validate a pathkernel JSON report and exit (smoke check)")
+	suite := fs.String("suite", "pathkernel", "benchmark suite for -json/no-fig runs: pathkernel (§6 minimum-cover grid) or fdclosure (FD-closure micro-grid)")
+	jsonOut := fs.String("json", "", "run the selected -suite via testing.Benchmark and write a JSON report to this file (skips -fig)")
+	checkJSON := fs.String("check-json", "", "validate a suite JSON report and exit (smoke check)")
+	checkAgainst := fs.String("check-against", "", "re-run the committed report's suite and fail on >25% ns/op regression (same-machine baselines only)")
 	maxFields := fs.Int("max-fields", 100, "cap on grid field counts in -json mode (0 = no cap)")
 	parallel := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -37,6 +39,14 @@ func RunXkbench(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "xkbench: %s OK\n", *checkJSON)
+		return 0
+	}
+
+	if *checkAgainst != "" {
+		if err := checkBenchAgainst(stdout, *checkAgainst, *maxFields, *parallel); err != nil {
+			fmt.Fprintf(stderr, "xkbench: %v\n", err)
+			return 1
+		}
 		return 0
 	}
 
@@ -64,6 +74,23 @@ func RunXkbench(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "xkbench: %v\n", err)
 			}
 		}()
+	}
+
+	switch *suite {
+	case "pathkernel":
+		// Falls through to -json / -fig below.
+	case "fdclosure":
+		if *jsonOut != "" {
+			if err := fdclosureJSON(stdout, *jsonOut); err != nil {
+				return fail(stderr, "xkbench", err)
+			}
+		} else {
+			fdclosureRun(stdout)
+		}
+		return 0
+	default:
+		fmt.Fprintf(stderr, "xkbench: unknown suite %q (want pathkernel or fdclosure)\n", *suite)
+		return 2
 	}
 
 	if *jsonOut != "" {

@@ -51,6 +51,21 @@ type benchReport struct {
 // benchJSON measures minimum cover over the §6 grid (capped at maxFields)
 // in sequential and parallel mode and writes the report to path.
 func benchJSON(stdout io.Writer, path string, maxFields, workers int) error {
+	rep, err := benchPathkernelRun(stdout, maxFields, workers)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return writeFileAtomic(path, data)
+}
+
+// benchPathkernelRun measures the §6 grid and returns the report
+// (shared between -json and -check-against).
+func benchPathkernelRun(stdout io.Writer, maxFields, workers int) (benchReport, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -104,12 +119,7 @@ func benchJSON(stdout io.Writer, path string, maxFields, workers int) error {
 			fmt.Fprintf(stdout, "  WARNING: parallel cover differs from sequential at %s\n", name)
 		}
 	}
-	data, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	return writeFileAtomic(path, data)
+	return rep, nil
 }
 
 // writeFileAtomic writes data to path via a temp file in the same
@@ -148,20 +158,32 @@ func writeFileAtomic(path string, data []byte) error {
 	return nil
 }
 
-// checkBenchJSON validates a report written by benchJSON: well-formed
-// JSON, the pathkernel suite marker, and sane per-result numbers. It is
-// the smoke check `make verify` runs against a committed trajectory.
+// checkBenchJSON validates a report written by -json: well-formed JSON,
+// a known suite marker, and sane per-result numbers. It is the smoke
+// check `make verify` runs against committed trajectories. The suite
+// marker dispatches: pathkernel reports are checked here, fdclosure
+// reports in checkFDClosureJSON (which also enforces the committed
+// indexed-vs-fixpoint speedup floor).
 func checkBenchJSON(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
+	}
+	var head struct {
+		Suite string `json:"suite"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if head.Suite == "fdclosure" {
+		return checkFDClosureJSON(path)
 	}
 	var rep benchReport
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	if rep.Suite != "pathkernel" {
-		return fmt.Errorf("%s: suite is %q, want \"pathkernel\"", path, rep.Suite)
+		return fmt.Errorf("%s: suite is %q, want \"pathkernel\" or \"fdclosure\"", path, rep.Suite)
 	}
 	if len(rep.Results) == 0 {
 		return fmt.Errorf("%s: no results", path)

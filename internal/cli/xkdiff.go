@@ -66,6 +66,9 @@ func RunXkdiff(args []string, stdout, stderr io.Writer) int {
 			if d.FD != "" {
 				fmt.Fprintf(stdout, "    fd:   %s\n", d.FD)
 			}
+			for _, f := range d.FDs {
+				fmt.Fprintf(stdout, "    fd:   %s\n", f)
+			}
 			if d.Key != "" {
 				fmt.Fprintf(stdout, "    φ:    %s\n", d.Key)
 			}

@@ -49,6 +49,8 @@ func RunXkserve(args []string, stdout, stderr io.Writer) int {
 		"budget: candidate superkeys explored by /v1/candidates (0 = no cap)")
 	maxEnumFields := fs.Int("max-enum-fields", 0,
 		"budget: schema-width cap for enumerative analyses (0 = package default)")
+	maxClosureEntries := fs.Int("max-closure-entries", 0,
+		"budget: closure-cache entries per cover index (0 = package default; evicts, never errors)")
 	smoke := fs.Bool("smoke", false,
 		"self-test: boot on an ephemeral port, drive every endpoint once, verify metrics, exit")
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +69,7 @@ func RunXkserve(args []string, stdout, stderr io.Writer) int {
 			MaxCandidateKeys:   *maxCandidates,
 			MaxEnumFields:      *maxEnumFields,
 			MaxRegistryEntries: *registrySize,
+			MaxClosureEntries:  *maxClosureEntries,
 		},
 	}
 

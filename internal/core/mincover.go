@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"xkprop/internal/budget"
 	"xkprop/internal/rel"
 	"xkprop/internal/transform"
 )
@@ -285,31 +286,62 @@ func (e *Engine) GPropagatesCtx(ctx context.Context, fd rel.FD) (bool, error) {
 // first pays for the build. An aborted build (cancellation, budget) leaves
 // the cache empty, so a later call with a live context still succeeds.
 func (e *Engine) CachedCoverCtx(ctx context.Context) ([]rel.FD, error) {
-	return e.minCoverCached(ctx)
+	cover, _, err := e.minCoverCached(ctx)
+	return cover, err
 }
 
-// minCoverCached returns the lazily built cover, building it at most once
-// successfully; failed builds leave the cache empty.
-func (e *Engine) minCoverCached(ctx context.Context) ([]rel.FD, error) {
+// minCoverCached returns the lazily built cover and its compiled FD index,
+// building both at most once successfully; failed builds leave the cache
+// empty. The index's closure cache is capped by budget.MaxClosureEntries
+// (0 = the rel package default).
+func (e *Engine) minCoverCached(ctx context.Context) ([]rel.FD, *rel.FDIndex, error) {
 	e.coverMu.Lock()
 	defer e.coverMu.Unlock()
 	if e.coverBuilt {
-		return e.cover, nil
+		return e.cover, e.coverIdx, nil
 	}
 	cover, err := e.MinimumCoverCtx(ctx)
 	if err != nil {
+		return nil, nil, err
+	}
+	ix := rel.NewFDIndex(cover)
+	limit := 0
+	if b := budget.From(ctx); b != nil {
+		limit = b.MaxClosureEntries
+	}
+	ix.EnableCache(limit)
+	e.cover, e.coverIdx, e.coverBuilt = cover, ix, true
+	return cover, ix, nil
+}
+
+// CandidateKeysCtx enumerates the minimal keys of the rule's relation under
+// the cached cover, reusing the engine's compiled FD index so warm requests
+// skip both the cover build and index construction.
+func (e *Engine) CandidateKeysCtx(ctx context.Context, limit int) ([]rel.AttrSet, error) {
+	_, ix, err := e.minCoverCached(ctx)
+	if err != nil {
 		return nil, err
 	}
-	e.cover, e.coverBuilt = cover, true
-	return cover, nil
+	return rel.CandidateKeysIndexedCtx(ctx, ix, e.rule.Schema.All(), limit)
+}
+
+// ClosureCacheLen reports the resident entries of the cover index's
+// closure-set cache (0 until the cover is built) — a metrics read.
+func (e *Engine) ClosureCacheLen() int {
+	e.coverMu.Lock()
+	defer e.coverMu.Unlock()
+	if e.coverIdx == nil {
+		return 0
+	}
+	return e.coverIdx.CacheLen()
 }
 
 func (e *Engine) gPropagates(ctx context.Context, fd rel.FD) (bool, error) {
-	cover, err := e.minCoverCached(ctx)
+	_, ix, err := e.minCoverCached(ctx)
 	if err != nil {
 		return false, err
 	}
-	if !rel.Implies(cover, fd) {
+	if !ix.Implies(fd) {
 		return false, nil
 	}
 	ok := true

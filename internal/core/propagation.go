@@ -49,9 +49,13 @@ type Engine struct {
 	// cover caches MinimumCover for GPropagates. Unlike a sync.Once, the
 	// mutex+flag pair lets a cancelled build fail without poisoning the
 	// cache: a later call with a live context can still build the cover.
+	// coverIdx is the compiled FD index over the cached cover (with its
+	// closure-set cache enabled), built alongside it and reused by every
+	// relational query on the cover (GPropagates, candidate keys).
 	coverMu    sync.Mutex
 	coverBuilt bool
 	cover      []rel.FD
+	coverIdx   *rel.FDIndex
 }
 
 // rootEntry pairs a root path with its interned ID, so the existence

@@ -1,0 +1,163 @@
+package diffcheck
+
+// Lane "closure": the indexed linear-time attribute closure
+// (rel.FDIndex.Closure, the counter-based LINCLOSURE behind every cover,
+// candidate-key and GPropagates decision) against the retained textbook
+// fixpoint oracle (rel.Closure), bit-for-bit on seeded FD workloads. The
+// same case also cross-checks Implies (the early-exit variant) against the
+// oracle. Shrinking drops whole FDs and individual attributes.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"xkprop/internal/rel"
+)
+
+// closureCase is one seeded FD workload plus a query.
+type closureCase struct {
+	nAttrs int
+	fds    []rel.FD
+	start  rel.AttrSet
+	goal   rel.AttrSet // Implies cross-check: start → goal
+}
+
+// randClosureCase builds a case with cascading FDs (chains make the
+// fixpoint's multi-pass behavior observable), noise FDs, and the edge
+// shapes that have bitten bitset code before: empty LHSs, wide RHSs, and
+// start sets wider than every FD.
+func randClosureCase(rng *rand.Rand) closureCase {
+	nAttrs := 1 + rng.Intn(130) // crosses the 64-bit word boundary
+	nFDs := rng.Intn(40)
+	fds := make([]rel.FD, 0, nFDs)
+	set := func(card int) rel.AttrSet {
+		var x rel.AttrSet
+		for j := 0; j < card; j++ {
+			x = x.With(rng.Intn(nAttrs))
+		}
+		return x
+	}
+	for i := 0; i < nFDs; i++ {
+		switch rng.Intn(8) {
+		case 0: // ∅ → A
+			fds = append(fds, rel.NewFD(rel.AttrSet{}, set(1)))
+		case 1: // wide RHS
+			fds = append(fds, rel.NewFD(set(1), set(1+rng.Intn(5))))
+		default:
+			fds = append(fds, rel.NewFD(set(1+rng.Intn(3)), set(1)))
+		}
+	}
+	c := closureCase{nAttrs: nAttrs, fds: fds, start: set(rng.Intn(4)), goal: set(1 + rng.Intn(3))}
+	if rng.Intn(6) == 0 {
+		// Start set wider than anything the FDs mention.
+		c.start = c.start.With(nAttrs + rng.Intn(130))
+	}
+	return c
+}
+
+// closureAgrees reports whether the indexed engine matches the fixpoint
+// oracle on the case, for both the full closure and the implication query.
+func closureAgrees(c closureCase) bool {
+	ix := rel.NewFDIndex(c.fds)
+	want := rel.Closure(c.fds, c.start)
+	if !ix.Closure(c.start).Equal(want) {
+		return false
+	}
+	g := rel.NewFD(c.start, c.goal)
+	return ix.Implies(g) == rel.Implies(c.fds, g)
+}
+
+// laneClosure cross-checks the indexed closure against the fixpoint oracle.
+func (h *harness) laneClosure(ctx context.Context, rng *rand.Rand) (LaneReport, error) {
+	lr := LaneReport{Lane: "closure"}
+	n := h.cfg.Cases * 4 // cheap lane, same weighting as implication
+	for i := 0; i < n; i++ {
+		if err := checkCtx(ctx); err != nil {
+			return lr, err
+		}
+		c := randClosureCase(rng)
+		lr.Cases++
+		h.countCase(lr.Lane)
+		if closureAgrees(c) {
+			continue
+		}
+		bad := func(n closureCase) bool { return !closureAgrees(n) }
+		c, steps := shrinkClosureCase(c, bad, h.cfg.MaxShrinkSteps)
+		h.cfg.Metrics.Counter("diff.shrink_steps").Add(int64(steps))
+		ix := rel.NewFDIndex(c.fds)
+		lr.Disagreements = append(lr.Disagreements, Disagreement{
+			Lane: lr.Lane,
+			FDs:  closureFDStrings(c),
+			Got:  fmt.Sprintf("indexed: closure=%v implies=%v", ix.Closure(c.start).Positions(), ix.Implies(rel.NewFD(c.start, c.goal))),
+			Want: fmt.Sprintf("fixpoint: closure=%v implies=%v", rel.Closure(c.fds, c.start).Positions(), rel.Implies(c.fds, rel.NewFD(c.start, c.goal))),
+			Detail: fmt.Sprintf("start=%v goal=%v attrs=%d",
+				c.start.Positions(), c.goal.Positions(), c.nAttrs),
+		})
+		h.countDisagreement()
+	}
+	return lr, nil
+}
+
+// closureFDStrings renders the case's FDs over a synthetic schema a0..aN.
+func closureFDStrings(c closureCase) []string {
+	out := make([]string, len(c.fds))
+	for i, f := range c.fds {
+		out[i] = fmt.Sprintf("%v -> %v", f.Lhs.Positions(), f.Rhs.Positions())
+	}
+	return out
+}
+
+// shrinkClosureCase minimizes a disagreeing closure case: drop whole FDs,
+// then drop individual attributes from every set (start, goal, LHSs, RHSs).
+func shrinkClosureCase(c closureCase, bad func(closureCase) bool, maxSteps int) (closureCase, int) {
+	s := &shrinker{max: maxSteps}
+	for changed := true; changed; {
+		changed = false
+		// Drop whole FDs.
+		for i := 0; i < len(c.fds); i++ {
+			n := c
+			n.fds = make([]rel.FD, 0, len(c.fds)-1)
+			n.fds = append(n.fds, c.fds[:i]...)
+			n.fds = append(n.fds, c.fds[i+1:]...)
+			if s.spend() && bad(n) {
+				c, changed = n, true
+				break
+			}
+		}
+		if changed {
+			continue
+		}
+		// Drop one attribute everywhere it occurs.
+		var present []int
+		seen := map[int]bool{}
+		note := func(x rel.AttrSet) {
+			x.ForEach(func(p int) {
+				if !seen[p] {
+					seen[p] = true
+					present = append(present, p)
+				}
+			})
+		}
+		note(c.start)
+		note(c.goal)
+		for _, f := range c.fds {
+			note(f.Lhs)
+			note(f.Rhs)
+		}
+		for _, p := range present {
+			n := c
+			n.start = c.start.Without(p)
+			n.goal = c.goal.Without(p)
+			n.fds = make([]rel.FD, len(c.fds))
+			for i, f := range c.fds {
+				n.fds[i] = rel.NewFD(f.Lhs.Without(p), f.Rhs.Without(p))
+			}
+			if s.spend() && bad(n) {
+				c, changed = n, true
+				break
+			}
+		}
+	}
+	return c, s.steps
+}

@@ -17,7 +17,11 @@
 //	              positive verdicts must survive a randomized search for a
 //	              conforming counterexample document, negative verdicts are
 //	              probed for a confirming witness (one-sided: not finding
-//	              one proves nothing).
+//	              one proves nothing);
+//	closure     — the indexed linear-time attribute closure
+//	              (rel.FDIndex, LINCLOSURE) against the retained textbook
+//	              fixpoint oracle (rel.Closure), bit-for-bit, including the
+//	              early-exit Implies variant.
 //
 // Every disagreement is shrunk to a (near-)minimal case — keys dropped,
 // field rules pruned, paths shortened, re-checking after each step — and
@@ -35,7 +39,7 @@ import (
 )
 
 // LaneNames lists the lanes in their canonical (report) order.
-var LaneNames = []string{"implication", "cover", "parallel", "server", "witness"}
+var LaneNames = []string{"implication", "cover", "parallel", "server", "witness", "closure"}
 
 // Config tunes one harness run.
 type Config struct {
@@ -121,6 +125,9 @@ type Disagreement struct {
 	Transform string `json:"transform,omitempty"`
 	// FD is ψ in "a, b -> c" form (FD lanes only).
 	FD string `json:"fd,omitempty"`
+	// FDs is the relational FD workload over attribute positions
+	// ("[0 1] -> [2]" per entry; closure lane only).
+	FDs []string `json:"fds,omitempty"`
 	// Key is φ for the implication lanes, in key-syntax form.
 	Key    string `json:"key,omitempty"`
 	Got    string `json:"got"`
@@ -166,6 +173,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			lr, err = h.laneServer(ctx, rng)
 		case "witness":
 			lr, err = h.laneWitness(ctx, rng)
+		case "closure":
+			lr, err = h.laneClosure(ctx, rng)
 		}
 		if err != nil {
 			return nil, err

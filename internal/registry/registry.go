@@ -111,6 +111,18 @@ func (a *Artifact) MemoSize() int { return a.dec.MemoSize() }
 // InternSize reports the interned path universe's size.
 func (a *Artifact) InternSize() int { return a.dec.Interner().Size() }
 
+// ClosureCacheSize sums the closure-set cache entries of the artifact's
+// engines' cover indexes — a metrics read.
+func (a *Artifact) ClosureCacheSize() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, e := range a.engines {
+		n += e.ClosureCacheLen()
+	}
+	return n
+}
+
 // Key computes the registry key for a (keys, transformation) source pair:
 // the hex SHA-256 of both texts with a separator that keeps the pair
 // unambiguous.
@@ -273,4 +285,20 @@ func (r *Registry) Sizes() (memoEntries, internEntries int) {
 		internEntries += a.InternSize()
 	}
 	return memoEntries, internEntries
+}
+
+// ClosureEntries sums the resident closure-cache entries across the
+// artifacts' engines — a metrics read, same pricing as Sizes.
+func (r *Registry) ClosureEntries() int {
+	r.mu.Lock()
+	arts := make([]*Artifact, 0, r.lru.Len())
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		arts = append(arts, el.Value.(*Artifact))
+	}
+	r.mu.Unlock()
+	n := 0
+	for _, a := range arts {
+		n += a.ClosureCacheSize()
+	}
+	return n
 }

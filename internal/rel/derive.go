@@ -18,20 +18,10 @@ type DerivationStep struct {
 // ok is false when the implication does not hold. The trace is minimal in
 // the sense that steps contributing nothing toward the goal are pruned.
 func Derivation(fds []FD, f FD) (steps []DerivationStep, ok bool) {
-	closure := f.Lhs
-	var all []DerivationStep
-	changed := true
-	for changed && !f.Rhs.SubsetOf(closure) {
-		changed = false
-		for _, g := range fds {
-			if g.Lhs.SubsetOf(closure) && !g.Rhs.SubsetOf(closure) {
-				gained := g.Rhs.Minus(closure)
-				closure = closure.Union(g.Rhs)
-				all = append(all, DerivationStep{Used: g, Gained: gained})
-				changed = true
-			}
-		}
-	}
+	// The forward pass is the indexed closure with firings recorded: the
+	// counter algorithm fires an FD only once its whole LHS is in the
+	// accumulated closure, so the recorded sequence is a valid proof order.
+	all, closure := NewFDIndex(fds).trace(f.Lhs)
 	if !f.Rhs.SubsetOf(closure) {
 		return nil, false
 	}

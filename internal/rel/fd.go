@@ -118,14 +118,17 @@ func Implies(fds []FD, f FD) bool {
 	return f.Rhs.SubsetOf(Closure(fds, f.Lhs))
 }
 
-// ImpliesAll reports whether fds imply every FD in gs.
+// ImpliesAll reports whether fds imply every FD in gs. For more than one
+// goal it compiles an FDIndex once and answers each goal with an indexed
+// pass instead of re-scanning the list.
 func ImpliesAll(fds, gs []FD) bool {
-	for _, g := range gs {
-		if !Implies(fds, g) {
-			return false
-		}
+	if len(gs) == 0 {
+		return true
 	}
-	return true
+	if len(gs) == 1 {
+		return Implies(fds, gs[0])
+	}
+	return NewFDIndex(fds).ImpliesAll(gs)
 }
 
 // EquivalentCovers reports whether F and G have the same closure: each
@@ -196,12 +199,17 @@ func Minimize(fds []FD) []FD {
 	work = kept
 
 	// Eliminate extraneous LHS attributes: B ∈ X is extraneous in X → A if
-	// (X ∖ B) → A already follows from the full set.
+	// (X ∖ B) → A already follows from the full set. One index compiled
+	// from the pre-reduction list answers every test: each accepted
+	// reduction replaces X → A with an FD the current set already implies,
+	// so every intermediate set is Armstrong-equivalent to the original
+	// and has the same closure function.
+	ix := NewFDIndex(work)
 	for i := range work {
 		lhs := work[i].Lhs
 		for _, b := range lhs.Positions() {
 			reduced := lhs.Without(b)
-			if work[i].Rhs.SubsetOf(Closure(work, reduced)) {
+			if ix.Implies(FD{Lhs: reduced, Rhs: work[i].Rhs}) {
 				lhs = reduced
 				work[i].Lhs = lhs
 			}
@@ -209,30 +217,34 @@ func Minimize(fds []FD) []FD {
 	}
 	work = Dedup(work)
 
-	// Eliminate redundant FDs: f is redundant if the rest implies it.
+	// Eliminate redundant FDs: f is redundant if the rest implies it. The
+	// reduced list gets a fresh index; "the rest" is the index minus the
+	// current FD and the ones already dropped, expressed as a disabled mask
+	// so no per-iteration list rebuild (or index rebuild) is needed.
 	out := make([]FD, 0, len(work))
-	remaining := append([]FD(nil), work...)
-	for i := 0; i < len(remaining); i++ {
-		f := remaining[i]
-		rest := make([]FD, 0, len(remaining)-1+len(out))
-		rest = append(rest, out...)
-		rest = append(rest, remaining[i+1:]...)
-		if !Implies(rest, f) {
-			out = append(out, f)
+	ix = NewFDIndex(work)
+	disabled := make([]bool, len(work))
+	for i := range work {
+		disabled[i] = true
+		if ix.impliesDisabled(work[i], disabled) {
+			continue // redundant: stays disabled
 		}
+		disabled[i] = false
+		out = append(out, work[i])
 	}
 	return out
 }
 
 // IsNonRedundant reports whether no FD in the list is implied by the others.
 func IsNonRedundant(fds []FD) bool {
+	ix := NewFDIndex(fds)
+	disabled := make([]bool, len(fds))
 	for i := range fds {
-		rest := make([]FD, 0, len(fds)-1)
-		rest = append(rest, fds[:i]...)
-		rest = append(rest, fds[i+1:]...)
-		if Implies(rest, fds[i]) {
+		disabled[i] = true
+		if ix.impliesDisabled(fds[i], disabled) {
 			return false
 		}
+		disabled[i] = false
 	}
 	return true
 }

@@ -49,11 +49,23 @@ func CandidateKeys(fds []FD, attrs AttrSet, limit int) []AttrSet {
 // ctx.Err() or a *budget.Error — err == nil is the only guarantee that the
 // enumeration is exhaustive (up to limit).
 func CandidateKeysCtx(ctx context.Context, fds []FD, attrs AttrSet, limit int) ([]AttrSet, error) {
+	return CandidateKeysIndexedCtx(ctx, NewFDIndex(fds), attrs, limit)
+}
+
+// CandidateKeysIndexedCtx is CandidateKeysCtx over a prebuilt FDIndex, so
+// request paths holding a compiled index (core.Engine, registry artifacts)
+// skip index construction. Every superkey test in the BFS is one indexed
+// pass.
+func CandidateKeysIndexedCtx(ctx context.Context, ix *FDIndex, attrs AttrSet, limit int) ([]AttrSet, error) {
+	fds := ix.FDs()
+	isSuperkey := func(x AttrSet) bool {
+		return ix.Implies(FD{Lhs: x, Rhs: attrs})
+	}
 	var keys []AttrSet
 	var retErr error
 	isMinimal := func(x AttrSet) bool {
 		for _, i := range x.Positions() {
-			if IsSuperkey(fds, x.Without(i), attrs) {
+			if isSuperkey(x.Without(i)) {
 				return false
 			}
 		}
@@ -66,7 +78,7 @@ func CandidateKeysCtx(ctx context.Context, fds []FD, attrs AttrSet, limit int) (
 	seen := map[string]bool{}
 	// BFS over candidate superkeys starting from one key, replacing
 	// attributes with determinants (Lucchesi–Osborn style).
-	first := CandidateKey(fds, attrs)
+	first := ix.CandidateKey(attrs)
 	queue := []AttrSet{first}
 	seen[first.key()] = true
 	explored := 0
@@ -102,11 +114,11 @@ func CandidateKeysCtx(ctx context.Context, fds []FD, attrs AttrSet, limit int) (
 			}
 			cand := f.Lhs.Union(k.Minus(f.Rhs)).Intersect(attrs)
 			// Minimize the candidate superkey before enqueueing.
-			if !IsSuperkey(fds, cand, attrs) {
+			if !isSuperkey(cand) {
 				continue
 			}
 			for _, i := range cand.Positions() {
-				if IsSuperkey(fds, cand.Without(i), attrs) {
+				if isSuperkey(cand.Without(i)) {
 					cand = cand.Without(i)
 				}
 			}
@@ -131,6 +143,7 @@ const maxProjectionAttrs = 18
 // attributes it falls back to restricting the closures of existing LHSs.
 func ProjectFDs(fds []FD, attrs AttrSet) []FD {
 	var out []FD
+	ix := NewFDIndex(fds)
 	if attrs.Card() <= maxProjectionAttrs {
 		pos := attrs.Positions()
 		n := len(pos)
@@ -141,7 +154,7 @@ func ProjectFDs(fds []FD, attrs AttrSet) []FD {
 					x = x.With(pos[b])
 				}
 			}
-			rhs := Closure(fds, x).Intersect(attrs).Minus(x)
+			rhs := ix.Closure(x).Intersect(attrs).Minus(x)
 			if !rhs.IsEmpty() {
 				out = append(out, FD{Lhs: x, Rhs: rhs})
 			}
@@ -149,7 +162,7 @@ func ProjectFDs(fds []FD, attrs AttrSet) []FD {
 	} else {
 		for _, f := range fds {
 			x := f.Lhs.Intersect(attrs)
-			rhs := Closure(fds, x).Intersect(attrs).Minus(x)
+			rhs := ix.Closure(x).Intersect(attrs).Minus(x)
 			if !rhs.IsEmpty() {
 				out = append(out, FD{Lhs: x, Rhs: rhs})
 			}
@@ -173,6 +186,10 @@ type Fragment struct {
 // into X⁺∩fragment and X ∪ (fragment ∖ X⁺). Violations are searched among
 // projected FDs, so small fragments are checked exactly.
 func BCNF(fds []FD, attrs AttrSet) []Fragment {
+	// One index (with a closure cache: the same declared LHSs are re-closed
+	// for every fragment) serves the whole decomposition.
+	ix := NewFDIndex(fds)
+	ix.EnableCache(0)
 	var done []Fragment
 	work := []AttrSet{attrs}
 	for len(work) > 0 {
@@ -182,12 +199,12 @@ func BCNF(fds []FD, attrs AttrSet) []Fragment {
 			done = append(done, Fragment{Attrs: frag, Key: frag})
 			continue
 		}
-		viol, ok := bcnfViolation(fds, frag)
+		viol, ok := bcnfViolation(ix, frag)
 		if !ok {
-			done = append(done, Fragment{Attrs: frag, Key: CandidateKey(fds, frag)})
+			done = append(done, Fragment{Attrs: frag, Key: ix.CandidateKey(frag)})
 			continue
 		}
-		closure := Closure(fds, viol.Lhs).Intersect(frag)
+		closure := ix.Closure(viol.Lhs).Intersect(frag)
 		left := closure
 		right := viol.Lhs.Union(frag.Minus(closure))
 		work = append(work, left, right)
@@ -218,23 +235,23 @@ func BCNF(fds []FD, attrs AttrSet) []Fragment {
 // bcnfViolation finds an FD X → A violating BCNF on fragment: X ⊊ fragment,
 // A ∈ fragment ∖ X, X not a superkey of fragment. It first scans declared
 // LHSs (fast path), then falls back to exact projection for small fragments.
-func bcnfViolation(fds []FD, frag AttrSet) (FD, bool) {
-	for _, f := range fds {
+func bcnfViolation(ix *FDIndex, frag AttrSet) (FD, bool) {
+	for _, f := range ix.FDs() {
 		x := f.Lhs
 		if !x.SubsetOf(frag) {
 			continue
 		}
-		rhs := Closure(fds, x).Intersect(frag).Minus(x)
+		rhs := ix.Closure(x).Intersect(frag).Minus(x)
 		if rhs.IsEmpty() {
 			continue
 		}
-		if !IsSuperkey(fds, x, frag) {
+		if !ix.Implies(FD{Lhs: x, Rhs: frag}) {
 			return FD{Lhs: x, Rhs: rhs}, true
 		}
 	}
 	if frag.Card() <= maxProjectionAttrs {
-		for _, f := range ProjectFDs(fds, frag) {
-			if !IsSuperkey(fds, f.Lhs, frag) {
+		for _, f := range ProjectFDs(ix.FDs(), frag) {
+			if !ix.Implies(FD{Lhs: f.Lhs, Rhs: frag}) {
 				return f, true
 			}
 		}
@@ -244,7 +261,7 @@ func bcnfViolation(fds []FD, frag AttrSet) (FD, bool) {
 
 // IsBCNF reports whether the sub-schema attrs is in BCNF under the FDs.
 func IsBCNF(fds []FD, attrs AttrSet) bool {
-	_, viol := bcnfViolation(fds, attrs)
+	_, viol := bcnfViolation(NewFDIndex(fds), attrs)
 	return !viol
 }
 

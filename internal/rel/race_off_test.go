@@ -1,0 +1,8 @@
+//go:build !race
+
+package rel
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// assertions are skipped under -race because sync.Pool intentionally
+// degrades there (Get may bypass the pool), making AllocsPerRun nonzero.
+const raceEnabled = false

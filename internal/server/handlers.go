@@ -176,12 +176,10 @@ func (s *Server) handleCandidates(ctx context.Context, r *http.Request) (any, er
 	if err != nil {
 		return nil, err
 	}
-	cover, err := eng.CachedCoverCtx(ctx)
-	if err != nil {
-		return nil, err
-	}
 	schema := eng.Rule().Schema
-	keys, err := rel.CandidateKeysCtx(ctx, cover, schema.All(), req.Limit)
+	// The engine reuses its cached cover and compiled FD index, so a warm
+	// schema pays neither the cover build nor index construction here.
+	keys, err := eng.CandidateKeysCtx(ctx, req.Limit)
 	if err != nil {
 		return nil, err
 	}

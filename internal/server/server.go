@@ -26,6 +26,7 @@ import (
 	"xkprop/internal/budget"
 	"xkprop/internal/metrics"
 	"xkprop/internal/registry"
+	"xkprop/internal/rel"
 	"xkprop/internal/stream"
 	"xkprop/internal/transform"
 	"xkprop/internal/xmlkey"
@@ -149,6 +150,20 @@ func (s *Server) publishMetrics() {
 		_, intern := s.reg.Sizes()
 		return intern
 	})
+	s.set.Func("fdindex.compiles", func() any { return rel.FDIndexCompiles() })
+	s.set.Func("closure.cache_hits", func() any {
+		h, _, _ := rel.ClosureCacheCounters()
+		return h
+	})
+	s.set.Func("closure.cache_misses", func() any {
+		_, m, _ := rel.ClosureCacheCounters()
+		return m
+	})
+	s.set.Func("closure.cache_evictions", func() any {
+		_, _, ev := rel.ClosureCacheCounters()
+		return ev
+	})
+	s.set.Func("closure.cache_entries", func() any { return s.reg.ClosureEntries() })
 	s.set.Func("uptime_seconds", func() any { return int64(time.Since(s.start).Seconds()) })
 	s.set.Func("goroutines", func() any { return runtime.NumGoroutine() })
 }

@@ -169,6 +169,15 @@ func MinimizeFDs(fds []FD) []FD { return rel.Minimize(fds) }
 // ImpliesFD reports whether the FDs imply f under Armstrong's axioms.
 func ImpliesFD(fds []FD, f FD) bool { return rel.Implies(fds, f) }
 
+// FDIndex is a compiled attribute→dependency index over one FD list: the
+// counter-based linear-time closure (LINCLOSURE) with an optional bounded
+// closure-set cache. Compile once per FD list, query from any number of
+// goroutines.
+type FDIndex = rel.FDIndex
+
+// NewFDIndex compiles an FDIndex over the FD list.
+func NewFDIndex(fds []FD) *FDIndex { return rel.NewFDIndex(fds) }
+
 // EquivalentCovers reports whether two FD sets have the same closure.
 func EquivalentCovers(f, g []FD) bool { return rel.EquivalentCovers(f, g) }
 
