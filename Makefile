@@ -3,7 +3,7 @@ BENCH_JSON ?= BENCH_pathkernel.json
 BENCH_FDCLOSURE_JSON ?= BENCH_fdclosure.json
 FUZZTIME ?= 30s
 
-.PHONY: build test vet race stress fuzz-smoke bench bench-json bench-fdclosure bench-check serve-smoke diff-smoke verify help
+.PHONY: build test vet race stress fuzz-smoke bench bench-json bench-fdclosure bench-check serve-smoke diff-smoke soak-smoke verify help
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ race:
 # exhaustion, concurrent abort consistency) under the race detector. They
 # are a subset of 'race' but named here so a focused run is one command.
 stress:
-	$(GO) test -race -short -run 'Abort|Budget|Countdown|Cancel|Fault|Stress|Consistency|Poisoned' ./internal/core/ ./internal/xmlkey/ ./internal/stream/ ./internal/faultinject/ .
+	$(GO) test -race -short -run 'Abort|Budget|Countdown|Cancel|Fault|Stress|Consistency|Poisoned|Queue|Breaker' ./internal/core/ ./internal/xmlkey/ ./internal/stream/ ./internal/faultinject/ ./internal/resilience/ ./internal/server/ .
 
 # fuzz-smoke gives each fuzz target a $(FUZZTIME) budget over the checked-in
 # corpora (testdata/fuzz/). Go allows one -fuzz target per run, hence the
@@ -75,12 +75,22 @@ serve-smoke:
 diff-smoke:
 	$(GO) run ./cmd/xkdiff -seed 1 -cases 10 -timeout 5m
 
+# soak-smoke runs a short seeded chaos soak: xkserve with the admission
+# queue and compile breaker armed, behind a fault-injecting proxy
+# (latency, resets, truncation, slow-loris), hammered by retrying
+# clients. PASS requires zero invariant breaches: no goroutine leaks,
+# monotonic counters, one readiness transition at drain, typed error
+# bodies only, no partial results. Replay a failure with the printed
+# seed; `-duration 60s -workers 32` is the full soak (EXPERIMENTS.md).
+soak-smoke:
+	$(GO) run ./cmd/xksoak -seed 1 -duration 5s -workers 8
+
 # Tier-1 verification (ROADMAP.md): build, vet, tests, the race run (which
 # includes the fault-injection stress suites), the focused stress pass,
-# the xkserve end-to-end smoke, and the differential cross-check smoke. If
-# a committed bench trajectory is present, smoke-check that it is
-# well-formed pathkernel JSON.
-verify: build vet test race stress serve-smoke diff-smoke
+# the xkserve end-to-end smoke, the differential cross-check smoke, and
+# the short chaos soak. If a committed bench trajectory is present,
+# smoke-check that it is well-formed pathkernel JSON.
+verify: build vet test race stress serve-smoke diff-smoke soak-smoke
 	@if [ -f $(BENCH_JSON) ]; then $(GO) run ./cmd/xkbench -check-json $(BENCH_JSON); fi
 	@if [ -f $(BENCH_FDCLOSURE_JSON) ]; then $(GO) run ./cmd/xkbench -check-json $(BENCH_FDCLOSURE_JSON); fi
 
@@ -100,4 +110,5 @@ help:
 	@echo "                  only, so it is manual and not part of verify"
 	@echo "  serve-smoke     boot xkserve on an ephemeral port and drive every endpoint"
 	@echo "  diff-smoke      cross-check every redundant decision path on a pinned seed"
-	@echo "  verify          build + vet + test + race + stress + serve-smoke + diff-smoke + bench JSON checks"
+	@echo "  soak-smoke      short seeded chaos soak of xkserve behind the fault proxy"
+	@echo "  verify          build + vet + test + race + stress + serve-smoke + diff-smoke + soak-smoke + bench JSON checks"

@@ -1,0 +1,20 @@
+// Command xksoak is the seeded chaos-soak harness for xkserve: it boots
+// the service with the admission queue and compile circuit breaker armed,
+// interposes a fault-injecting TCP proxy (latency, resets, truncation,
+// slow-loris), drives a deterministic request mix through the retrying
+// client, and asserts the resilience invariants — no goroutine leaks,
+// monotonic counters, a single readiness transition at drain, typed error
+// bodies only, and never a partial result. The same -seed replays the
+// same fault and request schedule byte-for-byte. See internal/cli and
+// internal/chaos for the implementation.
+package main
+
+import (
+	"os"
+
+	"xkprop/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunXksoak(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -54,6 +54,12 @@ const (
 	// (rel.FDIndex.EnableCache). Like RegistryEntries it bounds a cache:
 	// exceeding it evicts rather than errors.
 	ClosureEntries Resource = "closure-cache entries"
+	// QueueDepth caps the admission queue of the serving subsystem: how
+	// many requests may wait for an execution slot before new arrivals
+	// are shed with a typed busy rejection (resilience.Queue). Unlike the
+	// cache caps it sheds load rather than evicting or erroring the
+	// requests already admitted.
+	QueueDepth Resource = "admission-queue depth"
 )
 
 // Error reports that a call stopped because a resource budget was
@@ -112,6 +118,11 @@ type Budget struct {
 	// its compiled FD index (0 = rel.DefaultClosureEntries). It bounds a
 	// cache, so exceeding it evicts rather than errors.
 	MaxClosureEntries int
+	// MaxQueueDepth caps the admission queue in front of the serving
+	// subsystem's execution slots (0 = unbounded queue). Arrivals past
+	// the cap are rejected immediately with a typed busy error and a
+	// Retry-After hint rather than queued.
+	MaxQueueDepth int
 }
 
 // DefaultEnumFields is the schema-width cap Algorithm naive applies when

@@ -1,0 +1,331 @@
+// Package chaos is a seeded in-process TCP fault proxy for soaking
+// xkserve. It sits between a client and a live server and injects the
+// network weather a resilient client must survive: added latency,
+// mid-stream connection resets, truncated responses, and slow-loris
+// request trickling.
+//
+// Every decision is derived from the run seed and the connection's
+// ordinal via faultinject.Derive — the same splitmix64-over-label
+// primitive the server's fault injector uses — so `-seed N` replays the
+// exact same fault plan byte-for-byte: connection k gets the same fault,
+// the same cut offset, and the same latency on every run. (Wall-clock
+// interleaving with the workload still varies; the plan does not.)
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"xkprop/internal/faultinject"
+)
+
+// Fault is one per-connection fault mode.
+type Fault int
+
+const (
+	// None passes the connection through untouched.
+	None Fault = iota
+	// Latency delays the first response byte by Plan.Delay.
+	Latency
+	// Reset hard-closes the client side (RST via SO_LINGER 0) after
+	// CutAfter response bytes.
+	Reset
+	// Truncate half-closes cleanly (FIN) after CutAfter response bytes,
+	// simulating a proxy that drops the tail of a body.
+	Truncate
+	// SlowLoris trickles the request toward the server in 1-byte writes
+	// with Plan.Delay/16 pauses, up to LorisBytes, then streams normally.
+	SlowLoris
+)
+
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case Latency:
+		return "latency"
+	case Reset:
+		return "reset"
+	case Truncate:
+		return "truncate"
+	case SlowLoris:
+		return "slow-loris"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// Plan is the fully-determined fault schedule for one connection.
+type Plan struct {
+	Conn     int64
+	Fault    Fault
+	Delay    time.Duration // Latency: first-byte delay; SlowLoris: total trickle budget
+	CutAfter int64         // Reset/Truncate: response bytes forwarded before the cut
+	// LorisBytes is how many request bytes trickle one at a time.
+	LorisBytes int64
+}
+
+func (p Plan) String() string {
+	return fmt.Sprintf("conn=%d fault=%s delay=%s cut=%d loris=%d",
+		p.Conn, p.Fault, p.Delay, p.CutAfter, p.LorisBytes)
+}
+
+// Config tunes a Proxy. Probabilities are per mille (0–1000) drawn in the
+// listed order; the first to hit wins, so they must sum to <= 1000.
+type Config struct {
+	// Seed drives every fault decision.
+	Seed int64
+	// Target is the backend address ("127.0.0.1:port").
+	Target string
+	// LatencyProb, ResetProb, TruncateProb, SlowLorisProb are per-mille
+	// chances a connection draws that fault.
+	LatencyProb   int
+	ResetProb     int
+	TruncateProb  int
+	SlowLorisProb int
+	// MaxLatency bounds the injected delay (default 50ms).
+	MaxLatency time.Duration
+}
+
+// Proxy is a live chaos listener. Close stops accepting, severs every
+// in-flight connection, and waits for all proxy goroutines to exit — the
+// soak harness's goroutine-watermark invariant depends on that.
+type Proxy struct {
+	cfg Config
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	nextID int64
+	closed bool
+
+	wg sync.WaitGroup
+
+	counts [5]int64 // per-Fault tally, index by Fault
+}
+
+// Start listens on 127.0.0.1:0 and begins proxying to cfg.Target.
+func Start(cfg Config) (*Proxy, error) {
+	if cfg.MaxLatency <= 0 {
+		cfg.MaxLatency = 50 * time.Millisecond
+	}
+	if s := cfg.LatencyProb + cfg.ResetProb + cfg.TruncateProb + cfg.SlowLorisProb; s > 1000 {
+		return nil, fmt.Errorf("chaos: fault probabilities sum to %d‰ > 1000‰", s)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{cfg: cfg, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address for clients to dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Counts returns how many connections drew each fault so far, indexed by
+// Fault (None..SlowLoris).
+func (p *Proxy) Counts() [5]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts
+}
+
+// Close tears the proxy down: stop accepting, sever live connections,
+// join every goroutine.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	err := p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+// PlanFor is the pure schedule function: the fault plan for connection k
+// under this proxy's seed and probabilities. Exposed so the soak harness
+// can print and digest the schedule without opening a single connection.
+func (p *Proxy) PlanFor(k int64) Plan {
+	return PlanFor(p.cfg, k)
+}
+
+// PlanFor derives connection k's plan from cfg alone. Deterministic:
+// equal (Seed, probabilities, k) always yield the identical Plan.
+func PlanFor(cfg Config, k int64) Plan {
+	label := fmt.Sprintf("chaos/conn/%d", k)
+	draw := faultinject.Derive(cfg.Seed, label+"/fault") % 1000
+	pl := Plan{Conn: k, Fault: None}
+	bound := uint64(0)
+	for _, fc := range []struct {
+		f    Fault
+		prob int
+	}{{Latency, cfg.LatencyProb}, {Reset, cfg.ResetProb}, {Truncate, cfg.TruncateProb}, {SlowLoris, cfg.SlowLorisProb}} {
+		bound += uint64(fc.prob)
+		if draw < bound {
+			pl.Fault = fc.f
+			break
+		}
+	}
+	maxLat := cfg.MaxLatency
+	if maxLat <= 0 {
+		maxLat = 50 * time.Millisecond
+	}
+	pl.Delay = time.Duration(faultinject.Derive(cfg.Seed, label+"/delay")%uint64(maxLat)) + time.Millisecond
+	// Cut inside the typical response: headers are ~150 bytes, bodies a
+	// few hundred, so 1..512 lands mid-header or mid-body across a run.
+	pl.CutAfter = int64(faultinject.Derive(cfg.Seed, label+"/cut")%512) + 1
+	pl.LorisBytes = int64(faultinject.Derive(cfg.Seed, label+"/loris")%96) + 16
+	return pl
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		k := p.nextID
+		p.nextID++
+		p.conns[conn] = struct{}{}
+		pl := p.PlanFor(k)
+		p.counts[pl.Fault]++
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.serve(conn, pl)
+	}
+}
+
+func (p *Proxy) forget(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) serve(client net.Conn, pl Plan) {
+	defer p.wg.Done()
+	defer p.forget(client)
+	defer client.Close()
+
+	backend, err := net.DialTimeout("tcp", p.cfg.Target, 5*time.Second)
+	if err != nil {
+		client.Close()
+		return
+	}
+	defer backend.Close()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.conns[backend] = struct{}{}
+	p.mu.Unlock()
+	defer p.forget(backend)
+
+	var inner sync.WaitGroup
+	inner.Add(2)
+
+	// Request direction: client -> backend.
+	go func() {
+		defer inner.Done()
+		defer halfCloseWrite(backend)
+		if pl.Fault == SlowLoris {
+			if err := trickle(backend, client, pl.LorisBytes, pl.Delay); err != nil {
+				return
+			}
+		}
+		io.Copy(backend, client)
+	}()
+
+	// Response direction: backend -> client, where most faults live.
+	go func() {
+		defer inner.Done()
+		defer halfCloseWrite(client)
+		switch pl.Fault {
+		case Latency:
+			// Delay the first response byte, then stream.
+			one := make([]byte, 1)
+			n, err := backend.Read(one)
+			if n > 0 {
+				time.Sleep(pl.Delay)
+				if _, werr := client.Write(one[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+			io.Copy(client, backend)
+		case Reset:
+			io.CopyN(client, backend, pl.CutAfter)
+			abort(client) // RST: the client sees ECONNRESET mid-body
+		case Truncate:
+			io.CopyN(client, backend, pl.CutAfter)
+			// FIN via the deferred half-close: a clean-looking but short
+			// response — unexpected EOF / short JSON at the client.
+		default:
+			io.Copy(client, backend)
+		}
+	}()
+	inner.Wait()
+}
+
+// trickle forwards up to n request bytes one at a time with total delay
+// budget spread across them, then returns (the caller streams the rest).
+func trickle(dst io.Writer, src io.Reader, n int64, budget time.Duration) error {
+	pause := budget / time.Duration(n+1)
+	if pause > 2*time.Millisecond {
+		pause = 2 * time.Millisecond // keep soak throughput sane
+	}
+	buf := make([]byte, 1)
+	for i := int64(0); i < n; i++ {
+		rn, err := src.Read(buf)
+		if rn > 0 {
+			if _, werr := dst.Write(buf[:rn]); werr != nil {
+				return werr
+			}
+			time.Sleep(pause)
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return io.EOF
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// abort sets SO_LINGER 0 and closes, emitting RST instead of FIN.
+func abort(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+// halfCloseWrite sends FIN on the write side when the conn supports it,
+// letting the opposite direction keep flowing.
+func halfCloseWrite(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+}

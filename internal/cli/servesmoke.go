@@ -9,7 +9,7 @@ package cli
 // and the per-endpoint request counters and latency histograms move.
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"xkprop/internal/client"
 	"xkprop/internal/server"
 )
 
@@ -43,7 +44,8 @@ const smokeBadDoc = `<db><book isbn="1"><chapter number="1"><name>A</name></chap
 
 type smokeClient struct {
 	base   string
-	client *http.Client
+	client *http.Client   // raw GETs: health, readiness, /debug/vars
+	xk     *client.Client // JSON POSTs: the retrying xkclient
 	stderr io.Writer
 	failed bool
 }
@@ -53,31 +55,29 @@ func (c *smokeClient) errorf(format string, args ...any) {
 	c.failed = true
 }
 
-// post sends a JSON request and decodes the JSON response, asserting the
-// status code.
+// post sends a JSON request through xkclient and asserts the status code.
+// Expected non-2xx responses (the deadline-abort probe) surface as typed
+// *client.Error values carrying the status and decoded body — xkclient
+// never retries them, so the assertion sees the first response.
 func (c *smokeClient) post(path string, body any, wantStatus int) map[string]any {
-	data, err := json.Marshal(body)
-	if err != nil {
-		c.errorf("%s: marshal: %v", path, err)
-		return nil
+	out, err := c.xk.Post(context.Background(), path, body)
+	if err == nil {
+		if wantStatus != http.StatusOK {
+			c.errorf("%s: status 200, want %d (%v)", path, wantStatus, out)
+			return nil
+		}
+		return out
 	}
-	resp, err := c.client.Post(c.base+path, "application/json", bytes.NewReader(data))
-	if err != nil {
+	ce, ok := err.(*client.Error)
+	if !ok {
 		c.errorf("%s: %v", path, err)
 		return nil
 	}
-	defer resp.Body.Close()
-	out := map[string]any{}
-	raw, _ := io.ReadAll(resp.Body)
-	if err := json.Unmarshal(raw, &out); err != nil {
-		c.errorf("%s: response is not JSON: %v (%.200s)", path, err, raw)
+	if ce.Status != wantStatus {
+		c.errorf("%s: status %d, want %d (%v)", path, ce.Status, wantStatus, ce.Body)
 		return nil
 	}
-	if resp.StatusCode != wantStatus {
-		c.errorf("%s: status %d, want %d (%.200s)", path, resp.StatusCode, wantStatus, raw)
-		return nil
-	}
-	return out
+	return ce.Body
 }
 
 // vars scrapes /debug/vars.
@@ -145,11 +145,16 @@ func runServeSmoke(stdout, stderr io.Writer, cfg server.Config) int {
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
 
+	base := "http://" + ln.Addr().String()
 	c := &smokeClient{
-		base:   "http://" + ln.Addr().String(),
+		base:   base,
 		client: &http.Client{Timeout: 30 * time.Second},
+		xk: client.New(client.Config{
+			Base: base, AttemptTimeout: 30 * time.Second, Seed: 1,
+		}),
 		stderr: stderr,
 	}
+	defer c.xk.CloseIdle()
 	fmt.Fprintf(stdout, "serve-smoke: driving %s\n", c.base)
 
 	// Liveness and readiness.

@@ -35,6 +35,12 @@ func RunXkserve(args []string, stdout, stderr io.Writer) int {
 		"hard cap on any request deadline, including ?timeout= overrides (0 = uncapped)")
 	maxInFlight := fs.Int("max-inflight", 256,
 		"cap on concurrently executing analysis requests (0 = unlimited)")
+	maxQueueDepth := fs.Int("max-queue-depth", 512,
+		"cap on requests waiting for an in-flight slot; arrivals past it are shed 503 busy (0 = unbounded)")
+	breakerThreshold := fs.Int("compile-breaker-threshold", 10,
+		"consecutive schema-compile failures before the compile circuit breaker opens (0 = disabled)")
+	breakerCooldown := fs.Duration("compile-breaker-cooldown", time.Second,
+		"how long an open compile breaker waits before admitting a half-open probe")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second,
 		"how long a SIGTERM waits for in-flight requests before forcing exit")
 	registrySize := fs.Int("registry-size", 128,
@@ -58,10 +64,13 @@ func RunXkserve(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := server.Config{
-		RequestTimeout: reqTimeout.Value(),
-		MaxTimeout:     *maxTimeout,
-		MaxInFlight:    *maxInFlight,
+		RequestTimeout:   reqTimeout.Value(),
+		MaxTimeout:       *maxTimeout,
+		MaxInFlight:      *maxInFlight,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 		Budget: xkprop.Budget{
+			MaxQueueDepth:      *maxQueueDepth,
 			MaxMemoEntries:     *maxMemo,
 			MaxInternEntries:   *maxIntern,
 			MaxStreamDepth:     *maxStreamDepth,
@@ -84,14 +93,18 @@ func RunXkserve(args []string, stdout, stderr io.Writer) int {
 	}
 	bound := ln.Addr().String()
 	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+		// Atomic (temp + fsync + rename): a watcher polling the path never
+		// reads a half-written address.
+		if err := writeFileAtomic(*addrFile, []byte(bound+"\n")); err != nil {
 			ln.Close()
 			return fail(stderr, "xkserve", err)
 		}
 	}
 	fmt.Fprintf(stdout, "xkserve: listening on %s\n", bound)
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// ReadHeaderTimeout bounds slow-loris header dribbling; bodies are
+	// already bounded by the per-request deadline.
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 

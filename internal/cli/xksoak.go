@@ -1,0 +1,534 @@
+package cli
+
+// The chaos-soak harness behind `xksoak` (and `make soak-smoke`): boot a
+// real xkserve with the admission queue and compile breaker armed, put
+// the seeded chaos proxy in front of it, and drive a deterministic
+// request mix through the retrying xkclient while faults fire — then
+// assert the resilience invariants that overload and network failure must
+// never break:
+//
+//   1. every goroutine spawned during the soak is gone afterward (the
+//      count returns to the pre-soak watermark);
+//   2. every published counter is monotonic across scrapes;
+//   3. /readyz transitions ready→draining exactly once, at drain;
+//   4. every error body stays inside the typed taxonomy;
+//   5. no fault ever surfaces a partial cover/violation/candidate list.
+//
+// Everything random — the per-connection fault plans and the per-worker
+// request sequences — derives from -seed via faultinject.Derive, so a
+// seed replays its schedule byte-for-byte (the printed digest is the
+// proof); only wall-clock interleaving varies between runs.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xkprop"
+	"xkprop/internal/chaos"
+	"xkprop/internal/client"
+	"xkprop/internal/faultinject"
+	"xkprop/internal/server"
+	"xkprop/internal/testutil"
+)
+
+// soakKinds is the full wire error taxonomy; any other kind in an error
+// body is an invariant breach.
+var soakKinds = map[string]bool{
+	"parse": true, "input": true, "deadline": true,
+	"budget": true, "busy": true, "internal": true,
+}
+
+// partialKeys are result fields that must never ride along on an error
+// body: the API contract is all-or-nothing.
+var partialKeys = []string{"cover", "violations", "candidates", "ddl", "implied", "propagated"}
+
+// breachLog collects invariant violations from every goroutine.
+type breachLog struct {
+	mu   sync.Mutex
+	msgs []string
+}
+
+func (b *breachLog) addf(format string, args ...any) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.msgs) < 64 { // enough to diagnose, bounded output
+		b.msgs = append(b.msgs, fmt.Sprintf(format, args...))
+	}
+}
+
+func (b *breachLog) list() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.msgs...)
+}
+
+type soakTallies struct {
+	ok, typed, transport, hedged atomic.Int64
+}
+
+// RunXksoak runs the soak and returns 0 (all invariants held), 1 (breach)
+// or 2 (usage/boot failure).
+func RunXksoak(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xksoak", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "seed for fault plans and request schedules (same seed = same schedule)")
+	duration := fs.Duration("duration", 10*time.Second, "soak length before drain")
+	workers := fs.Int("workers", 8, "concurrent request workers")
+	noQueue := fs.Bool("no-queue", false,
+		"disable the admission queue (unbounded concurrency) to compare shedding behaviour")
+	heavy := fs.Bool("heavy", false,
+		"saturating profile: mostly large-document validations under a 300ms deadline, enough offered load to overwhelm the in-flight slots (the queue-vs-no-queue experiment)")
+	planCount := fs.Int("digest-plans", 64, "fault plans folded into the printed schedule digest")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers < 1 || *duration <= 0 {
+		return fail(stderr, "xksoak", fmt.Errorf("need -workers >= 1 and -duration > 0"))
+	}
+
+	watermark := testutil.GoroutineWatermark()
+	breaches := &breachLog{}
+	var tallies soakTallies
+
+	// --- Boot the server under test, resilience armed. ---
+	cfg := server.Config{
+		RequestTimeout:   2 * time.Second,
+		MaxTimeout:       time.Minute,
+		MaxInFlight:      4,
+		BreakerThreshold: 5,
+		BreakerCooldown:  250 * time.Millisecond,
+		Budget: xkprop.Budget{
+			MaxQueueDepth:      8,
+			MaxRegistryEntries: 32,
+		},
+	}
+	if *noQueue {
+		cfg.MaxInFlight = 0 // raw unbounded concurrency: the comparison arm
+	}
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(stderr, "xksoak", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	direct := "http://" + ln.Addr().String()
+
+	// --- Chaos proxy in front. ---
+	chaosCfg := chaos.Config{
+		Seed:   *seed,
+		Target: ln.Addr().String(),
+		// ~35% of connections draw a fault; the rest pass through.
+		LatencyProb: 150, ResetProb: 100, TruncateProb: 50, SlowLorisProb: 50,
+		MaxLatency: 20 * time.Millisecond,
+	}
+	proxy, err := chaos.Start(chaosCfg)
+	if err != nil {
+		httpSrv.Close()
+		return fail(stderr, "xksoak", err)
+	}
+
+	mode := "queue"
+	if *noQueue {
+		mode = "no-queue"
+	}
+	if *heavy {
+		mode += "+heavy"
+	}
+	fmt.Fprintf(stdout, "xksoak: seed=%d mode=%s server=%s proxy=%s workers=%d duration=%s\n",
+		*seed, mode, direct, proxy.Addr(), *workers, *duration)
+	fmt.Fprintf(stdout, "xksoak: schedule digest %s (replays byte-identically for this seed)\n",
+		scheduleDigest(chaosCfg, *seed, *workers, *planCount))
+
+	// --- Monitor: counters monotonic, readiness steady, over the direct
+	// address so chaos never corrupts a scrape. ---
+	monClient := &http.Client{Transport: &http.Transport{}, Timeout: 5 * time.Second}
+	monStop := make(chan struct{})
+	var readyFlips, peakInflight atomic.Int64
+	var monWG sync.WaitGroup
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		prev := map[string]int64{}
+		lastReady := -1
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-monStop:
+				return
+			case <-tick.C:
+			}
+			if g := scrapeCounters(monClient, direct, prev, breaches); g > peakInflight.Load() {
+				peakInflight.Store(g)
+			}
+			if code := probe(monClient, direct+"/readyz"); code == 200 || code == 503 {
+				ready := 0
+				if code == 200 {
+					ready = 1
+				}
+				if lastReady == 0 && ready == 1 {
+					breaches.addf("/readyz flipped draining→ready")
+				}
+				if lastReady == 1 && ready == 0 {
+					readyFlips.Add(1)
+				}
+				lastReady = ready
+			}
+		}
+	}()
+
+	// --- Workers: deterministic request mixes through chaos. Keep-alive
+	// is off so every request dials a fresh connection and draws its own
+	// fault plan — with pooling, a handful of long-lived connections would
+	// absorb the whole schedule. ---
+	transport := &http.Transport{DisableKeepAlives: true}
+	soakCtx, cancelSoak := context.WithTimeout(context.Background(), *duration)
+	defer cancelSoak()
+	var workWG sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		workWG.Add(1)
+		go func(w int) {
+			defer workWG.Done()
+			xk := client.New(client.Config{
+				Base: "http://" + proxy.Addr(),
+				HTTP: &http.Client{Transport: transport},
+				// Tight, soak-scaled retry policy: the chaos proxy faults
+				// whole connections, so fast retries are the point.
+				MaxAttempts: 3, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+				AttemptTimeout: 2 * time.Second, HedgeDelay: 25 * time.Millisecond,
+				Seed: int64(faultinject.Derive(*seed, fmt.Sprintf("xksoak/client/%d", w))),
+			})
+			soakWorker(soakCtx, xk, *seed, w, *heavy, &tallies, breaches)
+		}(w)
+	}
+	workWG.Wait()
+
+	// Final server-side stats while the listener is still up: how the
+	// overload was shed (crisp busy rejections vs requests dying of
+	// deadline after queuing — the queue-vs-no-queue comparison).
+	busy, deadline, worst := soakServerStats(monClient, direct)
+	fmt.Fprintf(stdout,
+		"xksoak: server sheds busy=%d deadline=%d worst-latency-decade=%s peak-inflight=%d\n",
+		busy, deadline, worst, peakInflight.Load())
+
+	// --- Drain: readiness must flip exactly once, then the listener
+	// shuts down cleanly. ---
+	if err := proxy.Close(); err != nil {
+		breaches.addf("chaos proxy close: %v", err)
+	}
+	srv.StartDraining()
+	// The monitor is the sole readiness observer; hold the listener open
+	// until it has watched the ready→draining edge.
+	drainSeen := false
+	for begin := time.Now(); time.Since(begin) < 5*time.Second; {
+		if readyFlips.Load() >= 1 {
+			drainSeen = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !drainSeen {
+		breaches.addf("/readyz never reported draining")
+	}
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelShut()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		breaches.addf("server drain did not complete: %v", err)
+		httpSrv.Close()
+	}
+	<-serveErr
+	close(monStop)
+	monWG.Wait()
+	if n := readyFlips.Load(); n != 1 {
+		breaches.addf("/readyz transitioned ready→draining %d times, want exactly 1", n)
+	}
+
+	// --- Goroutine watermark: everything the soak spawned must be gone. ---
+	transport.CloseIdleConnections()
+	monClient.CloseIdleConnections()
+	if err := testutil.WaitGoroutinesReturn(watermark, 10*time.Second); err != nil {
+		breaches.addf("goroutine leak: %v", err)
+	}
+
+	counts := proxy.Counts()
+	fmt.Fprintf(stdout,
+		"xksoak: requests ok=%d typed-errors=%d transport-errors=%d hedged=%d\n",
+		tallies.ok.Load(), tallies.typed.Load(), tallies.transport.Load(), tallies.hedged.Load())
+	fmt.Fprintf(stdout,
+		"xksoak: connections none=%d latency=%d reset=%d truncate=%d slow-loris=%d\n",
+		counts[chaos.None], counts[chaos.Latency], counts[chaos.Reset],
+		counts[chaos.Truncate], counts[chaos.SlowLoris])
+
+	if msgs := breaches.list(); len(msgs) > 0 {
+		for _, m := range msgs {
+			fmt.Fprintf(stderr, "xksoak: BREACH: %s\n", m)
+		}
+		fmt.Fprintf(stderr, "xksoak: FAIL (%d invariant breaches)\n", len(msgs))
+		return 1
+	}
+	fmt.Fprintln(stdout, "xksoak: PASS")
+	return 0
+}
+
+// soakBigDoc builds the deterministic heavyweight document for the slow
+// request class: hundreds of keyed books with keyed chapters, sized so
+// one streaming validation holds an in-flight slot for milliseconds —
+// the load that makes the admission queue's bounds observable.
+func soakBigDoc() string {
+	var b strings.Builder
+	b.WriteString("<db>")
+	for i := 0; i < 600; i++ {
+		fmt.Fprintf(&b, `<book isbn="i%d"><title>t%d</title>`, i, i)
+		for c := 0; c < 4; c++ {
+			fmt.Fprintf(&b, `<chapter number="%d"><name>n%d</name></chapter>`, c, c)
+		}
+		b.WriteString("</book>")
+	}
+	b.WriteString("</db>")
+	return b.String()
+}
+
+// soakWorker drives worker w's deterministic request sequence until the
+// soak context expires. Every choice comes from Derive(seed, label), so
+// the sequence replays exactly under the same seed.
+func soakWorker(ctx context.Context, xk *client.Client, seed int64, w int, heavy bool, t *soakTallies, breaches *breachLog) {
+	defer xk.CloseIdle()
+	schemaReq := map[string]any{"keys": smokeKeys, "transform": smokeTransform, "rule": "chapter"}
+	bigDoc := soakBigDoc()
+	for i := 0; ctx.Err() == nil; i++ {
+		label := fmt.Sprintf("xksoak/w/%d/r/%d", w, i)
+		roll := faultinject.Derive(seed, label) % 100
+		hedge := faultinject.Derive(seed, label+"/hedge")%4 == 0
+
+		var out map[string]any
+		var err error
+		if heavy && roll < 80 {
+			// Saturating profile: slot-hogging validations that must beat a
+			// 300ms deadline. Under overload, the queue sheds the excess in
+			// O(µs); without it every request executes and the doomed ones
+			// die mid-work.
+			out, err = xk.Post(ctx, "/v1/validate?timeout=300ms", map[string]any{
+				"keys": smokeKeys, "document": bigDoc,
+			})
+			checkOutcome(t, breaches, label, out, err, "ok")
+			continue
+		}
+		switch {
+		case roll < 40: // implication on the warm schema (pure: hedgeable)
+			body := map[string]any{"keys": smokeKeys, "key": "(ε, (//book, {@isbn}))"}
+			if hedge {
+				t.hedged.Add(1)
+				out, err = xk.PostHedged(ctx, "/v1/implies", body)
+			} else {
+				out, err = xk.Post(ctx, "/v1/implies", body)
+			}
+			checkOutcome(t, breaches, label, out, err, "implied")
+		case roll < 60: // FD propagation on the warm schema
+			out, err = xk.Post(ctx, "/v1/propagate", map[string]any{
+				"keys": smokeKeys, "transform": smokeTransform,
+				"rule": "chapter", "fd": "inBook, number -> name",
+			})
+			checkOutcome(t, breaches, label, out, err, "propagated")
+		case roll < 75: // minimum cover (pure: hedgeable)
+			if hedge {
+				t.hedged.Add(1)
+				out, err = xk.PostHedged(ctx, "/v1/cover", schemaReq)
+			} else {
+				out, err = xk.Post(ctx, "/v1/cover", schemaReq)
+			}
+			checkOutcome(t, breaches, label, out, err, "cover")
+		case roll < 85: // compile churn: a small rotating family of fresh schemas
+			variant := faultinject.Derive(seed, label+"/variant") % 48
+			out, err = xk.Post(ctx, "/v1/implies", map[string]any{
+				"keys": fmt.Sprintf("%s# churn %d\n", smokeKeys, variant),
+				"key":  "(ε, (//book, {@isbn}))",
+			})
+			checkOutcome(t, breaches, label, out, err, "implied")
+		case roll < 90: // a schema that cannot compile: honest parse 400s
+			out, err = xk.Post(ctx, "/v1/implies", map[string]any{
+				"keys": "(ε, (//broken", "key": "(ε, (//book, {@isbn}))",
+			})
+			checkOutcome(t, breaches, label, out, err, "")
+		case roll < 92: // streaming validation of a key-violating document
+			out, err = xk.Post(ctx, "/v1/validate", map[string]any{
+				"keys": smokeKeys, "document": smokeBadDoc,
+			})
+			checkOutcome(t, breaches, label, out, err, "ok")
+		case roll < 97: // the slow class: validate a large valid document,
+			// holding an in-flight slot for milliseconds (real overload)
+			out, err = xk.Post(ctx, "/v1/validate", map[string]any{
+				"keys": smokeKeys, "document": bigDoc,
+			})
+			checkOutcome(t, breaches, label, out, err, "ok")
+		default: // unmeetable deadline on a fresh schema: typed 504s
+			variant := faultinject.Derive(seed, label+"/variant") % 48
+			out, err = xk.Post(ctx, "/v1/cover?timeout=1ns", map[string]any{
+				"keys":      fmt.Sprintf("%s# deadline %d\n", smokeKeys, variant),
+				"transform": smokeTransform, "rule": "chapter",
+			})
+			checkOutcome(t, breaches, label, out, err, "cover")
+		}
+	}
+}
+
+// checkOutcome tallies one request and enforces the wire invariants on
+// its result: typed kinds only, no partial results on error bodies, and
+// successful bodies carrying their result field.
+func checkOutcome(t *soakTallies, breaches *breachLog, label string, out map[string]any, err error, wantField string) {
+	if err == nil {
+		t.ok.Add(1)
+		if wantField != "" {
+			if _, ok := out[wantField]; !ok {
+				breaches.addf("%s: 200 body missing %q: %v", label, wantField, out)
+			}
+		}
+		return
+	}
+	ce, ok := err.(*client.Error)
+	if !ok {
+		// Transport-level failure: the chaos proxy cut the connection.
+		// Expected weather, not a breach.
+		t.transport.Add(1)
+		return
+	}
+	t.typed.Add(1)
+	if !soakKinds[ce.Kind] {
+		breaches.addf("%s: HTTP %d with kind %q outside the taxonomy: %v", label, ce.Status, ce.Kind, ce.Body)
+	}
+	for _, k := range partialKeys {
+		if _, leaked := ce.Body[k]; leaked {
+			breaches.addf("%s: error body leaked partial %q: %v", label, k, ce.Body)
+		}
+	}
+}
+
+// scrapeCounters pulls /debug/vars, checks every counter-shaped variable
+// against its previous value, and returns the server's inflight gauge
+// (0 when the scrape failed).
+func scrapeCounters(hc *http.Client, base string, prev map[string]int64, breaches *breachLog) int64 {
+	resp, err := hc.Get(base + "/debug/vars")
+	if err != nil {
+		return 0 // scrape failures are not soak failures
+	}
+	defer resp.Body.Close()
+	vars := map[string]json.RawMessage{}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		breaches.addf("/debug/vars: non-JSON scrape: %v", err)
+		return 0
+	}
+	for name, raw := range vars {
+		if !monotonicCounter(name) {
+			continue
+		}
+		var n int64
+		if err := json.Unmarshal(raw, &n); err != nil {
+			breaches.addf("/debug/vars: counter %q not an integer: %s", name, raw)
+			continue
+		}
+		if last, seen := prev[name]; seen && n < last {
+			breaches.addf("counter %q went backwards: %d -> %d", name, last, n)
+		}
+		prev[name] = n
+	}
+	var g int64
+	json.Unmarshal(vars["inflight"], &g)
+	return g
+}
+
+// monotonicCounter says whether a published variable must never decrease.
+// Gauges (inflight, queue depth, registry size, memo entries, …) are
+// excluded; they breathe by design.
+func monotonicCounter(name string) bool {
+	if strings.HasPrefix(name, "requests.") || strings.HasPrefix(name, "aborts.") {
+		return true
+	}
+	switch name {
+	case "registry.hits", "registry.misses", "registry.compiles", "registry.evictions",
+		"server.panics", "compile_breaker.trips", "fdindex.compiles":
+		return true
+	}
+	return false
+}
+
+// soakServerStats scrapes the shed counters and the worst occupied
+// latency decade across all endpoint histograms.
+func soakServerStats(hc *http.Client, base string) (busy, deadline int64, worst string) {
+	worst = "n/a"
+	resp, err := hc.Get(base + "/debug/vars")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	vars := map[string]json.RawMessage{}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return
+	}
+	intVar := func(name string) int64 {
+		var n int64
+		json.Unmarshal(vars[name], &n)
+		return n
+	}
+	busy, deadline = intVar("aborts.busy"), intVar("aborts.deadline")
+	// Decade buckets in ascending order, as internal/metrics renders them.
+	order := []string{"le_1us", "le_10us", "le_100us", "le_1ms", "le_10ms", "le_100ms", "le_1s", "le_10s", "inf"}
+	worstRank := -1
+	for name, raw := range vars {
+		if !strings.HasPrefix(name, "latency.") {
+			continue
+		}
+		var h struct {
+			Buckets map[string]int64 `json:"buckets"`
+		}
+		if json.Unmarshal(raw, &h) != nil {
+			continue
+		}
+		for rank, label := range order {
+			if h.Buckets[label] > 0 && rank > worstRank {
+				worstRank, worst = rank, label
+			}
+		}
+	}
+	return
+}
+
+// probe GETs a path and returns the status code, 0 on transport error.
+func probe(hc *http.Client, url string) int {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// scheduleDigest folds the first planCount fault plans and each worker's
+// first 32 request rolls into one FNV-1a hash: the byte-identical-replay
+// witness printed at startup.
+func scheduleDigest(cfg chaos.Config, seed int64, workers, planCount int) string {
+	h := fnv.New64a()
+	for k := int64(0); k < int64(planCount); k++ {
+		fmt.Fprintln(h, chaos.PlanFor(cfg, k))
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < 32; i++ {
+			label := fmt.Sprintf("xksoak/w/%d/r/%d", w, i)
+			fmt.Fprintf(h, "%s=%d/%d\n", label,
+				faultinject.Derive(seed, label)%100,
+				faultinject.Derive(seed, label+"/hedge")%4)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

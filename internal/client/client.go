@@ -1,0 +1,281 @@
+// Package client implements xkclient, the retrying HTTP client for
+// xkserve's JSON API: jittered exponential backoff that honors the
+// server's Retry-After shed hints, per-attempt deadlines carved from one
+// overall context, and optional request hedging for the pure endpoints.
+//
+// Retries and hedges are sound here by construction: every analysis the
+// server exposes is a pure function of its request body (Davidson et
+// al.'s propagation algorithms are deterministic and side-effect-free),
+// so re-sending a request — even one whose first copy may have executed
+// after a broken connection — can never change an answer or corrupt
+// state. The client therefore retries transport failures and typed busy
+// sheds freely, and hedging two copies of a slow read races them without
+// coordination.
+//
+// What it deliberately does NOT retry: 4xx input/parse errors (the
+// request is wrong, not the weather), budget trips (deterministic — the
+// same request meets the same cap), and deadline 504s (the server spent
+// the request's own time budget; only the caller knows whether more time
+// exists). The jitter source is seeded, so a soak run's backoff schedule
+// replays with its workload.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Error is a typed non-2xx response: the HTTP status, the error kind from
+// the server's taxonomy (parse, input, deadline, budget, busy, internal;
+// empty when the body carried no typed error), and the decoded body.
+type Error struct {
+	Status  int
+	Kind    string
+	Message string
+	// RetryAfter is the parsed Retry-After header (0 = absent).
+	RetryAfter time.Duration
+	// Body is the full decoded response body.
+	Body map[string]any
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("xkclient: HTTP %d kind=%q: %s", e.Status, e.Kind, e.Message)
+}
+
+// Config tunes one Client. The zero value of each field selects the
+// documented default.
+type Config struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8190".
+	Base string
+	// HTTP is the underlying transport client (default: a fresh
+	// http.Client with no timeout — deadlines travel on the context).
+	HTTP *http.Client
+	// MaxAttempts caps tries per Post, first attempt included
+	// (default 4).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay, doubled per attempt with
+	// full jitter (default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff growth (default 2s).
+	MaxBackoff time.Duration
+	// AttemptTimeout, when positive, carves a per-attempt deadline out of
+	// the overall context: each try gets min(AttemptTimeout, remaining),
+	// so one black-holed connection cannot eat the whole budget.
+	AttemptTimeout time.Duration
+	// HedgeDelay is the wait before PostHedged launches its second copy
+	// (default 100ms).
+	HedgeDelay time.Duration
+	// Seed drives the jitter RNG; a fixed seed gives a reproducible
+	// backoff schedule (soak replay). 0 = seed 1.
+	Seed int64
+}
+
+// Client is a retrying JSON client for one server. Safe for concurrent
+// use.
+type Client struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a client, applying Config defaults.
+func New(cfg Config) *Client {
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{}
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	if cfg.HedgeDelay <= 0 {
+		cfg.HedgeDelay = 100 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// CloseIdle releases idle transport connections (leak-guard hygiene for
+// the soak harness and tests).
+func (c *Client) CloseIdle() { c.cfg.HTTP.CloseIdleConnections() }
+
+// Post sends one JSON request with retries. It returns the decoded 2xx
+// body, or the last error: a *Error for typed non-2xx responses, the
+// transport error otherwise. Retried: transport failures and busy sheds
+// (honoring Retry-After as a lower bound on the next delay). Everything
+// else returns immediately.
+func (c *Client) Post(ctx context.Context, path string, body any) (map[string]any, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("xkclient: marshal: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		out, err := c.once(ctx, path, data)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !retryable(err) || attempt+1 >= c.cfg.MaxAttempts {
+			return nil, lastErr
+		}
+		delay := c.nextDelay(attempt, retryAfterOf(err))
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, lastErr
+		}
+	}
+	return nil, lastErr
+}
+
+// PostHedged is Post for the pure endpoints with tail-latency hedging: if
+// the first copy has not resolved within HedgeDelay, a second identical
+// copy races it and the first result wins (errors only win once both
+// arms have failed). Both arms retry independently per Post's policy.
+func (c *Client) PostHedged(ctx context.Context, path string, body any) (map[string]any, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		out map[string]any
+		err error
+	}
+	results := make(chan result, 2)
+	launch := func() {
+		out, err := c.Post(hctx, path, body)
+		results <- result{out, err}
+	}
+	go launch()
+
+	hedged := false
+	timer := time.NewTimer(c.cfg.HedgeDelay)
+	defer timer.Stop()
+	var firstErr error
+	arms := 1
+	for {
+		select {
+		case r := <-results:
+			if r.err == nil {
+				return r.out, nil // first success wins; cancel() reaps the loser
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			arms--
+			if arms == 0 && hedged {
+				return nil, firstErr
+			}
+			if arms == 0 && !hedged {
+				// The only arm failed before the hedge fired: no point
+				// hedging a deterministic failure, surface it.
+				return nil, firstErr
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				arms++
+				go launch()
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// once is a single attempt, with the per-attempt deadline carved from the
+// overall context.
+func (c *Client) once(ctx context.Context, path string, data []byte) (map[string]any, error) {
+	actx := ctx
+	if c.cfg.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.cfg.Base+path, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]any{}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("xkclient: %s: non-JSON response (HTTP %d): %w", path, resp.StatusCode, err)
+	}
+	if resp.StatusCode/100 == 2 {
+		return out, nil
+	}
+	e := &Error{Status: resp.StatusCode, Body: out}
+	if eo, ok := out["error"].(map[string]any); ok {
+		e.Kind, _ = eo["kind"].(string)
+		e.Message, _ = eo["message"].(string)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return nil, e
+}
+
+// retryable: transport errors (no typed response at all) and busy sheds.
+func retryable(err error) bool {
+	e, ok := err.(*Error)
+	if !ok {
+		return true // transport-level failure: connection reset, truncation, …
+	}
+	return e.Kind == "busy"
+}
+
+func retryAfterOf(err error) time.Duration {
+	if e, ok := err.(*Error); ok {
+		return e.RetryAfter
+	}
+	return 0
+}
+
+// nextDelay computes the post-attempt backoff: full-jittered exponential
+// from BaseBackoff capped at MaxBackoff, floored by the server's
+// Retry-After hint when one was given.
+func (c *Client) nextDelay(attempt int, retryAfter time.Duration) time.Duration {
+	ceil := c.cfg.BaseBackoff << uint(attempt)
+	if ceil > c.cfg.MaxBackoff || ceil <= 0 {
+		ceil = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(ceil)) + 1)
+	c.mu.Unlock()
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}

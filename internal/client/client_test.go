@@ -1,0 +1,230 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scripted returns a test server that replies with each scripted response
+// in turn (status, body, optional Retry-After seconds), repeating the
+// last one forever, and a counter of requests seen.
+func scripted(t *testing.T, steps ...struct {
+	status     int
+	body       string
+	retryAfter string
+}) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := int(n.Add(1)) - 1
+		if i >= len(steps) {
+			i = len(steps) - 1
+		}
+		st := steps[i]
+		if st.retryAfter != "" {
+			w.Header().Set("Retry-After", st.retryAfter)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(st.status)
+		w.Write([]byte(st.body))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &n
+}
+
+type step = struct {
+	status     int
+	body       string
+	retryAfter string
+}
+
+func TestRetryOnBusyThenSuccess(t *testing.T) {
+	srv, n := scripted(t,
+		step{503, `{"error":{"kind":"busy","message":"admission queue full"}}`, "1"},
+		step{200, `{"ok":true}`, ""},
+	)
+	c := New(Config{Base: srv.URL, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	out, err := c.Post(context.Background(), "/v1/implies", map[string]any{})
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	if out["ok"] != true {
+		t.Fatalf("body = %v", out)
+	}
+	if got := n.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (one busy, one retry)", got)
+	}
+}
+
+func TestNoRetryOnInputError(t *testing.T) {
+	srv, n := scripted(t,
+		step{400, `{"error":{"kind":"parse","message":"keys: unbalanced parens"}}`, ""},
+	)
+	c := New(Config{Base: srv.URL, BaseBackoff: time.Millisecond})
+	_, err := c.Post(context.Background(), "/v1/implies", map[string]any{})
+	e, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *Error", err, err)
+	}
+	if e.Status != 400 || e.Kind != "parse" {
+		t.Fatalf("Error = %+v, want 400 parse", e)
+	}
+	if got := n.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want exactly 1 (4xx must not retry)", got)
+	}
+}
+
+func TestNoRetryOnDeadline504(t *testing.T) {
+	srv, n := scripted(t,
+		step{504, `{"error":{"kind":"deadline","message":"request deadline exceeded"}}`, ""},
+	)
+	c := New(Config{Base: srv.URL, BaseBackoff: time.Millisecond})
+	_, err := c.Post(context.Background(), "/v1/cover", map[string]any{})
+	if e, ok := err.(*Error); !ok || e.Kind != "deadline" {
+		t.Fatalf("err = %v, want typed deadline error", err)
+	}
+	if got := n.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (deadline must not retry)", got)
+	}
+}
+
+// TestAttemptTimeoutRecovers: the first attempt black-holes past the
+// per-attempt deadline; the retry succeeds well inside the overall
+// context because the stall was bounded per attempt.
+func TestAttemptTimeoutRecovers(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) // drain so the server watches the conn
+		if n.Add(1) == 1 {
+			<-r.Context().Done() // stall until the attempt deadline kills us
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	t.Cleanup(srv.Close)
+	c := New(Config{
+		Base: srv.URL, AttemptTimeout: 30 * time.Millisecond,
+		BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := c.Post(ctx, "/v1/implies", map[string]any{})
+	if err != nil {
+		t.Fatalf("Post after black-holed attempt: %v", err)
+	}
+	if out["ok"] != true || n.Load() != 2 {
+		t.Fatalf("out=%v attempts=%d, want recovery on attempt 2", out, n.Load())
+	}
+}
+
+// TestHedgedReadWins: the first copy stalls, the hedge fires and answers;
+// the caller sees the fast answer long before the stalled copy resolves.
+func TestHedgedReadWins(t *testing.T) {
+	var n atomic.Int64
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) // drain so the server watches the conn
+		if n.Add(1) == 1 {
+			select {
+			case <-release:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		w.Write([]byte(`{"implied":true}`))
+	}))
+	t.Cleanup(srv.Close)
+	defer close(release)
+	c := New(Config{Base: srv.URL, HedgeDelay: 5 * time.Millisecond})
+	begin := time.Now()
+	out, err := c.PostHedged(context.Background(), "/v1/implies", map[string]any{})
+	if err != nil {
+		t.Fatalf("PostHedged: %v", err)
+	}
+	if out["implied"] != true {
+		t.Fatalf("body = %v", out)
+	}
+	if elapsed := time.Since(begin); elapsed > 2*time.Second {
+		t.Fatalf("hedged read took %v; the stalled first copy was awaited", elapsed)
+	}
+}
+
+// TestHedgedFastFailureNoHedge: a deterministic failure before the hedge
+// delay surfaces immediately without launching a second copy.
+func TestHedgedFastFailureNoHedge(t *testing.T) {
+	srv, n := scripted(t,
+		step{400, `{"error":{"kind":"input","message":"empty keys"}}`, ""},
+	)
+	c := New(Config{Base: srv.URL, HedgeDelay: time.Hour})
+	_, err := c.PostHedged(context.Background(), "/v1/implies", map[string]any{})
+	if e, ok := err.(*Error); !ok || e.Kind != "input" {
+		t.Fatalf("err = %v, want typed input error", err)
+	}
+	if got := n.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no hedge on fast failure)", got)
+	}
+}
+
+// TestNextDelayHonorsRetryAfter pins the delay computation without
+// sleeping: jitter stays within the exponential ceiling, and a server
+// Retry-After hint floors it.
+func TestNextDelayHonorsRetryAfter(t *testing.T) {
+	c := New(Config{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Seed: 7})
+	for attempt := 0; attempt < 6; attempt++ {
+		ceil := 10 * time.Millisecond << uint(attempt)
+		if ceil > 80*time.Millisecond {
+			ceil = 80 * time.Millisecond
+		}
+		d := c.nextDelay(attempt, 0)
+		if d <= 0 || d > ceil {
+			t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, ceil)
+		}
+	}
+	if d := c.nextDelay(0, 3*time.Second); d < 3*time.Second {
+		t.Fatalf("delay %v ignores Retry-After floor of 3s", d)
+	}
+}
+
+// TestSeededJitterReplays: two clients with the same seed draw identical
+// backoff schedules — the property xksoak's replay claim rests on.
+func TestSeededJitterReplays(t *testing.T) {
+	a := New(Config{Seed: 42})
+	b := New(Config{Seed: 42})
+	for i := 0; i < 32; i++ {
+		if da, db := a.nextDelay(i%4, 0), b.nextDelay(i%4, 0); da != db {
+			t.Fatalf("draw %d: %v != %v with equal seeds", i, da, db)
+		}
+	}
+}
+
+func TestNonJSONResponseIsError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("<html>gateway error</html>"))
+	}))
+	t.Cleanup(srv.Close)
+	c := New(Config{Base: srv.URL, MaxAttempts: 1})
+	if _, err := c.Post(context.Background(), "/v1/implies", map[string]any{}); err == nil {
+		t.Fatal("non-JSON 200 accepted")
+	}
+}
+
+func TestErrorBodyDecodes(t *testing.T) {
+	body := map[string]any{"error": map[string]any{"kind": "budget", "message": "registry cap"}}
+	raw, _ := json.Marshal(body)
+	srv, _ := scripted(t, step{503, string(raw), ""})
+	c := New(Config{Base: srv.URL})
+	_, err := c.Post(context.Background(), "/v1/cover", map[string]any{})
+	e, ok := err.(*Error)
+	if !ok || e.Kind != "budget" || e.Message != "registry cap" {
+		t.Fatalf("err = %v, want decoded budget error", err)
+	}
+	if _, ok := e.Body["error"]; !ok {
+		t.Fatalf("Error.Body lost the raw body: %v", e.Body)
+	}
+}

@@ -1,9 +1,7 @@
 package diffcheck
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net"
@@ -11,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"xkprop/internal/client"
 	"xkprop/internal/core"
 	"xkprop/internal/server"
 	"xkprop/internal/xmlkey"
@@ -175,10 +174,12 @@ func (h *harness) laneServer(ctx context.Context, rng *rand.Rand) (LaneReport, e
 	return lr, nil
 }
 
-// serverClient drives the live instance.
+// serverClient drives the live instance through xkclient, so the lane
+// also exercises the retrying client's decode-and-classify path. Retries
+// cannot mask a disagreement: the analyses are pure, so a retried request
+// yields the same verdict, and non-busy errors surface unretried.
 type serverClient struct {
-	base   string
-	client *http.Client
+	xk *client.Client
 }
 
 // bootServer starts a real xkserve on an ephemeral loopback port.
@@ -190,31 +191,25 @@ func bootServer() (*serverClient, func(), error) {
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go httpSrv.Serve(ln)
-	cli := &serverClient{
-		base:   "http://" + ln.Addr().String(),
-		client: &http.Client{Timeout: 30 * time.Second},
+	cli := &serverClient{xk: client.New(client.Config{
+		Base: "http://" + ln.Addr().String(), AttemptTimeout: 30 * time.Second, Seed: 1,
+	})}
+	shutdown := func() {
+		cli.xk.CloseIdle()
+		httpSrv.Close()
 	}
-	return cli, func() { httpSrv.Close() }, nil
+	return cli, shutdown, nil
 }
 
 // post sends one JSON request; a non-200 response or malformed body comes
 // back as an error (a lane disagreement, not a harness abort).
 func (c *serverClient) post(path string, body any) (map[string]any, error) {
-	data, err := json.Marshal(body)
+	out, err := c.xk.Post(context.Background(), path, body)
 	if err != nil {
+		if ce, ok := err.(*client.Error); ok {
+			return nil, fmt.Errorf("%s: HTTP %d: %v", path, ce.Status, ce.Body["error"])
+		}
 		return nil, err
-	}
-	resp, err := c.client.Post(c.base+path, "application/json", bytes.NewReader(data))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	out := map[string]any{}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("%s: non-JSON response: %v", path, err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("%s: HTTP %d: %v", path, resp.StatusCode, out["error"])
 	}
 	return out, nil
 }

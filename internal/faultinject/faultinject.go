@@ -66,21 +66,28 @@ func (in *Injector) Roll(point string, span int64) int64 {
 	if span < 1 {
 		span = 1
 	}
-	// splitmix64 over seed ⊕ FNV-1a(point): cheap, deterministic, well
-	// spread — no math/rand, no global state.
+	k := int64(Derive(in.seed, point)%uint64(span)) + 1
+	in.Arm(point, k)
+	return k
+}
+
+// Derive maps (seed, label) to a deterministic, well-spread 64-bit value:
+// splitmix64 over seed ⊕ FNV-1a(label) — cheap, no math/rand, no global
+// state. It is the seeding primitive shared by the Injector's Roll and by
+// the chaos proxy's per-connection fault plans, so every fault schedule
+// in the repository replays byte-identically from its seed.
+func Derive(seed int64, label string) uint64 {
 	h := uint64(14695981039346656037)
-	for i := 0; i < len(point); i++ {
-		h ^= uint64(point[i])
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
 		h *= 1099511628211
 	}
-	z := uint64(in.seed) ^ h
+	z := uint64(seed) ^ h
 	z += 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
-	k := int64(z%uint64(span)) + 1
-	in.Arm(point, k)
-	return k
+	return z
 }
 
 // Hit records one arrival at point and reports whether the fault fires
@@ -151,12 +158,25 @@ type countdownCtx struct {
 // k-th cancellation check (k >= 1; each Err or Done call counts). Checks
 // by concurrent goroutines all draw from the same countdown, so with a
 // worker pool the k-th check overall trips it, wherever it lands.
+//
+// Parent cancellation wins over the countdown: if the parent is cancelled
+// mid-countdown, Err reports the parent's error (which may be
+// DeadlineExceeded, not just Canceled) and Done closes without waiting
+// for the remaining ticks — so goroutines blocked on Done are released,
+// exactly as with a plain derived context. The soak harness layers
+// countdowns under real deadlines and depends on this ordering.
 func CountdownContext(parent context.Context, k int64) context.Context {
 	if parent == nil {
 		parent = context.Background()
 	}
 	c := &countdownCtx{parent: parent, done: make(chan struct{})}
 	c.left.Store(k)
+	// Propagate parent cancellation to Done waiters. AfterFunc registers
+	// without spawning for standard contexts; the callback is a no-op
+	// close if the countdown already fired.
+	context.AfterFunc(parent, func() {
+		c.once.Do(func() { close(c.done) })
+	})
 	return c
 }
 
@@ -168,12 +188,17 @@ func (c *countdownCtx) tick() {
 
 func (c *countdownCtx) Err() error {
 	c.tick()
+	// Parent errors win: a countdown trip is context.Canceled, but a
+	// parent may carry DeadlineExceeded or a cause — never mask it.
+	if err := c.parent.Err(); err != nil {
+		return err
+	}
 	select {
 	case <-c.done:
 		return context.Canceled
 	default:
 	}
-	return c.parent.Err()
+	return nil
 }
 
 func (c *countdownCtx) Done() <-chan struct{} {

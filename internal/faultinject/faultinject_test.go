@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestInjectorFiresExactlyOnce(t *testing.T) {
@@ -120,5 +121,76 @@ func TestCountdownContextParent(t *testing.T) {
 	cancel()
 	if !errors.Is(ctx.Err(), context.Canceled) {
 		t.Fatal("parent cancellation must propagate")
+	}
+}
+
+// TestCountdownContextParentCancelledMidCountdown is the ordering the
+// soak harness depends on: when the parent dies while the countdown is
+// still far from zero, (1) Err reports the PARENT's error — here
+// DeadlineExceeded, which a bare countdown trip (context.Canceled) would
+// mask — and (2) Done closes promptly, releasing goroutines blocked on
+// it, instead of waiting for ticks that will never come.
+func TestCountdownContextParentCancelledMidCountdown(t *testing.T) {
+	parent, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	ctx := CountdownContext(parent, 1_000_000)
+
+	// Burn a few ticks while the parent is alive: no trip.
+	for i := 0; i < 5; i++ {
+		if err := ctx.Err(); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+
+	// Done must close when the parent expires, mid-countdown.
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Done never closed after parent cancellation mid-countdown")
+	}
+
+	// Parent Err wins: DeadlineExceeded, not the countdown's Canceled.
+	if err := ctx.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Err = %v, want the parent's DeadlineExceeded", err)
+	}
+	// And it stays that way even once the countdown would have tripped.
+	if err := ctx.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Err after more ticks = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestCountdownTripBeforeParent: the countdown firing first still reports
+// Canceled even though the parent later dies with DeadlineExceeded — the
+// first cause to fire is the one waiters observed.
+func TestCountdownTripBeforeParent(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctx := CountdownContext(parent, 2)
+	ctx.Err()
+	if err := ctx.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("countdown trip = %v, want Canceled", err)
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("Done must be closed after the trip")
+	}
+}
+
+// TestDeriveDeterministic pins the seeding primitive the chaos proxy
+// builds its per-connection fault plans on: same (seed, label) → same
+// value, different labels or seeds → different values, and Roll remains
+// a [1, span] projection of it.
+func TestDeriveDeterministic(t *testing.T) {
+	if Derive(7, "conn/3") != Derive(7, "conn/3") {
+		t.Fatal("Derive is not deterministic")
+	}
+	if Derive(7, "conn/3") == Derive(7, "conn/4") || Derive(7, "conn/3") == Derive(8, "conn/3") {
+		t.Fatal("Derive collides across labels/seeds on the smoke points")
+	}
+	in := New(42)
+	k := in.Roll("p", 10)
+	if want := int64(Derive(42, "p")%10) + 1; k != want {
+		t.Fatalf("Roll = %d, want Derive-projected %d", k, want)
 	}
 }

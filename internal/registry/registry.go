@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"xkprop/internal/core"
+	"xkprop/internal/resilience"
 	"xkprop/internal/transform"
 	"xkprop/internal/xmlkey"
 )
@@ -171,6 +172,10 @@ type flight struct {
 type Registry struct {
 	max int // resident-artifact cap; 0 = unbounded
 
+	// breaker, when set, guards the compile path against storms of
+	// failing schemas (see SetBreaker). nil = no gating.
+	breaker *resilience.Breaker
+
 	mu       sync.Mutex
 	entries  map[string]*list.Element // key → element whose Value is *Artifact
 	lru      *list.List               // front = most recently used
@@ -211,12 +216,23 @@ func (r *Registry) Get(ctx context.Context, keysText, transformText string) (*Ar
 		r.mu.Unlock()
 		return waitFlight(ctx, fl)
 	}
+	// Only an actual compile attempt consults the breaker: cache hits and
+	// joins on an in-flight compile above are never gated, so resident
+	// schemas keep serving while the breaker is open.
+	if err := r.breaker.Allow(); err != nil {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("registry: compile gated: %w", err)
+	}
 	fl := &flight{done: make(chan struct{})}
 	r.inflight[key] = fl
 	r.mu.Unlock()
 
 	r.compiles.Add(1)
 	fl.art, fl.err = Compile(keysText, transformText)
+	// The breaker sees only the compile's own outcome — waiter context
+	// expiry never counts, and errors are reported to every waiter but
+	// cached nowhere (neither here nor in the breaker).
+	r.breaker.Record(fl.err)
 
 	r.mu.Lock()
 	delete(r.inflight, key)
@@ -227,6 +243,18 @@ func (r *Registry) Get(ctx context.Context, keysText, transformText string) (*Ar
 	close(fl.done)
 	return waitFlight(ctx, fl)
 }
+
+// SetBreaker installs a circuit breaker guarding the compile path against
+// storms of failing schemas: consecutive compile failures trip it, and
+// while it is open new compiles are rejected with a typed
+// *resilience.BusyError — but cache hits and waits on in-flight compiles
+// are served as usual, and compile errors are still never cached. Call
+// before serving; a nil breaker disables gating.
+func (r *Registry) SetBreaker(b *resilience.Breaker) { r.breaker = b }
+
+// Breaker returns the installed compile breaker (nil when disabled) for
+// metrics reads.
+func (r *Registry) Breaker() *resilience.Breaker { return r.breaker }
 
 func waitFlight(ctx context.Context, fl *flight) (*Artifact, error) {
 	if ctx != nil {

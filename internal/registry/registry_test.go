@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"xkprop/internal/rel"
+	"xkprop/internal/resilience"
+	"xkprop/internal/testutil"
 	"xkprop/internal/xmlkey"
 )
 
@@ -239,6 +241,7 @@ func TestRegistryGetContextExpiredWaiter(t *testing.T) {
 // cycles cold schemas through a 2-slot LRU. Success: no race reports, no
 // errors, every artifact hash is right.
 func TestRegistryStressEviction(t *testing.T) {
+	testutil.GuardGoroutines(t, 10*time.Second)
 	r := New(2)
 	hot := Key(testKeys, testTransform)
 	rounds := 40
@@ -302,5 +305,94 @@ func TestRegistryStressEviction(t *testing.T) {
 	}
 	if r.Len() > 2 {
 		t.Fatalf("len=%d exceeds the cap", r.Len())
+	}
+}
+
+// TestBreakerGatesCompilesOnly: the compile breaker trips on consecutive
+// compile failures and, while open, sheds new compiles — but cache hits
+// and the artifacts behind them keep serving, and compile errors are
+// still never cached (the breaker gates attempts, it remembers no
+// answers).
+func TestBreakerGatesCompilesOnly(t *testing.T) {
+	r := New(0)
+	r.SetBreaker(resilience.NewBreaker(2, 30*time.Millisecond))
+	ctx := context.Background()
+
+	// A good artifact resident before the storm.
+	if _, err := r.Get(ctx, testKeys, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two distinct failing schemas: honest parse errors, breaker trips.
+	for i := 0; i < 2; i++ {
+		if _, err := r.Get(ctx, fmt.Sprintf("(ε, (//broken %d", i), ""); err == nil {
+			t.Fatalf("bad schema %d compiled", i)
+		}
+	}
+	if st := r.Breaker().State(); st != "open" {
+		t.Fatalf("state %q, want open", st)
+	}
+	compiles := r.Compiles()
+
+	// Open: a fresh compile is shed with the typed busy error and no
+	// compile attempt…
+	var be *resilience.BusyError
+	if _, err := r.Get(ctx, testKeys+"# fresh\n", ""); !errors.As(err, &be) {
+		t.Fatalf("open-breaker Get = %v, want *resilience.BusyError", err)
+	}
+	if r.Compiles() != compiles {
+		t.Fatalf("open breaker still compiled (%d → %d)", compiles, r.Compiles())
+	}
+	// …while the resident artifact is a plain hit.
+	hits := r.Hits()
+	if _, err := r.Get(ctx, testKeys, ""); err != nil {
+		t.Fatalf("cache hit under open breaker: %v", err)
+	}
+	if r.Hits() != hits+1 {
+		t.Fatal("resident artifact did not serve as a hit under the open breaker")
+	}
+
+	// Cooldown over: the half-open probe compiles; success closes. The
+	// previously failing schema now parses… it doesn't — same text, same
+	// parse error — proving no error was cached and the probe outcome is
+	// the compile's own.
+	time.Sleep(40 * time.Millisecond)
+	if _, err := r.Get(ctx, testKeys+"# probe\n", ""); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if st := r.Breaker().State(); st != "closed" {
+		t.Fatalf("state %q after probe success, want closed", st)
+	}
+	if _, err := r.Get(ctx, "(ε, (//broken 0", ""); err == nil {
+		t.Fatal("bad schema suddenly compiles — an error was cached somewhere")
+	} else if errors.As(err, &be) {
+		t.Fatalf("closed-breaker parse failure misreported busy: %v", err)
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failing half-open probe re-opens the
+// breaker for a fresh cooldown instead of closing it.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	r := New(0)
+	r.SetBreaker(resilience.NewBreaker(1, 20*time.Millisecond))
+	ctx := context.Background()
+
+	if _, err := r.Get(ctx, "(ε, (//broken", ""); err == nil {
+		t.Fatal("bad schema compiled")
+	}
+	if st := r.Breaker().State(); st != "open" {
+		t.Fatalf("state %q, want open", st)
+	}
+	time.Sleep(25 * time.Millisecond)
+	// The probe itself fails: re-open, and the next compile is shed.
+	if _, err := r.Get(ctx, "(ε, (//still broken", ""); err == nil {
+		t.Fatal("probe schema compiled")
+	}
+	var be *resilience.BusyError
+	if _, err := r.Get(ctx, testKeys, ""); !errors.As(err, &be) {
+		t.Fatalf("post-probe-failure Get = %v, want busy shed", err)
+	}
+	if n := r.Breaker().Trips(); n != 2 {
+		t.Fatalf("trips = %d, want 2", n)
 	}
 }

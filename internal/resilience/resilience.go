@@ -1,0 +1,324 @@
+// Package resilience implements the overload-protection primitives of the
+// serving subsystem: a deadline-aware bounded admission queue and a
+// circuit breaker for compile storms.
+//
+// Both exist because of the same production constraint that motivates the
+// budgets of internal/budget: the paper's analyses are cheap individually
+// but a service accepting them from millions of users must degrade
+// predictably when offered more work than it can finish. The admission
+// queue turns overload into fast, typed rejections instead of slow
+// timeouts: a request whose deadline cannot be met by the estimated queue
+// wait is rejected in microseconds with a Retry-After hint, so the client
+// spends its deadline retrying elsewhere rather than parked in a doomed
+// queue. The circuit breaker protects the expensive compile path of the
+// schema registry from storms of failing schemas: after a run of
+// consecutive compile failures it rejects new compile attempts for a
+// cooldown, then lets a single probe through (half-open) before closing
+// again. Neither primitive ever caches an error: the breaker gates
+// attempts, it does not remember answers.
+//
+// The paper's analyses are pure and idempotent (Davidson et al., ICDE
+// 2003): re-running a rejected or retried request can never produce a
+// different answer, which is what makes fast shedding and client-side
+// retries sound by construction.
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BusyError is the typed overload rejection shared by the admission queue
+// and the circuit breaker. The server classifies it as HTTP 503 with kind
+// "busy" and renders RetryAfter as a Retry-After header, so well-behaved
+// clients (internal/client) back off for at least that long.
+type BusyError struct {
+	// Reason says which overload path rejected the request.
+	Reason string
+	// RetryAfter is the suggested wait before retrying: the estimated
+	// queue drain time, or the breaker's remaining cooldown.
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("busy: %s (retry after %v)", e.Reason, e.RetryAfter)
+}
+
+// Queue is a deadline-aware bounded admission queue: at most maxInFlight
+// callers hold a slot at once, at most maxDepth more may wait, and a
+// waiter whose context deadline is closer than the estimated queue wait
+// is rejected immediately instead of queuing to time out.
+//
+// The wait estimate is pos·EWMA(service time)/maxInFlight — the time for
+// the pos requests ahead (queue position) to drain through the slots.
+// It is an estimate, not a guarantee: the EWMA smooths over multimodal
+// service times, so the queue can still admit a request that later times
+// out. What the estimate buys is the common case: under saturating load
+// with warmed statistics, doomed requests are shed in O(µs).
+type Queue struct {
+	slots       chan struct{}
+	maxInFlight int
+	maxDepth    int // 0 = unbounded queue depth
+
+	mu      sync.Mutex
+	waiting int
+	ewmaNs  int64
+
+	onWait func(time.Duration) // observation hook for the wait histogram
+}
+
+// ewmaAlpha weights new service-time observations; 1/8 smooths bursts
+// without going deaf to load shifts.
+const ewmaAlpha = 8
+
+// NewQueue builds an admission queue with maxInFlight concurrent slots
+// and at most maxDepth queued waiters (0 = unbounded depth). maxInFlight
+// must be positive.
+func NewQueue(maxInFlight, maxDepth int) *Queue {
+	if maxInFlight <= 0 {
+		panic("resilience: NewQueue needs maxInFlight > 0")
+	}
+	return &Queue{
+		slots:       make(chan struct{}, maxInFlight),
+		maxInFlight: maxInFlight,
+		maxDepth:    maxDepth,
+	}
+}
+
+// OnWait installs a hook observing every admitted request's queue wait
+// (including zero-wait fast-path admissions). Call before serving.
+func (q *Queue) OnWait(f func(time.Duration)) { q.onWait = f }
+
+// Depth reports the current number of queued waiters (a gauge read).
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waiting
+}
+
+// EstimatedWait reports the current drain estimate for a new arrival at
+// the back of the queue.
+func (q *Queue) EstimatedWait() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.estimateLocked(q.waiting + 1)
+}
+
+// estimateLocked is the drain estimate for queue position pos (1-based).
+func (q *Queue) estimateLocked(pos int) time.Duration {
+	return time.Duration(q.ewmaNs * int64(pos) / int64(q.maxInFlight))
+}
+
+// recordService folds one observed slot-holding time into the EWMA.
+func (q *Queue) recordService(d time.Duration) {
+	q.mu.Lock()
+	if q.ewmaNs == 0 {
+		q.ewmaNs = int64(d)
+	} else {
+		q.ewmaNs += (int64(d) - q.ewmaNs) / ewmaAlpha
+	}
+	q.mu.Unlock()
+}
+
+func (q *Queue) observeWait(d time.Duration) {
+	if q.onWait != nil {
+		q.onWait(d)
+	}
+}
+
+// Acquire admits the caller or rejects it with a *BusyError. On success
+// the returned release function MUST be called when the work finishes; it
+// frees the slot and feeds the observed service time into the wait
+// estimator. Rejections happen in three ways, all typed:
+//
+//   - the queue is at maxDepth (RetryAfter = drain estimate for the full
+//     queue);
+//   - ctx carries a deadline closer than the estimated wait for this
+//     queue position — the O(µs) fast shed;
+//   - ctx expires while actually queued (the estimate was optimistic or
+//     cold).
+func (q *Queue) Acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a free slot admits without queuing.
+	select {
+	case q.slots <- struct{}{}:
+		q.observeWait(0)
+		return q.releaseFunc(), nil
+	default:
+	}
+
+	q.mu.Lock()
+	if q.maxDepth > 0 && q.waiting >= q.maxDepth {
+		est := q.estimateLocked(q.waiting + 1)
+		q.mu.Unlock()
+		return nil, &BusyError{Reason: "admission queue full", RetryAfter: est}
+	}
+	q.waiting++
+	est := q.estimateLocked(q.waiting)
+	q.mu.Unlock()
+
+	if dl, ok := ctx.Deadline(); ok && est > 0 && time.Until(dl) < est {
+		q.leave()
+		return nil, &BusyError{
+			Reason:     "estimated queue wait exceeds request deadline",
+			RetryAfter: est,
+		}
+	}
+
+	start := time.Now()
+	select {
+	case q.slots <- struct{}{}:
+		q.leave()
+		q.observeWait(time.Since(start))
+		return q.releaseFunc(), nil
+	case <-ctx.Done():
+		q.leave()
+		q.mu.Lock()
+		est := q.estimateLocked(q.waiting + 1)
+		q.mu.Unlock()
+		return nil, &BusyError{
+			Reason:     "request deadline expired while queued",
+			RetryAfter: est,
+		}
+	}
+}
+
+func (q *Queue) leave() {
+	q.mu.Lock()
+	q.waiting--
+	q.mu.Unlock()
+}
+
+func (q *Queue) releaseFunc() func() {
+	start := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			q.recordService(time.Since(start))
+			<-q.slots
+		})
+	}
+}
+
+// breakerState is the classic three-state machine.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker. Closed, it admits
+// everything and counts consecutive failures; at threshold it opens and
+// rejects with a *BusyError carrying the remaining cooldown; after the
+// cooldown the next Allow becomes the half-open probe — exactly one
+// caller proceeds while the rest stay rejected — and that probe's Record
+// decides: success closes the breaker, failure re-opens it for a fresh
+// cooldown.
+//
+// The breaker gates attempts; it never caches their errors. A nil
+// *Breaker is valid and disabled: every method is a no-op, so call sites
+// need no nil checks.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int
+	openedAt time.Time
+	trips    int64
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive
+// failures and cooling down for cooldown before the half-open probe.
+// threshold <= 0 returns nil — the disabled breaker.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a new attempt may proceed. In the open state it
+// returns a *BusyError with the remaining cooldown; once the cooldown has
+// elapsed the first Allow transitions to half-open and admits the caller
+// as the probe, and subsequent Allows reject until the probe Records.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if wait := b.cooldown - time.Since(b.openedAt); wait > 0 {
+			return &BusyError{Reason: "circuit breaker open", RetryAfter: wait}
+		}
+		b.state = breakerHalfOpen
+		return nil
+	default: // half-open: one probe is already in flight
+		return &BusyError{Reason: "circuit breaker half-open, probe in flight", RetryAfter: b.cooldown}
+	}
+}
+
+// Record reports the outcome of an admitted attempt. A success resets the
+// breaker to closed; a failure counts toward the threshold (closed) or
+// re-opens immediately (half-open probe).
+func (b *Breaker) Record(err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = breakerClosed
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.trips++
+	}
+}
+
+// State renders the current state for metrics ("closed", "open",
+// "half-open"; "disabled" for a nil breaker).
+func (b *Breaker) State() string {
+	if b == nil {
+		return "disabled"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}
+
+// Trips reports how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,348 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQueueFastPath: free slots admit without queuing and release frees.
+func TestQueueFastPath(t *testing.T) {
+	q := NewQueue(2, 4)
+	r1, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("depth=%d with free-slot admissions, want 0", d)
+	}
+	r1()
+	r1() // release is idempotent
+	r2()
+	if _, err := q.Acquire(context.Background()); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+// TestQueueFullRejects: with every slot held and the queue at maxDepth, a
+// new arrival is rejected with a typed BusyError naming the full queue.
+func TestQueueFullRejects(t *testing.T) {
+	q := NewQueue(1, 1)
+	release, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// One waiter fills the queue.
+	waiterIn := make(chan struct{})
+	go func() {
+		close(waiterIn)
+		r, err := q.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+	}()
+	<-waiterIn
+	waitDepth(t, q, 1)
+
+	_, err = q.Acquire(context.Background())
+	var be *BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("queue-full error = %v, want *BusyError", err)
+	}
+	if be.Reason != "admission queue full" {
+		t.Fatalf("reason = %q", be.Reason)
+	}
+	release()
+}
+
+// TestQueueDeadlineAwareRejection is the acceptance pin: under a
+// saturated queue with warmed service statistics, a request whose
+// deadline cannot cover the estimated wait is rejected immediately — in
+// microseconds, not after queuing to time out — with busy + Retry-After.
+func TestQueueDeadlineAwareRejection(t *testing.T) {
+	q := NewQueue(1, 100)
+	// Warm the estimator: a held slot whose service took ~100ms.
+	q.ewmaNs = int64(100 * time.Millisecond)
+
+	release, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// The deadline (5ms) is far below the estimated wait (~100ms for
+	// queue position 1 over 1 slot).
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	begin := time.Now()
+	_, err = q.Acquire(ctx)
+	elapsed := time.Since(begin)
+
+	var be *BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("error = %v, want *BusyError", err)
+	}
+	if be.Reason != "estimated queue wait exceeds request deadline" {
+		t.Fatalf("reason = %q", be.Reason)
+	}
+	if be.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0", be.RetryAfter)
+	}
+	// The rejection must not have waited out the 5ms deadline: it is a
+	// synchronous estimate comparison. The 2ms bound is three orders of
+	// magnitude above the O(µs) cost, tolerating scheduler noise.
+	if elapsed >= 2*time.Millisecond {
+		t.Fatalf("rejection took %v, want immediate (the request must not queue)", elapsed)
+	}
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("depth=%d after rejection, want 0", d)
+	}
+}
+
+// TestQueueColdEstimatorAdmits: with no service history the estimate is
+// unknown (0), so short-deadline requests are admitted, not shed — the
+// queue never rejects on a guess it has not earned.
+func TestQueueColdEstimatorAdmits(t *testing.T) {
+	q := NewQueue(1, 10)
+	release, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		r, err := q.Acquire(ctx)
+		if err == nil {
+			r()
+		}
+		done <- err
+	}()
+	waitDepth(t, q, 1)
+	release() // the waiter gets the slot before its deadline
+	if err := <-done; err != nil {
+		t.Fatalf("cold-estimator waiter rejected: %v", err)
+	}
+}
+
+// TestQueueExpiryWhileQueued: a waiter whose deadline fires in the queue
+// comes back as a typed BusyError, and the queue depth returns to zero.
+func TestQueueExpiryWhileQueued(t *testing.T) {
+	q := NewQueue(1, 10)
+	release, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err = q.Acquire(ctx)
+	var be *BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("error = %v, want *BusyError", err)
+	}
+	if be.Reason != "request deadline expired while queued" {
+		t.Fatalf("reason = %q", be.Reason)
+	}
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("depth=%d after expiry, want 0", d)
+	}
+}
+
+// TestQueueWaitObservation: the OnWait hook sees every admission, queued
+// or not, and the EWMA moves with recorded service times.
+func TestQueueWaitObservation(t *testing.T) {
+	q := NewQueue(1, 10)
+	var mu sync.Mutex
+	var waits []time.Duration
+	q.OnWait(func(d time.Duration) {
+		mu.Lock()
+		waits = append(waits, d)
+		mu.Unlock()
+	})
+
+	release, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		r, err := q.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		close(done)
+	}()
+	waitDepth(t, q, 1)
+	time.Sleep(5 * time.Millisecond)
+	release()
+	<-done
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(waits) != 2 {
+		t.Fatalf("observed %d waits, want 2", len(waits))
+	}
+	if waits[0] != 0 {
+		t.Fatalf("fast-path wait = %v, want 0", waits[0])
+	}
+	if waits[1] <= 0 {
+		t.Fatalf("queued wait = %v, want > 0", waits[1])
+	}
+	if q.EstimatedWait() <= 0 {
+		t.Fatal("EWMA never moved despite recorded service times")
+	}
+}
+
+// TestQueueConcurrent hammers the queue from many goroutines; every
+// admitted request must get a slot exclusively (counted via the invariant
+// that concurrent holders never exceed maxInFlight).
+func TestQueueConcurrent(t *testing.T) {
+	const slots = 4
+	q := NewQueue(slots, 0)
+	var mu sync.Mutex
+	holders, maxHolders := 0, 0
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				release, err := q.Acquire(context.Background())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				holders++
+				if holders > maxHolders {
+					maxHolders = holders
+				}
+				mu.Unlock()
+				time.Sleep(50 * time.Microsecond) // hold the slot long enough to overlap
+				mu.Lock()
+				holders--
+				mu.Unlock()
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxHolders > slots {
+		t.Fatalf("max concurrent holders %d > %d slots", maxHolders, slots)
+	}
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("final depth = %d, want 0", d)
+	}
+}
+
+// waitDepth polls until the queue shows depth n (the waiter goroutine has
+// parked) or fails the test.
+func waitDepth(t *testing.T, q *Queue, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Depth() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d (at %d)", n, q.Depth())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestBreakerLifecycle drives the full state machine: closed → open at
+// the consecutive-failure threshold → half-open probe after cooldown →
+// closed on probe success; plus re-open on probe failure.
+func TestBreakerLifecycle(t *testing.T) {
+	fail := errors.New("compile failed")
+	b := NewBreaker(3, 20*time.Millisecond)
+	if b.State() != "closed" {
+		t.Fatalf("initial state %q", b.State())
+	}
+
+	// Two failures with a success in between never trip: the counter is
+	// consecutive, not cumulative.
+	b.Record(fail)
+	b.Record(fail)
+	b.Record(nil)
+	b.Record(fail)
+	b.Record(fail)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("below threshold, Allow = %v", err)
+	}
+
+	b.Record(fail) // third consecutive: trip
+	if b.State() != "open" || b.Trips() != 1 {
+		t.Fatalf("state=%q trips=%d, want open/1", b.State(), b.Trips())
+	}
+	var be *BusyError
+	if err := b.Allow(); !errors.As(err, &be) || be.RetryAfter <= 0 {
+		t.Fatalf("open Allow = %v, want *BusyError with RetryAfter", err)
+	}
+
+	// After the cooldown exactly one probe is admitted.
+	time.Sleep(25 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state %q, want half-open", b.State())
+	}
+	if err := b.Allow(); !errors.As(err, &be) {
+		t.Fatalf("second caller during probe = %v, want *BusyError", err)
+	}
+
+	// Probe failure re-opens for a fresh cooldown.
+	b.Record(fail)
+	if b.State() != "open" || b.Trips() != 2 {
+		t.Fatalf("after probe failure: state=%q trips=%d, want open/2", b.State(), b.Trips())
+	}
+
+	// Probe success closes.
+	time.Sleep(25 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	b.Record(nil)
+	if b.State() != "closed" {
+		t.Fatalf("after probe success: state %q, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed Allow = %v", err)
+	}
+}
+
+// TestBreakerNilDisabled: the nil breaker admits everything and absorbs
+// records — call sites need no nil checks.
+func TestBreakerNilDisabled(t *testing.T) {
+	var b *Breaker
+	if b != NewBreaker(0, time.Second) {
+		t.Fatal("NewBreaker(0, ...) must return the nil disabled breaker")
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(errors.New("x"))
+	if b.State() != "disabled" || b.Trips() != 0 {
+		t.Fatalf("nil breaker: state=%q trips=%d", b.State(), b.Trips())
+	}
+}
+
+// TestBusyErrorMessage pins the rendered form used in logs.
+func TestBusyErrorMessage(t *testing.T) {
+	e := &BusyError{Reason: "admission queue full", RetryAfter: 2 * time.Second}
+	want := fmt.Sprintf("busy: admission queue full (retry after %v)", 2*time.Second)
+	if e.Error() != want {
+		t.Fatalf("Error() = %q, want %q", e.Error(), want)
+	}
+}

@@ -1,0 +1,231 @@
+package server
+
+// Goldens for the overload-resilience layer: the admission queue's typed
+// busy sheds with Retry-After, the drain 503 that deliberately carries
+// none, the compile circuit breaker composing with the registry cache,
+// and the panic recover guard's counter.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xkprop/internal/budget"
+)
+
+// TestQueueFullBusyRetryAfter saturates a 1-slot, 1-deep server
+// deterministically and pins the limiter's 503: kind=busy in the body and
+// a Retry-After header on the wire.
+func TestQueueFullBusyRetryAfter(t *testing.T) {
+	s := newTestServer(t, Config{MaxInFlight: 1, Budget: testBudget(1)})
+	entered := make(chan struct{})
+	proceed := make(chan struct{})
+	block := s.instrument("block", func(ctx context.Context, r *http.Request) (any, error) {
+		entered <- struct{}{}
+		<-proceed
+		return map[string]any{"ok": true}, nil
+	})
+
+	serve := func() *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		block.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/block", strings.NewReader("{}")))
+		return rr
+	}
+
+	// A holds the only slot; B fills the 1-deep queue.
+	aDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() { aDone <- serve() }()
+	<-entered
+	bDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() { bDone <- serve() }()
+	waitQueueDepth(t, s, 1)
+
+	// C is shed: 503, kind=busy, Retry-After present.
+	rr := serve()
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("shed status = %d, want 503", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), `"kind":"busy"`) {
+		t.Fatalf("shed body = %s, want kind=busy", rr.Body.String())
+	}
+	if ra := rr.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("limiter 503 carries no Retry-After header")
+	} else if n := atoiOrFail(t, ra); n < 1 {
+		t.Fatalf("Retry-After = %d, want >= 1 second", n)
+	}
+
+	// Drain the scenario: A finishes, B gets the slot and finishes.
+	close(proceed)
+	<-entered // B enters the handler once A's slot frees
+	for _, ch := range []chan *httptest.ResponseRecorder{aDone, bDone} {
+		if rr := <-ch; rr.Code != 200 {
+			t.Fatalf("blocked request finished with %d: %s", rr.Code, rr.Body.String())
+		}
+	}
+	if got := s.Metrics().Counter("aborts.busy").Value(); got != 1 {
+		t.Errorf("aborts.busy = %d, want 1", got)
+	}
+}
+
+// TestDeadlineAwareShedOverWire: with warmed service statistics, a
+// request whose ?timeout= cannot cover the estimated queue wait is shed
+// as busy immediately — it never waits out its deadline to 504.
+func TestDeadlineAwareShedOverWire(t *testing.T) {
+	s := newTestServer(t, Config{MaxInFlight: 1, Budget: testBudget(100)})
+	// Warm the estimator with one ~5ms service time via the queue itself
+	// (the first observation initializes the EWMA).
+	release, err := s.queue.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	release()
+
+	// Occupy the slot, then send a wire request with a deadline far under
+	// the estimated wait.
+	release, err = s.queue.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	begin := time.Now()
+	code, out := do(t, s, "/v1/cover?timeout=1ms", schemaBody(t, nil))
+	elapsed := time.Since(begin)
+	e := errObj(t, out)
+	if code != http.StatusServiceUnavailable || e["kind"] != "busy" {
+		t.Fatalf("got %d %v, want 503 busy", code, out)
+	}
+	// The request must not have burned its whole 1ms deadline queuing —
+	// generous bound for scheduler noise, still far under a queued wait.
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("shed took %v; the request queued instead of being rejected", elapsed)
+	}
+	if _, leaked := out["cover"]; leaked {
+		t.Fatalf("busy body leaked a partial cover: %v", out)
+	}
+}
+
+// TestDrainRetryAfterAbsent pins the terminal 503: /readyz while draining
+// advertises no Retry-After — there is nothing to wait for.
+func TestDrainRetryAfterAbsent(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.StartDraining()
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz draining: %d, want 503", rr.Code)
+	}
+	if ra := rr.Header().Get("Retry-After"); ra != "" {
+		t.Fatalf("drain 503 carries Retry-After %q, want none (terminal)", ra)
+	}
+}
+
+// TestPanicCounterAndBody: a handler that panics surfaces as a typed
+// internal error body, increments server.panics, and the process lives.
+func TestPanicCounterAndBody(t *testing.T) {
+	s := newTestServer(t, Config{})
+	boom := s.instrument("boom", func(ctx context.Context, r *http.Request) (any, error) {
+		panic("invariant violated")
+	})
+	rr := httptest.NewRecorder()
+	boom.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/boom", strings.NewReader("{}")))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rr.Code)
+	}
+	body := rr.Body.String()
+	if !strings.Contains(body, `"kind":"internal"`) || !strings.Contains(body, "invariant violated") {
+		t.Fatalf("panic body = %s, want typed internal with the panic message", body)
+	}
+	if got := s.Metrics().Counter("server.panics").Value(); got != 1 {
+		t.Fatalf("server.panics = %d, want 1", got)
+	}
+	// The server still serves.
+	if code, _ := do(t, s, "/v1/implies",
+		marshal(t, map[string]any{"keys": testKeys, "key": "(ε, (//book, {@isbn}))"})); code != 200 {
+		t.Fatalf("post-panic request: %d, want 200", code)
+	}
+}
+
+// TestCompileBreakerOverWire: consecutive compile failures trip the
+// breaker; while open, cached schemas keep serving but fresh compiles are
+// shed as busy with Retry-After; after the cooldown a good probe closes
+// it again. Compile errors are never cached: the same bad schema keeps
+// being reported as a parse error while the breaker is closed.
+func TestCompileBreakerOverWire(t *testing.T) {
+	s := newTestServer(t, Config{BreakerThreshold: 2, BreakerCooldown: 50 * time.Millisecond})
+
+	// Warm one good schema into the cache before the storm.
+	if code, out := do(t, s, "/v1/implies",
+		marshal(t, map[string]any{"keys": testKeys, "key": "(ε, (//book, {@isbn}))"})); code != 200 {
+		t.Fatalf("warm: %d %v", code, out)
+	}
+
+	// Two consecutive failing compiles trip the breaker; both are honest
+	// 400 parse errors, not cached.
+	for i := 0; i < 2; i++ {
+		code, out := do(t, s, "/v1/implies",
+			marshal(t, map[string]any{"keys": fmt.Sprintf("(ε, (//broken %d", i), "key": "(ε, (//book, {@isbn}))"}))
+		if e := errObj(t, out); code != 400 || e["kind"] != "parse" {
+			t.Fatalf("bad schema %d: got %d %v, want 400 parse", i, code, out)
+		}
+	}
+	if st := s.breaker.State(); st != "open" {
+		t.Fatalf("breaker state %q after 2 consecutive failures, want open", st)
+	}
+
+	// Open: a fresh (even valid) schema is shed busy with Retry-After…
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/implies", strings.NewReader(
+		marshal(t, map[string]any{"keys": testKeys + "# fresh\n", "key": "(ε, (//book, {@isbn}))"})))
+	s.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusServiceUnavailable || !strings.Contains(rr.Body.String(), `"kind":"busy"`) {
+		t.Fatalf("open-breaker compile: %d %s, want 503 busy", rr.Code, rr.Body.String())
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("open-breaker 503 carries no Retry-After")
+	}
+	// …while the cached schema still serves.
+	if code, out := do(t, s, "/v1/implies",
+		marshal(t, map[string]any{"keys": testKeys, "key": "(ε, (//book, {@isbn}))"})); code != 200 {
+		t.Fatalf("cached schema under open breaker: %d %v, want 200", code, out)
+	}
+
+	// After the cooldown, the half-open probe (a good compile) closes it.
+	time.Sleep(60 * time.Millisecond)
+	if code, out := do(t, s, "/v1/implies",
+		marshal(t, map[string]any{"keys": testKeys + "# probe\n", "key": "(ε, (//book, {@isbn}))"})); code != 200 {
+		t.Fatalf("probe compile: %d %v, want 200", code, out)
+	}
+	if st := s.breaker.State(); st != "closed" {
+		t.Fatalf("breaker state %q after probe success, want closed", st)
+	}
+}
+
+func waitQueueDepth(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queue.Depth() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d (at %d)", n, s.queue.Depth())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func atoiOrFail(t *testing.T, s string) int {
+	t.Helper()
+	var n int
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+		t.Fatalf("non-integer Retry-After %q", s)
+	}
+	return n
+}
+
+// testBudget is the server budget with an admission-queue depth cap.
+func testBudget(depth int) budget.Budget {
+	return budget.Budget{MaxQueueDepth: depth}
+}

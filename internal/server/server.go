@@ -27,6 +27,7 @@ import (
 	"xkprop/internal/metrics"
 	"xkprop/internal/registry"
 	"xkprop/internal/rel"
+	"xkprop/internal/resilience"
 	"xkprop/internal/stream"
 	"xkprop/internal/transform"
 	"xkprop/internal/xmlkey"
@@ -44,22 +45,33 @@ type Config struct {
 	// MaxRegistryEntries field sizes the artifact LRU.
 	Budget budget.Budget
 	// MaxInFlight caps concurrently executing analysis requests; excess
-	// requests wait until a slot frees or their deadline expires. 0 = no
-	// limit.
+	// requests enter a bounded admission queue (sized by
+	// Budget.MaxQueueDepth) and are shed with a typed busy rejection and
+	// a Retry-After hint when the queue is full or their deadline cannot
+	// cover the estimated wait. 0 = no limit.
 	MaxInFlight int
 	// MaxBodyBytes caps request bodies; 0 = the 16 MiB default.
 	MaxBodyBytes int64
+	// BreakerThreshold arms a circuit breaker on the registry's compile
+	// path: that many consecutive compile failures trip it, shedding new
+	// compiles (cache hits still serve) until BreakerCooldown passes and
+	// a half-open probe succeeds. 0 = disabled.
+	BreakerThreshold int
+	// BreakerCooldown is the open-state hold time before the half-open
+	// probe (0 = a 1s default when the breaker is armed).
+	BreakerCooldown time.Duration
 }
 
 const defaultMaxBody = 16 << 20
 
 // Server is the serving subsystem: registry + metrics + HTTP mux.
 type Server struct {
-	cfg Config
-	reg *registry.Registry
-	set *metrics.Set
-	sem chan struct{}
-	mux *http.ServeMux
+	cfg     Config
+	reg     *registry.Registry
+	set     *metrics.Set
+	queue   *resilience.Queue
+	breaker *resilience.Breaker
+	mux     *http.ServeMux
 
 	draining chan struct{} // closed once; readyz turns 503
 	start    time.Time
@@ -79,7 +91,12 @@ func New(cfg Config) *Server {
 		start:    time.Now(),
 	}
 	if cfg.MaxInFlight > 0 {
-		s.sem = make(chan struct{}, cfg.MaxInFlight)
+		s.queue = resilience.NewQueue(cfg.MaxInFlight, cfg.Budget.MaxQueueDepth)
+		s.queue.OnWait(s.set.Histogram("queue.wait").Observe)
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.breaker = resilience.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		s.reg.SetBreaker(s.breaker)
 	}
 	s.publishMetrics()
 	s.routes()
@@ -166,6 +183,16 @@ func (s *Server) publishMetrics() {
 	s.set.Func("closure.cache_entries", func() any { return s.reg.ClosureEntries() })
 	s.set.Func("uptime_seconds", func() any { return int64(time.Since(s.start).Seconds()) })
 	s.set.Func("goroutines", func() any { return runtime.NumGoroutine() })
+	if s.queue != nil {
+		s.set.Func("queue.depth", func() any { return s.queue.Depth() })
+		s.set.Func("queue.estimated_wait_ms", func() any {
+			return float64(s.queue.EstimatedWait()) / float64(time.Millisecond)
+		})
+	}
+	if s.breaker != nil {
+		s.set.Func("compile_breaker.state", func() any { return s.breaker.State() })
+		s.set.Func("compile_breaker.trips", func() any { return s.breaker.Trips() })
+	}
 }
 
 // apiError is a typed, wire-renderable request failure. The kind strings
@@ -176,6 +203,11 @@ type apiError struct {
 	Kind    string         `json:"kind"`
 	Message string         `json:"message"`
 	Extra   map[string]any `json:"-"`
+	// RetryAfter, when positive, is rendered as a Retry-After header
+	// (ceiled to whole seconds, minimum 1): the client-visible shed hint
+	// of the admission queue and the compile breaker. Terminal 503s —
+	// /readyz during drain — deliberately carry none.
+	RetryAfter time.Duration `json:"-"`
 }
 
 func (e *apiError) Error() string { return e.Message }
@@ -203,6 +235,19 @@ func classify(err error) *apiError {
 		return &apiError{
 			Status: http.StatusBadRequest, Kind: "parse", Message: tpe.Error(),
 			Extra: map[string]any{"line": tpe.Line},
+		}
+	}
+	var bz *resilience.BusyError
+	if errors.As(err, &bz) {
+		// Every busy shed carries a Retry-After; a cold estimator (no
+		// service history yet) still hints one second rather than nothing.
+		ra := bz.RetryAfter
+		if ra <= 0 {
+			ra = time.Second
+		}
+		return &apiError{
+			Status: http.StatusServiceUnavailable, Kind: "busy", Message: bz.Error(),
+			RetryAfter: ra,
 		}
 	}
 	var be *budget.Error
@@ -261,21 +306,13 @@ func (s *Server) instrument(name string, h handlerFunc) http.Handler {
 		}
 		defer cancel()
 
-		if s.sem != nil {
-			select {
-			case s.sem <- struct{}{}:
-				defer func() { <-s.sem }()
-			default:
-				select {
-				case s.sem <- struct{}{}:
-					defer func() { <-s.sem }()
-				case <-ctx.Done():
-					s.writeError(w, name, &apiError{
-						Status: http.StatusServiceUnavailable, Kind: "busy",
-						Message: "server at capacity and request deadline expired while queued"})
-					return
-				}
+		if s.queue != nil {
+			release, err := s.queue.Acquire(ctx)
+			if err != nil {
+				s.writeError(w, name, classify(err))
+				return
 			}
+			defer release()
 		}
 
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -295,6 +332,7 @@ func (s *Server) instrument(name string, h handlerFunc) http.Handler {
 func (s *Server) runGuarded(ctx context.Context, r *http.Request, h handlerFunc) (payload any, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
+			s.set.Counter("server.panics").Add(1)
 			err = fmt.Errorf("internal panic: %v", rec)
 		}
 	}()
@@ -334,6 +372,15 @@ func (s *Server) writeError(w http.ResponseWriter, endpoint string, ae *apiError
 		s.set.Counter("aborts.deadline").Add(1)
 	case "budget":
 		s.set.Counter("aborts.budget").Add(1)
+	case "busy":
+		s.set.Counter("aborts.busy").Add(1)
+	}
+	if ae.RetryAfter > 0 {
+		secs := int64((ae.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 	}
 	body := map[string]any{"kind": ae.Kind, "message": ae.Message}
 	for k, v := range ae.Extra {

@@ -3,8 +3,9 @@ package server
 // -race stress against a live in-process listener: N goroutines hammer
 // one registry entry over real TCP while a small LRU (two slots, set via
 // Budget.MaxRegistryEntries) keeps evicting it under cold-schema churn.
-// Success is no race reports, no non-2xx responses, and coherent verdicts
-// throughout.
+// Success is no race reports, no non-2xx responses, coherent verdicts
+// throughout, and — via the watermark guard — every connection and
+// handler goroutine gone when the listener closes.
 
 import (
 	"bytes"
@@ -18,9 +19,11 @@ import (
 	"time"
 
 	"xkprop/internal/budget"
+	"xkprop/internal/testutil"
 )
 
 func TestStressRegistryUnderEviction(t *testing.T) {
+	testutil.GuardGoroutines(t, 10*time.Second)
 	s := New(Config{Budget: budget.Budget{MaxRegistryEntries: 2}})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -31,6 +34,7 @@ func TestStressRegistryUnderEviction(t *testing.T) {
 	defer httpSrv.Close()
 	base := "http://" + ln.Addr().String()
 	client := &http.Client{Timeout: 30 * time.Second}
+	defer client.CloseIdleConnections()
 
 	post := func(path string, body map[string]any) (int, map[string]any, error) {
 		data, _ := json.Marshal(body)

@@ -1,0 +1,64 @@
+// Package testutil holds shared verification helpers for the stress and
+// soak suites. The only inhabitant today is the goroutine-leak watermark
+// guard: snapshot the goroutine count before a run, then wait (bounded)
+// for the count to return to that baseline afterwards. Servers, proxies
+// and clients all spawn goroutines per connection; a run that leaves even
+// one behind is a leak that compounds under production traffic, so both
+// the -race stress tests and the xksoak chaos harness gate on this.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// GoroutineWatermark snapshots the current goroutine count. Take it
+// before starting the system under test.
+func GoroutineWatermark() int { return runtime.NumGoroutine() }
+
+// WaitGoroutinesReturn polls until the goroutine count is back at (or
+// below) the watermark, or the timeout elapses. On timeout it returns an
+// error carrying the counts and a full goroutine dump for diagnosis.
+// Polling (rather than a single check) absorbs the asynchronous teardown
+// of http.Server connection goroutines and client transports.
+func WaitGoroutinesReturn(watermark int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= watermark {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			return fmt.Errorf("goroutine leak: %d live after %v, watermark %d\n%s",
+				n, timeout, watermark, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// leakTB is the subset of testing.TB the guard needs; an interface so
+// this package (imported by non-test code in the soak harness) does not
+// itself depend on the testing package.
+type leakTB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// GuardGoroutines installs a leak guard on a test: it snapshots the
+// count now and, at cleanup, fails the test if the count has not
+// returned to the baseline within timeout. Register it BEFORE starting
+// listeners or clients, and make sure the test closes them (the guard
+// observes, it does not tear down).
+func GuardGoroutines(t leakTB, timeout time.Duration) {
+	t.Helper()
+	watermark := GoroutineWatermark()
+	t.Cleanup(func() {
+		if err := WaitGoroutinesReturn(watermark, timeout); err != nil {
+			t.Errorf("%v", err)
+		}
+	})
+}
