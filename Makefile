@@ -1,9 +1,10 @@
 GO ?= go
 BENCH_JSON ?= BENCH_pathkernel.json
 BENCH_FDCLOSURE_JSON ?= BENCH_fdclosure.json
+BENCH_SHRED_JSON ?= BENCH_shred.json
 FUZZTIME ?= 30s
 
-.PHONY: build test vet race stress fuzz-smoke bench bench-json bench-fdclosure bench-check serve-smoke diff-smoke soak-smoke verify help
+.PHONY: build test vet race stress fuzz-smoke bench bench-json bench-fdclosure bench-shred bench-check serve-smoke diff-smoke soak-smoke load-smoke verify help
 
 build:
 	$(GO) build ./...
@@ -49,6 +50,9 @@ bench-json:
 bench-fdclosure:
 	$(GO) run ./cmd/xkbench -suite fdclosure -json $(BENCH_FDCLOSURE_JSON)
 
+bench-shred:
+	$(GO) run ./cmd/xkbench -suite shred -json $(BENCH_SHRED_JSON)
+
 # bench-check re-runs the fdclosure suite on the current build and fails
 # if any point is more than 25% slower (ns/op) than the committed
 # baseline. ns/op is machine-dependent, so this is a manual target for
@@ -69,9 +73,11 @@ serve-smoke:
 # diff-smoke runs the differential cross-check harness on a pinned seed:
 # every redundant decision path (compiled kernel vs recursive oracle,
 # minimumCover vs naive, sequential vs parallel, in-process vs a live
-# xkserve over TCP, verdicts vs searched witnesses) must agree on the
-# smoke grid, time-budgeted so CI cannot hang. Exit 1 means a shrunk
-# disagreement was printed — replay it with the same -seed.
+# xkserve over TCP, verdicts vs searched witnesses, indexed vs fixpoint
+# closure, streaming shredder vs tree evaluator with propagated-FD
+# soundness) must agree on the smoke grid, time-budgeted so CI cannot
+# hang. Exit 1 means a shrunk disagreement was printed — replay it with
+# the same -seed.
 diff-smoke:
 	$(GO) run ./cmd/xkdiff -seed 1 -cases 10 -timeout 5m
 
@@ -85,14 +91,25 @@ diff-smoke:
 soak-smoke:
 	$(GO) run ./cmd/xksoak -seed 1 -duration 5s -workers 8
 
+# load-smoke drives the streaming shredding pipeline end to end: a
+# generated workload shredded at workers=1 and workers=4 must produce
+# byte-identical CSV output with the exact expected tuple count, a
+# key-violating fixture must be rejected with a typed FDViolation
+# carrying lineage, and no pipeline goroutine may outlive the run. See
+# internal/cli/xkload.go (runLoadSmoke).
+load-smoke:
+	$(GO) run ./cmd/xkload -smoke
+
 # Tier-1 verification (ROADMAP.md): build, vet, tests, the race run (which
 # includes the fault-injection stress suites), the focused stress pass,
-# the xkserve end-to-end smoke, the differential cross-check smoke, and
-# the short chaos soak. If a committed bench trajectory is present,
-# smoke-check that it is well-formed pathkernel JSON.
-verify: build vet test race stress serve-smoke diff-smoke soak-smoke
+# the xkserve end-to-end smoke, the differential cross-check smoke, the
+# short chaos soak, and the shredding-pipeline smoke. If a committed
+# bench trajectory is present, smoke-check that it is well-formed JSON
+# for its suite.
+verify: build vet test race stress serve-smoke diff-smoke soak-smoke load-smoke
 	@if [ -f $(BENCH_JSON) ]; then $(GO) run ./cmd/xkbench -check-json $(BENCH_JSON); fi
 	@if [ -f $(BENCH_FDCLOSURE_JSON) ]; then $(GO) run ./cmd/xkbench -check-json $(BENCH_FDCLOSURE_JSON); fi
+	@if [ -f $(BENCH_SHRED_JSON) ]; then $(GO) run ./cmd/xkbench -check-json $(BENCH_SHRED_JSON); fi
 
 help:
 	@echo "Targets:"
@@ -105,10 +122,12 @@ help:
 	@echo "  bench           testing.B suite + both xkbench JSON trajectories"
 	@echo "  bench-json      regenerate $(BENCH_JSON) only"
 	@echo "  bench-fdclosure regenerate $(BENCH_FDCLOSURE_JSON) only (FD-closure micro-grid)"
+	@echo "  bench-shred     regenerate $(BENCH_SHRED_JSON) only (streaming shredding grid)"
 	@echo "  bench-check     re-run the fdclosure suite and fail on >25% ns/op regression"
 	@echo "                  vs the committed $(BENCH_FDCLOSURE_JSON); same-machine baselines"
 	@echo "                  only, so it is manual and not part of verify"
 	@echo "  serve-smoke     boot xkserve on an ephemeral port and drive every endpoint"
 	@echo "  diff-smoke      cross-check every redundant decision path on a pinned seed"
 	@echo "  soak-smoke      short seeded chaos soak of xkserve behind the fault proxy"
-	@echo "  verify          build + vet + test + race + stress + serve-smoke + diff-smoke + soak-smoke + bench JSON checks"
+	@echo "  load-smoke      end-to-end shredding pipeline smoke (determinism, rejection, leaks)"
+	@echo "  verify          build + vet + test + race + stress + serve-smoke + diff-smoke + soak-smoke + load-smoke + bench JSON checks"

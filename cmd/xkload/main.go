@@ -1,0 +1,14 @@
+// Command xkload shreds XML documents into relations through the
+// streaming pipeline, enforcing propagated FDs as the tuples flow.
+// Run with -h for usage; see internal/cli for the implementation.
+package main
+
+import (
+	"os"
+
+	"xkprop/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunXkload(os.Args[1:], os.Stdout, os.Stderr))
+}

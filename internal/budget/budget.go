@@ -60,6 +60,17 @@ const (
 	// cache caps it sheds load rather than evicting or erroring the
 	// requests already admitted.
 	QueueDepth Resource = "admission-queue depth"
+	// Tuples caps the raw tuples one shredding run may expand (counted
+	// before deduplication — the Cartesian-product expansion is where the
+	// blowup lives). Exceeding it ABORTS the run with a typed error; tuples
+	// are results, not cache entries, so there is nothing to evict.
+	Tuples Resource = "shredded tuples"
+	// FDIndexEntries caps the per-FD hash indexes the shredding pipeline
+	// keeps to enforce the propagated cover online. Exceeding it ABORTS
+	// the run rather than evicting: evicting an index entry would forget a
+	// seen LHS group and silently weaken the FD guarantee, so this cap —
+	// unlike the cache caps — is never evict-on-full.
+	FDIndexEntries Resource = "fd-index entries"
 )
 
 // Error reports that a call stopped because a resource budget was
@@ -123,6 +134,16 @@ type Budget struct {
 	// the cap are rejected immediately with a typed busy error and a
 	// Retry-After hint rather than queued.
 	MaxQueueDepth int
+	// MaxTuples caps the raw tuples a shredding run expands, counted
+	// before deduplication. Abort semantics: exceeding it stops the run
+	// with a typed error and no partial sink output is presented as
+	// complete.
+	MaxTuples int
+	// MaxFDIndexEntries caps the total entries across the shredding
+	// pipeline's per-FD hash indexes. Abort semantics, never evict:
+	// dropping an entry would un-remember a seen LHS group and could let a
+	// real FD violation pass unnoticed (see Resource FDIndexEntries).
+	MaxFDIndexEntries int
 }
 
 // DefaultEnumFields is the schema-width cap Algorithm naive applies when

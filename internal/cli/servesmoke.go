@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"xkprop/internal/client"
+	"xkprop/internal/paperdata"
 	"xkprop/internal/server"
 )
 
@@ -246,6 +247,39 @@ func runServeSmoke(stdout, stderr io.Writer, cfg server.Config) int {
 		}
 	}
 
+	// Streaming shredding: the clean document loads with tuples and no
+	// violations; the violating fixture is rejected with a typed
+	// FDViolation carrying lineage.
+	if out := c.post("/v1/shred", map[string]any{
+		"keys": smokeKeys, "transform": smokeTransform, "document": paperdata.Fig1XML,
+	}, 200); out != nil {
+		if out["ok"] != true {
+			c.errorf("/v1/shred: got %v, want ok=true for the paper document", out)
+		}
+		if n, _ := out["tuples"].(float64); n < 1 {
+			c.errorf("/v1/shred: %v tuples, want >= 1", out["tuples"])
+		}
+	}
+	if out := c.post("/v1/shred", map[string]any{
+		"keys": smokeKeys, "transform": smokeTransform, "document": loadViolDoc,
+	}, 200); out != nil {
+		if out["accepted"] != false {
+			c.errorf("/v1/shred: accepted the duplicate-isbn fixture: %v", out)
+		}
+		fdvs, _ := out["fd_violations"].([]any)
+		if len(fdvs) == 0 {
+			c.errorf("/v1/shred: no FD violations for conflicting chapter names: %v", out)
+		} else {
+			v, _ := fdvs[0].(map[string]any)
+			tuples, _ := v["tuples"].([]any)
+			if len(tuples) == 0 {
+				c.errorf("/v1/shred: FD violation carries no tuples: %v", v)
+			} else if tup, _ := tuples[0].(map[string]any); tup["lineage"] == nil {
+				c.errorf("/v1/shred: violating tuple carries no lineage: %v", tup)
+			}
+		}
+	}
+
 	// An impossible deadline must be a typed 504 abort with no partial
 	// cover. Fresh source text so nothing is served from a warm cache.
 	if out := c.post("/v1/cover?timeout=1ns", map[string]any{
@@ -266,7 +300,7 @@ func runServeSmoke(stdout, stderr io.Writer, cfg server.Config) int {
 		if n := c.varInt(vars, "requests.propagate.ok"); n != 2 {
 			c.errorf("requests.propagate.ok = %d, want 2", n)
 		}
-		for _, endpoint := range []string{"implies", "propagate", "cover", "candidates", "ddl", "validate"} {
+		for _, endpoint := range []string{"implies", "propagate", "cover", "candidates", "ddl", "validate", "shred"} {
 			if n := c.histCount(vars, "latency."+endpoint); n < 1 {
 				c.errorf("latency.%s observed %d samples, want >= 1", endpoint, n)
 			}

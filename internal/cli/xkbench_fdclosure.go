@@ -278,6 +278,22 @@ func checkBenchAgainst(stdout io.Writer, path string, maxFields, workers int) er
 		for _, p := range fdclosureRun(stdout).Points {
 			fresh[p.Name] = p.NsPerOp
 		}
+	case "shred":
+		var rep shredReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, p := range rep.Points {
+			baseline[p.Name] = p.NsPerOp
+		}
+		fmt.Fprintf(stdout, "xkbench: re-running shred suite against %s\n", path)
+		freshRep, err := shredRun(stdout)
+		if err != nil {
+			return err
+		}
+		for _, p := range freshRep.Points {
+			fresh[p.Name] = p.NsPerOp
+		}
 	case "pathkernel":
 		var rep benchReport
 		if err := json.Unmarshal(data, &rep); err != nil {

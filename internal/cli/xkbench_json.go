@@ -163,7 +163,8 @@ func writeFileAtomic(path string, data []byte) error {
 // check `make verify` runs against committed trajectories. The suite
 // marker dispatches: pathkernel reports are checked here, fdclosure
 // reports in checkFDClosureJSON (which also enforces the committed
-// indexed-vs-fixpoint speedup floor).
+// indexed-vs-fixpoint speedup floor), shred reports in checkShredJSON
+// (which re-asserts the tuples/violations/determinism gates).
 func checkBenchJSON(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -178,12 +179,15 @@ func checkBenchJSON(path string) error {
 	if head.Suite == "fdclosure" {
 		return checkFDClosureJSON(path)
 	}
+	if head.Suite == "shred" {
+		return checkShredJSON(path)
+	}
 	var rep benchReport
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	if rep.Suite != "pathkernel" {
-		return fmt.Errorf("%s: suite is %q, want \"pathkernel\" or \"fdclosure\"", path, rep.Suite)
+		return fmt.Errorf("%s: suite is %q, want \"pathkernel\", \"fdclosure\", or \"shred\"", path, rep.Suite)
 	}
 	if len(rep.Results) == 0 {
 		return fmt.Errorf("%s: no results", path)

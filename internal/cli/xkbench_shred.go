@@ -1,0 +1,245 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"xkprop/internal/core"
+	"xkprop/internal/rel"
+	"xkprop/internal/shred"
+	"xkprop/internal/transform"
+	"xkprop/internal/workload"
+)
+
+// This file implements xkbench's shred suite: the streaming shredding
+// data plane measured end to end — one decoder pass, incremental
+// evaluation, online dedup and propagated-FD enforcement — over a grid of
+// workload shapes and document fanouts. Every cell is measured twice,
+// sequential (workers=1) and parallel (workers=GOMAXPROCS), and the suite
+// verifies on every cell that the two produce identical instances, that
+// tuples flowed, and that the conforming corpus stays violation-free; the
+// committed JSON re-asserts those gates under -check-json.
+
+// shredPoint is one (config, op) measurement.
+type shredPoint struct {
+	Name        string  `json:"name"`
+	Fields      int     `json:"fields"`
+	Depth       int     `json:"depth"`
+	Keys        int     `json:"keys"`
+	Width       int     `json:"width"`
+	Fanout      int     `json:"fanout"`
+	Op          string  `json:"op"` // shred_seq, shred_par
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Tuples is the per-document deduplicated tuple count; Violations must
+	// be zero on the conforming corpus. DocBytes sizes the input.
+	Tuples     int64 `json:"tuples"`
+	Violations int   `json:"violations"`
+	DocBytes   int   `json:"doc_bytes"`
+	// ParMatchesSeq records the cell's determinism cross-check: the
+	// parallel run's instance is identical to the sequential run's.
+	ParMatchesSeq bool `json:"par_matches_seq"`
+}
+
+// shredReport is the top-level JSON document (suite "shred").
+type shredReport struct {
+	Suite      string       `json:"suite"`
+	GoVersion  string       `json:"go"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Points     []shredPoint `json:"points"`
+}
+
+// shredBenchConfig is one grid cell: a workload shape and document fanout.
+type shredBenchConfig struct {
+	cfg    workload.Config
+	fanout int
+}
+
+// shredGrid sweeps document size (fanout), rule depth and width: small
+// documents measure per-document overhead, the deep and wide points
+// measure the evaluator's frame machinery, the fanout-8 point the
+// steady-state tuple throughput.
+func shredGrid() []shredBenchConfig {
+	return []shredBenchConfig{
+		{workload.Config{Fields: 8, Depth: 2, Keys: 4}, 4},
+		{workload.Config{Fields: 8, Depth: 2, Keys: 4}, 8},
+		{workload.Config{Fields: 12, Depth: 3, Keys: 6}, 3},
+		{workload.Config{Fields: 15, Depth: 5, Keys: 10}, 2},
+		{workload.Config{Fields: 9, Depth: 3, Keys: 5, Width: 2}, 3},
+	}
+}
+
+// shredMeasure runs one op via testing.Benchmark and records it.
+func shredMeasure(rep *shredReport, stdout io.Writer, sc shredBenchConfig, op string, base shredPoint, f func(b *testing.B)) {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		f(b)
+	})
+	p := base
+	p.Name = fmt.Sprintf("Shred/fields=%d/depth=%d/keys=%d/width=%d/fanout=%d/%s",
+		sc.cfg.Fields, sc.cfg.Depth, sc.cfg.Keys, sc.cfg.Width, sc.fanout, op)
+	p.Fields, p.Depth, p.Keys, p.Width, p.Fanout = sc.cfg.Fields, sc.cfg.Depth, sc.cfg.Keys, sc.cfg.Width, sc.fanout
+	p.Op = op
+	p.Iterations = r.N
+	p.NsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+	p.AllocsPerOp = r.AllocsPerOp()
+	p.BytesPerOp = r.AllocedBytesPerOp()
+	rep.Points = append(rep.Points, p)
+	fmt.Fprintf(stdout, "%-56s  %12.0f ns/op  %8d B/op  %6d allocs/op  %5d tuples\n",
+		p.Name, p.NsPerOp, p.BytesPerOp, p.AllocsPerOp, p.Tuples)
+}
+
+// shredRun measures the whole grid and returns the report.
+func shredRun(stdout io.Writer) (shredReport, error) {
+	rep := shredReport{
+		Suite:      "shred",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	ctx := context.Background()
+	for _, sc := range shredGrid() {
+		wl := workload.Generate(sc.cfg)
+		doc := wl.Document(sc.fanout).XMLString()
+		tr := transform.MustTransformation(wl.Rule)
+		c, err := shred.Compile(tr)
+		if err != nil {
+			return rep, err
+		}
+		cover, err := core.NewEngine(wl.Sigma, wl.Rule).MinimumCoverCtx(ctx)
+		if err != nil {
+			return rep, err
+		}
+		covers := map[string][]rel.FD{wl.Rule.Schema.Name: cover}
+
+		// Sanity and determinism gates, once per cell: tuples flow, the
+		// conforming corpus is clean, and the parallel instance is
+		// identical to the sequential one.
+		runInto := func(workers int) (*shred.Result, map[string]*rel.Relation, error) {
+			ms := shred.NewMemorySink()
+			res, err := c.Run(ctx, strings.NewReader(doc), ms, shred.Options{
+				Workers: workers, Sigma: wl.Sigma, Covers: covers,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, r := range ms.Relations() {
+				r.Sort()
+			}
+			return res, ms.Relations(), nil
+		}
+		seqRes, seqInst, err := runInto(1)
+		if err != nil {
+			return rep, err
+		}
+		_, parInst, err := runInto(rep.GOMAXPROCS)
+		if err != nil {
+			return rep, err
+		}
+		matches := len(seqInst) == len(parInst)
+		for name, s := range seqInst {
+			if p, ok := parInst[name]; !ok || p.String() != s.String() {
+				matches = false
+			}
+		}
+		base := shredPoint{
+			Tuples:        seqRes.Tuples(),
+			Violations:    len(seqRes.Violations) + len(seqRes.StreamViolations),
+			DocBytes:      len(doc),
+			ParMatchesSeq: matches,
+		}
+
+		for _, op := range []struct {
+			name    string
+			workers int
+		}{{"shred_seq", 1}, {"shred_par", rep.GOMAXPROCS}} {
+			workers := op.workers
+			shredMeasure(&rep, stdout, sc, op.name, base, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Run(ctx, strings.NewReader(doc), shred.Discard{}, shred.Options{
+						Workers: workers, Sigma: wl.Sigma, Covers: covers,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	return rep, nil
+}
+
+// shredJSON runs the suite and writes the report (atomic rename),
+// refusing to write a report that fails its own gates.
+func shredJSON(stdout io.Writer, path string) error {
+	rep, err := shredRun(stdout)
+	if err != nil {
+		return err
+	}
+	if err := checkShredReport(path, &rep); err != nil {
+		return fmt.Errorf("refusing to write: %w", err)
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return writeFileAtomic(path, data)
+}
+
+// checkShredJSON validates a report written by shredJSON — the
+// -check-json sanity gates for the committed BENCH_shred.json.
+func checkShredJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep shredReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return checkShredReport(path, &rep)
+}
+
+func checkShredReport(path string, rep *shredReport) error {
+	if rep.Suite != "shred" {
+		return fmt.Errorf("%s: suite is %q, want \"shred\"", path, rep.Suite)
+	}
+	if len(rep.Points) == 0 {
+		return fmt.Errorf("%s: no points", path)
+	}
+	for _, p := range rep.Points {
+		if p.Name == "" {
+			return fmt.Errorf("%s: point with empty name", path)
+		}
+		if p.NsPerOp <= 0 || p.Iterations <= 0 {
+			return fmt.Errorf("%s: %s: non-positive timing (%g ns/op over %d iterations)",
+				path, p.Name, p.NsPerOp, p.Iterations)
+		}
+		switch p.Op {
+		case "shred_seq", "shred_par":
+		default:
+			return fmt.Errorf("%s: %s: unknown op %q", path, p.Name, p.Op)
+		}
+		if p.Tuples <= 0 {
+			return fmt.Errorf("%s: %s: no tuples shredded", path, p.Name)
+		}
+		if p.Violations != 0 {
+			return fmt.Errorf("%s: %s: %d violations on the conforming corpus, want 0",
+				path, p.Name, p.Violations)
+		}
+		if !p.ParMatchesSeq {
+			return fmt.Errorf("%s: %s: parallel instance differs from sequential", path, p.Name)
+		}
+		if p.DocBytes <= 0 {
+			return fmt.Errorf("%s: %s: empty document", path, p.Name)
+		}
+	}
+	return nil
+}

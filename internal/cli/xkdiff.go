@@ -14,7 +14,9 @@ import (
 // RunXkdiff runs the differential cross-check harness: seeded workloads
 // through every redundant decision path — compiled kernel vs recursive
 // oracle, minimumCover vs naive, sequential vs parallel, in-process vs a
-// live xkserve over TCP, and verdicts vs searched witnesses — reporting
+// live xkserve over TCP, verdicts vs searched witnesses, and the
+// streaming shredder vs the tree evaluator with propagated-FD soundness
+// checked on every accepted document — reporting
 // (and shrinking) any disagreement. Exit 0 = all lanes agree, 1 = a
 // disagreement survived, 2 = the run was aborted or misconfigured.
 func RunXkdiff(args []string, stdout, stderr io.Writer) int {
@@ -49,7 +51,15 @@ func RunXkdiff(args []string, stdout, stderr io.Writer) int {
 	for _, lr := range rep.Lanes {
 		line := fmt.Sprintf("xkdiff: lane %-12s %4d cases", lr.Lane, lr.Cases)
 		if lr.Confirmed > 0 {
-			line += fmt.Sprintf(", %d negatives confirmed by witness", lr.Confirmed)
+			// Confirmed is lane-specific: witnessed refutations for the
+			// witness lane, accepted documents (non-vacuous soundness
+			// checks) for the shred lane.
+			switch lr.Lane {
+			case "shred":
+				line += fmt.Sprintf(", %d accepted docs soundness-checked", lr.Confirmed)
+			default:
+				line += fmt.Sprintf(", %d negatives confirmed by witness", lr.Confirmed)
+			}
 		}
 		if n := len(lr.Disagreements); n > 0 {
 			line += fmt.Sprintf(", %d DISAGREEMENTS", n)

@@ -38,8 +38,8 @@ func TestXkdiffSmoke(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("report is not JSON: %v", err)
 	}
-	if rep.Seed != 1 || rep.Cases == 0 || len(rep.Lanes) != 6 {
-		t.Errorf("report seed=%d cases=%d lanes=%d, want seed 1, cases > 0, 6 lanes",
+	if rep.Seed != 1 || rep.Cases == 0 || len(rep.Lanes) != 7 {
+		t.Errorf("report seed=%d cases=%d lanes=%d, want seed 1, cases > 0, 7 lanes",
 			rep.Seed, rep.Cases, len(rep.Lanes))
 	}
 }

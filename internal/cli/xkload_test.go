@@ -1,0 +1,139 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xkprop/internal/paperdata"
+)
+
+func loadF(args []string, o, e *bytes.Buffer) int { return RunXkload(args, o, e) }
+
+func runLoad(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	return runTool(t, loadF, args...)
+}
+
+func loadFixtures(t *testing.T) (keys, rules, good, bad string) {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	keys = write("keys.txt", smokeKeys)
+	rules = write("rules.dsl", smokeTransform)
+	good = write("good.xml", paperdata.Fig1XML)
+	bad = write("bad.xml", loadViolDoc)
+	return
+}
+
+func TestXkloadCleanDocument(t *testing.T) {
+	keys, rules, good, _ := loadFixtures(t)
+	out := t.TempDir()
+	code, stdout, stderr := runLoad(t, "-transform", rules, "-keys", keys, "-out", out, good)
+	if code != 0 {
+		t.Fatalf("code=%d stdout=%s stderr=%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "accepted") || !strings.Contains(stdout, "0 FD violations") {
+		t.Fatalf("stdout=%s", stdout)
+	}
+	b, err := os.ReadFile(filepath.Join(out, "chapter.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := string(b)
+	if !strings.HasPrefix(csv, "inBook,number,name\n") {
+		t.Errorf("csv header: %s", csv)
+	}
+	if !strings.Contains(csv, "123,1,Introduction\n") {
+		t.Errorf("missing known tuple in:\n%s", csv)
+	}
+}
+
+func TestXkloadStrictViolatingFixture(t *testing.T) {
+	keys, rules, _, bad := loadFixtures(t)
+	code, stdout, _ := runLoad(t, "-transform", rules, "-keys", keys, "-strict", bad)
+	if code != 1 {
+		t.Fatalf("strict on violating doc: code=%d stdout=%s", code, stdout)
+	}
+	for _, want := range []string{"REJECTED", "FD violation", "condition 2", "@", "y2"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	// Without -strict the violations are reported but the load succeeds.
+	code, stdout, _ = runLoad(t, "-transform", rules, "-keys", keys, bad)
+	if code != 0 || !strings.Contains(stdout, "FD violation") {
+		t.Fatalf("non-strict: code=%d stdout=%s", code, stdout)
+	}
+}
+
+func TestXkloadStdinAndFormats(t *testing.T) {
+	_, rules, _, _ := loadFixtures(t)
+	for _, format := range []string{"ndjson", "sql"} {
+		out := t.TempDir()
+		dir := t.TempDir()
+		doc := filepath.Join(dir, "d.xml")
+		os.WriteFile(doc, []byte(paperdata.Fig1XML), 0o644)
+		code, stdout, stderr := runLoad(t, "-transform", rules, "-format", format, "-out", out, doc)
+		if code != 0 {
+			t.Fatalf("%s: code=%d stdout=%s stderr=%s", format, code, stdout, stderr)
+		}
+		if _, err := os.Stat(filepath.Join(out, "chapter."+format)); err != nil {
+			t.Errorf("%s: %v", format, err)
+		}
+	}
+}
+
+func TestXkloadDirectoryInput(t *testing.T) {
+	_, rules, _, _ := loadFixtures(t)
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "a.xml"), []byte(paperdata.Fig1XML), 0o644)
+	os.WriteFile(filepath.Join(dir, "b.xml"), []byte(paperdata.Fig1XML), 0o644)
+	out := t.TempDir()
+	code, stdout, stderr := runLoad(t, "-transform", rules, "-out", out, dir)
+	if code != 0 {
+		t.Fatalf("code=%d stdout=%s stderr=%s", code, stdout, stderr)
+	}
+	for _, sub := range []string{"a", "b"} {
+		if _, err := os.Stat(filepath.Join(out, sub, "chapter.csv")); err != nil {
+			t.Errorf("%s: %v", sub, err)
+		}
+	}
+	if strings.Count(stdout, "xkload:") != 2 {
+		t.Errorf("want two report lines:\n%s", stdout)
+	}
+}
+
+func TestXkloadBudgetAbort(t *testing.T) {
+	_, rules, good, _ := loadFixtures(t)
+	code, _, stderr := runLoad(t, "-transform", rules, "-max-tuples", "1", good)
+	if code != 2 || !strings.Contains(stderr, "aborted") {
+		t.Fatalf("code=%d stderr=%s", code, stderr)
+	}
+}
+
+func TestXkloadUsageErrors(t *testing.T) {
+	_, rules, good, _ := loadFixtures(t)
+	if code, _, _ := runLoad(t); code != 2 {
+		t.Error("missing -transform should be usage error")
+	}
+	if code, _, stderr := runLoad(t, "-transform", rules, "-out", t.TempDir(), "-format", "bogus", good); code != 2 ||
+		!strings.Contains(stderr, "unknown sink format") {
+		t.Errorf("bogus format: code=%d stderr=%s", code, stderr)
+	}
+}
+
+func TestXkloadSmoke(t *testing.T) {
+	code, stdout, stderr := runLoad(t, "-smoke")
+	if code != 0 || !strings.Contains(stdout, "load-smoke: ok") {
+		t.Fatalf("code=%d stdout=%s stderr=%s", code, stdout, stderr)
+	}
+}

@@ -57,6 +57,10 @@ func RunXkserve(args []string, stdout, stderr io.Writer) int {
 		"budget: schema-width cap for enumerative analyses (0 = package default)")
 	maxClosureEntries := fs.Int("max-closure-entries", 0,
 		"budget: closure-cache entries per cover index (0 = package default; evicts, never errors)")
+	maxTuples := fs.Int("max-tuples", 1_000_000,
+		"budget: raw tuples per /v1/shred request before dedup (0 = no cap; aborts, never evicts)")
+	maxFDEntries := fs.Int("max-fd-entries", 1_000_000,
+		"budget: FD hash-index entries per /v1/shred request (0 = no cap; aborts, never evicts)")
 	smoke := fs.Bool("smoke", false,
 		"self-test: boot on an ephemeral port, drive every endpoint once, verify metrics, exit")
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +83,8 @@ func RunXkserve(args []string, stdout, stderr io.Writer) int {
 			MaxEnumFields:      *maxEnumFields,
 			MaxRegistryEntries: *registrySize,
 			MaxClosureEntries:  *maxClosureEntries,
+			MaxTuples:          *maxTuples,
+			MaxFDIndexEntries:  *maxFDEntries,
 		},
 	}
 

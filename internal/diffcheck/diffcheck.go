@@ -21,7 +21,15 @@
 //	closure     — the indexed linear-time attribute closure
 //	              (rel.FDIndex, LINCLOSURE) against the retained textbook
 //	              fixpoint oracle (rel.Closure), bit-for-bit, including the
-//	              early-exit Implies variant.
+//	              early-exit Implies variant;
+//	shred       — the streaming data plane: the streaming evaluator against
+//	              the tree evaluator (bit-identical instances), the online
+//	              FD guard against rel.CheckFD, and the paper's guarantee
+//	              itself — whenever the stream validator accepts a
+//	              document, every FD of the propagated minimum cover must
+//	              hold on the shredded instance (one-sided: a rejected
+//	              document proves nothing; a confirmed counterexample is a
+//	              propagation soundness bug).
 //
 // Every disagreement is shrunk to a (near-)minimal case — keys dropped,
 // field rules pruned, paths shortened, re-checking after each step — and
@@ -39,7 +47,7 @@ import (
 )
 
 // LaneNames lists the lanes in their canonical (report) order.
-var LaneNames = []string{"implication", "cover", "parallel", "server", "witness", "closure"}
+var LaneNames = []string{"implication", "cover", "parallel", "server", "witness", "closure", "shred"}
 
 // Config tunes one harness run.
 type Config struct {
@@ -175,6 +183,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			lr, err = h.laneWitness(ctx, rng)
 		case "closure":
 			lr, err = h.laneClosure(ctx, rng)
+		case "shred":
+			lr, err = h.laneShred(ctx, rng)
 		}
 		if err != nil {
 			return nil, err

@@ -248,21 +248,27 @@ func (r *Relation) String() string {
 	return b.String()
 }
 
+// CSVEscape renders one CSV field per RFC 4180: a field containing a
+// comma, double quote, CR or LF is wrapped in double quotes with every
+// embedded double quote doubled; any other field passes through verbatim.
+// Shared by Relation.CSV and the shredding pipeline's CSV sink so both
+// writers emit the same bytes for the same value.
+func CSVEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\r\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
 // CSV renders the instance as CSV with a header row; NULL renders as the
-// empty field, and fields containing commas, quotes or newlines are quoted.
+// empty field, and fields are escaped per RFC 4180 (see CSVEscape).
 func (r *Relation) CSV() string {
 	var b strings.Builder
-	esc := func(s string) string {
-		if strings.ContainsAny(s, ",\"\n") {
-			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
-		}
-		return s
-	}
 	for i, a := range r.Schema.Attrs {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		b.WriteString(esc(a))
+		b.WriteString(CSVEscape(a))
 	}
 	b.WriteByte('\n')
 	for _, t := range r.Tuples {
@@ -271,7 +277,7 @@ func (r *Relation) CSV() string {
 				b.WriteByte(',')
 			}
 			if !v.Null {
-				b.WriteString(esc(v.S))
+				b.WriteString(CSVEscape(v.S))
 			}
 		}
 		b.WriteByte('\n')

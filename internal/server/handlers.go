@@ -18,6 +18,7 @@ import (
 	"xkprop/internal/core"
 	"xkprop/internal/registry"
 	"xkprop/internal/rel"
+	"xkprop/internal/shred"
 	"xkprop/internal/sqlgen"
 	"xkprop/internal/stream"
 	"xkprop/internal/xmlkey"
@@ -284,4 +285,88 @@ func (s *Server) handleValidate(ctx context.Context, r *http.Request) (any, erro
 		}
 	}
 	return map[string]any{"ok": len(vs) == 0, "count": len(vs), "violations": out}, nil
+}
+
+// handleShred shreds an XML document through the streaming pipeline,
+// validating the key set and enforcing every rule's propagated minimum
+// cover online in the same token pass. The two body shapes of
+// /v1/validate apply, extended with the transformation:
+//
+//   - application/json: {"keys", "transform", "document"};
+//   - any other content type: the body IS the XML stream, with ?keys=
+//     and ?transform= url-encoded.
+//
+// Tuples are counted, deduplicated and checked, then discarded — the
+// service returns the verdict and tallies, never the data. Abort-
+// soundness: a budget or deadline abort yields only the typed error
+// body; a partial violation list is never presented as the verdict.
+func (s *Server) handleShred(ctx context.Context, r *http.Request) (any, error) {
+	var keysText, trText string
+	var doc io.Reader
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req struct {
+			Keys      string `json:"keys"`
+			Transform string `json:"transform"`
+			Document  string `json:"document"`
+		}
+		if err := decodeJSON(r, &req); err != nil {
+			return nil, err
+		}
+		if req.Document == "" {
+			return nil, inputErr(`missing "document"`)
+		}
+		keysText, trText, doc = req.Keys, req.Transform, strings.NewReader(req.Document)
+	} else {
+		q := r.URL.Query()
+		keysText, trText, doc = q.Get("keys"), q.Get("transform"), r.Body
+	}
+	if strings.TrimSpace(trText) == "" {
+		return nil, inputErr(`missing "transform": shredding needs table rules`)
+	}
+	art, err := s.artifact(ctx, keysText, trText)
+	if err != nil {
+		return nil, err
+	}
+	// One propagated cover per rule; the artifact's engines share a
+	// decider, so a warm schema pays nothing here.
+	covers := map[string][]rel.FD{}
+	for _, rule := range art.Transform.Rules {
+		eng, err := art.Engine(rule.Schema.Name)
+		if err != nil {
+			return nil, inputErr("%v", err)
+		}
+		cover, err := eng.CachedCoverCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		covers[rule.Schema.Name] = cover
+	}
+	res, err := shred.Run(ctx, art.Transform, doc, shred.Discard{}, shred.Options{
+		Sigma:   art.Sigma,
+		Covers:  covers,
+		Metrics: s.set,
+	})
+	if err != nil {
+		return nil, err
+	}
+	kvs := make([]map[string]any, len(res.StreamViolations))
+	for i, viol := range res.StreamViolations {
+		kvs[i] = map[string]any{
+			"key":     viol.Key.String(),
+			"message": viol.String(),
+			"offset":  viol.Offset,
+		}
+	}
+	fdvs := res.Violations
+	if fdvs == nil {
+		fdvs = []shred.FDViolation{}
+	}
+	return map[string]any{
+		"ok":             res.OK(),
+		"accepted":       res.Accepted(),
+		"tuples":         res.Tuples(),
+		"tables":         res.Tables,
+		"key_violations": kvs,
+		"fd_violations":  fdvs,
+	}, nil
 }

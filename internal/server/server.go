@@ -140,6 +140,7 @@ func (s *Server) routes() {
 	s.mux.Handle("/v1/candidates", s.instrument("candidates", s.handleCandidates))
 	s.mux.Handle("/v1/ddl", s.instrument("ddl", s.handleDDL))
 	s.mux.Handle("/v1/validate", s.instrument("validate", s.handleValidate))
+	s.mux.Handle("/v1/shred", s.instrument("shred", s.handleShred))
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})

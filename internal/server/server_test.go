@@ -474,3 +474,101 @@ func TestRequestContextResolution(t *testing.T) {
 		}
 	}
 }
+
+// TestShred drives /v1/shred in both body shapes: a clean document loads
+// with tuple tallies and ok=true; the violating document is rejected with
+// stream violations AND a typed FD violation carrying lineage.
+func TestShred(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	code, out := do(t, s, "/v1/shred",
+		marshal(t, map[string]any{"keys": testKeys, "transform": testTransform, "document": goodDoc}))
+	if code != 200 || out["ok"] != true || out["accepted"] != true {
+		t.Fatalf("good doc: %d %v", code, out)
+	}
+	if n, _ := out["tuples"].(float64); n != 1 {
+		t.Fatalf("good doc: %v tuples, want 1", out["tuples"])
+	}
+	tables, _ := out["tables"].([]any)
+	if len(tables) != 1 {
+		t.Fatalf("tables: %v", out["tables"])
+	}
+
+	// Conflicting chapter names under a duplicated key: rejected, and the
+	// FD inBook, number -> name violated with two tuples and lineage.
+	viol := `<db><book isbn="1"><chapter number="1"><name>A</name></chapter></book>` +
+		`<book isbn="1"><chapter number="1"><name>B</name></chapter></book></db>`
+	code, out = do(t, s, "/v1/shred",
+		marshal(t, map[string]any{"keys": testKeys, "transform": testTransform, "document": viol}))
+	if code != 200 || out["ok"] != false || out["accepted"] != false {
+		t.Fatalf("violating doc: %d %v", code, out)
+	}
+	fdvs, _ := out["fd_violations"].([]any)
+	if len(fdvs) == 0 {
+		t.Fatalf("no fd_violations: %v", out)
+	}
+	v := fdvs[0].(map[string]any)
+	if v["condition"].(float64) != 2 {
+		t.Fatalf("violation: %v", v)
+	}
+	tuples, _ := v["tuples"].([]any)
+	if len(tuples) != 2 {
+		t.Fatalf("tuples: %v", v["tuples"])
+	}
+	lin, _ := tuples[0].(map[string]any)["lineage"].([]any)
+	if len(lin) == 0 {
+		t.Fatalf("no lineage: %v", tuples[0])
+	}
+	ref := lin[0].(map[string]any)
+	if ref["var"] == "" || ref["path"] == "" {
+		t.Fatalf("incomplete ref: %v", ref)
+	}
+
+	// Raw-stream mode: XML body with keys and transform in the query.
+	q := "/v1/shred?keys=" + urlEncode(testKeys) + "&transform=" + urlEncode(testTransform)
+	req := httptest.NewRequest(http.MethodPost, q, strings.NewReader(goodDoc))
+	req.Header.Set("Content-Type", "application/xml")
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, req)
+	out = map[string]any{}
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatalf("raw mode: %v\n%s", err, rr.Body.String())
+	}
+	if rr.Code != 200 || out["ok"] != true {
+		t.Fatalf("raw mode: %d %v", rr.Code, out)
+	}
+
+	// Missing transform is a 400, not a panic or a 500.
+	code, out = do(t, s, "/v1/shred",
+		marshal(t, map[string]any{"keys": testKeys, "document": goodDoc}))
+	if code != 400 || errObj(t, out)["kind"] != "input" {
+		t.Fatalf("missing transform: %d %v", code, out)
+	}
+}
+
+// TestShredBudgetAbort: a tuple cap aborts with a typed 503 budget body
+// and no partial tallies or violation lists (abort-soundness on the wire).
+func TestShredBudgetAbort(t *testing.T) {
+	s := newTestServer(t, Config{Budget: budget.Budget{MaxTuples: 1}})
+	doc := `<db><book isbn="1"><chapter number="1"><name>A</name></chapter>` +
+		`<chapter number="2"><name>B</name></chapter></book></db>`
+	code, out := do(t, s, "/v1/shred",
+		marshal(t, map[string]any{"keys": testKeys, "transform": testTransform, "document": doc}))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("got %d %v, want 503", code, out)
+	}
+	e := errObj(t, out)
+	if e["kind"] != "budget" || e["resource"] != string(budget.Tuples) {
+		t.Fatalf("error body: %v", e)
+	}
+	for _, leaked := range []string{"tuples", "tables", "fd_violations"} {
+		if _, ok := out[leaked]; ok {
+			t.Errorf("abort body leaked %q: %v", leaked, out)
+		}
+	}
+}
+
+func urlEncode(s string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(strings.ReplaceAll(s,
+		"%", "%25"), "\n", "%0A"), " ", "%20")
+}

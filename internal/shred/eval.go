@@ -1,0 +1,383 @@
+package shred
+
+// The streaming evaluator: bindings of rule variables are discovered by
+// stepping each open binding's child-path NFAs along the element stack,
+// mirroring xmltree.Eval's node-set semantics without the tree. Text
+// content is collected per bound element exactly as xmltree.Parse stores
+// it (each character-data token trimmed, concatenated with no separator),
+// so streaming and tree evaluation agree byte-for-byte on every value.
+
+import (
+	"fmt"
+	"strings"
+
+	"encoding/xml"
+
+	"xkprop/internal/budget"
+	"xkprop/internal/rel"
+	"xkprop/internal/stream"
+)
+
+// Ref is one lineage reference: the source node a tuple value (or the
+// binding anchoring it) came from, as a byte offset of its start tag plus
+// the concrete label path from the document root.
+type Ref struct {
+	Var    string `json:"var"`
+	Offset int64  `json:"offset"`
+	Path   string `json:"path"`
+}
+
+// Row is one shredded tuple with its lineage.
+type Row struct {
+	Vals rel.Tuple
+	Lin  []Ref
+}
+
+// Offset returns the row's anchoring byte offset: the largest start-tag
+// offset among its lineage refs (the most specific contributing node).
+func (r Row) Offset() int64 {
+	var max int64
+	for _, ref := range r.Lin {
+		if ref.Offset > max {
+			max = ref.Offset
+		}
+	}
+	return max
+}
+
+// bind is one binding of a rule variable to a document node.
+type bind struct {
+	v    *cvar
+	off  int64
+	path string
+	val  string
+	text *strings.Builder
+	kids [][]*bind // per child slot, bindings in document order
+}
+
+// bindPos tracks one open binding's child-path NFA position sets while
+// its anchor element is on the stack.
+type bindPos struct {
+	b    *bind
+	sets [][]int // per child slot
+}
+
+// eframe is one open element of the evaluator's stack.
+type eframe struct {
+	active [][]*bindPos // per rule: open bindings still able to match children
+	opened []*bind      // element bindings anchored at this element, doc order
+	nText  int          // text collectors pushed at this element
+}
+
+// evaluator runs one document through the compiled transformation.
+type evaluator struct {
+	c         *Compiled
+	maxTuples int
+	raw       int64 // raw rows produced by expansion, pre-dedup
+	emit      func(ri int, rows []Row) error
+	stack     []*eframe
+	labels    []string
+	texts     []*bind // bindings currently collecting text, stack order
+	roots     []*bind // per rule
+	emitted   []int   // per rule: blocks emitted mid-stream
+	rootClosed bool
+}
+
+func (c *Compiled) newEvaluator(maxTuples int, emit func(ri int, rows []Row) error) *evaluator {
+	return &evaluator{
+		c:         c,
+		maxTuples: maxTuples,
+		emit:      emit,
+		roots:     make([]*bind, len(c.rules)),
+		emitted:   make([]int, len(c.rules)),
+	}
+}
+
+// attrOf mirrors xmltree.Parse's attribute handling: xmlns declarations
+// are invisible, lookup is by local name.
+func attrOf(t xml.StartElement, name string) (string, bool) {
+	for _, a := range t.Attr {
+		if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+			continue
+		}
+		if a.Name.Local == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+func (e *evaluator) startElement(t xml.StartElement, off int64) error {
+	if e.rootClosed && len(e.stack) == 0 {
+		return fmt.Errorf("shred: multiple root elements")
+	}
+	label := t.Name.Local
+	e.labels = append(e.labels, label)
+	curPath := "/" + strings.Join(e.labels, "/")
+	code, known := e.c.in.LabelCode(label)
+	if !known {
+		code = stream.UnknownLabel
+	}
+	nf := &eframe{active: make([][]*bindPos, len(e.c.rules))}
+	if len(e.stack) == 0 {
+		// The document root anchors every rule's root variable.
+		for ri, cr := range e.c.rules {
+			rb := newBind(cr.vars[0], off, curPath)
+			e.roots[ri] = rb
+			e.openBind(nf, ri, rb, t, off, curPath)
+		}
+	} else {
+		pf := e.stack[len(e.stack)-1]
+		for ri, cr := range e.c.rules {
+			for _, bp := range pf.active[ri] {
+				nsets := make([][]int, len(bp.sets))
+				alive := false
+				for si, ps := range bp.sets {
+					cv := cr.vars[bp.b.v.children[si]]
+					ns := cv.elem.Step(ps, code)
+					nsets[si] = ns
+					if len(ns) > 0 {
+						alive = true
+					}
+				}
+				if alive {
+					nf.active[ri] = append(nf.active[ri], &bindPos{b: bp.b, sets: nsets})
+				}
+				for si, ns := range nsets {
+					cv := cr.vars[bp.b.v.children[si]]
+					if cv.elem.Accepted(ns) {
+						e.acceptChild(nf, ri, bp.b, si, cv, t, off, curPath)
+					}
+				}
+			}
+		}
+	}
+	e.stack = append(e.stack, nf)
+	return nil
+}
+
+func newBind(cv *cvar, off int64, path string) *bind {
+	b := &bind{v: cv, off: off, path: path}
+	if len(cv.children) > 0 {
+		b.kids = make([][]*bind, len(cv.children))
+	}
+	return b
+}
+
+// acceptChild records that the current element (or one of its attributes)
+// binds variable cv under the parent binding.
+func (e *evaluator) acceptChild(nf *eframe, ri int, parent *bind, slot int, cv *cvar, t xml.StartElement, off int64, curPath string) {
+	if cv.attr != "" {
+		// Attribute variable: an element matching the path without the
+		// attribute contributes no binding, exactly like xmltree.Eval.
+		val, ok := attrOf(t, cv.attr)
+		if !ok {
+			return
+		}
+		parent.kids[slot] = append(parent.kids[slot], &bind{
+			v: cv, off: off, path: curPath + "/@" + cv.attr, val: val,
+		})
+		return
+	}
+	nb := newBind(cv, off, curPath)
+	parent.kids[slot] = append(parent.kids[slot], nb)
+	e.openBind(nf, ri, nb, t, off, curPath)
+}
+
+// openBind registers a fresh element binding on the current frame: a text
+// collector if the variable populates a field, and child-path NFAs seeded
+// at their start sets. A child path accepted at its own start set (ε after
+// the attribute strip, or a //-prefixed root mapping — descendant-or-self
+// includes the anchor) binds at this same element, recursively.
+func (e *evaluator) openBind(nf *eframe, ri int, b *bind, t xml.StartElement, off int64, curPath string) {
+	if b.v.needsText {
+		b.text = &strings.Builder{}
+		e.texts = append(e.texts, b)
+		nf.nText++
+	}
+	nf.opened = append(nf.opened, b)
+	if len(b.v.children) == 0 {
+		return
+	}
+	sets := make([][]int, len(b.v.children))
+	nf.active[ri] = append(nf.active[ri], &bindPos{b: b, sets: sets})
+	for si, ci := range b.v.children {
+		cv := e.c.rules[ri].vars[ci]
+		s := cv.elem.Start()
+		sets[si] = s
+		if cv.elem.Accepted(s) {
+			e.acceptChild(nf, ri, b, si, cv, t, off, curPath)
+		}
+	}
+}
+
+// charData mirrors xmltree.Parse: each token is trimmed of surrounding
+// whitespace and, if anything remains, appended to every open collector —
+// which is exactly how TextContent concatenates descendant text nodes.
+func (e *evaluator) charData(s xml.CharData) error {
+	trimmed := strings.TrimSpace(string(s))
+	if trimmed == "" {
+		return nil
+	}
+	if len(e.stack) == 0 {
+		return fmt.Errorf("shred: character data outside the document root")
+	}
+	for _, b := range e.texts {
+		b.text.WriteString(trimmed)
+	}
+	return nil
+}
+
+func (e *evaluator) endElement() error {
+	nf := e.stack[len(e.stack)-1]
+	e.stack = e.stack[:len(e.stack)-1]
+	e.labels = e.labels[:len(e.labels)-1]
+	if nf.nText > 0 {
+		closing := e.texts[len(e.texts)-nf.nText:]
+		for _, b := range closing {
+			b.val = b.text.String()
+			b.text = nil
+		}
+		e.texts = e.texts[:len(e.texts)-nf.nText]
+	}
+	// Streaming emission: a closed binding of a streamable rule's sole
+	// root child is a complete block — expand it now and release it.
+	for _, b := range nf.opened {
+		cr := e.c.rules[b.v.ri]
+		if !cr.streamable || b.v.parent != 0 {
+			continue
+		}
+		rows, err := e.expand(cr, b)
+		if err != nil {
+			return err
+		}
+		if err := e.emit(b.v.ri, rows); err != nil {
+			return err
+		}
+		e.detach(b)
+		e.emitted[b.v.ri]++
+	}
+	if len(e.stack) == 0 {
+		e.rootClosed = true
+		return e.finish()
+	}
+	return nil
+}
+
+// detach releases an emitted block from the root binding.
+func (e *evaluator) detach(b *bind) {
+	kids := e.roots[b.v.ri].kids[0]
+	for i := len(kids) - 1; i >= 0; i-- {
+		if kids[i] == b {
+			e.roots[b.v.ri].kids[0] = append(kids[:i], kids[i+1:]...)
+			return
+		}
+	}
+}
+
+// finish runs when the document root closes: streamable rules that never
+// matched emit their single all-null tuple (the Cartesian product over an
+// empty binding set per Def 2.2), and multi-root-child rules expand their
+// full product — the one place block memory is proportional to the
+// document's matched bindings rather than a single block.
+func (e *evaluator) finish() error {
+	for ri, cr := range e.c.rules {
+		if e.roots[ri] == nil {
+			continue
+		}
+		if cr.streamable {
+			if e.emitted[ri] == 0 {
+				if err := e.countRows(1); err != nil {
+					return err
+				}
+				if err := e.emit(ri, []Row{{Vals: nullTuple(cr.width)}}); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		rows, err := e.expand(cr, e.roots[ri])
+		if err != nil {
+			return err
+		}
+		if err := e.emit(ri, rows); err != nil {
+			return err
+		}
+		e.roots[ri] = nil
+	}
+	return nil
+}
+
+func nullTuple(width int) rel.Tuple {
+	t := make(rel.Tuple, width)
+	for i := range t {
+		t[i] = rel.NullValue
+	}
+	return t
+}
+
+// countRows charges n raw rows against the tuple budget.
+func (e *evaluator) countRows(n int64) error {
+	e.raw += n
+	if e.maxTuples > 0 && e.raw > int64(e.maxTuples) {
+		return budget.Exceeded("shred", budget.Tuples, e.maxTuples)
+	}
+	return nil
+}
+
+// expand materializes the Cartesian product of a binding's subtree: the
+// binding's own value joined with, per child slot, the concatenation of
+// each child binding's expansion — or the all-null factor when the slot
+// matched nothing (the paper's null subtree).
+func (e *evaluator) expand(cr *crule, b *bind) ([]Row, error) {
+	base := Row{Vals: nullTuple(cr.width)}
+	if b.v.fieldCol >= 0 {
+		base.Vals[b.v.fieldCol] = rel.V(b.val)
+	}
+	base.Lin = []Ref{{Var: b.v.name, Offset: b.off, Path: b.path}}
+	if err := e.countRows(1); err != nil {
+		return nil, err
+	}
+	rows := []Row{base}
+	for si := range b.v.children {
+		cv := cr.vars[b.v.children[si]]
+		var factor []Row
+		if len(b.kids) == 0 || len(b.kids[si]) == 0 {
+			factor = []Row{{Vals: nullTuple(cr.width)}}
+		} else {
+			for _, kb := range b.kids[si] {
+				sub, err := e.expand(cr, kb)
+				if err != nil {
+					return nil, err
+				}
+				factor = append(factor, sub...)
+			}
+		}
+		var err error
+		rows, err = e.crossMerge(rows, factor, cv.owned)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func (e *evaluator) crossMerge(acc, factor []Row, owned []int) ([]Row, error) {
+	if err := e.countRows(int64(len(acc)) * int64(len(factor))); err != nil {
+		return nil, err
+	}
+	out := make([]Row, 0, len(acc)*len(factor))
+	for _, a := range acc {
+		for _, f := range factor {
+			vals := make(rel.Tuple, len(a.Vals))
+			copy(vals, a.Vals)
+			for _, col := range owned {
+				vals[col] = f.Vals[col]
+			}
+			lin := make([]Ref, 0, len(a.Lin)+len(f.Lin))
+			lin = append(append(lin, a.Lin...), f.Lin...)
+			out = append(out, Row{Vals: vals, Lin: lin})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package shred
+
+// Online enforcement of the propagated minimum cover: one hash index per
+// FD maps the LHS projection of every complete tuple seen so far to its
+// RHS projection. The null semantics mirror rel.CheckFD exactly —
+// condition 1 (a tuple null on the LHS must be all-null on the RHS) is
+// per-tuple, condition 2 compares only tuples free of nulls, keeping the
+// first tuple of each LHS group as the witness.
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"xkprop/internal/budget"
+	"xkprop/internal/rel"
+)
+
+// FDViolation is a propagated FD failing on the shredded instance. For
+// condition 1 it carries the single offending tuple; for condition 2 the
+// first tuple of the LHS group and the conflicting one, in arrival order.
+type FDViolation struct {
+	Table     string           `json:"table"`
+	FD        string           `json:"fd"`
+	Condition int              `json:"condition"`
+	Tuples    []ViolatingTuple `json:"tuples"`
+}
+
+func (v FDViolation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: FD %s violated (condition %d)", v.Table, v.FD, v.Condition)
+	for _, t := range v.Tuples {
+		fmt.Fprintf(&b, "\n  tuple %s at offset %d", t.render(), t.Offset)
+		for _, ref := range t.Lineage {
+			fmt.Fprintf(&b, "\n    %s = %s @%d", ref.Var, ref.Path, ref.Offset)
+		}
+	}
+	return b.String()
+}
+
+// ViolatingTuple is one conflicting tuple with its provenance: values
+// (nil = NULL), the anchoring byte offset, and per-variable lineage.
+type ViolatingTuple struct {
+	Values  []*string `json:"values"`
+	Offset  int64     `json:"offset"`
+	Lineage []Ref     `json:"lineage"`
+}
+
+func (t ViolatingTuple) render() string {
+	parts := make([]string, len(t.Values))
+	for i, v := range t.Values {
+		if v == nil {
+			parts[i] = "NULL"
+		} else {
+			parts[i] = *v
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func violTuple(row Row) ViolatingTuple {
+	vt := ViolatingTuple{Offset: row.Offset(), Lineage: row.Lin}
+	vt.Values = make([]*string, len(row.Vals))
+	for i, v := range row.Vals {
+		if !v.Null {
+			s := v.S
+			vt.Values[i] = &s
+		}
+	}
+	return vt
+}
+
+// guardEntry is the first tuple seen for one LHS projection.
+type guardEntry struct {
+	rhsKey string
+	row    Row
+}
+
+// fdGuard enforces one rule's FDs. It is owned by that rule's worker
+// goroutine; the entry and violation counters are shared across rules
+// (atomics) so the budget caps bound the whole run.
+type fdGuard struct {
+	table      string
+	fds        []rel.FD
+	fdStr      []string
+	idx        []map[string]*guardEntry
+	entries    *atomic.Int64
+	maxEntries int
+	violTotal  *atomic.Int64
+	maxViol    int
+	checks     int64
+	violations []FDViolation
+}
+
+func newFDGuard(table string, schema *rel.Schema, fds []rel.FD, entries *atomic.Int64, maxEntries int, violTotal *atomic.Int64, maxViol int) *fdGuard {
+	g := &fdGuard{
+		table: table, fds: fds,
+		entries: entries, maxEntries: maxEntries,
+		violTotal: violTotal, maxViol: maxViol,
+	}
+	for _, fd := range fds {
+		g.fdStr = append(g.fdStr, fd.Format(schema))
+		g.idx = append(g.idx, map[string]*guardEntry{})
+	}
+	return g
+}
+
+func projectKey(t rel.Tuple, as rel.AttrSet) string {
+	var b strings.Builder
+	as.ForEach(func(i int) {
+		fmt.Fprintf(&b, "%d:%s\x00", len(t[i].S), t[i].S)
+	})
+	return b.String()
+}
+
+// check runs one tuple through every FD. Violations accumulate on the
+// guard; a typed *budget.Error aborts the run when the index or violation
+// cap is exhausted (abort, never evict — see budget.FDIndexEntries).
+func (g *fdGuard) check(row Row) error {
+	t := row.Vals
+	for fi, fd := range g.fds {
+		g.checks++
+		if t.HasNullAt(fd.Lhs) {
+			// Condition 1: null on the LHS demands an all-null RHS.
+			if !t.AllNullAt(fd.Rhs) {
+				if err := g.record(FDViolation{
+					Table: g.table, FD: g.fdStr[fi], Condition: 1,
+					Tuples: []ViolatingTuple{violTuple(row)},
+				}); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if t.HasNull() {
+			// Condition 2 compares only tuples free of nulls.
+			continue
+		}
+		lk := projectKey(t, fd.Lhs)
+		rk := projectKey(t, fd.Rhs)
+		if e, ok := g.idx[fi][lk]; ok {
+			if e.rhsKey != rk {
+				if err := g.record(FDViolation{
+					Table: g.table, FD: g.fdStr[fi], Condition: 2,
+					Tuples: []ViolatingTuple{violTuple(e.row), violTuple(row)},
+				}); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if n := g.entries.Add(1); g.maxEntries > 0 && n > int64(g.maxEntries) {
+			return budget.Exceeded("shred fd enforcement", budget.FDIndexEntries, g.maxEntries)
+		}
+		g.idx[fi][lk] = &guardEntry{rhsKey: rk, row: row}
+	}
+	return nil
+}
+
+func (g *fdGuard) record(v FDViolation) error {
+	g.violations = append(g.violations, v)
+	if n := g.violTotal.Add(1); g.maxViol > 0 && n > int64(g.maxViol) {
+		return budget.Exceeded("shred fd enforcement", budget.Violations, g.maxViol)
+	}
+	return nil
+}

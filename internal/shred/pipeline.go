@@ -1,0 +1,417 @@
+package shred
+
+// The pipeline: one goroutine owns the xml.Decoder and the streaming
+// evaluator (and, when a key set is supplied, the stream validator — both
+// consume the same single token pass); completed tuple blocks fan out to
+// one worker goroutine per rule over bounded channels, gated by a
+// semaphore of Options.Workers execution slots. Each rule's blocks are
+// processed strictly in channel (= document) order by its single worker,
+// so sink bytes are identical for -workers 1 and -workers N; parallelism
+// comes from different rules progressing concurrently, never from
+// reordering one rule's tuples.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"encoding/xml"
+
+	"expvar"
+
+	"xkprop/internal/budget"
+	"xkprop/internal/metrics"
+	"xkprop/internal/rel"
+	"xkprop/internal/stream"
+	"xkprop/internal/transform"
+	"xkprop/internal/xmlkey"
+)
+
+// DefaultBatchSize is the tuple batch handed to sinks when Options leaves
+// BatchSize zero.
+const DefaultBatchSize = 256
+
+// Options configures one Run.
+type Options struct {
+	// Workers caps concurrently executing rule workers (<=0 = GOMAXPROCS).
+	// It never affects output bytes, only parallelism across rules.
+	Workers int
+	// BatchSize is the tuples per sink WriteBatch (<=0 = DefaultBatchSize).
+	BatchSize int
+	// Sigma, when non-nil, runs the stream key validator over the same
+	// token pass; violations land in Result.StreamViolations.
+	Sigma []xmlkey.Key
+	// Covers maps table name → FDs to enforce online (typically the
+	// propagated minimum cover). Tables absent from the map are shredded
+	// without enforcement.
+	Covers map[string][]rel.FD
+	// Metrics receives shred.{tuples,batches,fd_checks,violations,
+	// queue_depth}; nil publishes to a private throwaway set.
+	Metrics *metrics.Set
+}
+
+// TableCount is one table's output tally.
+type TableCount struct {
+	Table   string `json:"table"`
+	Tuples  int64  `json:"tuples"`
+	Batches int64  `json:"batches"`
+}
+
+// Result is the outcome of one successful (possibly violating, never
+// aborted) run. Abort-soundness: any error from Run means no Result at
+// all — a partial violation list is never presented as the verdict.
+type Result struct {
+	Tables           []TableCount       `json:"tables"`
+	Violations       []FDViolation      `json:"violations,omitempty"`
+	StreamViolations []stream.Violation `json:"-"`
+}
+
+// Accepted reports whether the stream validator accepted the document
+// (vacuously true when no key set was supplied).
+func (r *Result) Accepted() bool { return len(r.StreamViolations) == 0 }
+
+// OK reports a fully clean run: document accepted and no FD violated.
+func (r *Result) OK() bool { return r.Accepted() && len(r.Violations) == 0 }
+
+// Tuples sums the per-table tuple counts.
+func (r *Result) Tuples() int64 {
+	var n int64
+	for _, t := range r.Tables {
+		n += t.Tuples
+	}
+	return n
+}
+
+// Run compiles tr and shreds one document. See Compiled.Run.
+func Run(ctx context.Context, tr *transform.Transformation, input io.Reader, sink Sink, opts Options) (*Result, error) {
+	c, err := Compile(tr)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(ctx, input, sink, opts)
+}
+
+// ruleState is one rule's worker-side state.
+type ruleState struct {
+	cr      *crule
+	w       TableWriter
+	guard   *fdGuard
+	ch      chan []Row
+	dedup   map[string]bool
+	pending  []rel.Tuple
+	tuples   int64
+	batches  int64
+	violSeen int64 // guard violations already counted into the metrics
+	err      error
+}
+
+// pipelineMetrics bundles the exported counters.
+type pipelineMetrics struct {
+	tuples, batches, fdChecks, violations *expvar.Int
+	queueDepth                            *expvar.Int
+}
+
+// Run shreds one document from input into sink. The context carries
+// cancellation and an optional budget.Budget: MaxTuples and
+// MaxFDIndexEntries abort (never evict — see the budget package),
+// MaxStreamDepth bounds nesting, MaxViolations caps collected stream and
+// FD violations combined with an abort once exceeded.
+func (c *Compiled) Run(ctx context.Context, input io.Reader, sink Sink, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	batchSize := opts.BatchSize
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	set := opts.Metrics
+	if set == nil {
+		set = metrics.NewSet()
+	}
+	pm := &pipelineMetrics{
+		tuples:     set.Counter("shred.tuples"),
+		batches:    set.Counter("shred.batches"),
+		fdChecks:   set.Counter("shred.fd_checks"),
+		violations: set.Counter("shred.violations"),
+		queueDepth: set.Gauge("shred.queue_depth"),
+	}
+	var maxTuples, maxFDEntries, maxDepth, maxViol int
+	if b := budget.From(ctx); b != nil {
+		maxTuples, maxFDEntries = b.MaxTuples, b.MaxFDIndexEntries
+		maxDepth, maxViol = b.MaxStreamDepth, b.MaxViolations
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var fdEntries, violTotal atomic.Int64
+	states := make([]*ruleState, len(c.rules))
+	for ri, cr := range c.rules {
+		w, err := sink.Open(cr.rule.Schema)
+		if err != nil {
+			for _, st := range states[:ri] {
+				st.w.Close()
+			}
+			return nil, err
+		}
+		st := &ruleState{
+			cr: cr, w: w,
+			ch:    make(chan []Row, 4),
+			dedup: map[string]bool{},
+		}
+		if fds := opts.Covers[cr.rule.Schema.Name]; len(fds) > 0 {
+			st.guard = newFDGuard(cr.rule.Schema.Name, cr.rule.Schema, fds,
+				&fdEntries, maxFDEntries, &violTotal, maxViol)
+		}
+		states[ri] = st
+	}
+	closeWriters := func() error {
+		var first error
+		for _, st := range states {
+			if err := st.w.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, st := range states {
+		wg.Add(1)
+		go func(st *ruleState) {
+			defer wg.Done()
+			for rows := range st.ch {
+				pm.queueDepth.Add(-1)
+				if st.err != nil || runCtx.Err() != nil {
+					continue // drain so the producer never blocks
+				}
+				sem <- struct{}{}
+				err := st.process(rows, batchSize, pm)
+				<-sem
+				if err != nil {
+					st.err = err
+					cancel()
+				}
+			}
+			if st.err == nil && runCtx.Err() == nil {
+				if err := st.flush(pm); err != nil {
+					st.err = err
+					cancel()
+				}
+			}
+		}(st)
+	}
+
+	emit := func(ri int, rows []Row) error {
+		if len(rows) == 0 {
+			return nil
+		}
+		pm.queueDepth.Add(1)
+		select {
+		case states[ri].ch <- rows:
+			return nil
+		case <-runCtx.Done():
+			pm.queueDepth.Add(-1)
+			return runCtx.Err()
+		}
+	}
+
+	var v *stream.Validator
+	if opts.Sigma != nil {
+		v = stream.NewValidator(opts.Sigma)
+	}
+	ev := c.newEvaluator(maxTuples, emit)
+	dec := xml.NewDecoder(input)
+	runErr := c.drive(runCtx, dec, ev, v, maxDepth, maxViol)
+	if runErr == nil && !ev.rootClosed {
+		runErr = &stream.DecodeError{Offset: dec.InputOffset(), Err: io.ErrUnexpectedEOF}
+	}
+	if runErr != nil {
+		cancel() // workers skip their final flush
+	}
+	for _, st := range states {
+		close(st.ch)
+	}
+	wg.Wait()
+	closeErr := closeWriters()
+
+	// A worker's typed error (budget, sink I/O) beats the bare
+	// context.Canceled its cancellation caused upstream; a parent deadline
+	// or cancellation stays authoritative.
+	var werr error
+	for _, st := range states {
+		if st.err != nil && !errors.Is(st.err, context.Canceled) {
+			werr = st.err
+			break
+		}
+	}
+	if werr != nil && (runErr == nil || errors.Is(runErr, context.Canceled)) {
+		runErr = werr
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
+
+	res := &Result{}
+	for _, st := range states {
+		res.Tables = append(res.Tables, TableCount{
+			Table: st.cr.rule.Schema.Name, Tuples: st.tuples, Batches: st.batches,
+		})
+		if st.guard != nil {
+			res.Violations = append(res.Violations, st.guard.violations...)
+		}
+	}
+	if v != nil {
+		res.StreamViolations = v.Violations()
+	}
+	return res, nil
+}
+
+// drive owns the single decoder pass: every token is checked against the
+// context, offered to the validator, and fed to the evaluator.
+func (c *Compiled) drive(ctx context.Context, dec *xml.Decoder, ev *evaluator, v *stream.Validator, maxDepth, maxViol int) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Offset before Token(): for a StartElement this is the byte of its
+		// '<' (see stream.Validator.RunCtx for the rationale).
+		off := dec.InputOffset()
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return &stream.DecodeError{Offset: dec.InputOffset(), Err: err}
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if maxDepth > 0 && len(ev.stack) >= maxDepth {
+				return budget.Exceeded("shred", budget.StreamDepth, maxDepth)
+			}
+			if v != nil {
+				if err := v.Feed(tok, off); err != nil {
+					return err
+				}
+			}
+			if err := ev.startElement(t, off); err != nil {
+				return err
+			}
+			if v != nil && maxViol > 0 && len(v.Violations()) >= maxViol {
+				return budget.Exceeded("shred", budget.Violations, maxViol)
+			}
+		case xml.EndElement:
+			if v != nil {
+				if err := v.Feed(tok, off); err != nil {
+					return err
+				}
+			}
+			if err := ev.endElement(); err != nil {
+				return err
+			}
+		case xml.CharData:
+			if err := ev.charData(t); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// tupleKey mirrors rel.Relation.Dedup's identity: values plus null mask.
+func tupleKey(t rel.Tuple) string {
+	var b strings.Builder
+	for _, v := range t {
+		if v.Null {
+			b.WriteString("N\x00")
+		} else {
+			fmt.Fprintf(&b, "V%d:%s\x00", len(v.S), v.S)
+		}
+	}
+	return b.String()
+}
+
+// process handles one block on the rule's worker: online dedup (set
+// semantics, first occurrence kept — matching the tree evaluator's
+// Dedup), FD enforcement, then batched sink writes.
+func (st *ruleState) process(rows []Row, batchSize int, pm *pipelineMetrics) error {
+	for _, row := range rows {
+		k := tupleKey(row.Vals)
+		if st.dedup[k] {
+			continue
+		}
+		st.dedup[k] = true
+		if st.guard != nil {
+			before := st.guard.checks
+			err := st.guard.check(row)
+			pm.fdChecks.Add(st.guard.checks - before)
+			if n := int64(len(st.guard.violations)); n > st.violSeen {
+				pm.violations.Add(n - st.violSeen)
+				st.violSeen = n
+			}
+			if err != nil {
+				return err
+			}
+		}
+		st.pending = append(st.pending, row.Vals)
+		st.tuples++
+		pm.tuples.Add(1)
+		if len(st.pending) >= batchSize {
+			if err := st.writeBatch(pm); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (st *ruleState) writeBatch(pm *pipelineMetrics) error {
+	if len(st.pending) == 0 {
+		return nil
+	}
+	batch := st.pending
+	st.pending = nil // the sink may retain the slice
+	if err := st.w.WriteBatch(batch); err != nil {
+		return err
+	}
+	st.batches++
+	pm.batches.Add(1)
+	return nil
+}
+
+func (st *ruleState) flush(pm *pipelineMetrics) error {
+	return st.writeBatch(pm)
+}
+
+// EvalStreaming shreds one document through the streaming pipeline into
+// memory and canonicalizes each table (sorted, already deduplicated
+// online), so the result is directly comparable with Rule.Eval over the
+// parsed tree — the differential tests' contract.
+func EvalStreaming(tr *transform.Transformation, input io.Reader) (map[string]*rel.Relation, error) {
+	ms := NewMemorySink()
+	if _, err := Run(context.Background(), tr, input, ms, Options{Workers: 1}); err != nil {
+		return nil, err
+	}
+	out := ms.Relations()
+	for _, r := range out {
+		r.Sort()
+	}
+	return out, nil
+}
+
+// EvalStreamingString is EvalStreaming over a string.
+func EvalStreamingString(tr *transform.Transformation, doc string) (map[string]*rel.Relation, error) {
+	return EvalStreaming(tr, strings.NewReader(doc))
+}

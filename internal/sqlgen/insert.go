@@ -1,0 +1,68 @@
+package sqlgen
+
+// INSERT generation for shredded instances: one multi-row statement per
+// tuple batch, with identifiers quoted exactly like the DDL of the same
+// Options so the statements load into the schema DDL() emitted.
+
+import (
+	"fmt"
+	"strings"
+
+	"xkprop/internal/rel"
+)
+
+// Literal renders one value as a SQL literal for the dialect: NULL for
+// the null value, otherwise a single-quoted string with embedded single
+// quotes doubled. MySQL additionally doubles backslashes, since its
+// default sql_mode treats backslash as an escape character inside string
+// literals; the other dialects pass backslashes through per the standard.
+func Literal(v rel.Value, dialect string) string {
+	if v.Null {
+		return "NULL"
+	}
+	s := v.S
+	if dialect == "mysql" {
+		s = strings.ReplaceAll(s, `\`, `\\`)
+	}
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// Insert renders one multi-row INSERT statement loading rows into t.
+// Identifier quoting follows opts.Dialect exactly as in DDL, so a table
+// built by FromSchema/FromFragments (prefix included) round-trips. An
+// empty batch renders as the empty string; a row whose arity differs from
+// the table's column count is an error rather than a truncated statement.
+func Insert(t Table, rows []rel.Tuple, opts Options) (string, error) {
+	if len(rows) == 0 {
+		return "", nil
+	}
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = c.Name
+	}
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(quote(t.Name, opts.Dialect))
+	b.WriteString(" (")
+	b.WriteString(quoteList(cols, opts.Dialect))
+	b.WriteString(") VALUES")
+	for i, row := range rows {
+		if len(row) != len(t.Columns) {
+			return "", fmt.Errorf("sqlgen: insert into %s: row %d has %d values, want %d",
+				t.Name, i, len(row), len(t.Columns))
+		}
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n  (")
+		for j, v := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(Literal(v, opts.Dialect))
+		}
+		b.WriteString(")")
+	}
+	b.WriteString(";\n")
+	return b.String(), nil
+}

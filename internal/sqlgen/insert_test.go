@@ -1,0 +1,102 @@
+package sqlgen
+
+import (
+	"testing"
+
+	"xkprop/internal/rel"
+)
+
+// TestInsertReservedWordsAllDialects renders the same batch through every
+// supported dialect, reusing the reserved-word schema of the DDL quoting
+// tests: identifiers come out in the dialect's own quoting style, NULL
+// renders bare, and string literals double embedded single quotes (plus
+// backslashes on MySQL).
+func TestInsertReservedWordsAllDialects(t *testing.T) {
+	s := rel.MustSchema("t", "select", "order", "group")
+	rows := []rel.Tuple{
+		{rel.V("a"), rel.V("it's"), rel.NullValue},
+		{rel.NullValue, rel.V(`x"y`), rel.V(`back\slash`)},
+	}
+	wants := map[string]string{
+		"standard": `INSERT INTO "t" ("select", "order", "group") VALUES
+  ('a', 'it''s', NULL),
+  (NULL, 'x"y', 'back\slash');
+`,
+		"sqlite": `INSERT INTO "t" ("select", "order", "group") VALUES
+  ('a', 'it''s', NULL),
+  (NULL, 'x"y', 'back\slash');
+`,
+		"mysql": "INSERT INTO `t` (`select`, `order`, `group`) VALUES\n" +
+			"  ('a', 'it''s', NULL),\n" +
+			"  (NULL, 'x\"y', 'back\\\\slash');\n",
+	}
+	for _, dialect := range Dialects {
+		opts := Options{Dialect: dialect}
+		tab := FromSchema(s, s.MustSet("select"), opts)
+		got, err := Insert(tab, rows, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", dialect, err)
+		}
+		if got != wants[dialect] {
+			t.Errorf("%s: got\n%s\nwant\n%s", dialect, got, wants[dialect])
+		}
+	}
+}
+
+// TestInsertPrefixMatchesDDL: a prefixed table name from FromSchema is
+// used verbatim, so the INSERT targets the same identifier the DDL
+// created.
+func TestInsertPrefixMatchesDDL(t *testing.T) {
+	s := rel.MustSchema("t", "a")
+	opts := Options{TablePrefix: "xk_"}
+	tab := FromSchema(s, rel.AttrSet{}, opts)
+	got, err := Insert(tab, []rel.Tuple{{rel.V("v")}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `INSERT INTO "xk_` + s.Name + `" ("a") VALUES
+  ('v');
+`
+	if got != want {
+		t.Errorf("got:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestInsertEmptyAndArity: an empty batch is the empty string, not a
+// dangling INSERT; a short row is a typed error, not a truncated VALUES.
+func TestInsertEmptyAndArity(t *testing.T) {
+	s := rel.MustSchema("t", "a", "b")
+	tab := FromSchema(s, rel.AttrSet{}, Options{})
+	if got, err := Insert(tab, nil, Options{}); err != nil || got != "" {
+		t.Errorf("empty batch: got (%q, %v), want (\"\", nil)", got, err)
+	}
+	if _, err := Insert(tab, []rel.Tuple{{rel.V("only")}}, Options{}); err == nil {
+		t.Error("arity mismatch: want error, got nil")
+	}
+}
+
+// TestLiteralPerDialect pins literal escaping per dialect, including the
+// MySQL backslash rule and values with embedded newlines.
+func TestLiteralPerDialect(t *testing.T) {
+	cases := []struct {
+		dialect string
+		v       rel.Value
+		want    string
+	}{
+		{"standard", rel.NullValue, "NULL"},
+		{"mysql", rel.NullValue, "NULL"},
+		{"standard", rel.V("plain"), "'plain'"},
+		{"standard", rel.V("it's"), "'it''s'"},
+		{"standard", rel.V("two\nlines"), "'two\nlines'"},
+		{"standard", rel.V(`a\b`), `'a\b'`},
+		{"sqlite", rel.V(`a\b`), `'a\b'`},
+		{"mysql", rel.V(`a\b`), `'a\\b'`},
+		{"mysql", rel.V(`quote'\mix`), `'quote''\\mix'`},
+		{"standard", rel.V(""), "''"},
+	}
+	for _, c := range cases {
+		if got := Literal(c.v, c.dialect); got != c.want {
+			t.Errorf("Literal(%v, %q) = %s, want %s", c.v, c.dialect, got, c.want)
+		}
+	}
+}

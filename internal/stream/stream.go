@@ -96,29 +96,42 @@ type Validator struct {
 // compiledKey precompiles a key's paths.
 type compiledKey struct {
 	key     xmlkey.Key
-	context nfa
-	target  nfa
+	context PathNFA
+	target  PathNFA
 }
 
-// unknownLabel marks an element label the interner has never seen: no
+// UnknownLabel marks an element label the interner has never seen: no
 // compiled step can equal it (label codes are >= 1 and it is not DescCode),
-// so only "//" positions survive such an element.
-const unknownLabel = ^uint32(0)
+// so only "//" positions survive such an element. Callers matching labels
+// outside the compiled universe (the validator, the shredding evaluator)
+// pass it to Step.
+const UnknownLabel = ^uint32(0)
 
-// nfa is a compiled path expression: matching tracks a set of positions
-// into the code sequence; position i with a DescCode step can absorb any
-// label and stay. Steps are the interner's compiled codes, so advancing
-// the set costs integer compares only.
-type nfa struct {
+const unknownLabel = UnknownLabel
+
+// PathNFA is a compiled path expression of the language
+// P ::= ε | l | P/P | //. Matching tracks a set of positions into the
+// code sequence; position i with a DescCode step can absorb any label and
+// stay. Steps are the interner's compiled codes, so advancing the set
+// costs integer compares only. The zero value is the compiled ε path
+// (accepted at Start). Shared by the validator and the shredding
+// evaluator so both planes match rule and key paths identically.
+type PathNFA struct {
 	codes []uint32
 }
 
-// start returns the initial position set (ε-closure of position 0).
-func (n nfa) start() []int { return n.closure([]int{0}) }
+// CompilePath compiles p against the interner's code universe. All NFAs
+// matched against the same label codes must share one interner.
+func CompilePath(in *xpath.Interner, p xpath.Path) PathNFA {
+	return PathNFA{codes: in.Codes(in.Intern(p))}
+}
+
+// Start returns the initial position set (ε-closure of position 0).
+func (n PathNFA) Start() []int { return n.closure([]int{0}) }
 
 // closure expands positions across "//" steps, which match the empty
 // label sequence.
-func (n nfa) closure(pos []int) []int {
+func (n PathNFA) closure(pos []int) []int {
 	seen := make(map[int]bool, len(pos))
 	var out []int
 	var add func(p int)
@@ -138,8 +151,9 @@ func (n nfa) closure(pos []int) []int {
 	return out
 }
 
-// step advances the position set over one element label code.
-func (n nfa) step(pos []int, code uint32) []int {
+// Step advances the position set over one element label code (an
+// interner label code, or UnknownLabel for labels outside the universe).
+func (n PathNFA) Step(pos []int, code uint32) []int {
 	var next []int
 	for _, p := range pos {
 		if p >= len(n.codes) {
@@ -155,8 +169,8 @@ func (n nfa) step(pos []int, code uint32) []int {
 	return n.closure(next)
 }
 
-// accepted reports whether the position set contains the final position.
-func (n nfa) accepted(pos []int) bool {
+// Accepted reports whether the position set contains the final position.
+func (n PathNFA) Accepted(pos []int) bool {
 	for _, p := range pos {
 		if p == len(n.codes) {
 			return true
@@ -194,8 +208,8 @@ func NewValidator(sigma []xmlkey.Key) *Validator {
 	for _, k := range sigma {
 		v.keys = append(v.keys, compiledKey{
 			key:     k,
-			context: nfa{codes: v.in.Codes(v.in.Intern(k.Context))},
-			target:  nfa{codes: v.in.Codes(v.in.Intern(k.Target))},
+			context: CompilePath(v.in, k.Context),
+			target:  CompilePath(v.in, k.Target),
 		})
 	}
 	return v
@@ -239,11 +253,12 @@ func (v *Validator) Run(r io.Reader) error {
 // On any error the violations collected so far remain available from
 // Violations(); the error is what marks them as possibly incomplete.
 func (v *Validator) RunCtx(ctx context.Context, r io.Reader) error {
-	maxDepth := v.maxDepth
 	maxViol := 0
 	if b := budget.From(ctx); b != nil {
-		if b.MaxStreamDepth > 0 && (maxDepth == 0 || b.MaxStreamDepth < maxDepth) {
-			maxDepth = b.MaxStreamDepth
+		if b.MaxStreamDepth > 0 && (v.maxDepth == 0 || b.MaxStreamDepth < v.maxDepth) {
+			old := v.maxDepth
+			v.maxDepth = b.MaxStreamDepth
+			defer func() { v.maxDepth = old }()
 		}
 		maxViol = b.MaxViolations
 	}
@@ -268,19 +283,32 @@ func (v *Validator) RunCtx(ctx context.Context, r io.Reader) error {
 		if err != nil {
 			return &DecodeError{Offset: dec.InputOffset(), Err: err}
 		}
-		switch t := tok.(type) {
-		case xml.StartElement:
-			if maxDepth > 0 && len(v.stack)+v.skipDepth >= maxDepth {
-				return budget.Exceeded("stream validation", budget.StreamDepth, maxDepth)
-			}
-			v.startElement(t, off)
-			if maxViol > 0 && len(v.violations) >= maxViol {
-				return budget.Exceeded("stream validation", budget.Violations, maxViol)
-			}
-		case xml.EndElement:
-			v.endElement()
+		if err := v.Feed(tok, off); err != nil {
+			return err
+		}
+		if maxViol > 0 && len(v.violations) >= maxViol {
+			return budget.Exceeded("stream validation", budget.Violations, maxViol)
 		}
 	}
+}
+
+// Feed processes one already-decoded token whose first byte sits at
+// offset, for callers that own the xml.Decoder loop themselves (the
+// shredding pipeline validates and shreds in a single decoder pass).
+// Start elements deeper than the SetMaxDepth cap return a *budget.Error;
+// key violations are collected, not returned — poll Violations() between
+// tokens. Tokens other than element boundaries are ignored.
+func (v *Validator) Feed(tok xml.Token, offset int64) error {
+	switch t := tok.(type) {
+	case xml.StartElement:
+		if v.maxDepth > 0 && len(v.stack)+v.skipDepth >= v.maxDepth {
+			return budget.Exceeded("stream validation", budget.StreamDepth, v.maxDepth)
+		}
+		v.startElement(t, offset)
+	case xml.EndElement:
+		v.endElement()
+	}
+	return nil
 }
 
 // path renders the current stack as a label path (below the root).
@@ -322,10 +350,10 @@ func (v *Validator) startElement(t xml.StartElement, offset int64) {
 		// Advance the context NFA: the root starts it; children advance
 		// their parent's set by this label.
 		if isRoot {
-			f.ctxPos[i] = ck.context.start()
+			f.ctxPos[i] = ck.context.Start()
 		} else {
 			parent := v.stack[len(v.stack)-1]
-			f.ctxPos[i] = ck.context.step(parent.ctxPos[i], code)
+			f.ctxPos[i] = ck.context.Step(parent.ctxPos[i], code)
 		}
 
 		// Advance target NFAs of every active context of key i, and seed
@@ -334,13 +362,13 @@ func (v *Validator) startElement(t xml.StartElement, offset int64) {
 		if !isRoot {
 			parent := v.stack[len(v.stack)-1]
 			for ci, pos := range parent.tgtPos[i] {
-				f.tgtPos[i][ci] = ck.target.step(pos, code)
+				f.tgtPos[i][ci] = ck.target.Step(pos, code)
 			}
 		}
-		if ck.context.accepted(f.ctxPos[i]) {
+		if ck.context.Accepted(f.ctxPos[i]) {
 			ci := &contextInstance{keyIdx: i, seen: make(map[string]bool)}
 			f.contexts = append(f.contexts, ci)
-			f.tgtPos[i][ci] = ck.target.start()
+			f.tgtPos[i][ci] = ck.target.Start()
 		}
 	}
 
@@ -351,7 +379,7 @@ func (v *Validator) startElement(t xml.StartElement, offset int64) {
 	// accepts here, this element is a target node.
 	for i, ck := range v.keys {
 		for ci, pos := range f.tgtPos[i] {
-			if !ck.target.accepted(pos) {
+			if !ck.target.Accepted(pos) {
 				continue
 			}
 			v.checkTarget(ck, ci, t, ciPath, offset)

@@ -1,0 +1,155 @@
+package transform_test
+
+// Regression tests pinning the transform evaluator's text semantics
+// against the streaming shredder: mixed content (text interleaved with
+// child elements) and CDATA sections must produce byte-identical tuples
+// whether the document is evaluated over a parsed tree or shredded off
+// the token stream. These fixtures exist because the two planes collect
+// character data independently — the tree parser stores trimmed text
+// nodes, the streaming evaluator concatenates trimmed CharData tokens —
+// and any drift between them silently corrupts shredded field values.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xkprop/internal/shred"
+	"xkprop/internal/transform"
+	"xkprop/internal/xmltree"
+)
+
+const streamdiffRule = `rule chapter(inBook: y1, number: y2, name: y3) {
+  ya := root / //book
+  y1 := ya / @isbn
+  yc := ya / chapter
+  y2 := yc / @number
+  y3 := yc / name
+}`
+
+// assertTreeMatchesStreaming evaluates doc both ways and fails on any
+// difference in the canonical instance renderings.
+func assertTreeMatchesStreaming(t *testing.T, tr *transform.Transformation, doc string) {
+	t.Helper()
+	tree, err := xmltree.ParseString(doc)
+	if err != nil {
+		t.Fatalf("tree parse: %v", err)
+	}
+	want := tr.Eval(tree)
+	got, err := shred.EvalStreamingString(tr, doc)
+	if err != nil {
+		t.Fatalf("streaming eval: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("table count: got %d, want %d", len(got), len(want))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("missing table %s", name)
+		}
+		if g.String() != w.String() {
+			t.Errorf("table %s:\nstreaming:\n%s\ntree:\n%s\ndoc:\n%s",
+				name, g.String(), w.String(), doc)
+		}
+	}
+}
+
+func TestMixedContentTupleParity(t *testing.T) {
+	tr := transform.MustParseString(streamdiffRule)
+	docs := []string{
+		// Text interleaved with a child element inside the extracted field.
+		`<db><book isbn="1"><chapter number="1"><name>Intro <em>to</em> XML</name></chapter></book></db>`,
+		// Leading/trailing whitespace and internal element boundaries.
+		`<db><book isbn="2"><chapter number="3"><name>
+			A <b>B</b>
+			C
+		</name></chapter></book></db>`,
+		// Mixed content on the binding element itself, not just the leaf.
+		`<db>noise<book isbn="4">pre<chapter number="5">mid<name>N</name>post</chapter>tail</book></db>`,
+		// Empty element vs element with only whitespace text.
+		`<db><book isbn="6"><chapter number="7"><name/></chapter><chapter number="8"><name>   </name></chapter></book></db>`,
+	}
+	for i, doc := range docs {
+		t.Run(fmt.Sprintf("doc%d", i), func(t *testing.T) {
+			assertTreeMatchesStreaming(t, tr, doc)
+		})
+	}
+}
+
+func TestCDATATupleParity(t *testing.T) {
+	tr := transform.MustParseString(streamdiffRule)
+	docs := []string{
+		// Markup-significant characters protected by CDATA.
+		`<db><book isbn="1"><chapter number="1"><name><![CDATA[A <b> & C]]></name></chapter></book></db>`,
+		// CDATA adjacent to plain character data.
+		`<db><book isbn="2"><chapter number="2"><name>plain <![CDATA[ and raw ]]> mix</name></chapter></book></db>`,
+		// CDATA inside mixed content with a child element.
+		`<db><book isbn="3"><chapter number="3"><name><![CDATA[x]]><em>y</em><![CDATA[z]]></name></chapter></book></db>`,
+		// Whitespace-only CDATA must behave like whitespace-only text.
+		`<db><book isbn="4"><chapter number="4"><name><![CDATA[   ]]></name></chapter></book></db>`,
+	}
+	for i, doc := range docs {
+		t.Run(fmt.Sprintf("doc%d", i), func(t *testing.T) {
+			assertTreeMatchesStreaming(t, tr, doc)
+		})
+	}
+
+	// The CDATA payload must survive extraction verbatim (modulo the
+	// parser's whitespace trim), not just match between the planes.
+	tree, err := xmltree.ParseString(docs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := tr.Eval(tree)["chapter"]
+	if len(inst.Tuples) != 1 {
+		t.Fatalf("got %d tuples, want 1", len(inst.Tuples))
+	}
+	found := false
+	for _, v := range inst.Tuples[0] {
+		if !v.Null && v.S == "A <b> & C" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("CDATA payload %q not extracted; tuple: %s", "A <b> & C", inst.String())
+	}
+}
+
+// TestRandomMixedContentParity fuzzes the same property over seeded
+// random documents whose generator injects text, CDATA-equivalent
+// character data, and noise elements at every level.
+func TestRandomMixedContentParity(t *testing.T) {
+	tr := transform.MustParseString(streamdiffRule)
+	rng := rand.New(rand.NewSource(17))
+	labels := []string{"db", "book", "chapter", "name", "em", "noise"}
+	attrs := []string{"isbn", "number"}
+	var build func(n *xmltree.Node, depth int)
+	build = func(n *xmltree.Node, depth int) {
+		for _, a := range attrs {
+			if rng.Intn(2) == 0 {
+				n.SetAttr(a, fmt.Sprintf("%d", rng.Intn(4)))
+			}
+		}
+		if rng.Intn(3) == 0 {
+			n.AddText(fmt.Sprintf("t%d", rng.Intn(10)))
+		}
+		if depth >= 4 {
+			return
+		}
+		for kids := rng.Intn(4); kids > 0; kids-- {
+			c := xmltree.NewElement(labels[rng.Intn(len(labels))])
+			n.AddChild(c)
+			build(c, depth+1)
+			if rng.Intn(3) == 0 {
+				n.AddText(fmt.Sprintf("s%d", rng.Intn(10)))
+			}
+		}
+	}
+	for i := 0; i < 60; i++ {
+		root := xmltree.NewElement("db")
+		build(root, 0)
+		doc := xmltree.NewTree(root).XMLString()
+		assertTreeMatchesStreaming(t, tr, doc)
+	}
+}
