@@ -2,9 +2,10 @@ GO ?= go
 BENCH_JSON ?= BENCH_pathkernel.json
 BENCH_FDCLOSURE_JSON ?= BENCH_fdclosure.json
 BENCH_SHRED_JSON ?= BENCH_shred.json
+BENCH_TOKENIZER_JSON ?= BENCH_tokenizer.json
 FUZZTIME ?= 30s
 
-.PHONY: build test vet race stress fuzz-smoke bench bench-json bench-fdclosure bench-shred bench-check serve-smoke diff-smoke soak-smoke load-smoke verify help
+.PHONY: build test vet race stress fuzz-smoke bench bench-json bench-fdclosure bench-shred bench-tok bench-check serve-smoke diff-smoke soak-smoke load-smoke verify help
 
 build:
 	$(GO) build ./...
@@ -29,12 +30,13 @@ stress:
 
 # fuzz-smoke gives each fuzz target a $(FUZZTIME) budget over the checked-in
 # corpora (testdata/fuzz/). Go allows one -fuzz target per run, hence the
-# four invocations.
+# five invocations.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseKey -fuzztime=$(FUZZTIME) ./internal/xmlkey/
 	$(GO) test -run='^$$' -fuzz=FuzzParseTransformation -fuzztime=$(FUZZTIME) ./internal/transform/
 	$(GO) test -run='^$$' -fuzz=FuzzStreamValidator -fuzztime=$(FUZZTIME) ./internal/stream/
 	$(GO) test -run='^$$' -fuzz=FuzzLinClosure -fuzztime=$(FUZZTIME) ./internal/rel/
+	$(GO) test -run='^$$' -fuzz=FuzzTokenizerParity -fuzztime=$(FUZZTIME) ./internal/xmltok/
 
 # bench runs the testing.B suite with allocation counters and then
 # regenerates both machine-readable trajectories: the minimum-cover §6
@@ -52,6 +54,13 @@ bench-fdclosure:
 
 bench-shred:
 	$(GO) run ./cmd/xkbench -suite shred -json $(BENCH_SHRED_JSON)
+
+# bench-tok regenerates the tokenizer trajectory: fast vs std throughput
+# and allocation counts over the corpus, with the in-run parity gate
+# (CompareDoc must agree on every corpus document) and the zero-alloc
+# steady-state gate enforced before the file is written.
+bench-tok:
+	$(GO) run ./cmd/xkbench -suite tokenizer -json $(BENCH_TOKENIZER_JSON)
 
 # bench-check re-runs the fdclosure suite on the current build and fails
 # if any point is more than 25% slower (ns/op) than the committed
@@ -75,7 +84,8 @@ serve-smoke:
 # minimumCover vs naive, sequential vs parallel, in-process vs a live
 # xkserve over TCP, verdicts vs searched witnesses, indexed vs fixpoint
 # closure, streaming shredder vs tree evaluator with propagated-FD
-# soundness) must agree on the smoke grid, time-budgeted so CI cannot
+# soundness, zero-copy tokenizer vs encoding/xml adapter token for
+# token) must agree on the smoke grid, time-budgeted so CI cannot
 # hang. Exit 1 means a shrunk disagreement was printed — replay it with
 # the same -seed.
 diff-smoke:
@@ -110,6 +120,7 @@ verify: build vet test race stress serve-smoke diff-smoke soak-smoke load-smoke
 	@if [ -f $(BENCH_JSON) ]; then $(GO) run ./cmd/xkbench -check-json $(BENCH_JSON); fi
 	@if [ -f $(BENCH_FDCLOSURE_JSON) ]; then $(GO) run ./cmd/xkbench -check-json $(BENCH_FDCLOSURE_JSON); fi
 	@if [ -f $(BENCH_SHRED_JSON) ]; then $(GO) run ./cmd/xkbench -check-json $(BENCH_SHRED_JSON); fi
+	@if [ -f $(BENCH_TOKENIZER_JSON) ]; then $(GO) run ./cmd/xkbench -check-json $(BENCH_TOKENIZER_JSON); fi
 
 help:
 	@echo "Targets:"
@@ -123,6 +134,7 @@ help:
 	@echo "  bench-json      regenerate $(BENCH_JSON) only"
 	@echo "  bench-fdclosure regenerate $(BENCH_FDCLOSURE_JSON) only (FD-closure micro-grid)"
 	@echo "  bench-shred     regenerate $(BENCH_SHRED_JSON) only (streaming shredding grid)"
+	@echo "  bench-tok       regenerate $(BENCH_TOKENIZER_JSON) only (fast vs std tokenizer corpus)"
 	@echo "  bench-check     re-run the fdclosure suite and fail on >25% ns/op regression"
 	@echo "                  vs the committed $(BENCH_FDCLOSURE_JSON); same-machine baselines"
 	@echo "                  only, so it is manual and not part of verify"

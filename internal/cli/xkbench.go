@@ -23,7 +23,7 @@ func RunXkbench(args []string, stdout, stderr io.Writer) int {
 	naiveMax := fs.Int("naive-max", 15, "largest field count for the naive baseline")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
-	suite := fs.String("suite", "pathkernel", "benchmark suite for -json/no-fig runs: pathkernel (§6 minimum-cover grid), fdclosure (FD-closure micro-grid), or shred (streaming shredding data plane)")
+	suite := fs.String("suite", "pathkernel", "benchmark suite for -json/no-fig runs: pathkernel (§6 minimum-cover grid), fdclosure (FD-closure micro-grid), shred (streaming shredding data plane), or tokenizer (zero-copy tokenizer vs encoding/xml)")
 	jsonOut := fs.String("json", "", "run the selected -suite via testing.Benchmark and write a JSON report to this file (skips -fig)")
 	checkJSON := fs.String("check-json", "", "validate a suite JSON report and exit (smoke check)")
 	checkAgainst := fs.String("check-against", "", "re-run the committed report's suite and fail on >25% ns/op regression (same-machine baselines only)")
@@ -97,8 +97,17 @@ func RunXkbench(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, "xkbench", err)
 		}
 		return 0
+	case "tokenizer":
+		if *jsonOut != "" {
+			if err := tokenizerJSON(stdout, *jsonOut); err != nil {
+				return fail(stderr, "xkbench", err)
+			}
+		} else if _, err := tokenizerRun(stdout); err != nil {
+			return fail(stderr, "xkbench", err)
+		}
+		return 0
 	default:
-		fmt.Fprintf(stderr, "xkbench: unknown suite %q (want pathkernel, fdclosure, or shred)\n", *suite)
+		fmt.Fprintf(stderr, "xkbench: unknown suite %q (want pathkernel, fdclosure, shred, or tokenizer)\n", *suite)
 		return 2
 	}
 

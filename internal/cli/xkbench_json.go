@@ -164,7 +164,10 @@ func writeFileAtomic(path string, data []byte) error {
 // marker dispatches: pathkernel reports are checked here, fdclosure
 // reports in checkFDClosureJSON (which also enforces the committed
 // indexed-vs-fixpoint speedup floor), shred reports in checkShredJSON
-// (which re-asserts the tuples/violations/determinism gates).
+// (which re-asserts the tuples/violations/determinism gates and the
+// tokenizer-rewrite speedup ceilings), tokenizer reports in
+// checkTokenizerJSON (which re-asserts decoder parity and the
+// zero-allocation steady state).
 func checkBenchJSON(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -182,12 +185,15 @@ func checkBenchJSON(path string) error {
 	if head.Suite == "shred" {
 		return checkShredJSON(path)
 	}
+	if head.Suite == "tokenizer" {
+		return checkTokenizerJSON(path)
+	}
 	var rep benchReport
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	if rep.Suite != "pathkernel" {
-		return fmt.Errorf("%s: suite is %q, want \"pathkernel\", \"fdclosure\", or \"shred\"", path, rep.Suite)
+		return fmt.Errorf("%s: suite is %q, want \"pathkernel\", \"fdclosure\", \"shred\", or \"tokenizer\"", path, rep.Suite)
 	}
 	if len(rep.Results) == 0 {
 		return fmt.Errorf("%s: no results", path)

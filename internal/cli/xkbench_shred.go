@@ -240,6 +240,34 @@ func checkShredReport(path string, rep *shredReport) error {
 		if p.DocBytes <= 0 {
 			return fmt.Errorf("%s: %s: empty document", path, p.Name)
 		}
+		if max, ok := shredCeilings[shredCellKey{p.Fields, p.Fanout, p.Op}]; ok {
+			if p.NsPerOp > max.ns {
+				return fmt.Errorf("%s: %s: %.0f ns/op exceeds the %0.f ns/op ceiling (2x over the encoding/xml pipeline)",
+					path, p.Name, p.NsPerOp, max.ns)
+			}
+			if p.AllocsPerOp > max.allocs {
+				return fmt.Errorf("%s: %s: %d allocs/op exceeds the %d allocs/op ceiling (3x over the encoding/xml pipeline)",
+					path, p.Name, p.AllocsPerOp, max.allocs)
+			}
+		}
 	}
 	return nil
+}
+
+type shredCellKey struct {
+	fields, fanout int
+	op             string
+}
+
+// shredCeilings pins the zero-copy tokenizer's headline win on the
+// fields=8 sequential cells: the ceilings are the committed encoding/xml
+// pipeline baselines (248785 ns / 3611 allocs at fanout=4, 913263 ns /
+// 12710 allocs at fanout=8, GOMAXPROCS=1) divided by the required 2x
+// (time) and 3x (allocations) improvement factors.
+var shredCeilings = map[shredCellKey]struct {
+	ns     float64
+	allocs int64
+}{
+	{8, 4, "shred_seq"}: {ns: 124392, allocs: 1203},
+	{8, 8, "shred_seq"}: {ns: 456631, allocs: 4236},
 }

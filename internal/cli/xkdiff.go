@@ -16,7 +16,8 @@ import (
 // oracle, minimumCover vs naive, sequential vs parallel, in-process vs a
 // live xkserve over TCP, verdicts vs searched witnesses, and the
 // streaming shredder vs the tree evaluator with propagated-FD soundness
-// checked on every accepted document — reporting
+// checked on every accepted document, and the zero-copy tokenizer vs the
+// encoding/xml adapter token for token — reporting
 // (and shrinking) any disagreement. Exit 0 = all lanes agree, 1 = a
 // disagreement survived, 2 = the run was aborted or misconfigured.
 func RunXkdiff(args []string, stdout, stderr io.Writer) int {
@@ -57,6 +58,8 @@ func RunXkdiff(args []string, stdout, stderr io.Writer) int {
 			switch lr.Lane {
 			case "shred":
 				line += fmt.Sprintf(", %d accepted docs soundness-checked", lr.Confirmed)
+			case "tokenizer":
+				line += fmt.Sprintf(", %d docs accepted by both decoders", lr.Confirmed)
 			default:
 				line += fmt.Sprintf(", %d negatives confirmed by witness", lr.Confirmed)
 			}

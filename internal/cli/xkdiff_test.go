@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"xkprop/internal/diffcheck"
 )
 
 // TestXkdiffSmoke: a tiny all-lane run passes, prints a per-lane summary,
@@ -38,9 +40,9 @@ func TestXkdiffSmoke(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("report is not JSON: %v", err)
 	}
-	if rep.Seed != 1 || rep.Cases == 0 || len(rep.Lanes) != 7 {
-		t.Errorf("report seed=%d cases=%d lanes=%d, want seed 1, cases > 0, 7 lanes",
-			rep.Seed, rep.Cases, len(rep.Lanes))
+	if rep.Seed != 1 || rep.Cases == 0 || len(rep.Lanes) != len(diffcheck.LaneNames) {
+		t.Errorf("report seed=%d cases=%d lanes=%d, want seed 1, cases > 0, %d lanes",
+			rep.Seed, rep.Cases, len(rep.Lanes), len(diffcheck.LaneNames))
 	}
 }
 

@@ -48,6 +48,8 @@ func RunXkload(args []string, stdout, stderr io.Writer) int {
 		"budget: abort when the FD hash indexes hold this many entries (0 = no cap; aborts, never evicts)")
 	maxDepth := fs.Int("max-depth", 10_000, "budget: max element nesting (0 = no cap)")
 	maxViol := fs.Int("max-violations", 10_000, "budget: abort past this many violations (0 = no cap)")
+	decoder := fs.String("decoder", "fast",
+		"XML decoder: fast (zero-copy tokenizer) or std (encoding/xml oracle)")
 	dl := DeadlineFlag(fs)
 	smoke := fs.Bool("smoke", false,
 		"self-test: shred a generated corpus, verify counts, determinism, FD enforcement and goroutine hygiene, exit")
@@ -139,6 +141,7 @@ func RunXkload(args []string, stdout, stderr io.Writer) int {
 			BatchSize: *batch,
 			Sigma:     sigma,
 			Covers:    covers,
+			Decoder:   *decoder,
 		})
 		if f, ok := r.(*os.File); ok && f != os.Stdin {
 			f.Close()

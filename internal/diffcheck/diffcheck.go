@@ -29,7 +29,13 @@
 //	              document, every FD of the propagated minimum cover must
 //	              hold on the shredded instance (one-sided: a rejected
 //	              document proves nothing; a confirmed counterexample is a
-//	              propagation soundness bug).
+//	              propagation soundness bug);
+//	tokenizer   — the zero-copy XML tokenizer (xmltok fast source) against
+//	              the retained encoding/xml adapter, token for token: kinds,
+//	              byte offsets, name splits, interned label codes, unescaped
+//	              attribute values and character data, over conforming,
+//	              edge-construct and deliberately malformed documents (on
+//	              rejection only the error class must agree).
 //
 // Every disagreement is shrunk to a (near-)minimal case — keys dropped,
 // field rules pruned, paths shortened, re-checking after each step — and
@@ -47,7 +53,7 @@ import (
 )
 
 // LaneNames lists the lanes in their canonical (report) order.
-var LaneNames = []string{"implication", "cover", "parallel", "server", "witness", "closure", "shred"}
+var LaneNames = []string{"implication", "cover", "parallel", "server", "witness", "closure", "shred", "tokenizer"}
 
 // Config tunes one harness run.
 type Config struct {
@@ -185,6 +191,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			lr, err = h.laneClosure(ctx, rng)
 		case "shred":
 			lr, err = h.laneShred(ctx, rng)
+		case "tokenizer":
+			lr, err = h.laneTokenizer(ctx, rng)
 		}
 		if err != nil {
 			return nil, err

@@ -1,0 +1,205 @@
+package diffcheck
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"xkprop/internal/workload"
+	"xkprop/internal/xmltok"
+)
+
+// laneTokenizer cross-checks the zero-copy tokenizer against the
+// encoding/xml adapter: every document is pulled through both sources in
+// lockstep and they must agree token for token — kinds, byte offsets,
+// names and their Space/Local splits, interned label codes, unescaped
+// attribute values and character data. On malformed input only the error
+// class must agree (both reject), so the corpus deliberately includes
+// truncations, mismatched tags and trailing garbage alongside the
+// well-formed documents.
+//
+// Confirmed counts the documents both decoders accepted end to end — the
+// cases where the full token stream, not just an error verdict, was
+// compared.
+func (h *harness) laneTokenizer(ctx context.Context, rng *rand.Rand) (LaneReport, error) {
+	lr := LaneReport{Lane: "tokenizer"}
+	var docs []string
+	// Grid workloads render realistic shredding input: deep, attribute-
+	// heavy, and exactly what the ingest plane sees in production.
+	for _, cfg := range h.cfg.Grid {
+		w := workload.Generate(cfg)
+		for _, fanout := range []int{1, 3} {
+			docs = append(docs, w.Document(fanout).XMLString())
+		}
+	}
+	// Fixed edge corpus: the constructs where a hand-rolled tokenizer is
+	// most likely to diverge from encoding/xml.
+	docs = append(docs, tokEdgeDocs...)
+	// Random documents over the generator vocabulary, roughly one in
+	// three mutated into a (usually) malformed variant.
+	for i := 0; i < h.cfg.Cases; i++ {
+		docs = append(docs, randTokDoc(rng))
+	}
+	for _, doc := range docs {
+		if err := checkCtx(ctx); err != nil {
+			return lr, err
+		}
+		lr.Cases++
+		h.countCase(lr.Lane)
+		diff := xmltok.CompareDoc([]byte(doc), nil)
+		if diff == "" {
+			if tokAccepted(doc) {
+				lr.Confirmed++
+			}
+			continue
+		}
+		kind := tokenKind(diff)
+		bad := func(d string) bool {
+			nd := xmltok.CompareDoc([]byte(d), nil)
+			return nd != "" && tokenKind(nd) == kind
+		}
+		sdoc, steps := shrinkTokDoc(doc, bad, h.cfg.MaxShrinkSteps)
+		h.cfg.Metrics.Counter("diff.shrink_steps").Add(int64(steps))
+		lr.Disagreements = append(lr.Disagreements, Disagreement{
+			Lane:   lr.Lane,
+			Got:    xmltok.CompareDoc([]byte(sdoc), nil),
+			Want:   "fast and std decoders agree token for token",
+			Detail: fmt.Sprintf("%q", sdoc),
+		})
+		h.countDisagreement()
+	}
+	return lr, nil
+}
+
+// tokenKind is the stable discriminator the shrinker re-checks against:
+// the prefix of a CompareSources diff up to the first ':' (kind, offset,
+// name, label, attr, data, error-one-sided, error-class).
+func tokenKind(diff string) string {
+	if i := strings.IndexByte(diff, ':'); i >= 0 {
+		return diff[:i]
+	}
+	return diff
+}
+
+// tokAccepted reports whether the fast source tokenizes the whole
+// document without error. Only called after CompareDoc returned
+// agreement, so it speaks for both decoders.
+func tokAccepted(doc string) bool {
+	src := xmltok.New(strings.NewReader(doc), nil)
+	for {
+		if _, err := src.Next(); err != nil {
+			return err == io.EOF
+		}
+	}
+}
+
+// shrinkTokDoc greedily deletes byte chunks of halving size while the
+// disagreement kind persists — ddmin-lite over the raw document text,
+// which is the right granularity here because the divergence is in the
+// tokenizers, not in any tree structure worth preserving.
+func shrinkTokDoc(doc string, bad func(string) bool, maxSteps int) (string, int) {
+	steps := 0
+	for chunk := (len(doc) + 1) / 2; chunk > 0 && steps < maxSteps; {
+		improved := false
+		for start := 0; start+chunk <= len(doc) && steps < maxSteps; {
+			n := doc[:start] + doc[start+chunk:]
+			steps++
+			if bad(n) {
+				doc = n
+				improved = true
+			} else {
+				start += chunk
+			}
+		}
+		if !improved {
+			chunk /= 2
+		} else if chunk > len(doc) {
+			chunk = len(doc)
+		}
+	}
+	return doc, steps
+}
+
+// tokEdgeDocs is the fixed conformance corpus: escape forms, CDATA,
+// comments, processing instructions, namespaces, CRLF normalization, a
+// DOCTYPE, and the canonical malformed shapes (mismatch, truncation,
+// bare junk) where only the error class is compared.
+var tokEdgeDocs = []string{
+	`<?xml version="1.0" encoding="UTF-8"?>` + "\n<r>\r\n<a x=\"1\">t</a>\r\n</r>",
+	`<r><![CDATA[a <b> & c]]><!-- comment --><?pi target data?></r>`,
+	`<r xmlns="urn:d" xmlns:p="urn:p"><p:a p:x="&amp;1"/><a y=" spaced "/></r>`,
+	`<r>&lt;&gt;&amp;&apos;&quot;&#65;&#x41;</r>`,
+	"<!DOCTYPE r><r/>",
+	`<r><a x="1"/><a x="1"/></r>`,
+	"<r><a></r>",
+	"<r",
+	"junk",
+	"",
+}
+
+// randTokDoc writes a random document directly as markup — unlike the
+// tree-rendered shred-lane documents it can mix CDATA, comments, PIs,
+// entity and character references, prefixed names and raw CRLF — then
+// mutates roughly one in three into a truncated, doubled-root or
+// tag-mismatched variant to exercise the error paths.
+func randTokDoc(rng *rand.Rand) string {
+	var b strings.Builder
+	if rng.Intn(3) == 0 {
+		b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	}
+	texts := []string{"plain", "a&amp;b", "x &lt; y", "&#65;&#x41;", "line\r\nbreak", "  padded  "}
+	var emit func(depth int)
+	emit = func(depth int) {
+		name := genLabels[rng.Intn(len(genLabels))]
+		prefixed := rng.Intn(8) == 0
+		if prefixed {
+			name = "p:" + name
+		}
+		b.WriteString("<" + name)
+		if prefixed {
+			b.WriteString(` xmlns:p="urn:diff"`)
+		}
+		for _, a := range genAttrs {
+			if rng.Intn(3) == 0 {
+				fmt.Fprintf(&b, ` %s="v%d&amp;%d"`, a, rng.Intn(3), rng.Intn(3))
+			}
+		}
+		if rng.Intn(8) == 0 {
+			b.WriteString("/>")
+			return
+		}
+		b.WriteString(">")
+		kids := 0
+		if depth < 4 {
+			kids = rng.Intn(4)
+		}
+		for i := 0; i < kids; i++ {
+			switch rng.Intn(8) {
+			case 0:
+				b.WriteString("<!-- c -->")
+			case 1:
+				b.WriteString("<?pi data?>")
+			case 2:
+				b.WriteString("<![CDATA[raw <markup> & stuff]]>")
+			case 3:
+				b.WriteString(texts[rng.Intn(len(texts))])
+			default:
+				emit(depth + 1)
+			}
+		}
+		b.WriteString("</" + name + ">")
+	}
+	emit(0)
+	doc := b.String()
+	switch rng.Intn(6) {
+	case 0: // truncate mid-document
+		if len(doc) > 1 {
+			doc = doc[:1+rng.Intn(len(doc)-1)]
+		}
+	case 1: // junk after the root element
+		doc += "<trailing>"
+	}
+	return doc
+}

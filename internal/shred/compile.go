@@ -51,11 +51,11 @@ type crule struct {
 
 // cvar is one compiled variable of a rule.
 type cvar struct {
-	ri     int // owning rule index
-	idx    int // index into crule.vars
-	name   string
-	parent int   // parent variable index, -1 for the root
-	slot   int   // position within the parent's children
+	ri       int // owning rule index
+	idx      int // index into crule.vars
+	name     string
+	parent   int // parent variable index, -1 for the root
+	slot     int // position within the parent's children
 	children []int
 	// elem is the element part of the mapping path (attribute step
 	// stripped), compiled against the shared interner. The zero PathNFA is

@@ -6,16 +6,22 @@ package shred
 // content is collected per bound element exactly as xmltree.Parse stores
 // it (each character-data token trimmed, concatenated with no separator),
 // so streaming and tree evaluation agree byte-for-byte on every value.
+//
+// The element stack is a reusable value slice: frames, their per-rule
+// active-binding lists and the position-set arenas they carve from are
+// all reclaimed on push, and the current element path is rendered at most
+// once per element and only when a binding actually anchors there — so
+// elements that bind nothing cost word-sized NFA steps and no heap.
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
-
-	"encoding/xml"
 
 	"xkprop/internal/budget"
 	"xkprop/internal/rel"
 	"xkprop/internal/stream"
+	"xkprop/internal/xmltok"
 )
 
 // Ref is one lineage reference: the source node a tuple value (or the
@@ -56,17 +62,39 @@ type bind struct {
 }
 
 // bindPos tracks one open binding's child-path NFA position sets while
-// its anchor element is on the stack.
+// its anchor element is on the stack. sets is carved from the owning
+// frame's arena.
 type bindPos struct {
 	b    *bind
-	sets [][]int // per child slot
+	sets []stream.PosSet // per child slot
 }
 
-// eframe is one open element of the evaluator's stack.
+// eframe is one open element of the evaluator's stack. Frames are reused
+// across pushes: active lists, the position-set arena and the opened list
+// only reslice.
 type eframe struct {
-	active [][]*bindPos // per rule: open bindings still able to match children
-	opened []*bind      // element bindings anchored at this element, doc order
-	nText  int          // text collectors pushed at this element
+	active [][]bindPos // per rule: open bindings still able to match children
+	arena  []stream.PosSet
+	opened []*bind // element bindings anchored at this element, doc order
+	nText  int     // text collectors pushed at this element
+}
+
+// newSets carves a position-set slice for one binding from the frame's
+// arena. The arena is a bump allocator: growth may move it, but
+// previously carved windows keep aliasing the old backing array, which is
+// fine — they are only ever accessed through their own slice headers.
+func (f *eframe) newSets(k int) []stream.PosSet {
+	n := len(f.arena)
+	if n+k <= cap(f.arena) {
+		f.arena = f.arena[:n+k]
+		s := f.arena[n : n+k : n+k]
+		for i := range s {
+			s[i] = stream.PosSet{}
+		}
+		return s
+	}
+	f.arena = append(f.arena, make([]stream.PosSet, k)...)
+	return f.arena[n : n+k : n+k]
 }
 
 // evaluator runs one document through the compiled transformation.
@@ -75,11 +103,16 @@ type evaluator struct {
 	maxTuples int
 	raw       int64 // raw rows produced by expansion, pre-dedup
 	emit      func(ri int, rows []Row) error
-	stack     []*eframe
+	stack     []eframe
 	labels    []string
-	texts     []*bind // bindings currently collecting text, stack order
-	roots     []*bind // per rule
-	emitted   []int   // per rule: blocks emitted mid-stream
+	// curPath memoizes the rendered element path; valid while curPathOK.
+	// Rendering happens at most once per element, and only for elements
+	// that anchor at least one binding.
+	curPath    string
+	curPathOK  bool
+	texts      []*bind // bindings currently collecting text, stack order
+	roots      []*bind // per rule
+	emitted    []int   // per rule: blocks emitted mid-stream
 	rootClosed bool
 }
 
@@ -94,65 +127,95 @@ func (c *Compiled) newEvaluator(maxTuples int, emit func(ri int, rows []Row) err
 }
 
 // attrOf mirrors xmltree.Parse's attribute handling: xmlns declarations
-// are invisible, lookup is by local name.
-func attrOf(t xml.StartElement, name string) (string, bool) {
-	for _, a := range t.Attr {
-		if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+// are invisible, lookup is by local name. The returned string is a copy —
+// the token's views die at the next advance, binding values must not.
+func attrOf(t *xmltok.Token, name string) (string, bool) {
+	for i := range t.Attrs {
+		a := &t.Attrs[i]
+		if a.IsNamespaceDecl() {
 			continue
 		}
-		if a.Name.Local == name {
-			return a.Value, true
+		if string(a.Local) == name {
+			return string(a.Value), true
 		}
 	}
 	return "", false
 }
 
-func (e *evaluator) startElement(t xml.StartElement, off int64) error {
+// path renders (and memoizes) the current element's absolute label path.
+func (e *evaluator) path() string {
+	if !e.curPathOK {
+		e.curPath = "/" + strings.Join(e.labels, "/")
+		e.curPathOK = true
+	}
+	return e.curPath
+}
+
+// pushFrame grows the stack by one, reclaiming the slices of a frame
+// previously popped at this depth.
+func (e *evaluator) pushFrame() *eframe {
+	n := len(e.stack)
+	if n < cap(e.stack) {
+		e.stack = e.stack[:n+1]
+	} else {
+		e.stack = append(e.stack, eframe{})
+	}
+	f := &e.stack[n]
+	if cap(f.active) < len(e.c.rules) {
+		f.active = make([][]bindPos, len(e.c.rules))
+	} else {
+		f.active = f.active[:len(e.c.rules)]
+	}
+	for ri := range f.active {
+		f.active[ri] = f.active[ri][:0]
+	}
+	f.arena = f.arena[:0]
+	f.opened = f.opened[:0]
+	f.nText = 0
+	return f
+}
+
+func (e *evaluator) startElement(t *xmltok.Token) error {
 	if e.rootClosed && len(e.stack) == 0 {
 		return fmt.Errorf("shred: multiple root elements")
 	}
-	label := t.Name.Local
-	e.labels = append(e.labels, label)
-	curPath := "/" + strings.Join(e.labels, "/")
-	code, known := e.c.in.LabelCode(label)
-	if !known {
-		code = stream.UnknownLabel
-	}
-	nf := &eframe{active: make([][]*bindPos, len(e.c.rules))}
-	if len(e.stack) == 0 {
+	e.labels = append(e.labels, t.Label)
+	e.curPathOK = false
+	nf := e.pushFrame()
+	if len(e.stack) == 1 {
 		// The document root anchors every rule's root variable.
 		for ri, cr := range e.c.rules {
-			rb := newBind(cr.vars[0], off, curPath)
+			rb := newBind(cr.vars[0], t.Offset, e.path())
 			e.roots[ri] = rb
-			e.openBind(nf, ri, rb, t, off, curPath)
+			e.openBind(nf, ri, rb, t)
 		}
 	} else {
-		pf := e.stack[len(e.stack)-1]
+		pf := &e.stack[len(e.stack)-2]
 		for ri, cr := range e.c.rules {
-			for _, bp := range pf.active[ri] {
-				nsets := make([][]int, len(bp.sets))
+			for pi := range pf.active[ri] {
+				bp := &pf.active[ri][pi]
+				nsets := nf.newSets(len(bp.sets))
 				alive := false
 				for si, ps := range bp.sets {
 					cv := cr.vars[bp.b.v.children[si]]
-					ns := cv.elem.Step(ps, code)
+					ns := cv.elem.Step(ps, t.Code)
 					nsets[si] = ns
-					if len(ns) > 0 {
+					if !ns.Empty() {
 						alive = true
 					}
 				}
 				if alive {
-					nf.active[ri] = append(nf.active[ri], &bindPos{b: bp.b, sets: nsets})
+					nf.active[ri] = append(nf.active[ri], bindPos{b: bp.b, sets: nsets})
 				}
 				for si, ns := range nsets {
 					cv := cr.vars[bp.b.v.children[si]]
 					if cv.elem.Accepted(ns) {
-						e.acceptChild(nf, ri, bp.b, si, cv, t, off, curPath)
+						e.acceptChild(nf, ri, bp.b, si, cv, t)
 					}
 				}
 			}
 		}
 	}
-	e.stack = append(e.stack, nf)
 	return nil
 }
 
@@ -166,7 +229,7 @@ func newBind(cv *cvar, off int64, path string) *bind {
 
 // acceptChild records that the current element (or one of its attributes)
 // binds variable cv under the parent binding.
-func (e *evaluator) acceptChild(nf *eframe, ri int, parent *bind, slot int, cv *cvar, t xml.StartElement, off int64, curPath string) {
+func (e *evaluator) acceptChild(nf *eframe, ri int, parent *bind, slot int, cv *cvar, t *xmltok.Token) {
 	if cv.attr != "" {
 		// Attribute variable: an element matching the path without the
 		// attribute contributes no binding, exactly like xmltree.Eval.
@@ -175,13 +238,13 @@ func (e *evaluator) acceptChild(nf *eframe, ri int, parent *bind, slot int, cv *
 			return
 		}
 		parent.kids[slot] = append(parent.kids[slot], &bind{
-			v: cv, off: off, path: curPath + "/@" + cv.attr, val: val,
+			v: cv, off: t.Offset, path: e.path() + "/@" + cv.attr, val: val,
 		})
 		return
 	}
-	nb := newBind(cv, off, curPath)
+	nb := newBind(cv, t.Offset, e.path())
 	parent.kids[slot] = append(parent.kids[slot], nb)
-	e.openBind(nf, ri, nb, t, off, curPath)
+	e.openBind(nf, ri, nb, t)
 }
 
 // openBind registers a fresh element binding on the current frame: a text
@@ -189,7 +252,7 @@ func (e *evaluator) acceptChild(nf *eframe, ri int, parent *bind, slot int, cv *
 // at their start sets. A child path accepted at its own start set (ε after
 // the attribute strip, or a //-prefixed root mapping — descendant-or-self
 // includes the anchor) binds at this same element, recursively.
-func (e *evaluator) openBind(nf *eframe, ri int, b *bind, t xml.StartElement, off int64, curPath string) {
+func (e *evaluator) openBind(nf *eframe, ri int, b *bind, t *xmltok.Token) {
 	if b.v.needsText {
 		b.text = &strings.Builder{}
 		e.texts = append(e.texts, b)
@@ -199,14 +262,14 @@ func (e *evaluator) openBind(nf *eframe, ri int, b *bind, t xml.StartElement, of
 	if len(b.v.children) == 0 {
 		return
 	}
-	sets := make([][]int, len(b.v.children))
-	nf.active[ri] = append(nf.active[ri], &bindPos{b: b, sets: sets})
+	sets := nf.newSets(len(b.v.children))
+	nf.active[ri] = append(nf.active[ri], bindPos{b: b, sets: sets})
 	for si, ci := range b.v.children {
 		cv := e.c.rules[ri].vars[ci]
 		s := cv.elem.Start()
 		sets[si] = s
 		if cv.elem.Accepted(s) {
-			e.acceptChild(nf, ri, b, si, cv, t, off, curPath)
+			e.acceptChild(nf, ri, b, si, cv, t)
 		}
 	}
 }
@@ -214,24 +277,24 @@ func (e *evaluator) openBind(nf *eframe, ri int, b *bind, t xml.StartElement, of
 // charData mirrors xmltree.Parse: each token is trimmed of surrounding
 // whitespace and, if anything remains, appended to every open collector —
 // which is exactly how TextContent concatenates descendant text nodes.
-func (e *evaluator) charData(s xml.CharData) error {
-	trimmed := strings.TrimSpace(string(s))
-	if trimmed == "" {
+func (e *evaluator) charData(s []byte) error {
+	trimmed := bytes.TrimSpace(s)
+	if len(trimmed) == 0 {
 		return nil
 	}
 	if len(e.stack) == 0 {
 		return fmt.Errorf("shred: character data outside the document root")
 	}
 	for _, b := range e.texts {
-		b.text.WriteString(trimmed)
+		b.text.Write(trimmed)
 	}
 	return nil
 }
 
 func (e *evaluator) endElement() error {
-	nf := e.stack[len(e.stack)-1]
-	e.stack = e.stack[:len(e.stack)-1]
+	nf := &e.stack[len(e.stack)-1]
 	e.labels = e.labels[:len(e.labels)-1]
+	e.curPathOK = false
 	if nf.nText > 0 {
 		closing := e.texts[len(e.texts)-nf.nText:]
 		for _, b := range closing {
@@ -257,6 +320,7 @@ func (e *evaluator) endElement() error {
 		e.detach(b)
 		e.emitted[b.v.ri]++
 	}
+	e.stack = e.stack[:len(e.stack)-1]
 	if len(e.stack) == 0 {
 		e.rootClosed = true
 		return e.finish()
@@ -329,34 +393,67 @@ func (e *evaluator) countRows(n int64) error {
 // binding's own value joined with, per child slot, the concatenation of
 // each child binding's expansion — or the all-null factor when the slot
 // matched nothing (the paper's null subtree).
+//
+// Two slot shapes dominate real documents and merge in place instead of
+// through the general product, relying on the Def 2.2 invariant that each
+// schema column is populated by exactly one variable (sibling owned sets
+// are disjoint, so a slot's columns are untouched nulls until its factor
+// merges):
+//   - an unmatched slot's all-null factor changes nothing beyond the raw
+//     row accounting;
+//   - a single leaf child contributes one value and one lineage ref to
+//     every accumulated row.
 func (e *evaluator) expand(cr *crule, b *bind) ([]Row, error) {
 	base := Row{Vals: nullTuple(cr.width)}
 	if b.v.fieldCol >= 0 {
 		base.Vals[b.v.fieldCol] = rel.V(b.val)
 	}
-	base.Lin = []Ref{{Var: b.v.name, Offset: b.off, Path: b.path}}
+	base.Lin = make([]Ref, 1, len(cr.vars))
+	base.Lin[0] = Ref{Var: b.v.name, Offset: b.off, Path: b.path}
 	if err := e.countRows(1); err != nil {
 		return nil, err
 	}
 	rows := []Row{base}
 	for si := range b.v.children {
 		cv := cr.vars[b.v.children[si]]
-		var factor []Row
-		if len(b.kids) == 0 || len(b.kids[si]) == 0 {
-			factor = []Row{{Vals: nullTuple(cr.width)}}
-		} else {
-			for _, kb := range b.kids[si] {
+		var kids []*bind
+		if len(b.kids) > 0 {
+			kids = b.kids[si]
+		}
+		switch {
+		case len(kids) == 0:
+			if err := e.countRows(int64(len(rows))); err != nil {
+				return nil, err
+			}
+		case len(kids) == 1 && len(kids[0].v.children) == 0:
+			kb := kids[0]
+			if err := e.countRows(1 + int64(len(rows))); err != nil {
+				return nil, err
+			}
+			for i := range rows {
+				if kb.v.fieldCol >= 0 {
+					rows[i].Vals[kb.v.fieldCol] = rel.V(kb.val)
+				}
+				rows[i].Lin = append(rows[i].Lin, Ref{Var: kb.v.name, Offset: kb.off, Path: kb.path})
+			}
+		default:
+			var factor []Row
+			for _, kb := range kids {
 				sub, err := e.expand(cr, kb)
 				if err != nil {
 					return nil, err
 				}
-				factor = append(factor, sub...)
+				if factor == nil {
+					factor = sub
+				} else {
+					factor = append(factor, sub...)
+				}
 			}
-		}
-		var err error
-		rows, err = e.crossMerge(rows, factor, cv.owned)
-		if err != nil {
-			return nil, err
+			var err error
+			rows, err = e.crossMerge(rows, factor, cv.owned)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	return rows, nil
@@ -365,6 +462,18 @@ func (e *evaluator) expand(cr *crule, b *bind) ([]Row, error) {
 func (e *evaluator) crossMerge(acc, factor []Row, owned []int) ([]Row, error) {
 	if err := e.countRows(int64(len(acc)) * int64(len(factor))); err != nil {
 		return nil, err
+	}
+	if len(factor) == 1 {
+		// Rows in acc are exclusively owned by this expansion, so a single
+		// factor merges in place.
+		f := factor[0]
+		for i := range acc {
+			for _, col := range owned {
+				acc[i].Vals[col] = f.Vals[col]
+			}
+			acc[i].Lin = append(acc[i].Lin, f.Lin...)
+		}
+		return acc, nil
 	}
 	out := make([]Row, 0, len(acc)*len(factor))
 	for _, a := range acc {

@@ -12,13 +12,12 @@ import (
 	"testing"
 	"time"
 
-	"encoding/xml"
-
 	"xkprop/internal/paperdata"
 	"xkprop/internal/testutil"
 	"xkprop/internal/transform"
 	"xkprop/internal/witness"
 	"xkprop/internal/workload"
+	"xkprop/internal/xmltok"
 	"xkprop/internal/xmltree"
 )
 
@@ -176,27 +175,26 @@ func TestStreamingLineage(t *testing.T) {
 // driveString runs the evaluator alone over a document string, no
 // pipeline, no validator.
 func driveString(ev *evaluator, doc string) error {
-	dec := xml.NewDecoder(strings.NewReader(doc))
+	src := xmltok.New(strings.NewReader(doc), ev.c.in)
 	for {
-		off := dec.InputOffset()
-		tok, err := dec.Token()
+		tok, err := src.Next()
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
 			return err
 		}
-		switch t := tok.(type) {
-		case xml.StartElement:
-			if err := ev.startElement(t, off); err != nil {
+		switch tok.Kind {
+		case xmltok.StartElement:
+			if err := ev.startElement(tok); err != nil {
 				return err
 			}
-		case xml.EndElement:
+		case xmltok.EndElement:
 			if err := ev.endElement(); err != nil {
 				return err
 			}
-		case xml.CharData:
-			if err := ev.charData(t); err != nil {
+		case xmltok.CharData:
+			if err := ev.charData(tok.Data); err != nil {
 				return err
 			}
 		}

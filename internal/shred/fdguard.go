@@ -9,6 +9,7 @@ package shred
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
@@ -83,7 +84,10 @@ type fdGuard struct {
 	table      string
 	fds        []rel.FD
 	fdStr      []string
-	idx        []map[string]*guardEntry
+	lhsPos     [][]int // per FD, ascending LHS column positions
+	rhsPos     [][]int // per FD, ascending RHS column positions
+	idx        []map[string]guardEntry
+	scratch    []byte
 	entries    *atomic.Int64
 	maxEntries int
 	violTotal  *atomic.Int64
@@ -100,17 +104,24 @@ func newFDGuard(table string, schema *rel.Schema, fds []rel.FD, entries *atomic.
 	}
 	for _, fd := range fds {
 		g.fdStr = append(g.fdStr, fd.Format(schema))
-		g.idx = append(g.idx, map[string]*guardEntry{})
+		g.lhsPos = append(g.lhsPos, fd.Lhs.Positions())
+		g.rhsPos = append(g.rhsPos, fd.Rhs.Positions())
+		g.idx = append(g.idx, map[string]guardEntry{})
 	}
 	return g
 }
 
-func projectKey(t rel.Tuple, as rel.AttrSet) string {
-	var b strings.Builder
-	as.ForEach(func(i int) {
-		fmt.Fprintf(&b, "%d:%s\x00", len(t[i].S), t[i].S)
-	})
-	return b.String()
+// appendProjKey appends the projection of t onto the given positions in
+// the guard's length-prefixed key encoding, "<decimal len>:<bytes>\x00"
+// per column in ascending position order.
+func appendProjKey(dst []byte, t rel.Tuple, pos []int) []byte {
+	for _, i := range pos {
+		dst = strconv.AppendInt(dst, int64(len(t[i].S)), 10)
+		dst = append(dst, ':')
+		dst = append(dst, t[i].S...)
+		dst = append(dst, 0)
+	}
+	return dst
 }
 
 // check runs one tuple through every FD. Violations accumulate on the
@@ -136,10 +147,14 @@ func (g *fdGuard) check(row Row) error {
 			// Condition 2 compares only tuples free of nulls.
 			continue
 		}
-		lk := projectKey(t, fd.Lhs)
-		rk := projectKey(t, fd.Rhs)
-		if e, ok := g.idx[fi][lk]; ok {
-			if e.rhsKey != rk {
+		// Both projections render into one scratch buffer; strings are
+		// allocated only when a fresh entry is actually inserted.
+		g.scratch = appendProjKey(g.scratch[:0], t, g.lhsPos[fi])
+		split := len(g.scratch)
+		g.scratch = appendProjKey(g.scratch, t, g.rhsPos[fi])
+		lk, rk := g.scratch[:split], g.scratch[split:]
+		if e, ok := g.idx[fi][string(lk)]; ok {
+			if e.rhsKey != string(rk) {
 				if err := g.record(FDViolation{
 					Table: g.table, FD: g.fdStr[fi], Condition: 2,
 					Tuples: []ViolatingTuple{violTuple(e.row), violTuple(row)},
@@ -152,7 +167,7 @@ func (g *fdGuard) check(row Row) error {
 		if n := g.entries.Add(1); g.maxEntries > 0 && n > int64(g.maxEntries) {
 			return budget.Exceeded("shred fd enforcement", budget.FDIndexEntries, g.maxEntries)
 		}
-		g.idx[fi][lk] = &guardEntry{rhsKey: rk, row: row}
+		g.idx[fi][string(lk)] = guardEntry{rhsKey: string(rk), row: row}
 	}
 	return nil
 }

@@ -1,6 +1,6 @@
 package shred
 
-// The pipeline: one goroutine owns the xml.Decoder and the streaming
+// The pipeline: one goroutine owns the xmltok.Source and the streaming
 // evaluator (and, when a key set is supplied, the stream validator — both
 // consume the same single token pass); completed tuple blocks fan out to
 // one worker goroutine per rule over bounded channels, gated by a
@@ -13,14 +13,12 @@ package shred
 import (
 	"context"
 	"errors"
-	"fmt"
 	"io"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
-
-	"encoding/xml"
 
 	"expvar"
 
@@ -30,6 +28,7 @@ import (
 	"xkprop/internal/stream"
 	"xkprop/internal/transform"
 	"xkprop/internal/xmlkey"
+	"xkprop/internal/xmltok"
 )
 
 // DefaultBatchSize is the tuple batch handed to sinks when Options leaves
@@ -53,6 +52,10 @@ type Options struct {
 	// Metrics receives shred.{tuples,batches,fd_checks,violations,
 	// queue_depth}; nil publishes to a private throwaway set.
 	Metrics *metrics.Set
+	// Decoder selects the tokenizer: xmltok.DecoderFast (default, also
+	// "") or xmltok.DecoderStd for the encoding/xml oracle. Output bytes
+	// are identical either way; std exists for differential checking.
+	Decoder string
 }
 
 // TableCount is one table's output tally.
@@ -98,11 +101,12 @@ func Run(ctx context.Context, tr *transform.Transformation, input io.Reader, sin
 
 // ruleState is one rule's worker-side state.
 type ruleState struct {
-	cr      *crule
-	w       TableWriter
-	guard   *fdGuard
-	ch      chan []Row
-	dedup   map[string]bool
+	cr       *crule
+	w        TableWriter
+	guard    *fdGuard
+	ch       chan []Row
+	dedup    map[string]bool
+	scratch  []byte // reusable tuple-key encoding buffer
 	pending  []rel.Tuple
 	tuples   int64
 	batches  int64
@@ -148,6 +152,12 @@ func (c *Compiled) Run(ctx context.Context, input io.Reader, sink Sink, opts Opt
 	if b := budget.From(ctx); b != nil {
 		maxTuples, maxFDEntries = b.MaxTuples, b.MaxFDIndexEntries
 		maxDepth, maxViol = b.MaxStreamDepth, b.MaxViolations
+	}
+	// One tokenizer pass feeds evaluator and validator; opening it first
+	// also rejects an unknown Options.Decoder before any sink is touched.
+	src, err := xmltok.Open(opts.Decoder, input, c.in)
+	if err != nil {
+		return nil, err
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -228,13 +238,18 @@ func (c *Compiled) Run(ctx context.Context, input io.Reader, sink Sink, opts Opt
 
 	var v *stream.Validator
 	if opts.Sigma != nil {
-		v = stream.NewValidator(opts.Sigma)
+		// The key paths compile into the shared interner, so the tokenizer's
+		// fused label codes line up with the validator's NFAs too.
+		v = stream.NewValidatorIn(c.in, opts.Sigma)
 	}
 	ev := c.newEvaluator(maxTuples, emit)
-	dec := xml.NewDecoder(input)
-	runErr := c.drive(runCtx, dec, ev, v, maxDepth, maxViol)
+	runErr := c.drive(runCtx, src, ev, v, maxDepth, maxViol)
 	if runErr == nil && !ev.rootClosed {
-		runErr = &stream.DecodeError{Offset: dec.InputOffset(), Err: io.ErrUnexpectedEOF}
+		var off int64
+		if so, ok := src.(interface{ InputOffset() int64 }); ok {
+			off = so.InputOffset()
+		}
+		runErr = &stream.DecodeError{Offset: off, Err: io.ErrUnexpectedEOF}
 	}
 	if runErr != nil {
 		cancel() // workers skip their final flush
@@ -280,50 +295,49 @@ func (c *Compiled) Run(ctx context.Context, input io.Reader, sink Sink, opts Opt
 	return res, nil
 }
 
-// drive owns the single decoder pass: every token is checked against the
-// context, offered to the validator, and fed to the evaluator.
-func (c *Compiled) drive(ctx context.Context, dec *xml.Decoder, ev *evaluator, v *stream.Validator, maxDepth, maxViol int) error {
+// drive owns the single tokenizer pass: every token is checked against
+// the context, offered to the validator, and fed to the evaluator. Token
+// offsets are the byte of the start tag's '<', so validator violations
+// and evaluator lineage agree with the tree plane byte for byte.
+func (c *Compiled) drive(ctx context.Context, src xmltok.Source, ev *evaluator, v *stream.Validator, maxDepth, maxViol int) error {
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		// Offset before Token(): for a StartElement this is the byte of its
-		// '<' (see stream.Validator.RunCtx for the rationale).
-		off := dec.InputOffset()
-		tok, err := dec.Token()
+		tok, err := src.Next()
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
-			return &stream.DecodeError{Offset: dec.InputOffset(), Err: err}
+			return stream.WrapTokenError(err)
 		}
-		switch t := tok.(type) {
-		case xml.StartElement:
+		switch tok.Kind {
+		case xmltok.StartElement:
 			if maxDepth > 0 && len(ev.stack) >= maxDepth {
 				return budget.Exceeded("shred", budget.StreamDepth, maxDepth)
 			}
 			if v != nil {
-				if err := v.Feed(tok, off); err != nil {
+				if err := v.Feed(tok); err != nil {
 					return err
 				}
 			}
-			if err := ev.startElement(t, off); err != nil {
+			if err := ev.startElement(tok); err != nil {
 				return err
 			}
 			if v != nil && maxViol > 0 && len(v.Violations()) >= maxViol {
 				return budget.Exceeded("shred", budget.Violations, maxViol)
 			}
-		case xml.EndElement:
+		case xmltok.EndElement:
 			if v != nil {
-				if err := v.Feed(tok, off); err != nil {
+				if err := v.Feed(tok); err != nil {
 					return err
 				}
 			}
 			if err := ev.endElement(); err != nil {
 				return err
 			}
-		case xml.CharData:
-			if err := ev.charData(t); err != nil {
+		case xmltok.CharData:
+			if err := ev.charData(tok.Data); err != nil {
 				return err
 			}
 		}
@@ -331,16 +345,25 @@ func (c *Compiled) drive(ctx context.Context, dec *xml.Decoder, ev *evaluator, v
 }
 
 // tupleKey mirrors rel.Relation.Dedup's identity: values plus null mask.
-func tupleKey(t rel.Tuple) string {
-	var b strings.Builder
+func tupleKey(t rel.Tuple) string { return string(appendTupleKey(nil, t)) }
+
+// appendTupleKey appends the dedup identity of a tuple: "N\x00" per null,
+// "V<decimal len>:<bytes>\x00" per value. The encoding is pinned by
+// TestTupleKeyEncodingUnchanged — it must stay byte-equal to the
+// fmt.Fprintf("V%d:%s\x00") form it replaced.
+func appendTupleKey(dst []byte, t rel.Tuple) []byte {
 	for _, v := range t {
 		if v.Null {
-			b.WriteString("N\x00")
-		} else {
-			fmt.Fprintf(&b, "V%d:%s\x00", len(v.S), v.S)
+			dst = append(dst, 'N', 0)
+			continue
 		}
+		dst = append(dst, 'V')
+		dst = strconv.AppendInt(dst, int64(len(v.S)), 10)
+		dst = append(dst, ':')
+		dst = append(dst, v.S...)
+		dst = append(dst, 0)
 	}
-	return b.String()
+	return dst
 }
 
 // process handles one block on the rule's worker: online dedup (set
@@ -348,11 +371,11 @@ func tupleKey(t rel.Tuple) string {
 // Dedup), FD enforcement, then batched sink writes.
 func (st *ruleState) process(rows []Row, batchSize int, pm *pipelineMetrics) error {
 	for _, row := range rows {
-		k := tupleKey(row.Vals)
-		if st.dedup[k] {
+		st.scratch = appendTupleKey(st.scratch[:0], row.Vals)
+		if st.dedup[string(st.scratch)] {
 			continue
 		}
-		st.dedup[k] = true
+		st.dedup[string(st.scratch)] = true
 		if st.guard != nil {
 			before := st.guard.checks
 			err := st.guard.check(row)

@@ -15,6 +15,7 @@ import (
 	"xkprop/internal/budget"
 	"xkprop/internal/faultinject"
 	"xkprop/internal/xmlkey"
+	"xkprop/internal/xmltok"
 )
 
 func isbnSigma(t *testing.T) []xmlkey.Key {
@@ -176,26 +177,25 @@ func TestStreamLimitStopsWork(t *testing.T) {
 	}
 	sb.WriteString("</r>")
 
-	dec := xml.NewDecoder(strings.NewReader(sb.String()))
+	src := xmltok.New(strings.NewReader(sb.String()), v.in)
 	sawSkip := false
 	for {
-		off := dec.InputOffset()
-		tok, err := dec.Token()
+		tok, err := src.Next()
 		if err != nil {
 			break
 		}
-		switch tk := tok.(type) {
-		case xml.StartElement:
+		switch tok.Kind {
+		case xmltok.StartElement:
 			wasSaturated := v.saturated()
 			before := len(v.stack)
-			v.startElement(tk, off)
+			v.startElement(tok)
 			if wasSaturated && len(v.stack) != before {
 				t.Fatal("frame pushed after the violation limit saturated")
 			}
 			if v.skipDepth > 0 {
 				sawSkip = true
 			}
-		case xml.EndElement:
+		case xmltok.EndElement:
 			v.endElement()
 		}
 	}

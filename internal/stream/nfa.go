@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"math/bits"
+
+	"xkprop/internal/xpath"
+)
+
+// PosSet is a PathNFA position set. For paths of up to 63 steps (every
+// path in practice) it is a single uint64 bitmask — position p is bit p,
+// the accept position is bit len(codes) — so copying, stepping and
+// membership are word operations with no allocation. Longer paths fall
+// back to an explicit position list in wide. The zero value is the empty
+// set for both representations.
+type PosSet struct {
+	bits uint64
+	wide []int32
+}
+
+// Empty reports whether the set holds no positions. Empty sets are dead:
+// no sequence of steps can revive them, so callers may drop them.
+func (s PosSet) Empty() bool { return s.bits == 0 && len(s.wide) == 0 }
+
+// PathNFA is a compiled path expression of the language
+// P ::= ε | l | P/P | //. Matching tracks a set of positions into the
+// code sequence; position i with a DescCode step can absorb any label and
+// stay. The ε-closure of every position (the positions reachable across
+// "//" steps, which match the empty label sequence) is precomputed at
+// compile time — eps[p] for the bitmask representation, wideEps[p] for
+// the wide fallback — so Step is a loop over set bits or'ing precomputed
+// masks: no maps, no recursion, no allocation on the narrow path. The
+// zero value is the compiled ε path (accepted at Start). Shared by the
+// validator and the shredding evaluator so both planes match rule and key
+// paths identically.
+type PathNFA struct {
+	codes []uint32
+	// eps[p] is the precomputed ε-closure of position p as a bitmask:
+	// bit p, plus bits p+1.. for as long as the codes are DescCode.
+	eps []uint64
+	// wideEps replaces eps when len(codes) is 64 or more; wideEps[p] lists
+	// the closure positions in DFS order (p, then the "//" chain after it).
+	wideEps [][]int32
+}
+
+// CompilePath compiles p against the interner's code universe. All NFAs
+// matched against the same label codes must share one interner.
+func CompilePath(in *xpath.Interner, p xpath.Path) PathNFA {
+	return newPathNFA(in.Codes(in.Intern(p)))
+}
+
+func newPathNFA(codes []uint32) PathNFA {
+	n := len(codes)
+	nfa := PathNFA{codes: codes}
+	if n < 64 {
+		eps := make([]uint64, n+1)
+		eps[n] = uint64(1) << uint(n)
+		for p := n - 1; p >= 0; p-- {
+			eps[p] = uint64(1) << uint(p)
+			if codes[p] == xpath.DescCode {
+				eps[p] |= eps[p+1]
+			}
+		}
+		nfa.eps = eps
+	} else {
+		wide := make([][]int32, n+1)
+		wide[n] = []int32{int32(n)}
+		for p := n - 1; p >= 0; p-- {
+			wide[p] = []int32{int32(p)}
+			if codes[p] == xpath.DescCode {
+				wide[p] = append(wide[p], wide[p+1]...)
+			}
+		}
+		nfa.wideEps = wide
+	}
+	return nfa
+}
+
+// Start returns the initial position set (ε-closure of position 0).
+func (n PathNFA) Start() PosSet {
+	if n.wideEps != nil {
+		return PosSet{wide: n.wideEps[0]}
+	}
+	if n.eps == nil {
+		// Zero-value NFA: the ε path, whose only position is its accept.
+		return PosSet{bits: 1}
+	}
+	return PosSet{bits: n.eps[0]}
+}
+
+// Step advances the position set over one element label code (an
+// interner label code, or UnknownLabel for labels outside the universe).
+// The input set is never mutated; Step on the narrow representation does
+// not allocate.
+func (n PathNFA) Step(s PosSet, code uint32) PosSet {
+	if n.wideEps != nil {
+		return n.stepWide(s, code)
+	}
+	var out uint64
+	// Mask off the accept position: it has no outgoing step. For the
+	// zero-value (ε) NFA the mask is empty and eps is never touched.
+	for b := s.bits & (uint64(1)<<uint(len(n.codes)) - 1); b != 0; b &= b - 1 {
+		p := bits.TrailingZeros64(b)
+		switch c := n.codes[p]; {
+		case c == xpath.DescCode:
+			out |= n.eps[p] // absorb the label, stay (closure includes p)
+		case c == code:
+			out |= n.eps[p+1]
+		}
+	}
+	return PosSet{bits: out}
+}
+
+func (n PathNFA) stepWide(s PosSet, code uint32) PosSet {
+	var out []int32
+	seen := make([]bool, len(n.codes)+1)
+	add := func(p int32) {
+		for _, q := range n.wideEps[p] {
+			if !seen[q] {
+				seen[q] = true
+				out = append(out, q)
+			}
+		}
+	}
+	for _, p := range s.wide {
+		if int(p) >= len(n.codes) {
+			continue
+		}
+		switch c := n.codes[p]; {
+		case c == xpath.DescCode:
+			add(p)
+		case c == code:
+			add(p + 1)
+		}
+	}
+	return PosSet{wide: out}
+}
+
+// Accepted reports whether the position set contains the final position.
+func (n PathNFA) Accepted(s PosSet) bool {
+	if n.wideEps != nil {
+		last := int32(len(n.codes))
+		for _, p := range s.wide {
+			if p == last {
+				return true
+			}
+		}
+		return false
+	}
+	return s.bits&(uint64(1)<<uint(len(n.codes))) != 0
+}

@@ -1,0 +1,205 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"xkprop/internal/paperdata"
+	"xkprop/internal/xpath"
+)
+
+// refNFA is the pre-optimization PathNFA matcher — map-based recursive
+// ε-closure computed on every call — kept verbatim as the reference that
+// TestPathNFAMatchesReference holds the precomputed-closure
+// implementation to.
+type refNFA struct {
+	codes []uint32
+}
+
+func (n refNFA) start() []int { return n.closure([]int{0}) }
+
+func (n refNFA) closure(pos []int) []int {
+	seen := make(map[int]bool, len(pos))
+	var out []int
+	var add func(p int)
+	add = func(p int) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		out = append(out, p)
+		if p < len(n.codes) && n.codes[p] == xpath.DescCode {
+			add(p + 1)
+		}
+	}
+	for _, p := range pos {
+		add(p)
+	}
+	return out
+}
+
+func (n refNFA) step(pos []int, code uint32) []int {
+	var next []int
+	for _, p := range pos {
+		if p >= len(n.codes) {
+			continue
+		}
+		switch s := n.codes[p]; {
+		case s == xpath.DescCode:
+			next = append(next, p)
+		case s == code:
+			next = append(next, p+1)
+		}
+	}
+	return n.closure(next)
+}
+
+func (n refNFA) accepted(pos []int) bool {
+	for _, p := range pos {
+		if p == len(n.codes) {
+			return true
+		}
+	}
+	return false
+}
+
+// positions decodes a PosSet into a sorted position list, covering both
+// representations.
+func positions(n PathNFA, s PosSet) []int {
+	var out []int
+	if n.wideEps != nil {
+		for _, p := range s.wide {
+			out = append(out, int(p))
+		}
+	} else {
+		for p := 0; p < 64; p++ {
+			if s.bits&(uint64(1)<<uint(p)) != 0 {
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedCopy(pos []int) []int {
+	out := append([]int(nil), pos...)
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAgainstReference drives both implementations over one label-code
+// sequence and fails on the first divergence in position sets,
+// acceptance, or emptiness.
+func checkAgainstReference(t *testing.T, desc string, codes []uint32, seq []uint32) {
+	t.Helper()
+	nfa := newPathNFA(codes)
+	ref := refNFA{codes: codes}
+	set := nfa.Start()
+	rset := ref.start()
+	if got, want := positions(nfa, set), sortedCopy(rset); !equalInts(got, want) {
+		t.Fatalf("%s: Start: got %v, want %v", desc, got, want)
+	}
+	if nfa.Accepted(set) != ref.accepted(rset) {
+		t.Fatalf("%s: Start acceptance diverges", desc)
+	}
+	for i, code := range seq {
+		set = nfa.Step(set, code)
+		rset = ref.step(rset, code)
+		if got, want := positions(nfa, set), sortedCopy(rset); !equalInts(got, want) {
+			t.Fatalf("%s: step %d (code %d): got %v, want %v", desc, i, code, got, want)
+		}
+		if nfa.Accepted(set) != ref.accepted(rset) {
+			t.Fatalf("%s: step %d (code %d): acceptance diverges (positions %v)",
+				desc, i, code, positions(nfa, set))
+		}
+		if set.Empty() != (len(rset) == 0) {
+			t.Fatalf("%s: step %d: emptiness diverges", desc, i)
+		}
+	}
+}
+
+// TestPathNFAMatchesReference holds the precomputed-ε-closure NFA to the
+// old map-based implementation, position set for position set, over the
+// paper's key paths and randomized code sequences — including paths long
+// enough to force the wide (>63 positions) fallback.
+func TestPathNFAMatchesReference(t *testing.T) {
+	in := xpath.NewInterner()
+
+	type c struct {
+		desc  string
+		codes []uint32
+	}
+	var cases []c
+	for _, k := range paperdata.Keys() {
+		cases = append(cases, c{"context " + k.String(), in.Codes(in.Intern(k.Context))})
+		cases = append(cases, c{"target " + k.String(), in.Codes(in.Intern(k.Target))})
+	}
+
+	r := rand.New(rand.NewSource(47))
+	const nLabels = 6
+	randCodes := func(n int) []uint32 {
+		codes := make([]uint32, n)
+		for i := range codes {
+			if r.Intn(3) == 0 {
+				codes[i] = xpath.DescCode
+			} else {
+				codes[i] = uint32(1 + r.Intn(nLabels))
+			}
+		}
+		return codes
+	}
+	for i := 0; i < 50; i++ {
+		cases = append(cases, c{fmt.Sprintf("rand %d", i), randCodes(1 + r.Intn(8))})
+	}
+	// Around and beyond the 64-position narrow limit.
+	for _, n := range []int{60, 62, 63, 64, 70, 90} {
+		cases = append(cases, c{fmt.Sprintf("long %d", n), randCodes(n)})
+	}
+	cases = append(cases, c{"empty (ε)", nil})
+
+	// Step codes: in-universe labels plus the unknown-label sentinel. The
+	// paperdata paths were interned first, so small codes hit them too.
+	stepCodes := make([]uint32, 0, nLabels+1)
+	for l := uint32(1); l <= nLabels; l++ {
+		stepCodes = append(stepCodes, l)
+	}
+	stepCodes = append(stepCodes, UnknownLabel)
+
+	for _, tc := range cases {
+		for trial := 0; trial < 20; trial++ {
+			seq := make([]uint32, r.Intn(2*len(tc.codes)+8))
+			for i := range seq {
+				seq[i] = stepCodes[r.Intn(len(stepCodes))]
+			}
+			checkAgainstReference(t, tc.desc, tc.codes, seq)
+		}
+	}
+}
+
+// TestPathNFAZeroValue pins that the zero value is the compiled ε path.
+func TestPathNFAZeroValue(t *testing.T) {
+	var n PathNFA
+	s := n.Start()
+	if !n.Accepted(s) {
+		t.Fatal("zero-value NFA must accept at Start (ε path)")
+	}
+	s = n.Step(s, 7)
+	if !s.Empty() || n.Accepted(s) {
+		t.Fatal("ε path must die on any step")
+	}
+}

@@ -1,36 +1,46 @@
 // Package stream validates XML keys against a document in streaming
-// fashion (one SAX-style pass over encoding/xml tokens) without
-// materializing the tree. The paper's motivating scenario is large,
-// fairly regular XML being transmitted for relational import; a consumer
-// can reject a non-conforming feed the moment a key breaks, holding in
-// memory only the open-element stack and, per active context, the
-// key-value tuples seen so far (the minimum any sound checker must
-// retain).
+// fashion (one SAX-style pass over xmltok tokens) without materializing
+// the tree. The paper's motivating scenario is large, fairly regular XML
+// being transmitted for relational import; a consumer can reject a
+// non-conforming feed the moment a key breaks, holding in memory only
+// the open-element stack and, per active context, the key-value tuples
+// seen so far (the minimum any sound checker must retain).
 //
 // Matching of the path language P ::= ε | l | P/P | // is performed
 // incrementally: every path expression compiles to a position-set NFA
-// ("//" = a position that may absorb any label) pushed along the element
-// stack, so each start-element costs O(|Σ| · depth · |paths|) in the
+// ("//" = a position that may absorb any label) with ε-closures
+// precomputed per position, pushed along the element stack, so each
+// start-element costs O(|Σ| · depth · |paths|) word operations in the
 // worst case and far less in practice.
+//
+// Tokens come from the xmltok plane: the zero-copy scanner by default,
+// or the encoding/xml oracle via SetDecoder. Labels arrive pre-resolved
+// to interner codes (Token.Code), the per-element frames and context
+// instances are pooled, and paths are rendered only when a violation is
+// actually recorded, so steady-state validation of a conforming document
+// does not allocate per element.
 package stream
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
-
-	"encoding/xml"
 
 	"xkprop/internal/budget"
 	"xkprop/internal/xmlkey"
+	"xkprop/internal/xmltok"
 	"xkprop/internal/xpath"
 )
 
 // DecodeError reports the stream breaking mid-document — malformed or
-// truncated XML, or the underlying io.Reader failing. Offset is the byte
-// position the decoder had reached; Err (via Unwrap) is the decoder's or
-// reader's error, so errors.Is sees io.ErrUnexpectedEOF and friends.
+// truncated XML, an unsupported construct, or the underlying io.Reader
+// failing. Offset is the byte position of the failure; Err (via Unwrap)
+// is the tokenizer's or reader's error, so errors.Is sees
+// io.ErrUnexpectedEOF and friends and errors.As sees *xml.SyntaxError
+// and *xmltok.UnsupportedError.
 type DecodeError struct {
 	Offset int64
 	Err    error
@@ -76,11 +86,16 @@ func (v Violation) String() string {
 // Validator validates a fixed key set over one streamed document.
 type Validator struct {
 	keys []compiledKey
-	// in is the path universe the key paths were compiled against; element
-	// labels are translated to its integer codes once per start tag.
+	// in is the path universe the key paths were compiled against; the
+	// tokenizer resolves element labels to its integer codes (Token.Code),
+	// so tokens fed to the validator must come from a Source built over
+	// this interner (Run guarantees that; Feed callers must).
 	in *xpath.Interner
-	// stack of open elements.
-	stack []*frame
+	// decoder selects the tokenizer Run opens ("" = xmltok.DecoderFast).
+	decoder string
+	// stack of open elements. Frames are reused across pushes: popping
+	// only reslices, and pushing reclaims the popped frame's slices.
+	stack []frame
 	// violations collected so far.
 	violations []Violation
 	// limit stops collecting after this many violations (0 = no limit).
@@ -91,6 +106,11 @@ type Validator struct {
 	// skipDepth counts open elements entered after the violation limit
 	// saturated; they are tracked for stack balance only, with no NFA work.
 	skipDepth int
+	// ciFree recycles retired context instances (their seen maps cleared
+	// but keeping their buckets), so repeated contexts don't churn maps.
+	ciFree []*contextInstance
+	// scratch is the reusable key-tuple encoding buffer.
+	scratch []byte
 }
 
 // compiledKey precompiles a key's paths.
@@ -102,114 +122,59 @@ type compiledKey struct {
 
 // UnknownLabel marks an element label the interner has never seen: no
 // compiled step can equal it (label codes are >= 1 and it is not DescCode),
-// so only "//" positions survive such an element. Callers matching labels
-// outside the compiled universe (the validator, the shredding evaluator)
-// pass it to Step.
+// so only "//" positions survive such an element. It equals xmltok.NoCode,
+// the code the tokenizer assigns labels outside the compiled universe.
 const UnknownLabel = ^uint32(0)
-
-const unknownLabel = UnknownLabel
-
-// PathNFA is a compiled path expression of the language
-// P ::= ε | l | P/P | //. Matching tracks a set of positions into the
-// code sequence; position i with a DescCode step can absorb any label and
-// stay. Steps are the interner's compiled codes, so advancing the set
-// costs integer compares only. The zero value is the compiled ε path
-// (accepted at Start). Shared by the validator and the shredding
-// evaluator so both planes match rule and key paths identically.
-type PathNFA struct {
-	codes []uint32
-}
-
-// CompilePath compiles p against the interner's code universe. All NFAs
-// matched against the same label codes must share one interner.
-func CompilePath(in *xpath.Interner, p xpath.Path) PathNFA {
-	return PathNFA{codes: in.Codes(in.Intern(p))}
-}
-
-// Start returns the initial position set (ε-closure of position 0).
-func (n PathNFA) Start() []int { return n.closure([]int{0}) }
-
-// closure expands positions across "//" steps, which match the empty
-// label sequence.
-func (n PathNFA) closure(pos []int) []int {
-	seen := make(map[int]bool, len(pos))
-	var out []int
-	var add func(p int)
-	add = func(p int) {
-		if seen[p] {
-			return
-		}
-		seen[p] = true
-		out = append(out, p)
-		if p < len(n.codes) && n.codes[p] == xpath.DescCode {
-			add(p + 1)
-		}
-	}
-	for _, p := range pos {
-		add(p)
-	}
-	return out
-}
-
-// Step advances the position set over one element label code (an
-// interner label code, or UnknownLabel for labels outside the universe).
-func (n PathNFA) Step(pos []int, code uint32) []int {
-	var next []int
-	for _, p := range pos {
-		if p >= len(n.codes) {
-			continue
-		}
-		switch s := n.codes[p]; {
-		case s == xpath.DescCode:
-			next = append(next, p) // absorb the label, stay
-		case s == code:
-			next = append(next, p+1)
-		}
-	}
-	return n.closure(next)
-}
-
-// Accepted reports whether the position set contains the final position.
-func (n PathNFA) Accepted(pos []int) bool {
-	for _, p := range pos {
-		if p == len(n.codes) {
-			return true
-		}
-	}
-	return false
-}
 
 // frame is one open element on the stack.
 type frame struct {
 	label string
 	// ctxPos[i] is key i's context-NFA position set at this element.
-	ctxPos [][]int
+	ctxPos []PosSet
 	// contexts opened at this element (one per key for which this element
 	// is a context node).
 	contexts []*contextInstance
-	// tgtPos[i] holds, for each active context of key i, that context's
-	// target-NFA position set at this element.
-	tgtPos []map[*contextInstance][]int
+	// tgt holds one entry per (active context, live target-NFA set) pair
+	// at this element. Dead (empty) sets are dropped on the way down.
+	tgt []targetEntry
+}
+
+// targetEntry is one active context's target-NFA state at the current
+// element.
+type targetEntry struct {
+	keyIdx int
+	ci     *contextInstance
+	set    PosSet
 }
 
 // contextInstance tracks one context node's key state.
 type contextInstance struct {
 	keyIdx int
+	// depth is len(stack) at creation, its own frame included. The
+	// context's label path is rendered from the stack below that depth
+	// only when a violation is recorded — never on the hot path.
+	depth int
 	// seen maps the encoded key-value tuple to true.
 	seen map[string]bool
-	// path is the concrete label path of the context node (diagnostics).
-	path string
 }
 
-// NewValidator compiles the key set. Keys must be of class K̄ (attribute
-// key paths), which the xmlkey type guarantees.
+// NewValidator compiles the key set against a fresh interner. Keys must
+// be of class K̄ (attribute key paths), which the xmlkey type guarantees.
 func NewValidator(sigma []xmlkey.Key) *Validator {
-	v := &Validator{in: xpath.NewInterner()}
+	return NewValidatorIn(xpath.NewInterner(), sigma)
+}
+
+// NewValidatorIn compiles the key set against an existing interner, for
+// callers sharing one label universe across planes — the shredding
+// pipeline compiles its rule paths and key paths into the same interner
+// and feeds the validator from its own tokenizer Source.
+func NewValidatorIn(in *xpath.Interner, sigma []xmlkey.Key) *Validator {
+	v := &Validator{in: in}
 	for _, k := range sigma {
 		v.keys = append(v.keys, compiledKey{
 			key:     k,
-			context: CompilePath(v.in, k.Context),
-			target:  CompilePath(v.in, k.Target),
+			context: CompilePath(in, k.Context),
+			target:  CompilePath(in, k.Target),
 		})
 	}
 	return v
@@ -217,7 +182,7 @@ func NewValidator(sigma []xmlkey.Key) *Validator {
 
 // SetLimit stops collecting after n violations (0 = no limit). Once the
 // cap is hit the validator also stops matching work — subsequent elements
-// are tracked for stack balance only, no NFA stepping or frame allocation —
+// are tracked for stack balance only, no NFA stepping or frame work —
 // and Run merely drains the rest of the stream for well-formedness.
 func (v *Validator) SetLimit(n int) { v.limit = n }
 
@@ -226,6 +191,18 @@ func (v *Validator) SetLimit(n int) { v.limit = n }
 // (0 = no cap). A cap turns adversarially deep documents from a stack of
 // per-element NFA frames into an early, typed refusal.
 func (v *Validator) SetMaxDepth(n int) { v.maxDepth = n }
+
+// SetDecoder selects the tokenizer Run uses: xmltok.DecoderFast (the
+// default, also chosen by "") or xmltok.DecoderStd for the encoding/xml
+// oracle. Unknown names are rejected here, not at Run time.
+func (v *Validator) SetDecoder(name string) error {
+	switch name {
+	case "", xmltok.DecoderFast, xmltok.DecoderStd:
+		v.decoder = name
+		return nil
+	}
+	return fmt.Errorf("stream: unknown decoder %q (want %s or %s)", name, xmltok.DecoderFast, xmltok.DecoderStd)
+}
 
 // saturated reports whether the violation limit has been reached.
 func (v *Validator) saturated() bool {
@@ -262,28 +239,24 @@ func (v *Validator) RunCtx(ctx context.Context, r io.Reader) error {
 		}
 		maxViol = b.MaxViolations
 	}
-	dec := xml.NewDecoder(r)
+	src, err := xmltok.Open(v.decoder, r, v.in)
+	if err != nil {
+		return err
+	}
 	for {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
-		// Capture the offset before consuming the token: InputOffset after
-		// Token() points past the start tag, but Violation.Offset is
-		// documented as where the offending element started. Before Token()
-		// the decoder sits exactly where the previous token ended, which for
-		// a StartElement is the byte of its '<' (CharData in between is its
-		// own token).
-		off := dec.InputOffset()
-		tok, err := dec.Token()
+		tok, err := src.Next()
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
-			return &DecodeError{Offset: dec.InputOffset(), Err: err}
+			return WrapTokenError(err)
 		}
-		if err := v.Feed(tok, off); err != nil {
+		if err := v.Feed(tok); err != nil {
 			return err
 		}
 		if maxViol > 0 && len(v.violations) >= maxViol {
@@ -292,38 +265,106 @@ func (v *Validator) RunCtx(ctx context.Context, r io.Reader) error {
 	}
 }
 
-// Feed processes one already-decoded token whose first byte sits at
-// offset, for callers that own the xml.Decoder loop themselves (the
-// shredding pipeline validates and shreds in a single decoder pass).
-// Start elements deeper than the SetMaxDepth cap return a *budget.Error;
-// key violations are collected, not returned — poll Violations() between
-// tokens. Tokens other than element boundaries are ignored.
-func (v *Validator) Feed(tok xml.Token, offset int64) error {
-	switch t := tok.(type) {
-	case xml.StartElement:
+// WrapTokenError converts a tokenizer failure into the package's typed
+// *DecodeError, preserving the byte offset and the underlying cause.
+func WrapTokenError(err error) error {
+	var te *xmltok.Error
+	if errors.As(err, &te) {
+		return &DecodeError{Offset: te.Offset, Err: te.Err}
+	}
+	return &DecodeError{Err: err}
+}
+
+// Feed processes one already-decoded token, for callers that own the
+// xmltok.Source loop themselves (the shredding pipeline validates and
+// shreds in a single tokenizer pass). The token must come from a Source
+// built over this validator's interner, so Token.Code lines up with the
+// compiled NFAs. Start elements deeper than the SetMaxDepth cap return a
+// *budget.Error; key violations are collected, not returned — poll
+// Violations() between tokens. Tokens other than element boundaries are
+// ignored. The token is not retained past the call.
+func (v *Validator) Feed(tok *xmltok.Token) error {
+	switch tok.Kind {
+	case xmltok.StartElement:
 		if v.maxDepth > 0 && len(v.stack)+v.skipDepth >= v.maxDepth {
 			return budget.Exceeded("stream validation", budget.StreamDepth, v.maxDepth)
 		}
-		v.startElement(t, offset)
-	case xml.EndElement:
+		v.startElement(tok)
+	case xmltok.EndElement:
 		v.endElement()
 	}
 	return nil
 }
 
-// path renders the current stack as a label path (below the root).
-func (v *Validator) path() string {
-	if len(v.stack) <= 1 {
+// pathAt renders stack labels [1, depth) as a label path below the root.
+func (v *Validator) pathAt(depth int) string {
+	if depth <= 1 {
 		return ""
 	}
-	labels := make([]string, 0, len(v.stack)-1)
-	for _, f := range v.stack[1:] {
-		labels = append(labels, f.label)
+	n := depth - 2
+	for i := 1; i < depth; i++ {
+		n += len(v.stack[i].label)
 	}
-	return strings.Join(labels, "/")
+	var b strings.Builder
+	b.Grow(n)
+	for i := 1; i < depth; i++ {
+		if i > 1 {
+			b.WriteByte('/')
+		}
+		b.WriteString(v.stack[i].label)
+	}
+	return b.String()
 }
 
-func (v *Validator) startElement(t xml.StartElement, offset int64) {
+// contextPath renders a context instance's label path for a violation.
+// A context whose own element is the offender (depth equals the current
+// stack) reports an empty path, matching the historical behavior of
+// recording context paths only after the element's checks ran.
+func (v *Validator) contextPath(ci *contextInstance) string {
+	if ci.depth == len(v.stack) {
+		return ""
+	}
+	return v.pathAt(ci.depth)
+}
+
+// pushFrame grows the stack by one, reusing the slices of a previously
+// popped frame when the capacity is there.
+func (v *Validator) pushFrame(label string) *frame {
+	n := len(v.stack)
+	if n < cap(v.stack) {
+		v.stack = v.stack[:n+1]
+	} else {
+		v.stack = append(v.stack, frame{})
+	}
+	f := &v.stack[n]
+	f.label = label
+	if cap(f.ctxPos) < len(v.keys) {
+		f.ctxPos = make([]PosSet, len(v.keys))
+	} else {
+		f.ctxPos = f.ctxPos[:len(v.keys)]
+	}
+	f.contexts = f.contexts[:0]
+	f.tgt = f.tgt[:0]
+	return f
+}
+
+// newContext takes a context instance from the free list or allocates
+// one. Recycled instances keep their seen map's buckets (cleared at
+// retirement), so contexts opened and closed in a loop stop allocating.
+func (v *Validator) newContext(keyIdx int) *contextInstance {
+	var ci *contextInstance
+	if k := len(v.ciFree); k > 0 {
+		ci = v.ciFree[k-1]
+		v.ciFree = v.ciFree[:k-1]
+	} else {
+		ci = &contextInstance{seen: make(map[string]bool)}
+	}
+	ci.keyIdx = keyIdx
+	ci.depth = len(v.stack)
+	return ci
+}
+
+func (v *Validator) startElement(t *xmltok.Token) {
 	// Past the violation limit no element can contribute anything: skip all
 	// NFA and bookkeeping work, tracking depth only so endElement stays
 	// balanced with the real frames beneath.
@@ -331,96 +372,96 @@ func (v *Validator) startElement(t xml.StartElement, offset int64) {
 		v.skipDepth++
 		return
 	}
-	label := t.Name.Local
-	// One map lookup per start tag; labels absent from every key path get
-	// the unknownLabel sentinel, which only "//" steps can absorb.
-	code, known := v.in.LabelCode(label)
-	if !known {
-		code = unknownLabel
-	}
 	isRoot := len(v.stack) == 0
+	f := v.pushFrame(t.Label)
 
-	f := &frame{
-		label:  label,
-		ctxPos: make([][]int, len(v.keys)),
-		tgtPos: make([]map[*contextInstance][]int, len(v.keys)),
-	}
-
-	for i, ck := range v.keys {
-		// Advance the context NFA: the root starts it; children advance
-		// their parent's set by this label.
+	// Advance the context NFAs: the root starts them; children advance
+	// their parent's sets by this label's code (resolved by the tokenizer).
+	for i := range v.keys {
 		if isRoot {
-			f.ctxPos[i] = ck.context.Start()
+			f.ctxPos[i] = v.keys[i].context.Start()
 		} else {
-			parent := v.stack[len(v.stack)-1]
-			f.ctxPos[i] = ck.context.Step(parent.ctxPos[i], code)
-		}
-
-		// Advance target NFAs of every active context of key i, and seed
-		// this element's own context instance if the context NFA accepts.
-		f.tgtPos[i] = make(map[*contextInstance][]int)
-		if !isRoot {
-			parent := v.stack[len(v.stack)-1]
-			for ci, pos := range parent.tgtPos[i] {
-				f.tgtPos[i][ci] = ck.target.Step(pos, code)
-			}
-		}
-		if ck.context.Accepted(f.ctxPos[i]) {
-			ci := &contextInstance{keyIdx: i, seen: make(map[string]bool)}
-			f.contexts = append(f.contexts, ci)
-			f.tgtPos[i][ci] = ck.target.Start()
+			parent := &v.stack[len(v.stack)-2]
+			f.ctxPos[i] = v.keys[i].context.Step(parent.ctxPos[i], t.Code)
 		}
 	}
 
-	v.stack = append(v.stack, f)
-	ciPath := v.path()
-
-	// Check targets: for each key and active context whose target NFA
-	// accepts here, this element is a target node.
-	for i, ck := range v.keys {
-		for ci, pos := range f.tgtPos[i] {
-			if !ck.target.Accepted(pos) {
+	// Advance the target NFAs of every context active at the parent. An
+	// empty result set is dead for the whole subtree and is dropped here,
+	// so deep non-matching elements carry no per-context state at all.
+	if !isRoot {
+		parent := &v.stack[len(v.stack)-2]
+		for _, te := range parent.tgt {
+			next := v.keys[te.keyIdx].target.Step(te.set, t.Code)
+			if next.Empty() {
 				continue
 			}
-			v.checkTarget(ck, ci, t, ciPath, offset)
+			f.tgt = append(f.tgt, targetEntry{keyIdx: te.keyIdx, ci: te.ci, set: next})
 		}
 	}
-	// Record context paths for diagnostics.
-	for _, ci := range f.contexts {
-		ci.path = ciPath
+
+	// Seed this element's own context instances where the context NFA
+	// accepts.
+	for i := range v.keys {
+		if v.keys[i].context.Accepted(f.ctxPos[i]) {
+			ci := v.newContext(i)
+			f.contexts = append(f.contexts, ci)
+			f.tgt = append(f.tgt, targetEntry{keyIdx: i, ci: ci, set: v.keys[i].target.Start()})
+		}
+	}
+
+	// Check targets: for each active context whose target NFA accepts
+	// here, this element is a target node.
+	for k := range f.tgt {
+		te := &f.tgt[k]
+		if v.keys[te.keyIdx].target.Accepted(te.set) {
+			v.checkTarget(&v.keys[te.keyIdx], te.ci, t)
+		}
 	}
 }
 
-func (v *Validator) checkTarget(ck compiledKey, ci *contextInstance, t xml.StartElement, path string, offset int64) {
+// appendTupleField appends one key-attribute value in the validator's
+// length-prefixed tuple encoding, "<decimal length>:<bytes>\x00". The
+// encoded form is pinned byte-for-byte by TestStreamTupleEncodingUnchanged:
+// it must stay equal to the fmt.Fprintf("%d:%s\x00") form it replaced,
+// since equal tuples are what defines a duplicate key.
+func appendTupleField(dst, val []byte) []byte {
+	dst = strconv.AppendInt(dst, int64(len(val)), 10)
+	dst = append(dst, ':')
+	dst = append(dst, val...)
+	return append(dst, 0)
+}
+
+func (v *Validator) checkTarget(ck *compiledKey, ci *contextInstance, t *xmltok.Token) {
 	if v.limit > 0 && len(v.violations) >= v.limit {
 		return
 	}
-	var tuple strings.Builder
+	tuple := v.scratch[:0]
 	complete := true
 	for _, a := range ck.key.Attrs {
 		val, ok := attrValue(t, a)
 		if !ok {
 			v.violations = append(v.violations, Violation{
 				Key: ck.key, Kind: xmlkey.MissingAttribute, Attr: a,
-				Offset: offset, ContextPath: ci.path, TargetPath: path,
+				Offset: t.Offset, ContextPath: v.contextPath(ci), TargetPath: v.pathAt(len(v.stack)),
 			})
 			complete = false
 			continue
 		}
-		fmt.Fprintf(&tuple, "%d:%s\x00", len(val), val)
+		tuple = appendTupleField(tuple, val)
 	}
+	v.scratch = tuple
 	if !complete {
 		return
 	}
-	key := tuple.String()
-	if ci.seen[key] {
+	if ci.seen[string(tuple)] {
 		v.violations = append(v.violations, Violation{
 			Key: ck.key, Kind: xmlkey.DuplicateKey,
-			Offset: offset, ContextPath: ci.path, TargetPath: path,
+			Offset: t.Offset, ContextPath: v.contextPath(ci), TargetPath: v.pathAt(len(v.stack)),
 		})
 		return
 	}
-	ci.seen[key] = true
+	ci.seen[string(tuple)] = true
 }
 
 func (v *Validator) endElement() {
@@ -431,18 +472,27 @@ func (v *Validator) endElement() {
 	if len(v.stack) == 0 {
 		return
 	}
-	// Closing an element retires the contexts it opened; their memory is
-	// released here, which is what keeps the validator streaming.
+	// Closing an element retires the contexts it opened; their tuple
+	// memory is released (maps cleared, instances recycled) here, which
+	// is what keeps the validator streaming.
+	f := &v.stack[len(v.stack)-1]
+	for _, ci := range f.contexts {
+		clear(ci.seen)
+		v.ciFree = append(v.ciFree, ci)
+	}
 	v.stack = v.stack[:len(v.stack)-1]
 }
 
-func attrValue(t xml.StartElement, name string) (string, bool) {
-	for _, a := range t.Attr {
-		if a.Name.Local == name {
-			return a.Value, true
+// attrValue finds an attribute by local name. Like the historical
+// xml.StartElement matching, it does not special-case xmlns declarations:
+// a key attribute named "xmlns" matches a namespace declaration.
+func attrValue(t *xmltok.Token, name string) ([]byte, bool) {
+	for i := range t.Attrs {
+		if string(t.Attrs[i].Local) == name {
+			return t.Attrs[i].Value, true
 		}
 	}
-	return "", false
+	return nil, false
 }
 
 // Validate is a convenience one-shot: stream the document from r against

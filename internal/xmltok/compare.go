@@ -1,0 +1,83 @@
+package xmltok
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// CompareSources pulls two sources in lockstep and returns a description
+// of the first divergence, or "" when they agree token for token: kinds,
+// byte offsets, qualified names and their Space/Local splits, labels and
+// interned codes, attribute name/value pairs after unescaping, and
+// character data. On input both reject, only the error class is compared
+// (unsupported-construct vs everything else) — messages and error
+// offsets are implementation detail. The description's prefix up to the
+// first ':' is a stable disagreement kind for the diff-lane shrinker.
+func CompareSources(fast, std Source) string {
+	for i := 0; ; i++ {
+		ft, ferr := fast.Next()
+		st, serr := std.Next()
+		if ferr != nil || serr != nil {
+			switch {
+			case ferr == nil:
+				return fmt.Sprintf("error-one-sided: token %d: std failed (%v), fast returned %v", i, serr, ft.Kind)
+			case serr == nil:
+				return fmt.Sprintf("error-one-sided: token %d: fast failed (%v), std returned %v", i, ferr, st.Kind)
+			case (ferr == io.EOF) != (serr == io.EOF):
+				return fmt.Sprintf("error-one-sided: token %d: fast=%v std=%v", i, ferr, serr)
+			case ferr == io.EOF:
+				return "" // both ended cleanly
+			default:
+				var fu, su *UnsupportedError
+				if errors.As(ferr, &fu) != errors.As(serr, &su) {
+					return fmt.Sprintf("error-class: token %d: fast=%v std=%v", i, ferr, serr)
+				}
+				return "" // both rejected with the same class
+			}
+		}
+		if d := compareTokens(i, ft, st); d != "" {
+			return d
+		}
+	}
+}
+
+func compareTokens(i int, ft, st *Token) string {
+	if ft.Kind != st.Kind {
+		return fmt.Sprintf("kind: token %d: fast=%v std=%v", i, ft.Kind, st.Kind)
+	}
+	if ft.Offset != st.Offset {
+		return fmt.Sprintf("offset: token %d (%v): fast=%d std=%d", i, ft.Kind, ft.Offset, st.Offset)
+	}
+	if !bytes.Equal(ft.Name, st.Name) || !bytes.Equal(ft.Space, st.Space) || !bytes.Equal(ft.Local, st.Local) {
+		return fmt.Sprintf("name: token %d (%v): fast=%q/%q/%q std=%q/%q/%q", i, ft.Kind,
+			ft.Name, ft.Space, ft.Local, st.Name, st.Space, st.Local)
+	}
+	if ft.Label != st.Label || ft.Code != st.Code {
+		return fmt.Sprintf("label: token %d (%v): fast=%q/%d std=%q/%d", i, ft.Kind, ft.Label, ft.Code, st.Label, st.Code)
+	}
+	if len(ft.Attrs) != len(st.Attrs) {
+		return fmt.Sprintf("attr: token %d (%v): fast has %d attrs, std has %d", i, ft.Kind, len(ft.Attrs), len(st.Attrs))
+	}
+	for j := range ft.Attrs {
+		fa, sa := &ft.Attrs[j], &st.Attrs[j]
+		if !bytes.Equal(fa.Name, sa.Name) || !bytes.Equal(fa.Space, sa.Space) || !bytes.Equal(fa.Local, sa.Local) {
+			return fmt.Sprintf("attr: token %d attr %d name: fast=%q/%q/%q std=%q/%q/%q", i, j,
+				fa.Name, fa.Space, fa.Local, sa.Name, sa.Space, sa.Local)
+		}
+		if !bytes.Equal(fa.Value, sa.Value) {
+			return fmt.Sprintf("attr: token %d attr %d value: fast=%q std=%q", i, j, fa.Value, sa.Value)
+		}
+	}
+	if !bytes.Equal(ft.Data, st.Data) {
+		return fmt.Sprintf("data: token %d (%v): fast=%q std=%q", i, ft.Kind, ft.Data, st.Data)
+	}
+	return ""
+}
+
+// CompareDoc runs CompareSources over one document with a shared-nil
+// interner — the form the fuzz target and unit tests use.
+func CompareDoc(doc []byte, in LabelInterner) string {
+	return CompareSources(New(bytes.NewReader(doc), in), NewStd(bytes.NewReader(doc), in))
+}

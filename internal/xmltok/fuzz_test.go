@@ -1,0 +1,34 @@
+package xmltok_test
+
+import (
+	"testing"
+
+	"xkprop/internal/paperdata"
+	"xkprop/internal/workload"
+	"xkprop/internal/xmltok"
+)
+
+// FuzzTokenizerParity holds the fast tokenizer to lockstep agreement with
+// the encoding/xml oracle on arbitrary byte input: identical token
+// streams (kind, offset, names, labels, attributes, data) and, on
+// failure, errors of the same class at the same point in the stream.
+func FuzzTokenizerParity(f *testing.F) {
+	f.Add([]byte(paperdata.Fig1XML))
+	for _, cfg := range []workload.Config{
+		{Fields: 8, Depth: 2, Keys: 4},
+		{Fields: 9, Depth: 3, Keys: 5, Width: 2},
+	} {
+		f.Add([]byte(workload.Generate(cfg).Document(2).XMLString()))
+	}
+	f.Add([]byte(`<a xmlns:p="u"><p:b p:x="1" y="&amp;&#65;&#x41;"/><![CDATA[]]]]><![CDATA[>]]></a>`))
+	f.Add([]byte("<r>\r\nmixed \rnewlines\n<e k='sq'/><!-- c --><?pi data?></r>"))
+	f.Add([]byte(`<?xml version="1.0" encoding="UTF-8"?><r>naïve 文字</r>`))
+	f.Add([]byte(`<!DOCTYPE r [<!ENTITY e "x">]><r>&e;</r>`))
+	f.Add([]byte(`<a><b></a></b>`))
+	f.Add([]byte(`<a`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if diff := xmltok.CompareDoc(data, nil); diff != "" {
+			t.Fatalf("decoders disagree: %s", diff)
+		}
+	})
+}

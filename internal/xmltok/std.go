@@ -1,0 +1,129 @@
+package xmltok
+
+import (
+	"encoding/xml"
+	"io"
+)
+
+// StdSource adapts encoding/xml to the Source interface and is retained
+// as the differential oracle for the fast tokenizer. It is built on
+// Decoder.RawToken, not Token: Token translates namespace prefixes into
+// URLs, which would break raw-name parity. RawToken still performs
+// self-closing-tag synthesis and the <?xml?> version/encoding checks, so
+// StdSource adds only what Token would have: raw-name start/end
+// matching, the end-of-input open-element check, and a typed rejection
+// of Directive tokens (DTD internal subsets are outside the supported
+// surface in both decoders).
+type StdSource struct {
+	dec    *xml.Decoder
+	labels *labelCache
+	tok    Token
+	attrs  []Attr
+	stack  []xml.Name
+	err    error
+}
+
+// NewStd returns the encoding/xml-backed oracle Source.
+func NewStd(r io.Reader, in LabelInterner) *StdSource {
+	return &StdSource{dec: xml.NewDecoder(r), labels: newLabelCache(in)}
+}
+
+// InputOffset returns the underlying decoder's input offset.
+func (s *StdSource) InputOffset() int64 { return s.dec.InputOffset() }
+
+// rawName reconstructs the qualified name RawToken split: nsname
+// splitting is bijective, so this is exact.
+func rawName(n xml.Name) string {
+	if n.Space != "" {
+		return n.Space + ":" + n.Local
+	}
+	return n.Local
+}
+
+// Next implements Source with the same token semantics as the fast path.
+func (s *StdSource) Next() (*Token, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	off := s.dec.InputOffset()
+	tk, err := s.dec.RawToken()
+	if err != nil {
+		if err == io.EOF {
+			if len(s.stack) > 0 {
+				// Token()'s end-of-input check, which RawToken skips.
+				return nil, s.fail(&xml.SyntaxError{Msg: "unexpected EOF", Line: 0})
+			}
+			s.err = io.EOF
+			return nil, io.EOF
+		}
+		return nil, s.fail(err)
+	}
+	s.tok = Token{Offset: off}
+	switch tk := tk.(type) {
+	case xml.StartElement:
+		s.tok.Kind = StartElement
+		s.setName(tk.Name)
+		s.tok.Label, s.tok.Code = s.labels.resolve([]byte(tk.Name.Local))
+		s.attrs = s.attrs[:0]
+		for _, a := range tk.Attr {
+			name := []byte(rawName(a.Name))
+			at := Attr{Name: name, Local: name, Value: []byte(a.Value)}
+			if a.Name.Space != "" {
+				at.Space = name[:len(a.Name.Space)]
+				at.Local = name[len(a.Name.Space)+1:]
+			}
+			s.attrs = append(s.attrs, at)
+		}
+		s.tok.Attrs = s.attrs
+		// Track the raw name for end-tag matching. A self-closing tag
+		// pushes here and pops on the synthesized EndElement RawToken
+		// returns next, so the bookkeeping stays uniform.
+		s.stack = append(s.stack, tk.Name)
+	case xml.EndElement:
+		if len(s.stack) == 0 {
+			return nil, s.fail(&xml.SyntaxError{Msg: "unexpected end element </" + tk.Name.Local + ">", Line: 0})
+		}
+		top := s.stack[len(s.stack)-1]
+		if top != tk.Name {
+			return nil, s.fail(&xml.SyntaxError{Msg: "element <" + top.Local + "> closed by </" + tk.Name.Local + ">", Line: 0})
+		}
+		s.stack = s.stack[:len(s.stack)-1]
+		s.tok.Kind = EndElement
+		s.setName(tk.Name)
+	case xml.CharData:
+		s.tok.Kind = CharData
+		s.tok.Data = tk
+	case xml.Comment:
+		s.tok.Kind = Comment
+		s.tok.Data = tk
+	case xml.ProcInst:
+		s.tok.Kind = ProcInst
+		s.tok.Name = []byte(tk.Target)
+		s.tok.Data = tk.Inst
+	case xml.Directive:
+		return nil, s.failAt(off, &UnsupportedError{Construct: directiveConstruct})
+	default:
+		return nil, s.failAt(off, &UnsupportedError{Construct: "unknown token type"})
+	}
+	return &s.tok, nil
+}
+
+func (s *StdSource) setName(n xml.Name) {
+	name := []byte(rawName(n))
+	s.tok.Name = name
+	s.tok.Local = name
+	if n.Space != "" {
+		s.tok.Space = name[:len(n.Space)]
+		s.tok.Local = name[len(n.Space)+1:]
+	}
+}
+
+func (s *StdSource) fail(err error) error {
+	return s.failAt(s.dec.InputOffset(), err)
+}
+
+func (s *StdSource) failAt(off int64, err error) error {
+	e := &Error{Offset: off, Err: err}
+	s.err = e
+	return e
+}
